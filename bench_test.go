@@ -1,0 +1,482 @@
+// Package repro_test is the benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (see the experiment index in DESIGN.md
+// and the recorded outcomes in EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/learn"
+	"repro/internal/quicsim"
+	"repro/internal/synth"
+)
+
+// BenchmarkLearnTCPHandshake — Fig. 3(b): learn the handshake fragment over
+// the two-symbol alphabet.
+func BenchmarkLearnTCPHandshake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sul := lab.NewTCP(1)
+		exp := &core.Experiment{Alphabet: []string{"SYN(?,?,0)", "ACK(?,?,0)"}, SUL: sul, Seed: 1}
+		m, err := exp.Learn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NumStates() < 3 {
+			b.Fatalf("degenerate model: %d states", m.NumStates())
+		}
+	}
+}
+
+// BenchmarkLearnTCPFull — §6.1: the full seven-symbol TCP alphabet
+// (paper: 6 states, 42 transitions, 4,726 membership queries).
+func BenchmarkLearnTCPFull(b *testing.B) {
+	var queries int64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Model.NumStates() != 6 {
+			b.Fatalf("states = %d, want 6", res.Model.NumStates())
+		}
+		queries = res.Stats.Queries
+	}
+	b.ReportMetric(float64(queries), "queries")
+}
+
+// BenchmarkLearnTCPFull_NoCache — ablation: the same run without the
+// membership-query cache.
+func BenchmarkLearnTCPFull_NoCache(b *testing.B) {
+	var queries int64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13, DisableCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = res.Stats.Queries
+	}
+	b.ReportMetric(float64(queries), "queries")
+}
+
+// BenchmarkLearnGoogleQUIC — §6.2.2: learn the Google QUIC profile
+// (paper: 12 states, 84 transitions, 24,301 queries).
+func BenchmarkLearnGoogleQUIC(b *testing.B) {
+	var queries int64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 13, Perfect: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Model.NumStates() != 12 {
+			b.Fatalf("states = %d, want 12", res.Model.NumStates())
+		}
+		queries = res.Stats.Queries
+	}
+	b.ReportMetric(float64(queries), "queries")
+}
+
+// BenchmarkLearnQuiche — §6.2.2: learn the Quiche profile
+// (paper: 8 states, 56 transitions, 12,301 queries).
+func BenchmarkLearnQuiche(b *testing.B) {
+	var queries int64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Model.NumStates() != 8 {
+			b.Fatalf("states = %d, want 8", res.Model.NumStates())
+		}
+		queries = res.Stats.Queries
+	}
+	b.ReportMetric(float64(queries), "queries")
+}
+
+// BenchmarkLearnerComparison — ablation: L* vs the discrimination-tree
+// learner on the same target (live query counts with the cache enabled).
+func BenchmarkLearnerComparison(b *testing.B) {
+	for _, kind := range []core.LearnerKind{core.LearnerLStar, core.LearnerTTT} {
+		b.Run(string(kind), func(b *testing.B) {
+			var queries int64
+			for i := 0; i < b.N; i++ {
+				res, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true, Learner: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries = res.Stats.Queries
+			}
+			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
+// BenchmarkTraceReduction — §6.2.2: counting the 7-symbol trace space and
+// the learned models' checking statistics.
+func BenchmarkTraceReduction(b *testing.B) {
+	google := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	quiche := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	productive := func(o string) bool { return o != "{}" }
+	var total, g, q uint64
+	for i := 0; i < b.N; i++ {
+		total = google.CountTraces(10) // total machine: the full word count
+		g = google.CountTracesFiltered(10, productive)
+		q = quiche.CountTracesFiltered(10, productive)
+	}
+	b.ReportMetric(float64(total), "words")
+	b.ReportMetric(float64(g), "google-traces")
+	b.ReportMetric(float64(q), "quiche-traces")
+}
+
+// BenchmarkNondeterminismCheck — §6.2.4 / Issue 2: cost of detecting the
+// mvfst post-close nondeterminism with the voting guard.
+func BenchmarkNondeterminismCheck(b *testing.B) {
+	// A long post-close probe plus a strict guard makes detection
+	// statistically certain per iteration: the chance of eight initial
+	// votes agreeing on all eight coin flips is about 3e-6.
+	word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeHD}
+	for j := 0; j < 8; j++ {
+		word = append(word, quicsim.SymShortHD)
+	}
+	guard := core.GuardConfig{MinVotes: 8, MaxVotes: 30, Certainty: 0.95}
+	for i := 0; i < b.N; i++ {
+		setup := lab.NewQUIC(quicsim.ProfileMvfst, lab.QUICOptions{Seed: int64(i) + 1})
+		oracle := core.Guard(core.Oracle(setup), guard)
+		_, err := oracle.Query(word)
+		if _, ok := core.IsNondeterminism(err); !ok {
+			b.Fatalf("nondeterminism not detected: %v", err)
+		}
+	}
+}
+
+// BenchmarkGuardVotes — ablation: determinism-check cost as the minimum
+// vote count grows (deterministic target, so votes are pure overhead).
+func BenchmarkGuardVotes(b *testing.B) {
+	for _, votes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("votes=%d", votes), func(b *testing.B) {
+			setup := lab.NewQUIC(quicsim.ProfileQuiche, lab.QUICOptions{Seed: 3})
+			oracle := core.Guard(core.Oracle(setup), core.GuardConfig{
+				MinVotes: votes, MaxVotes: votes * 4, Certainty: 0.9,
+			})
+			word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := oracle.Query(word); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetryPortBug — §6.2.5 / Issue 3: the retry exchange with the
+// correct and the buggy client.
+func BenchmarkRetryPortBug(b *testing.B) {
+	word := []string{quicsim.SymInitialCrypto, quicsim.SymInitialCrypto, quicsim.SymHandshakeC}
+	for _, buggy := range []bool{false, true} {
+		name := "correct-client"
+		if buggy {
+			name = "buggy-client"
+		}
+		b.Run(name, func(b *testing.B) {
+			setup := lab.NewQUIC(quicsim.ProfileGoogle, lab.QUICOptions{
+				Seed: 7, RetryRequired: true, BuggyRetry: buggy,
+			})
+			for i := 0; i < b.N; i++ {
+				if err := setup.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				var last string
+				for _, sym := range word {
+					out, err := setup.Client.Step(sym)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = out
+				}
+				if buggy && last != "{}" {
+					b.Fatalf("buggy client completed handshake: %q", last)
+				}
+				if !buggy && last == "{}" {
+					b.Fatal("correct client failed handshake")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSynthesizeTCPRegisters — Fig. 3(c)/Fig. 4: register synthesis
+// for the TCP handshake numbers.
+func BenchmarkSynthesizeTCPRegisters(b *testing.B) {
+	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup := lab.NewTCP(31)
+	collect := func(word []string) synth.Trace {
+		if err := setup.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		setup.Client.ClearTrace()
+		for _, sym := range word {
+			if _, err := setup.Client.Step(sym); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return lab.TCPSynthTraces(setup.Client.Trace())
+	}
+	traces := []synth.Trace{
+		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)"}),
+		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"}),
+		collect([]string{"ACK(?,?,0)", "SYN(?,?,0)"}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &synth.Problem{
+			Machine: res.Model, NumRegisters: 1, NumInputParams: 2,
+			OutputParams: map[string]int{"SYN+ACK(?,?,0)": 1},
+			Consts:       []int64{0}, Positive: traces,
+		}
+		if _, err := synth.Synthesize(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeStreamDataBlocked — §6.2.6 / Appendix B.1: the Issue 4
+// synthesis over the Maximum Stream Data field.
+func BenchmarkSynthesizeStreamDataBlocked(b *testing.B) {
+	res, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 29, Perfect: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup := lab.NewQUIC(quicsim.ProfileGoogle, lab.QUICOptions{Seed: 29})
+	words := [][]string{
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream,
+			quicsim.SymShortStream, quicsim.SymShortFC, quicsim.SymShortStream},
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream,
+			quicsim.SymShortStream, quicsim.SymShortStream},
+	}
+	var traces []synth.Trace
+	for _, w := range words {
+		tr, err := lab.CollectSDBTrace(setup, w, lab.BlockedOutputLabel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Synthesize(lab.SDBProblem(res.Model, traces)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelDiff — §6.2.3 / Issue 1: comparing the two learned models.
+func BenchmarkModelDiff(b *testing.B) {
+	google := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	quiche := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	for i := 0; i < b.N; i++ {
+		r := analysis.Diff("google", google, "quiche", quiche, 5)
+		if r.Equivalent {
+			b.Fatal("models must differ")
+		}
+	}
+}
+
+// BenchmarkEquivalence — §5: the Mealy equivalence decision procedure,
+// swept over machine size.
+func BenchmarkEquivalence(b *testing.B) {
+	inputs := []string{"a", "b", "c"}
+	outputs := []string{"0", "1"}
+	for _, n := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("states=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			m := randomMealy(rng, n, inputs, outputs)
+			other := m.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if eq, _ := m.Equivalent(other); !eq {
+					b.Fatal("clone not equivalent")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWirePath — substrate cost: one full QUIC handshake over the real
+// packet path (encode, HKDF, AES-GCM, header protection, decode).
+func BenchmarkWirePath(b *testing.B) {
+	setup := lab.NewQUIC(quicsim.ProfileGoogle, lab.QUICOptions{Seed: 7})
+	for i := 0; i < b.N; i++ {
+		if err := setup.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := setup.Client.Step(quicsim.SymInitialCrypto); err != nil {
+			b.Fatal(err)
+		}
+		out, err := setup.Client.Step(quicsim.SymHandshakeC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out == "{}" {
+			b.Fatal("handshake failed")
+		}
+	}
+}
+
+// BenchmarkTCPWirePath — substrate cost: one TCP handshake through binary
+// segments with checksums.
+func BenchmarkTCPWirePath(b *testing.B) {
+	setup := lab.NewTCP(5)
+	for i := 0; i < b.N; i++ {
+		if err := setup.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		out, err := setup.Client.Step("SYN(?,?,0)")
+		if err != nil || out != "SYN+ACK(?,?,0)" {
+			b.Fatalf("handshake failed: %q %v", out, err)
+		}
+	}
+}
+
+// BenchmarkModelBasedTestGen — §5: generating and running the W-method
+// conformance suite against a live implementation.
+func BenchmarkModelBasedTestGen(b *testing.B) {
+	quiche := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	suite := analysis.WMethodSuite(quiche, 1)
+	oracle := learn.MealyOracle(quiche)
+	b.ReportMetric(float64(suite.Len()), "tests")
+	for i := 0; i < b.N; i++ {
+		fails, err := analysis.RunSuite(suite, oracle, 0)
+		if err != nil || len(fails) != 0 {
+			b.Fatalf("suite run failed: %v %v", fails, err)
+		}
+	}
+}
+
+func randomMealy(r *rand.Rand, states int, inputs, outputs []string) *automata.Mealy {
+	m := automata.NewMealy(inputs)
+	for m.NumStates() < states {
+		m.AddState()
+	}
+	for s := 0; s < states; s++ {
+		for _, in := range inputs {
+			m.SetTransition(automata.State(s), in, automata.State(r.Intn(states)), outputs[r.Intn(len(outputs))])
+		}
+	}
+	return m
+}
+
+// TestReproduceAllExperiments is a one-shot integration check that every
+// headline number of the paper is reproduced; `go test` at the repo root
+// re-validates the reproduction end to end.
+func TestReproduceAllExperiments(t *testing.T) {
+	// T6.1
+	tcp, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Model.NumStates() != 6 || tcp.Model.NumTransitions() != 42 {
+		t.Errorf("T6.1: %d/%d, want 6/42", tcp.Model.NumStates(), tcp.Model.NumTransitions())
+	}
+	// T6.2
+	google, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 13, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiche, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if google.Model.NumStates() != 12 || quiche.Model.NumStates() != 8 {
+		t.Errorf("T6.2: %d/%d states, want 12/8", google.Model.NumStates(), quiche.Model.NumStates())
+	}
+	// I2
+	mvfst, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mvfst.Nondet == nil {
+		t.Error("I2: mvfst nondeterminism not detected")
+	}
+	// Trace space sanity (§6.2.2).
+	if got := google.Model.CountTraces(10); got != 329554456 {
+		t.Errorf("trace space = %d, want 329554456", got)
+	}
+}
+
+// BenchmarkConformance — ablation: W-method vs Wp-method equivalence
+// search over a correct hypothesis (the full-suite cost; Wp's savings come
+// from the per-state identification sets).
+func BenchmarkConformance(b *testing.B) {
+	truth := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	b.Run("w-method", func(b *testing.B) {
+		var st learn.Stats
+		oracle := learn.Counting(learn.MealyOracle(truth), &st)
+		eqo := &learn.WMethodOracle{Oracle: oracle, Inputs: truth.Inputs(), Depth: 1}
+		for i := 0; i < b.N; i++ {
+			st = learn.Stats{}
+			if ce, err := eqo.FindCounterexample(truth); err != nil || ce != nil {
+				b.Fatalf("ce=%v err=%v", ce, err)
+			}
+		}
+		b.ReportMetric(float64(st.Queries), "queries")
+	})
+	b.Run("wp-method", func(b *testing.B) {
+		var st learn.Stats
+		oracle := learn.Counting(learn.MealyOracle(truth), &st)
+		eqo := &learn.WpMethodOracle{Oracle: oracle, Inputs: truth.Inputs(), Depth: 1}
+		for i := 0; i < b.N; i++ {
+			st = learn.Stats{}
+			if ce, err := eqo.FindCounterexample(truth); err != nil || ce != nil {
+				b.Fatalf("ce=%v err=%v", ce, err)
+			}
+		}
+		b.ReportMetric(float64(st.Queries), "queries")
+	})
+}
+
+// BenchmarkHybridPreload — §8 future work implemented: active learning
+// with a log-preloaded cache vs a cold cache (live queries reported).
+func BenchmarkHybridPreload(b *testing.B) {
+	truth := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	logs, err := learn.TracesFromWalks(learn.MealyOracle(truth), truth.Inputs(), 300, 8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, warm := range []bool{false, true} {
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var queries int64
+			for i := 0; i < b.N; i++ {
+				var st learn.Stats
+				cache := learn.NewCache(learn.Counting(learn.MealyOracle(truth), &st), &st)
+				if warm {
+					for _, lg := range logs {
+						if err := cache.Preload(lg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if _, err := learn.NewDTLearner(cache, truth.Inputs()).
+					Learn(&learn.ModelOracle{Model: truth}); err != nil {
+					b.Fatal(err)
+				}
+				queries = st.Queries
+			}
+			b.ReportMetric(float64(queries), "live-queries")
+		})
+	}
+}

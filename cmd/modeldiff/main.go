@@ -1,0 +1,62 @@
+// Command modeldiff learns models of two protocol implementations and
+// reports whether they are behaviourally equivalent, printing witness
+// traces when they are not — the analysis behind the paper's Issue 1
+// (§6.2.3), where the model-size gap between Google QUIC and Quiche led to
+// an RFC clarification.
+//
+// Usage:
+//
+//	modeldiff -a google -b quiche [-witnesses 5] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/automata"
+	"repro/internal/lab"
+)
+
+func main() {
+	a := flag.String("a", "google", "first target")
+	b := flag.String("b", "quiche", "second target")
+	witnesses := flag.Int("witnesses", 5, "maximum distinguishing traces to print")
+	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
+	flag.Parse()
+
+	if err := run(*a, *b, *witnesses, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "modeldiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(a, b string, witnesses int, seed int64) error {
+	ra, err := learn(a, seed)
+	if err != nil {
+		return err
+	}
+	rb, err := learn(b, seed)
+	if err != nil {
+		return err
+	}
+	report := analysis.Diff(a, ra, b, rb, witnesses)
+	fmt.Print(report.String())
+	if !report.Equivalent {
+		fmt.Println("\nnote: a difference is not necessarily a bug — QUIC's specification")
+		fmt.Println("permits divergent design choices; inspect the witnesses (cf. §6.2.3).")
+	}
+	return nil
+}
+
+func learn(target string, seed int64) (*automata.Mealy, error) {
+	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: target != lab.TargetTCP && target != lab.TargetMvfst})
+	if err != nil {
+		return nil, err
+	}
+	if res.Nondet != nil {
+		return nil, fmt.Errorf("target %s is nondeterministic: %v", target, res.Nondet)
+	}
+	return res.Model, nil
+}

@@ -1,0 +1,185 @@
+// Command prognosis learns a Mealy-machine model of a protocol
+// implementation in a closed-box fashion and reports model statistics,
+// optionally writing the model as Graphviz dot.
+//
+// Usage:
+//
+//	prognosis -target google [-learner ttt|lstar] [-seed N] [-perfect]
+//	          [-dot model.dot] [-udp] [-no-cache]
+//
+// Targets: tcp, google, google-fixed, quiche, mvfst.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+	"repro/internal/transport"
+)
+
+func main() {
+	target := flag.String("target", "tcp", "target implementation: tcp, google, google-fixed, quiche, mvfst")
+	learner := flag.String("learner", "ttt", "learning algorithm: ttt or lstar")
+	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
+	perfect := flag.Bool("perfect", false, "use the ground-truth equivalence oracle (QUIC targets only)")
+	dotFile := flag.String("dot", "", "write the learned model as Graphviz dot to this file")
+	saveFile := flag.String("save", "", "write the learned model as JSON to this file")
+	property := flag.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
+	depth := flag.Int("depth", 4, "exploration depth for -property")
+	udp := flag.Bool("udp", false, "run the session over a UDP loopback socket pair")
+	noCache := flag.Bool("no-cache", false, "disable the membership-query cache")
+	flag.Parse()
+
+	if err := run(runConfig{
+		target: *target, learner: *learner, seed: *seed, perfect: *perfect,
+		dotFile: *dotFile, saveFile: *saveFile, property: *property, depth: *depth,
+		udp: *udp, noCache: *noCache,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "prognosis:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	target, learner   string
+	seed              int64
+	perfect           bool
+	dotFile, saveFile string
+	property          string
+	depth             int
+	udp, noCache      bool
+}
+
+func run(cfg runConfig) error {
+	target, learner, seed := cfg.target, cfg.learner, cfg.seed
+	perfect, dotFile, udp, noCache := cfg.perfect, cfg.dotFile, cfg.udp, cfg.noCache
+	opts := lab.Options{
+		Learner: core.LearnerKind(learner), Seed: seed,
+		Perfect: perfect, DisableCache: noCache,
+	}
+	var res *lab.Result
+	var err error
+	if udp && target != lab.TargetTCP {
+		res, err = learnOverUDP(target, opts)
+	} else {
+		res, err = lab.Learn(target, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Nondet != nil {
+		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", target)
+		fmt.Printf("  witness query: %v\n", res.Nondet.Word)
+		fmt.Printf("  %d distinct responses over %d repetitions:\n", len(res.Nondet.Observed), res.Nondet.Votes)
+		for out, n := range res.Nondet.Observed {
+			fmt.Printf("    x%-3d %s\n", n, out)
+		}
+		return nil
+	}
+	m := res.Model
+	fmt.Printf("target %s: learned model with %d states, %d transitions\n",
+		target, m.NumStates(), m.NumTransitions())
+	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
+		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
+	fmt.Printf("  wall time: %v\n", res.Duration)
+	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
+		m.CountTraces(10), totalWords(len(m.Inputs()), 10))
+	if cfg.saveFile != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.saveFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  model saved to %s\n", cfg.saveFile)
+	}
+	if cfg.property != "" {
+		f, err := analysis.ParseFormula(cfg.property)
+		if err != nil {
+			return err
+		}
+		if bad := analysis.CheckLTL(m, f, cfg.depth); bad != nil {
+			fmt.Printf("  property VIOLATED; witness trace:\n")
+			for i := range bad.Inputs {
+				fmt.Printf("    %s / %s\n", bad.Inputs[i], bad.Outputs[i])
+			}
+		} else {
+			fmt.Printf("  property holds on all traces of length %d\n", cfg.depth)
+		}
+	}
+	if dotFile != "" {
+		if err := os.WriteFile(dotFile, []byte(m.DOT(target)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  model written to %s\n", dotFile)
+	} else {
+		fmt.Println()
+		fmt.Print(m.String())
+	}
+	return nil
+}
+
+// learnOverUDP hosts the QUIC target on a loopback UDP socket and learns
+// across it.
+func learnOverUDP(target string, opts lab.Options) (*lab.Result, error) {
+	profile, err := lab.QUICProfile(target)
+	if err != nil {
+		return nil, err
+	}
+	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: opts.Seed})
+	hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
+	if err != nil {
+		return nil, err
+	}
+	defer hosted.Close()
+	tr := transport.NewQUICClientTransport(hosted.Addr())
+	defer tr.Close()
+	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: opts.Seed + 4}, tr)
+	sul := &udpSUL{srv: srv, cli: cli}
+
+	exp := &core.Experiment{
+		Alphabet: quicsim.InputAlphabet(), SUL: sul,
+		Learner: opts.Learner, Seed: opts.Seed, DisableCache: opts.DisableCache,
+	}
+	res := &lab.Result{Target: target, LearnerKind: opts.Learner}
+	m, err := exp.Learn()
+	res.Stats = exp.Stats
+	if err != nil {
+		if nd, ok := core.IsNondeterminism(err); ok {
+			res.Nondet = nd
+			return res, nil
+		}
+		return nil, err
+	}
+	res.Model = m
+	return res, nil
+}
+
+type udpSUL struct {
+	srv *quicsim.Server
+	cli *reference.QUICClient
+}
+
+func (u *udpSUL) Reset() error {
+	u.srv.Reset()
+	return u.cli.Reset()
+}
+
+func (u *udpSUL) Step(in string) (string, error) { return u.cli.Step(in) }
+
+func totalWords(k, maxLen int) uint64 {
+	var total, pow uint64 = 0, 1
+	for i := 1; i <= maxLen; i++ {
+		pow *= uint64(k)
+		total += pow
+	}
+	return total
+}

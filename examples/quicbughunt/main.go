@@ -1,0 +1,74 @@
+// Quicbughunt reproduces Issue 2 of the paper (§6.2.4): learning a model
+// of the mvfst-profile QUIC server aborts with a nondeterminism report,
+// and the follow-up probe shows the server answers post-close packets with
+// stateless RESETs only ~82% of the time, with no back-off — a DoS vector
+// the developers acknowledged.
+//
+//	go run ./examples/quicbughunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lab"
+	"repro/internal/quicsim"
+)
+
+func main() {
+	// Step 1: try to learn mvfst like any other target. The nondeterminism
+	// check of §5 halts learning and hands us a witness query.
+	res, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Nondet == nil {
+		log.Fatal("expected the nondeterminism check to fire")
+	}
+	fmt.Println("learning paused: the same query yields different answers.")
+	fmt.Printf("witness query (%d symbols), %d distinct responses over %d runs\n\n",
+		len(res.Nondet.Word), len(res.Nondet.Observed), res.Nondet.Votes)
+
+	// Step 2: localize. The trigger is a client-sent HANDSHAKE_DONE (a
+	// server-only frame): the server closes the connection, then answers
+	// further probes with a stateless RESET — sometimes.
+	setup := lab.NewQUIC(quicsim.ProfileMvfst, lab.QUICOptions{Seed: 5})
+	trigger := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeHD}
+
+	const probes = 500
+	resets := 0
+	for i := 0; i < probes; i++ {
+		if err := setup.Reset(); err != nil {
+			log.Fatal(err)
+		}
+		for _, sym := range trigger {
+			if _, err := setup.Client.Step(sym); err != nil {
+				log.Fatal(err)
+			}
+		}
+		out, err := setup.Client.Step(quicsim.SymShortHD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out == "{RESET(?,?)[]}" {
+			resets++
+		}
+	}
+	fmt.Printf("post-close probe answered with RESET in %d/%d runs (%.0f%%; paper: 82%%)\n",
+		resets, probes, 100*float64(resets)/probes)
+
+	// Step 3: the DoS angle — every probe is answered afresh, no back-off.
+	fmt.Println("\nDoS probe: 10 identical packets to a closed connection:")
+	if err := setup.Reset(); err != nil {
+		log.Fatal(err)
+	}
+	for _, sym := range trigger {
+		setup.Client.Step(sym) //nolint:errcheck // demo path, checked above
+	}
+	for i := 0; i < 10; i++ {
+		out, _ := setup.Client.Step(quicsim.SymShortHD)
+		fmt.Printf("  probe %2d -> %s\n", i+1, out)
+	}
+	fmt.Println("\nthe server keeps generating RESETs on demand: each costs it a")
+	fmt.Println("datagram while the attacker replays one precomputed packet (§6.2.4).")
+}

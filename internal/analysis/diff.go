@@ -1,0 +1,164 @@
+// Package analysis implements the Prognosis Analysis Module of §5: model
+// equivalence checking with counterexample traces (the Issue 1 workflow),
+// temporal-property checking over learned models (LTLf and safety
+// monitors), model-based test generation, and report rendering for
+// communicating findings — the paper's visualizations — in textual form.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// DiffReport describes how two learned models relate.
+type DiffReport struct {
+	NameA, NameB     string
+	StatesA, StatesB int
+	TransA, TransB   int
+	Equivalent       bool
+	// Witnesses are distinguishing input words with both models' outputs,
+	// the "concrete example traces that show the difference" of §5.
+	Witnesses []DiffWitness
+}
+
+// DiffWitness is one distinguishing trace.
+type DiffWitness struct {
+	Word            []string
+	OutputsA        []string
+	OutputsB        []string
+	FirstDivergence int
+}
+
+// Diff compares two models over the same alphabet, collecting up to
+// maxWitnesses distinguishing traces. The first witness is a shortest one;
+// further witnesses are gathered by locally mutating explored prefixes.
+func Diff(nameA string, a *automata.Mealy, nameB string, b *automata.Mealy, maxWitnesses int) *DiffReport {
+	r := &DiffReport{
+		NameA: nameA, NameB: nameB,
+		StatesA: a.NumStates(), StatesB: b.NumStates(),
+		TransA: a.NumTransitions(), TransB: b.NumTransitions(),
+	}
+	eq, ce := a.Equivalent(b)
+	r.Equivalent = eq
+	if eq {
+		return r
+	}
+	seen := map[string]bool{}
+	add := func(word []string) {
+		if len(r.Witnesses) >= maxWitnesses {
+			return
+		}
+		key := strings.Join(word, "\x1f")
+		if seen[key] {
+			return
+		}
+		oa, _ := a.Run(word)
+		ob, _ := b.Run(word)
+		div := firstDivergence(oa, ob)
+		if div < 0 {
+			return // not actually distinguishing
+		}
+		seen[key] = true
+		r.Witnesses = append(r.Witnesses, DiffWitness{
+			Word: append([]string(nil), word...), OutputsA: oa, OutputsB: ob, FirstDivergence: div,
+		})
+	}
+	add(ce)
+	// Derive further witnesses: extend each access word of A by each input
+	// and keep those on which the machines diverge.
+	access := a.AccessSequences()
+	for _, acc := range access {
+		for _, in := range a.Inputs() {
+			add(append(append([]string(nil), acc...), in))
+		}
+	}
+	return r
+}
+
+func firstDivergence(a, b []string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// String renders the report for a terminal, mirroring the role of the
+// paper's model visualizations when explaining anomalies to developers.
+func (r *DiffReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model diff: %s (%d states, %d transitions) vs %s (%d states, %d transitions)\n",
+		r.NameA, r.StatesA, r.TransA, r.NameB, r.StatesB, r.TransB)
+	if r.Equivalent {
+		b.WriteString("  models are equivalent\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  models are NOT equivalent (%d witness traces)\n", len(r.Witnesses))
+	for i, w := range r.Witnesses {
+		fmt.Fprintf(&b, "  witness %d (diverges at step %d):\n", i+1, w.FirstDivergence+1)
+		for j, in := range w.Word {
+			oa, ob := "-", "-"
+			if j < len(w.OutputsA) {
+				oa = w.OutputsA[j]
+			}
+			if j < len(w.OutputsB) {
+				ob = w.OutputsB[j]
+			}
+			marker := " "
+			if j == w.FirstDivergence {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "   %s step %d: %s\n        %s: %s\n        %s: %s\n", marker, j+1, in, r.NameA, oa, r.NameB, ob)
+		}
+	}
+	return b.String()
+}
+
+// CheckSafety runs a safety monitor DFA over all reachable joint states of
+// the model and returns a shortest input word whose outputs drive the
+// monitor into a bad state, or nil if the model satisfies the property.
+// The monitor reads the model's output symbols.
+func CheckSafety(m *automata.Mealy, monitor *automata.DFA) []string {
+	type pair struct {
+		ms automata.State
+		ds automata.State
+	}
+	type node struct {
+		p    pair
+		word []string
+	}
+	start := pair{m.Initial(), monitor.Initial()}
+	seen := map[pair]bool{start: true}
+	queue := []node{{p: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, in := range m.Inputs() {
+			ms, out, ok := m.Step(cur.p.ms, in)
+			if !ok {
+				continue
+			}
+			word := append(append([]string(nil), cur.word...), in)
+			ds, ok := monitor.Step(cur.p.ds, out)
+			if !ok || monitor.Bad(ds) {
+				return word
+			}
+			np := pair{ms, ds}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, node{p: np, word: word})
+			}
+		}
+	}
+	return nil
+}

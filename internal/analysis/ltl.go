@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// Formula is an LTLf (linear temporal logic over finite traces) formula
+// evaluated over a model's I/O traces. Atoms inspect the input or output
+// symbol at the current step. The checker explores the model's traces
+// exhaustively up to a bound, so a reported violation is a real trace of
+// the model; absence of a violation is a bounded guarantee (§5: for richer
+// models the problem is undecidable and the paper, like us, falls back on
+// bounded/randomized checking).
+type Formula interface {
+	// Holds evaluates the formula at position i of the trace.
+	Holds(tr IOTrace, i int) bool
+	String() string
+}
+
+// IOTrace is a finite input/output trace of a Mealy machine.
+type IOTrace struct {
+	Inputs  []string
+	Outputs []string
+}
+
+// Len returns the trace length.
+func (t IOTrace) Len() int { return len(t.Inputs) }
+
+// --- Formula constructors ---
+
+type atom struct {
+	kind string // "in", "out", "outHas", "true"
+	arg  string
+}
+
+// In matches steps whose input symbol equals sym.
+func In(sym string) Formula { return atom{kind: "in", arg: sym} }
+
+// Out matches steps whose output symbol equals sym.
+func Out(sym string) Formula { return atom{kind: "out", arg: sym} }
+
+// OutHas matches steps whose output symbol contains the substring frag
+// (handy for set-valued QUIC outputs such as "{...CONNECTION_CLOSE...}").
+func OutHas(frag string) Formula { return atom{kind: "outHas", arg: frag} }
+
+// True matches every step.
+func True() Formula { return atom{kind: "true"} }
+
+func (a atom) Holds(tr IOTrace, i int) bool {
+	if i >= tr.Len() {
+		return false
+	}
+	switch a.kind {
+	case "in":
+		return tr.Inputs[i] == a.arg
+	case "out":
+		return tr.Outputs[i] == a.arg
+	case "outHas":
+		return strings.Contains(tr.Outputs[i], a.arg)
+	default:
+		return true
+	}
+}
+
+func (a atom) String() string {
+	switch a.kind {
+	case "in":
+		return fmt.Sprintf("in(%q)", a.arg)
+	case "out":
+		return fmt.Sprintf("out(%q)", a.arg)
+	case "outHas":
+		return fmt.Sprintf("outHas(%q)", a.arg)
+	default:
+		return "true"
+	}
+}
+
+type unary struct {
+	op  string
+	sub Formula
+}
+
+// Not negates a formula.
+func Not(f Formula) Formula { return unary{"!", f} }
+
+// Next holds if f holds at the next step (strong next: a next step must
+// exist).
+func Next(f Formula) Formula { return unary{"X", f} }
+
+// WeakNext holds if f holds at the next step or the trace ends here (the
+// finite-trace dual of Next; use it for safety properties so the final step
+// is not a spurious violation).
+func WeakNext(f Formula) Formula { return unary{"WX", f} }
+
+// Globally holds if f holds at every remaining step.
+func Globally(f Formula) Formula { return unary{"G", f} }
+
+// Eventually holds if f holds at some remaining step.
+func Eventually(f Formula) Formula { return unary{"F", f} }
+
+func (u unary) Holds(tr IOTrace, i int) bool {
+	switch u.op {
+	case "!":
+		return !u.sub.Holds(tr, i)
+	case "X":
+		return i+1 < tr.Len() && u.sub.Holds(tr, i+1)
+	case "WX":
+		return i+1 >= tr.Len() || u.sub.Holds(tr, i+1)
+	case "G":
+		for j := i; j < tr.Len(); j++ {
+			if !u.sub.Holds(tr, j) {
+				return false
+			}
+		}
+		return true
+	default: // F
+		for j := i; j < tr.Len(); j++ {
+			if u.sub.Holds(tr, j) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func (u unary) String() string { return u.op + "(" + u.sub.String() + ")" }
+
+type binary struct {
+	op   string
+	l, r Formula
+}
+
+// And conjoins formulas.
+func And(l, r Formula) Formula { return binary{"&", l, r} }
+
+// Or disjoins formulas.
+func Or(l, r Formula) Formula { return binary{"|", l, r} }
+
+// Implies is material implication.
+func Implies(l, r Formula) Formula { return binary{"->", l, r} }
+
+// Until holds if r eventually holds and l holds at every step before.
+func Until(l, r Formula) Formula { return binary{"U", l, r} }
+
+func (b binary) Holds(tr IOTrace, i int) bool {
+	switch b.op {
+	case "&":
+		return b.l.Holds(tr, i) && b.r.Holds(tr, i)
+	case "|":
+		return b.l.Holds(tr, i) || b.r.Holds(tr, i)
+	case "->":
+		return !b.l.Holds(tr, i) || b.r.Holds(tr, i)
+	default: // U
+		for j := i; j < tr.Len(); j++ {
+			if b.r.Holds(tr, j) {
+				return true
+			}
+			if !b.l.Holds(tr, j) {
+				return false
+			}
+		}
+		return false
+	}
+}
+
+func (b binary) String() string {
+	return "(" + b.l.String() + " " + b.op + " " + b.r.String() + ")"
+}
+
+// CheckLTL exhaustively checks the formula on every trace of the model of
+// length exactly depth (prefixes are covered by shorter formulas' runs; for
+// safety formulas a violation on a prefix extends to all completions). It
+// returns a violating trace, or nil when all traces up to the bound
+// satisfy the formula.
+func CheckLTL(m *automata.Mealy, f Formula, depth int) *IOTrace {
+	var walk func(s automata.State, tr IOTrace) *IOTrace
+	walk = func(s automata.State, tr IOTrace) *IOTrace {
+		if tr.Len() == depth {
+			if !f.Holds(tr, 0) {
+				bad := IOTrace{
+					Inputs:  append([]string(nil), tr.Inputs...),
+					Outputs: append([]string(nil), tr.Outputs...),
+				}
+				return &bad
+			}
+			return nil
+		}
+		for _, in := range m.Inputs() {
+			next, out, ok := m.Step(s, in)
+			if !ok {
+				continue
+			}
+			tr.Inputs = append(tr.Inputs, in)
+			tr.Outputs = append(tr.Outputs, out)
+			if bad := walk(next, tr); bad != nil {
+				return bad
+			}
+			tr.Inputs = tr.Inputs[:len(tr.Inputs)-1]
+			tr.Outputs = tr.Outputs[:len(tr.Outputs)-1]
+		}
+		return nil
+	}
+	return walk(m.Initial(), IOTrace{})
+}

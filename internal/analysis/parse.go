@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseFormula parses the textual LTLf syntax accepted by the tools'
+// -property flags:
+//
+//	atom    := in("sym") | out("sym") | outHas("frag") | true | false
+//	unary   := ! f | X f | WX f | G f | F f
+//	binary  := f & g | f "|" g | f -> g | f U g
+//
+// Operator precedence (loosest to tightest): ->, U, |, &, unary.
+// Parentheses group as usual. Example:
+//
+//	G( outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")) )
+func ParseFormula(src string) (Formula, error) {
+	p := &parser{src: src}
+	f, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("analysis: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return f, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// eat consumes tok if present (must be followed by a non-identifier char
+// for word tokens).
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return false
+	}
+	end := p.pos + len(tok)
+	if isWord(tok) && end < len(p.src) && isIdentChar(p.src[end]) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func isWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *parser) parseImplies() (Formula, error) {
+	l, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat("->") {
+		r, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUntil() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("U") {
+		r, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		l = Until(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		// Avoid eating the arrow of "->"; '|' is unambiguous.
+		if p.peek() == '|' {
+			p.pos++
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = Or(l, r)
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("!"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case p.eat("WX"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return WeakNext(f), nil
+	case p.eat("X"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next(f), nil
+	case p.eat("G"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Globally(f), nil
+	case p.eat("F"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually(f), nil
+	case p.eat("("):
+		f, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, fmt.Errorf("analysis: missing ')' at %d", p.pos)
+		}
+		return f, nil
+	case p.eat("true"):
+		return True(), nil
+	case p.eat("false"):
+		return Not(True()), nil
+	case p.eat("outHas"):
+		arg, err := p.parseStringArg()
+		if err != nil {
+			return nil, err
+		}
+		return OutHas(arg), nil
+	case p.eat("out"):
+		arg, err := p.parseStringArg()
+		if err != nil {
+			return nil, err
+		}
+		return Out(arg), nil
+	case p.eat("in"):
+		arg, err := p.parseStringArg()
+		if err != nil {
+			return nil, err
+		}
+		return In(arg), nil
+	default:
+		return nil, fmt.Errorf("analysis: unexpected input at %d: %q", p.pos, rest(p.src, p.pos))
+	}
+}
+
+// parseStringArg parses ("...") with no escapes (symbols never contain
+// quotes).
+func (p *parser) parseStringArg() (string, error) {
+	if !p.eat("(") {
+		return "", fmt.Errorf("analysis: expected '(' at %d", p.pos)
+	}
+	p.skipSpace()
+	if p.peek() != '"' {
+		return "", fmt.Errorf("analysis: expected '\"' at %d", p.pos)
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '"')
+	if end < 0 {
+		return "", fmt.Errorf("analysis: unterminated string at %d", p.pos)
+	}
+	arg := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	if !p.eat(")") {
+		return "", fmt.Errorf("analysis: expected ')' at %d", p.pos)
+	}
+	return arg, nil
+}
+
+func rest(s string, pos int) string {
+	if pos >= len(s) {
+		return "<end>"
+	}
+	if len(s)-pos > 20 {
+		return s[pos:pos+20] + "..."
+	}
+	return s[pos:]
+}

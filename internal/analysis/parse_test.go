@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/quicsim"
+)
+
+func TestParseFormulaBasics(t *testing.T) {
+	tr := IOTrace{Inputs: []string{"a", "b"}, Outputs: []string{"x", "y"}}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`in("a")`, true},
+		{`out("x")`, true},
+		{`outHas("y")`, false},
+		{`true`, true},
+		{`false`, false},
+		{`!in("b")`, true},
+		{`X in("b")`, true},
+		{`WX in("b")`, true},
+		{`G true`, true},
+		{`F out("y")`, true},
+		{`in("a") & out("x")`, true},
+		{`in("b") | out("x")`, true},
+		{`in("b") -> false`, true},
+		{`in("a") -> out("x")`, true},
+		{`!out("y") U in("b")`, true},
+		{`G(in("a") -> X out("y"))`, true},
+		{`(in("a") & out("x")) -> F outHas("y")`, true},
+	}
+	for _, c := range cases {
+		f, err := ParseFormula(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := f.Holds(tr, 0); got != c.want {
+			t.Errorf("%q = %v, want %v (parsed %s)", c.src, got, c.want, f)
+		}
+	}
+}
+
+func TestParseFormulaPrecedence(t *testing.T) {
+	// "a & b -> c" must parse as (a & b) -> c.
+	f, err := ParseFormula(`in("a") & in("nope") -> out("nothing")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := IOTrace{Inputs: []string{"a"}, Outputs: []string{"x"}}
+	// (true & false) -> false == true.
+	if !f.Holds(tr, 0) {
+		t.Fatalf("precedence wrong: %s", f)
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	for _, src := range []string{
+		``, `G`, `in(`, `in("a"`, `in("a") &`, `bogus("x")`,
+		`(in("a")`, `in("a") extra`, `out("unterminated`,
+	} {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParsedFormulaOnQUICModel(t *testing.T) {
+	g := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	f, err := ParseFormula(`G( outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")) )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CheckLTL(g, f, 4); bad != nil {
+		t.Fatalf("property should hold: %v", bad.Inputs)
+	}
+	f2, err := ParseFormula(`G(!outHas("STREAM_DATA_BLOCKED"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := CheckLTL(g, f2, 4)
+	if bad == nil {
+		t.Fatal("expected a witness: google does emit STREAM_DATA_BLOCKED")
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		`G(in("a") -> X out("b"))`,
+		`(in("a") U out("b")) | !true`,
+		`F (outHas("x") & WX in("y"))`,
+	}
+	for _, src := range srcs {
+		f, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		// The String rendering must itself re-parse to a formula.
+		if _, err := ParseFormula(f.String()); err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", f.String(), src, err)
+		}
+	}
+}

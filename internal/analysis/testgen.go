@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/learn"
+)
+
+// TestSuite is a set of input words derived from a learned model, used for
+// model-based testing (§5: "improving testing via model-based test
+// generation"). Each word carries the model's expected outputs.
+type TestSuite struct {
+	Words    [][]string
+	Expected [][]string
+}
+
+// Len returns the number of test cases.
+func (s *TestSuite) Len() int { return len(s.Words) }
+
+// TransitionCoverageSuite generates one test word per transition of the
+// model: the state's access sequence followed by the transition input. The
+// suite exercises every transition at least once.
+func TransitionCoverageSuite(m *automata.Mealy) *TestSuite {
+	s := &TestSuite{}
+	access := m.AccessSequences()
+	for state, acc := range access {
+		for _, in := range m.Inputs() {
+			if _, _, ok := m.Step(state, in); !ok {
+				continue
+			}
+			word := append(append([]string(nil), acc...), in)
+			exp, ok := m.Run(word)
+			if !ok {
+				continue
+			}
+			s.Words = append(s.Words, word)
+			s.Expected = append(s.Expected, exp)
+		}
+	}
+	return s
+}
+
+// WMethodSuite generates Chow's W-method test suite with the given extra
+// depth: access · middle · characterizing-word for all combinations. It
+// subsumes transition coverage and detects any fault that does not add
+// more than depth extra states.
+func WMethodSuite(m *automata.Mealy, depth int) *TestSuite {
+	s := &TestSuite{}
+	access := m.AccessSequences()
+	wset := m.CharacterizingSet()
+	if len(wset) == 0 {
+		wset = [][]string{{}}
+	}
+	middles := [][]string{{}}
+	frontier := [][]string{{}}
+	for d := 0; d < depth; d++ {
+		var next [][]string
+		for _, mid := range frontier {
+			for _, in := range m.Inputs() {
+				next = append(next, append(append([]string(nil), mid...), in))
+			}
+		}
+		middles = append(middles, next...)
+		frontier = next
+	}
+	seen := map[string]bool{}
+	for _, acc := range access {
+		for _, mid := range middles {
+			for _, w := range wset {
+				word := make([]string, 0, len(acc)+len(mid)+len(w))
+				word = append(word, acc...)
+				word = append(word, mid...)
+				word = append(word, w...)
+				if len(word) == 0 {
+					continue
+				}
+				key := strings.Join(word, "\x1f")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				exp, ok := m.Run(word)
+				if !ok {
+					continue
+				}
+				s.Words = append(s.Words, word)
+				s.Expected = append(s.Expected, exp)
+			}
+		}
+	}
+	return s
+}
+
+// Failure is one test-case failure against a live system.
+type Failure struct {
+	Word     []string
+	Expected []string
+	Actual   []string
+}
+
+// String renders the failure.
+func (f Failure) String() string {
+	return fmt.Sprintf("word %v:\n  expected %v\n  actual   %v", f.Word, f.Expected, f.Actual)
+}
+
+// RunSuite executes the suite against a live oracle and collects failures —
+// the model-based testing loop the paper uses to confirm model-level bugs
+// in the implementation (§2: Prognosis creates concrete traces to check
+// whether the bug is real or a false positive to refine the model with).
+func RunSuite(s *TestSuite, o learn.Oracle, maxFailures int) ([]Failure, error) {
+	var fails []Failure
+	for i, word := range s.Words {
+		got, err := o.Query(word)
+		if err != nil {
+			return fails, err
+		}
+		match := len(got) >= len(s.Expected[i])
+		if match {
+			for j := range s.Expected[i] {
+				if got[j] != s.Expected[i][j] {
+					match = false
+					break
+				}
+			}
+		}
+		if !match {
+			fails = append(fails, Failure{Word: word, Expected: s.Expected[i], Actual: got})
+			if maxFailures > 0 && len(fails) >= maxFailures {
+				return fails, nil
+			}
+		}
+	}
+	return fails, nil
+}

@@ -1,0 +1,90 @@
+package automata
+
+import "fmt"
+
+// DFA is a deterministic finite automaton over string symbols, used by the
+// analysis module as a safety monitor: a run that reaches a rejecting (bad)
+// state witnesses a property violation. Transitions may be declared with the
+// wildcard symbol "*" which matches any symbol without an explicit edge.
+type DFA struct {
+	initial   State
+	trans     []map[string]State
+	wildcards []State // per-state default transition, Invalid if none
+	bad       []bool
+}
+
+// Wildcard matches any symbol without an explicit transition.
+const Wildcard = "*"
+
+// NewDFA returns a DFA with a single non-bad initial state 0.
+func NewDFA() *DFA {
+	d := &DFA{}
+	d.AddState(false)
+	return d
+}
+
+// AddState adds a state, marking it bad (rejecting) if bad is true.
+func (d *DFA) AddState(bad bool) State {
+	d.trans = append(d.trans, make(map[string]State))
+	d.wildcards = append(d.wildcards, Invalid)
+	d.bad = append(d.bad, bad)
+	return State(len(d.trans) - 1)
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Initial returns the initial state.
+func (d *DFA) Initial() State { return d.initial }
+
+// Bad reports whether s is a rejecting state.
+func (d *DFA) Bad(s State) bool { return int(s) < len(d.bad) && d.bad[s] }
+
+// SetTransition defines an edge. Use the Wildcard symbol for a default edge.
+func (d *DFA) SetTransition(from State, symbol string, to State) {
+	if int(from) >= len(d.trans) || int(to) >= len(d.trans) {
+		panic(fmt.Sprintf("automata: DFA state out of range: %d -> %d", from, to))
+	}
+	if symbol == Wildcard {
+		d.wildcards[from] = to
+		return
+	}
+	d.trans[from][symbol] = to
+}
+
+// Step returns the successor of from on symbol, consulting the wildcard edge
+// when no explicit edge exists. ok is false if neither is defined.
+func (d *DFA) Step(from State, symbol string) (State, bool) {
+	if int(from) >= len(d.trans) {
+		return Invalid, false
+	}
+	if t, ok := d.trans[from][symbol]; ok {
+		return t, true
+	}
+	if w := d.wildcards[from]; w != Invalid {
+		return w, true
+	}
+	return Invalid, false
+}
+
+// Accepts runs the word and reports whether the run stays out of bad states.
+// An undefined transition is treated as a violation (monitors must be total
+// by construction; holes indicate a specification error the caller should
+// surface rather than mask).
+func (d *DFA) Accepts(word []string) bool {
+	s := d.initial
+	if d.bad[s] {
+		return false
+	}
+	for _, sym := range word {
+		t, ok := d.Step(s, sym)
+		if !ok {
+			return false
+		}
+		if d.bad[t] {
+			return false
+		}
+		s = t
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the machine in Graphviz dot syntax, matching the visual style
+// of the models in the paper's appendix (states s0..sN, edges labelled
+// "input/output"). Parallel edges with identical endpoints are merged onto
+// one edge with a multi-line label to keep large models readable.
+func (m *Mealy) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  __start [shape=none, label=\"\"];\n")
+	fmt.Fprintf(&b, "  __start -> s%d;\n", m.initial)
+	for s := 0; s < m.NumStates(); s++ {
+		fmt.Fprintf(&b, "  s%d [label=\"s%d\"];\n", s, s)
+	}
+	type edge struct{ from, to State }
+	labels := make(map[edge][]string)
+	var edges []edge
+	for s := 0; s < m.NumStates(); s++ {
+		for i, in := range m.inputs {
+			t := m.trans[s][i]
+			if t == Invalid {
+				continue
+			}
+			e := edge{State(s), t}
+			if _, ok := labels[e]; !ok {
+				edges = append(edges, e)
+			}
+			labels[e] = append(labels[e], fmt.Sprintf("%s / %s", in, m.out[s][i]))
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		label := strings.Join(labels[e], "\\n")
+		label = strings.ReplaceAll(label, "\"", "\\\"")
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s\"];\n", e.from, e.to, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// mealyJSON is the serialized form of a Mealy machine: a portable record of
+// a learned model, so analyses can run on saved models without re-learning
+// (the tools' -save/-load flags).
+type mealyJSON struct {
+	Inputs      []string     `json:"inputs"`
+	States      int          `json:"states"`
+	Initial     State        `json:"initial"`
+	Transitions []transition `json:"transitions"`
+}
+
+type transition struct {
+	From   State  `json:"from"`
+	Input  string `json:"input"`
+	To     State  `json:"to"`
+	Output string `json:"output"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Mealy) MarshalJSON() ([]byte, error) {
+	out := mealyJSON{
+		Inputs:  m.inputs,
+		States:  m.NumStates(),
+		Initial: m.initial,
+	}
+	for s := range m.trans {
+		for i, in := range m.inputs {
+			if m.trans[s][i] == Invalid {
+				continue
+			}
+			out.Transitions = append(out.Transitions, transition{
+				From: State(s), Input: in, To: m.trans[s][i], Output: m.out[s][i],
+			})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Mealy) UnmarshalJSON(data []byte) error {
+	var in mealyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.States < 1 {
+		return fmt.Errorf("automata: machine needs at least one state, got %d", in.States)
+	}
+	if int(in.Initial) < 0 || int(in.Initial) >= in.States {
+		return fmt.Errorf("automata: initial state %d out of range", in.Initial)
+	}
+	n := NewMealy(in.Inputs)
+	for n.NumStates() < in.States {
+		n.AddState()
+	}
+	n.SetInitial(in.Initial)
+	for _, t := range in.Transitions {
+		if int(t.From) >= in.States || int(t.To) >= in.States || t.From < 0 || t.To < 0 {
+			return fmt.Errorf("automata: transition %v out of range", t)
+		}
+		if _, ok := n.inputIdx[t.Input]; !ok {
+			return fmt.Errorf("automata: transition input %q not in alphabet", t.Input)
+		}
+		n.SetTransition(t.From, t.Input, t.To, t.Output)
+	}
+	*m = *n
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package core is the Prognosis framework of §2: it wires a System Under
+// Learning (a protocol implementation behind an instrumented reference-
+// implementation adapter) to the learning module, guards queries against
+// nondeterminism (§5), maintains the Oracle Table used for model synthesis
+// (§4.3), and exposes the experiment driver used by the command-line tools
+// and benchmarks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/learn"
+)
+
+// SUL is the System Under Learning: a protocol implementation reachable
+// through an Adapter that talks abstract symbols. Step sends one abstract
+// input and returns the abstract output; Reset returns both the adapter
+// and the implementation to their initial states (Adapter property 3).
+type SUL interface {
+	Reset() error
+	Step(input string) (output string, err error)
+}
+
+// Oracle adapts an SUL to the learning module's membership-query interface:
+// each query resets the system and replays the word symbol by symbol.
+func Oracle(s SUL) learn.Oracle {
+	return learn.OracleFunc(func(word []string) ([]string, error) {
+		if err := s.Reset(); err != nil {
+			return nil, fmt.Errorf("core: reset: %w", err)
+		}
+		out := make([]string, 0, len(word))
+		for _, in := range word {
+			o, err := s.Step(in)
+			if err != nil {
+				return nil, fmt.Errorf("core: step %q: %w", in, err)
+			}
+			out = append(out, o)
+		}
+		return out, nil
+	})
+}
+
+// NondeterminismError reports that repeated executions of the same query
+// produced conflicting outputs that never reached the certainty threshold.
+// Per §5 this is itself a powerful analysis: Issue 2 (the mvfst stateless
+// RESET bug) was discovered exactly this way.
+type NondeterminismError struct {
+	Word     []string
+	Observed map[string]int // distinct output words -> occurrence count
+	Votes    int
+}
+
+// Error implements error.
+func (e *NondeterminismError) Error() string {
+	var alts []string
+	for out, n := range e.Observed {
+		alts = append(alts, fmt.Sprintf("%q x%d", out, n))
+	}
+	sort.Strings(alts)
+	return fmt.Sprintf("core: nondeterministic response to %v after %d votes: %s",
+		e.Word, e.Votes, strings.Join(alts, ", "))
+}
+
+// IsNondeterminism reports whether err wraps a NondeterminismError and
+// returns it.
+func IsNondeterminism(err error) (*NondeterminismError, bool) {
+	var nd *NondeterminismError
+	if errors.As(err, &nd) {
+		return nd, true
+	}
+	return nil, false
+}
+
+// GuardConfig tunes the nondeterminism check of §5.
+type GuardConfig struct {
+	// MinVotes executions are always performed. If they all agree the
+	// answer is accepted immediately.
+	MinVotes int
+	// MaxVotes bounds the retries after a disagreement.
+	MaxVotes int
+	// Certainty is the fraction of agreeing executions required to accept
+	// a majority answer after a disagreement (e.g. 0.9).
+	Certainty float64
+}
+
+// DefaultGuard mirrors the paper's setup: cheap when the system is
+// deterministic, insistent when it is not.
+func DefaultGuard() GuardConfig {
+	return GuardConfig{MinVotes: 2, MaxVotes: 20, Certainty: 0.9}
+}
+
+// Guard wraps an oracle with the nondeterminism check. Each query is
+// executed MinVotes times; on disagreement it keeps re-executing up to
+// MaxVotes and accepts the majority answer only if it reaches Certainty,
+// otherwise it fails with a *NondeterminismError.
+func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
+	if cfg.MinVotes < 1 {
+		cfg.MinVotes = 1
+	}
+	if cfg.MaxVotes < cfg.MinVotes {
+		cfg.MaxVotes = cfg.MinVotes
+	}
+	return learn.OracleFunc(func(word []string) ([]string, error) {
+		counts := make(map[string]int)
+		first := make(map[string][]string)
+		votes := 0
+		ask := func() (string, error) {
+			out, err := o.Query(word)
+			if err != nil {
+				return "", err
+			}
+			votes++
+			key := strings.Join(out, "\x1e")
+			counts[key]++
+			if _, ok := first[key]; !ok {
+				first[key] = out
+			}
+			return key, nil
+		}
+		for i := 0; i < cfg.MinVotes; i++ {
+			if _, err := ask(); err != nil {
+				return nil, err
+			}
+		}
+		if len(counts) == 1 {
+			for k := range counts {
+				return first[k], nil
+			}
+		}
+		for votes < cfg.MaxVotes {
+			if _, err := ask(); err != nil {
+				return nil, err
+			}
+			for k, n := range counts {
+				if float64(n) >= cfg.Certainty*float64(votes) && votes >= cfg.MinVotes+2 {
+					return first[k], nil
+				}
+			}
+		}
+		return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes}
+	})
+}
+
+// LearnerKind selects the learning algorithm.
+type LearnerKind string
+
+// Available learners.
+const (
+	LearnerLStar LearnerKind = "lstar"
+	LearnerTTT   LearnerKind = "ttt" // discrimination-tree learner
+)
+
+// Experiment wires an SUL to the learning module. Zero-value fields get
+// sensible defaults from Learn.
+type Experiment struct {
+	Alphabet []string
+	SUL      SUL
+	Learner  LearnerKind
+	// Equivalence is the equivalence oracle; when nil a random-words
+	// oracle over the guarded SUL with the given seed is used.
+	Equivalence learn.EquivalenceOracle
+	Guard       GuardConfig
+	Seed        int64
+	// DisableCache turns off the prefix-tree query cache (for ablation).
+	DisableCache bool
+
+	// Stats is populated during Learn: Queries/Symbols count live SUL
+	// traffic, Hits counts cache hits.
+	Stats learn.Stats
+}
+
+// Learn runs the full MAT loop and returns the learned model.
+func (e *Experiment) Learn() (*automata.Mealy, error) {
+	if e.SUL == nil || len(e.Alphabet) == 0 {
+		return nil, errors.New("core: experiment needs an SUL and an alphabet")
+	}
+	guard := e.Guard
+	if guard == (GuardConfig{}) {
+		guard = DefaultGuard()
+	}
+	var oracle learn.Oracle = learn.Counting(Oracle(e.SUL), &e.Stats)
+	oracle = Guard(oracle, guard)
+	if !e.DisableCache {
+		oracle = learn.NewCache(oracle, &e.Stats)
+	}
+	eq := e.Equivalence
+	if eq == nil {
+		eq = learn.NewRandomWordsOracle(oracle, e.Alphabet, e.Seed+1)
+	}
+	switch e.Learner {
+	case LearnerLStar:
+		return learn.NewLStar(oracle, e.Alphabet).Learn(eq)
+	case LearnerTTT, "":
+		return learn.NewDTLearner(oracle, e.Alphabet).Learn(eq)
+	default:
+		return nil, fmt.Errorf("core: unknown learner %q", e.Learner)
+	}
+}

@@ -1,0 +1,287 @@
+// Package lab wires complete Prognosis experiments: it builds systems
+// under learning for every target this repository reproduces (the TCP
+// stack and the four QUIC implementation profiles), runs learning with the
+// standard configuration, and extracts Oracle-Table traces for the
+// synthesis experiments. The command-line tools, examples, and the
+// benchmark harness all drive experiments through this package.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/quicsim"
+	"repro/internal/quicwire"
+	"repro/internal/reference"
+	"repro/internal/synth"
+	"repro/internal/tcpsim"
+	"repro/internal/tcpwire"
+)
+
+// Target names accepted by the tools.
+const (
+	TargetTCP         = "tcp"
+	TargetGoogle      = "google"
+	TargetGoogleFixed = "google-fixed"
+	TargetQuiche      = "quiche"
+	TargetMvfst       = "mvfst"
+)
+
+// Targets lists all learnable targets.
+func Targets() []string {
+	return []string{TargetTCP, TargetGoogle, TargetGoogleFixed, TargetQuiche, TargetMvfst}
+}
+
+// QUICProfile resolves a QUIC target name.
+func QUICProfile(name string) (quicsim.Profile, error) {
+	switch name {
+	case TargetGoogle:
+		return quicsim.ProfileGoogle, nil
+	case TargetGoogleFixed:
+		return quicsim.ProfileGoogleFixed, nil
+	case TargetQuiche:
+		return quicsim.ProfileQuiche, nil
+	case TargetMvfst:
+		return quicsim.ProfileMvfst, nil
+	}
+	return 0, fmt.Errorf("lab: unknown QUIC target %q", name)
+}
+
+// QUICSetup is a wired QUIC system under learning.
+type QUICSetup struct {
+	Server *quicsim.Server
+	Client *reference.QUICClient
+}
+
+// Reset implements core.SUL.
+func (s *QUICSetup) Reset() error {
+	s.Server.Reset()
+	return s.Client.Reset()
+}
+
+// Step implements core.SUL.
+func (s *QUICSetup) Step(in string) (string, error) { return s.Client.Step(in) }
+
+// QUICOptions tune NewQUIC.
+type QUICOptions struct {
+	Seed          int64
+	RetryRequired bool
+	BuggyRetry    bool // client retries from a new port (Issue 3)
+	// Transport overrides the in-memory transport (e.g. a UDP transport).
+	Transport reference.Transport
+}
+
+// NewQUIC builds a QUIC system under learning for a profile.
+func NewQUIC(profile quicsim.Profile, opts QUICOptions) *QUICSetup {
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	srv := quicsim.NewServer(quicsim.Config{
+		Profile: profile, Seed: opts.Seed, RetryRequired: opts.RetryRequired,
+	})
+	tr := opts.Transport
+	if tr == nil {
+		tr = reference.ServerTransport(srv)
+	}
+	cli := reference.NewQUICClient(reference.QUICClientConfig{
+		Seed: opts.Seed + 4, RetryFromNewPort: opts.BuggyRetry,
+	}, tr)
+	return &QUICSetup{Server: srv, Client: cli}
+}
+
+// TCPSetup is a wired TCP system under learning.
+type TCPSetup struct {
+	Server *tcpsim.Server
+	Client *reference.TCPClient
+}
+
+// Reset implements core.SUL.
+func (s *TCPSetup) Reset() error {
+	s.Server.Reset()
+	return s.Client.Reset()
+}
+
+// Step implements core.SUL.
+func (s *TCPSetup) Step(in string) (string, error) { return s.Client.Step(in) }
+
+// NewTCP builds the TCP system under learning: the userspace stack behind
+// the instrumented Scapy-style client, exchanging checksummed binary
+// segments.
+func NewTCP(seed int64) *TCPSetup {
+	if seed == 0 {
+		seed = 5
+	}
+	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: seed, StrictAckCheck: true})
+	src := [4]byte{10, 0, 0, 2}
+	dst := [4]byte{10, 0, 0, 1}
+	tr := reference.TCPTransportFunc(func(raw []byte) [][]byte {
+		seg, err := tcpwire.Decode(raw, src, dst)
+		if err != nil {
+			return nil
+		}
+		var out [][]byte
+		for _, resp := range srv.Handle(seg) {
+			out = append(out, resp.Encode(dst, src))
+		}
+		return out
+	})
+	cli := reference.NewTCPClient(reference.TCPClientConfig{
+		Seed: seed + 2, DstPort: 44344, SrcAddr: src, DstAddr: dst,
+	}, tr)
+	return &TCPSetup{Server: srv, Client: cli}
+}
+
+// Result is the outcome of one learning run.
+type Result struct {
+	Target      string
+	Model       *automata.Mealy
+	Stats       learn.Stats
+	Nondet      *core.NondeterminismError
+	Duration    time.Duration
+	EqAttempts  int
+	LearnerKind core.LearnerKind
+}
+
+// Options tune Learn.
+type Options struct {
+	Learner core.LearnerKind
+	Seed    int64
+	// Perfect uses the ground-truth specification as the equivalence
+	// oracle (exact recovery, used to validate state counts); otherwise
+	// the heuristic random-words oracle is used, as in the paper.
+	Perfect      bool
+	DisableCache bool
+}
+
+// Learn runs the full Prognosis pipeline against a named target.
+func Learn(target string, opts Options) (*Result, error) {
+	var sul core.SUL
+	var alphabet []string
+	var truth *automata.Mealy
+	switch target {
+	case TargetTCP:
+		sul = NewTCP(opts.Seed)
+		alphabet = reference.TCPAlphabet()
+	default:
+		profile, err := QUICProfile(target)
+		if err != nil {
+			return nil, err
+		}
+		sul = NewQUIC(profile, QUICOptions{Seed: opts.Seed})
+		alphabet = quicsim.InputAlphabet()
+		truth = quicsim.GroundTruth(profile)
+	}
+	exp := &core.Experiment{
+		Alphabet:     alphabet,
+		SUL:          sul,
+		Learner:      opts.Learner,
+		Seed:         opts.Seed,
+		DisableCache: opts.DisableCache,
+	}
+	if opts.Perfect {
+		if truth == nil {
+			return nil, fmt.Errorf("lab: no ground truth available for %q", target)
+		}
+		exp.Equivalence = &learn.ModelOracle{Model: truth}
+	}
+	res := &Result{Target: target, LearnerKind: opts.Learner}
+	start := time.Now()
+	model, err := exp.Learn()
+	res.Duration = time.Since(start)
+	res.Stats = exp.Stats
+	if err != nil {
+		if nd, ok := core.IsNondeterminism(err); ok {
+			res.Nondet = nd
+			return res, nil
+		}
+		return nil, err
+	}
+	res.Model = model
+	return res, nil
+}
+
+// SDBTraces converts recorded QUIC exchanges into synthesis traces for the
+// Issue 4 experiment: the input parameter is the MAX_STREAM_DATA limit the
+// client granted (0 when the symbol carries none), the output parameter is
+// the Maximum Stream Data field of any STREAM_DATA_BLOCKED frame in the
+// response.
+func SDBTraces(exchanges []reference.Exchange, blockedLabel string) synth.Trace {
+	var tr synth.Trace
+	for _, ex := range exchanges {
+		step := synth.Step{Input: ex.AbstractIn, InVals: []int64{0}}
+		for _, cp := range ex.ConcreteIn {
+			for _, f := range cp.Frames {
+				if f.Type == quicwire.FrameMaxStreamData {
+					step.InVals[0] = int64(f.Limit)
+				}
+			}
+		}
+		if ex.AbstractOut == blockedLabel {
+			for _, cp := range ex.ConcreteOut {
+				for _, f := range cp.Frames {
+					if f.Type == quicwire.FrameStreamDataBlocked {
+						step.OutVals = []int64{int64(f.Limit)}
+					}
+				}
+			}
+		}
+		tr = append(tr, step)
+	}
+	return tr
+}
+
+// CollectSDBTrace runs one concrete word against a fresh connection and
+// returns its synthesis trace (used by the Issue 4 experiment and the
+// refinement loop).
+func CollectSDBTrace(setup *QUICSetup, word []string, blockedLabel string) (synth.Trace, error) {
+	if err := setup.Reset(); err != nil {
+		return nil, err
+	}
+	setup.Client.ClearTrace()
+	for _, sym := range word {
+		if _, err := setup.Client.Step(sym); err != nil {
+			return nil, err
+		}
+	}
+	return SDBTraces(setup.Client.Trace(), blockedLabel), nil
+}
+
+// BlockedOutputLabel is the abstract output symbol carrying the
+// STREAM_DATA_BLOCKED frame in the Google profiles.
+const BlockedOutputLabel = "{SHORT(?,?)[ACK,STREAM,STREAM_DATA_BLOCKED]}"
+
+// SDBProblem assembles the Issue 4 synthesis problem over a learned Google
+// model: one register (tracking the granted limit) and the blocked output's
+// Maximum Stream Data parameter.
+func SDBProblem(model *automata.Mealy, traces []synth.Trace) *synth.Problem {
+	return &synth.Problem{
+		Machine:        model,
+		NumRegisters:   1,
+		NumInputParams: 1,
+		OutputParams:   map[string]int{BlockedOutputLabel: 1},
+		InitRegs:       []int64{quicsim.Chunk},
+		Consts:         []int64{0},
+		Positive:       traces,
+	}
+}
+
+// TCPSynthTraces converts TCP exchanges into synthesis traces over
+// (sequence, acknowledgement) numbers. The SYN-ACK's acknowledgement field
+// is the output parameter — the register relationship of Fig. 3(c).
+func TCPSynthTraces(exchanges []reference.TCPExchange) synth.Trace {
+	var tr synth.Trace
+	for _, ex := range exchanges {
+		step := synth.Step{
+			Input:  ex.AbstractIn,
+			InVals: []int64{int64(ex.ConcreteIn.SeqNumber), int64(ex.ConcreteIn.AckNumber)},
+		}
+		if len(ex.ConcreteOut) > 0 && ex.AbstractOut == "SYN+ACK(?,?,0)" {
+			step.OutVals = []int64{int64(ex.ConcreteOut[0].AckNumber)}
+		}
+		tr = append(tr, step)
+	}
+	return tr
+}

@@ -1,0 +1,184 @@
+package lab
+
+import (
+	"testing"
+
+	"repro/internal/quicsim"
+	"repro/internal/synth"
+)
+
+func TestLearnAllDeterministicTargets(t *testing.T) {
+	want := map[string]int{
+		TargetTCP:         6,
+		TargetGoogle:      12,
+		TargetGoogleFixed: 12,
+		TargetQuiche:      8,
+	}
+	for target, states := range want {
+		opts := Options{Seed: 13}
+		if target != TargetTCP {
+			opts.Perfect = true
+		}
+		res, err := Learn(target, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if res.Nondet != nil {
+			t.Fatalf("%s: unexpected nondeterminism: %v", target, res.Nondet)
+		}
+		if res.Model.NumStates() != states {
+			t.Fatalf("%s: %d states, want %d", target, res.Model.NumStates(), states)
+		}
+		if res.Stats.Queries == 0 {
+			t.Fatalf("%s: no live queries recorded", target)
+		}
+	}
+}
+
+func TestLearnMvfstReportsNondeterminism(t *testing.T) {
+	res, err := Learn(TargetMvfst, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nondet == nil {
+		t.Fatal("mvfst should be flagged nondeterministic")
+	}
+	if res.Model != nil {
+		t.Fatal("no model should be produced")
+	}
+}
+
+func TestLearnUnknownTarget(t *testing.T) {
+	if _, err := Learn("nope", Options{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// TestIssue4SynthesisEndToEnd is the full §6.2.6 pipeline: learn the
+// model, collect Oracle-Table traces, synthesize the extended machine, and
+// observe that Google's Maximum Stream Data is the constant 0 while the
+// fixed profile's tracks the granted limit.
+func TestIssue4SynthesisEndToEnd(t *testing.T) {
+	words := [][]string{
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream,
+			quicsim.SymShortStream, quicsim.SymShortFC, quicsim.SymShortStream},
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream,
+			quicsim.SymShortStream, quicsim.SymShortStream},
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortFC,
+			quicsim.SymShortStream, quicsim.SymShortStream, quicsim.SymShortStream},
+	}
+	for _, tc := range []struct {
+		target    string
+		wantConst bool
+	}{
+		{TargetGoogle, true},
+		{TargetGoogleFixed, false},
+	} {
+		res, err := Learn(tc.target, Options{Seed: 29, Perfect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profile, _ := QUICProfile(tc.target)
+		setup := NewQUIC(profile, QUICOptions{Seed: 29})
+		var traces []synth.Trace
+		for _, w := range words {
+			tr, err := CollectSDBTrace(setup, w, BlockedOutputLabel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, tr)
+		}
+		em, err := synth.Synthesize(SDBProblem(res.Model, traces))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.target, err)
+		}
+		// Probe the synthesized machine: raise the limit to 5000, then
+		// trigger a blocked response. Constant-zero machines predict 0.
+		probe := synth.Trace{
+			{Input: quicsim.SymInitialCrypto, InVals: []int64{0}},
+			{Input: quicsim.SymHandshakeC, InVals: []int64{0}},
+			{Input: quicsim.SymShortStream, InVals: []int64{0}},
+			{Input: quicsim.SymShortFC, InVals: []int64{5000}},
+			{Input: quicsim.SymShortStream, InVals: []int64{0}},
+		}
+		pred, _ := em.Run(probe)
+		final := pred[len(pred)-1]
+		if len(final) != 1 {
+			// The probe's last step must hit the blocked output... if the
+			// model path diverges the experiment setup is wrong.
+			t.Fatalf("%s: probe did not reach a blocked output: %v", tc.target, pred)
+		}
+		if tc.wantConst && final[0] != 0 {
+			t.Fatalf("%s: expected constant-zero field, predicted %d", tc.target, final[0])
+		}
+		if !tc.wantConst && final[0] == 0 {
+			t.Fatalf("%s: field should track the limit, predicted 0", tc.target)
+		}
+	}
+}
+
+// TestTCPSynthEndToEnd recovers Fig. 3(c)'s register relationship from live
+// traces: the SYN-ACK acks the client's sequence number plus one.
+func TestTCPSynthEndToEnd(t *testing.T) {
+	setup := NewTCP(31)
+	collect := func(word []string) synth.Trace {
+		if err := setup.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		setup.Client.ClearTrace()
+		for _, sym := range word {
+			if _, err := setup.Client.Step(sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return TCPSynthTraces(setup.Client.Trace())
+	}
+	res, err := Learn(TargetTCP, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := []synth.Trace{
+		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)"}),
+		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"}),
+		collect([]string{"ACK(?,?,0)", "SYN(?,?,0)"}),
+	}
+	p := &synth.Problem{
+		Machine:        res.Model,
+		NumRegisters:   1,
+		NumInputParams: 2,
+		OutputParams:   map[string]int{"SYN+ACK(?,?,0)": 1},
+		Consts:         []int64{0},
+		Positive:       traces,
+	}
+	em, err := synth.Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out check: SYN with seq 900 must be acked with 901.
+	probe := collect([]string{"SYN(?,?,0)"})
+	if mm := synth.Verify(em, []synth.Trace{probe}); mm != nil {
+		t.Fatalf("synthesized TCP machine wrong: %+v\n%s", mm, em)
+	}
+}
+
+func TestSDBTraceExtraction(t *testing.T) {
+	setup := NewQUIC(quicsim.ProfileGoogle, QUICOptions{Seed: 3})
+	tr, err := CollectSDBTrace(setup, []string{
+		quicsim.SymInitialCrypto, quicsim.SymHandshakeC,
+		quicsim.SymShortStream, quicsim.SymShortFC, quicsim.SymShortStream,
+	}, BlockedOutputLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 5 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[3].InVals[0] != 2*quicsim.Chunk {
+		t.Fatalf("FC input param = %d, want %d", tr[3].InVals[0], 2*quicsim.Chunk)
+	}
+	// Step 4 (second data while blocked at the new limit) carries the SDB
+	// output value 0 (the bug).
+	if len(tr[4].OutVals) != 1 || tr[4].OutVals[0] != 0 {
+		t.Fatalf("blocked output vals = %v, want [0]", tr[4].OutVals)
+	}
+}

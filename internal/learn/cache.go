@@ -1,0 +1,103 @@
+package learn
+
+import "sync"
+
+// cacheNode is one node of the prefix tree. The output on the edge from the
+// parent is stored in the child.
+type cacheNode struct {
+	children map[string]*cacheNode
+	output   string
+}
+
+// Cache is a prefix-tree membership-query cache. Because Mealy queries are
+// prefix-closed (the outputs for a prefix of w are a prefix of the outputs
+// for w), caching a long query answers all of its prefixes for free. The
+// learning algorithms re-ask heavily overlapping queries, so the cache cuts
+// live traffic to the system under learning dramatically (ablated in the
+// benchmark suite).
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	root  cacheNode
+	stats *Stats
+}
+
+// NewCache wraps o with a prefix-tree cache. If st is non-nil, cache hits
+// are counted in st.Hits.
+func NewCache(o Oracle, st *Stats) *CachedOracle {
+	return &CachedOracle{inner: o, cache: &Cache{stats: st}}
+}
+
+// CachedOracle is an Oracle that consults a Cache before its inner oracle.
+type CachedOracle struct {
+	inner Oracle
+	cache *Cache
+}
+
+// Query implements Oracle.
+func (c *CachedOracle) Query(word []string) ([]string, error) {
+	if out, ok := c.cache.lookup(word); ok {
+		if c.cache.stats != nil {
+			c.cache.mu.Lock()
+			c.cache.stats.Hits++
+			c.cache.mu.Unlock()
+		}
+		return out, nil
+	}
+	out, err := query(c.inner, word)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.store(word, out)
+	return out, nil
+}
+
+// Size returns the number of cached input words (prefix-tree nodes minus
+// the root), which equals the number of distinct non-empty prefixes stored.
+func (c *CachedOracle) Size() int {
+	c.cache.mu.Lock()
+	defer c.cache.mu.Unlock()
+	var count func(*cacheNode) int
+	count = func(n *cacheNode) int {
+		total := 0
+		for _, ch := range n.children {
+			total += 1 + count(ch)
+		}
+		return total
+	}
+	return count(&c.cache.root)
+}
+
+func (c *Cache) lookup(word []string) ([]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &c.root
+	out := make([]string, 0, len(word))
+	for _, in := range word {
+		ch, ok := n.children[in]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, ch.output)
+		n = ch
+	}
+	return out, true
+}
+
+func (c *Cache) store(word, out []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &c.root
+	for i, in := range word {
+		if n.children == nil {
+			n.children = make(map[string]*cacheNode)
+		}
+		ch, ok := n.children[in]
+		if !ok {
+			ch = &cacheNode{output: out[i]}
+			n.children[in] = ch
+		}
+		n = ch
+	}
+}

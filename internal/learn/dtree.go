@@ -1,0 +1,285 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// DTLearner is a discrimination-tree learner in the style of TTT /
+// Kearns–Vazirani with Rivest–Schapire counterexample analysis. Compared to
+// L*, it stores one discriminator per tree node instead of a full
+// observation table and decomposes counterexamples by binary search, which
+// keeps both the number and the length of membership queries small — the
+// property that makes the paper's QUIC experiments feasible.
+type DTLearner struct {
+	oracle Oracle
+	inputs []string
+	root   *dtNode
+
+	// access maps each hypothesis state to the access sequence of its tree
+	// leaf. Counterexample analysis must use these canonical sequences (not
+	// arbitrary shortest paths in the hypothesis): transition targets and
+	// outputs were defined by queries on leaf accesses, and the
+	// Rivest–Schapire argument is only sound relative to them.
+	access map[automata.State][]string
+}
+
+// dtNode is either an inner node (suffix != nil) with children keyed by the
+// output signature of the discriminator, or a leaf holding a state's access
+// sequence.
+type dtNode struct {
+	suffix   []string // discriminator; nil for leaves
+	children map[string]*dtNode
+	access   []string // leaf only
+	state    automata.State
+}
+
+func (n *dtNode) leaf() bool { return n.suffix == nil }
+
+// NewDTLearner returns a discrimination-tree learner over the alphabet.
+func NewDTLearner(o Oracle, inputs []string) *DTLearner {
+	return &DTLearner{oracle: o, inputs: inputs}
+}
+
+// Learn runs the MAT loop to a stable hypothesis.
+func (d *DTLearner) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
+	d.root = &dtNode{access: []string{}} // single-leaf tree: one state
+	for {
+		hyp, err := d.hypothesis()
+		if err != nil {
+			return nil, err
+		}
+		ce, err := eq.FindCounterexample(hyp)
+		if err != nil {
+			return nil, err
+		}
+		if ce == nil {
+			return hyp, nil
+		}
+		if err := d.processCounterexample(hyp, ce); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// signature returns the output word of the oracle on prefix·suffix,
+// restricted to the suffix positions, joined as a map key.
+func (d *DTLearner) signature(prefix, suffix []string) (string, error) {
+	word := append(append([]string(nil), prefix...), suffix...)
+	out, err := query(d.oracle, word)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(out[len(prefix):], "\x1f"), nil
+}
+
+// sift descends the tree with the given access word, creating a new leaf if
+// an unseen signature is encountered. It returns the leaf and whether it
+// was newly created.
+func (d *DTLearner) sift(word []string) (*dtNode, bool, error) {
+	n := d.root
+	for !n.leaf() {
+		sig, err := d.signature(word, n.suffix)
+		if err != nil {
+			return nil, false, err
+		}
+		child, ok := n.children[sig]
+		if !ok {
+			leaf := &dtNode{access: append([]string(nil), word...)}
+			n.children[sig] = leaf
+			return leaf, true, nil
+		}
+		n = child
+	}
+	return n, false, nil
+}
+
+// leaves collects all leaves of the tree.
+func (d *DTLearner) leaves() []*dtNode {
+	var out []*dtNode
+	var walk func(*dtNode)
+	walk = func(n *dtNode) {
+		if n.leaf() {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(d.root)
+	return out
+}
+
+// hypothesis constructs the Mealy machine induced by the current tree.
+// Sifting transition targets can create new leaves; construction loops
+// until the state set is stable.
+func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
+	for {
+		ls := d.leaves()
+		// The initial leaf is where the empty word sifts to.
+		init, created, err := d.sift(nil)
+		if err != nil {
+			return nil, err
+		}
+		if created {
+			continue
+		}
+		m := automata.NewMealy(d.inputs)
+		d.access = make(map[automata.State][]string, len(ls))
+		init.state = m.Initial()
+		d.access[init.state] = init.access
+		for _, l := range ls {
+			if l != init {
+				l.state = m.AddState()
+				d.access[l.state] = l.access
+			}
+		}
+		grew := false
+		for _, l := range ls {
+			for _, in := range d.inputs {
+				ext := append(append([]string(nil), l.access...), in)
+				target, created, err := d.sift(ext)
+				if err != nil {
+					return nil, err
+				}
+				if created {
+					grew = true
+					break
+				}
+				out, err := query(d.oracle, ext)
+				if err != nil {
+					return nil, err
+				}
+				m.SetTransition(l.state, in, target.state, out[len(ext)-1])
+			}
+			if grew {
+				break
+			}
+		}
+		if !grew {
+			return m, nil
+		}
+	}
+}
+
+// processCounterexample applies Rivest–Schapire decomposition repeatedly
+// until the hypothesis agrees with the system on ce.
+func (d *DTLearner) processCounterexample(hyp *automata.Mealy, ce []string) error {
+	for {
+		sysOut, err := query(d.oracle, ce)
+		if err != nil {
+			return err
+		}
+		hypOut, ok := hyp.Run(ce)
+		if ok && strings.Join(sysOut, ",") == strings.Join(hypOut, ",") {
+			return nil // fully incorporated
+		}
+		if err := d.splitOnce(hyp, ce); err != nil {
+			return err
+		}
+		hyp, err = d.hypothesis()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// splitOnce finds one split point in ce by binary search and splits the
+// corresponding leaf with a new discriminator.
+func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
+	// alpha(i) returns the canonical (tree-leaf) access word of the
+	// hypothesis state reached after ce[:i].
+	alpha := func(i int) ([]string, error) {
+		s, ok := hyp.StateAfter(ce[:i])
+		if !ok {
+			return nil, fmt.Errorf("learn: hypothesis stuck on %v", ce[:i])
+		}
+		a, ok := d.access[s]
+		if !ok {
+			return nil, fmt.Errorf("learn: no access sequence for state %d", s)
+		}
+		return a, nil
+	}
+
+	// agrees reports whether the system's outputs on ce[i:] after alpha(i)
+	// match the hypothesis outputs on ce[i:] from the state after ce[:i].
+	agrees := func(i int) (bool, error) {
+		a, err := alpha(i)
+		if err != nil {
+			return false, err
+		}
+		word := append(append([]string(nil), a...), ce[i:]...)
+		out, err := query(d.oracle, word)
+		if err != nil {
+			return false, err
+		}
+		s, _ := hyp.StateAfter(ce[:i])
+		hout, ok := hyp.RunFrom(s, ce[i:])
+		if !ok {
+			return false, fmt.Errorf("learn: hypothesis stuck from state %d on %v", s, ce[i:])
+		}
+		return strings.Join(out[len(a):], ",") == strings.Join(hout, ","), nil
+	}
+
+	// Invariant for the binary search: agrees(lo) == false, agrees(hi) == true.
+	lo, hi := 0, len(ce)
+	if a0, err := agrees(0); err != nil {
+		return err
+	} else if a0 {
+		return fmt.Errorf("learn: spurious counterexample %v", ce)
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		am, err := agrees(mid)
+		if err != nil {
+			return err
+		}
+		if am {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	i := lo
+	// The discriminator v = ce[i+1:] separates the system state reached by
+	// alpha(i)·ce[i] from the one reached by alpha(i+1).
+	ai, err := alpha(i)
+	if err != nil {
+		return err
+	}
+	newAccess := append(append([]string(nil), ai...), ce[i])
+	v := append([]string(nil), ce[i+1:]...)
+	if len(v) == 0 {
+		return fmt.Errorf("learn: empty discriminator for counterexample %v at %d", ce, i)
+	}
+
+	// Locate the leaf the new access currently sifts to and split it.
+	leaf, created, err := d.sift(newAccess)
+	if err != nil {
+		return err
+	}
+	if created {
+		return nil // sifting alone discovered a new state; good enough
+	}
+	sigOld, err := d.signature(leaf.access, v)
+	if err != nil {
+		return err
+	}
+	sigNew, err := d.signature(newAccess, v)
+	if err != nil {
+		return err
+	}
+	if sigOld == sigNew {
+		return fmt.Errorf("learn: discriminator %v fails to split %v from %v", v, leaf.access, newAccess)
+	}
+	oldLeaf := &dtNode{access: leaf.access}
+	newLeaf := &dtNode{access: newAccess}
+	// Convert leaf into an inner node in place so parent pointers stay valid.
+	leaf.suffix = v
+	leaf.access = nil
+	leaf.children = map[string]*dtNode{sigOld: oldLeaf, sigNew: newLeaf}
+	return nil
+}

@@ -1,0 +1,169 @@
+package learn
+
+import (
+	"math/rand"
+
+	"repro/internal/automata"
+)
+
+// RandomWordsOracle is a heuristic equivalence oracle that tests the
+// hypothesis against the system on randomly generated input words. As §4.1
+// notes, a returned counterexample is always genuine, but finding none only
+// gives probabilistic confidence.
+type RandomWordsOracle struct {
+	Oracle   Oracle
+	Inputs   []string
+	Words    int // number of random words to try per call
+	MinLen   int
+	MaxLen   int
+	Rand     *rand.Rand
+	Attempts int // cumulative words tested, for statistics
+}
+
+// NewRandomWordsOracle returns an oracle with sensible defaults
+// (300 words of length 3..12, deterministic seed for reproducibility).
+func NewRandomWordsOracle(o Oracle, inputs []string, seed int64) *RandomWordsOracle {
+	return &RandomWordsOracle{
+		Oracle: o,
+		Inputs: inputs,
+		Words:  300,
+		MinLen: 3,
+		MaxLen: 12,
+		Rand:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// FindCounterexample implements EquivalenceOracle.
+func (r *RandomWordsOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+	for i := 0; i < r.Words; i++ {
+		n := r.MinLen
+		if r.MaxLen > r.MinLen {
+			n += r.Rand.Intn(r.MaxLen - r.MinLen + 1)
+		}
+		word := make([]string, n)
+		for j := range word {
+			word[j] = r.Inputs[r.Rand.Intn(len(r.Inputs))]
+		}
+		r.Attempts++
+		ce, err := checkWord(r.Oracle, hyp, word)
+		if err != nil {
+			return nil, err
+		}
+		if ce != nil {
+			return ce, nil
+		}
+	}
+	return nil, nil
+}
+
+// WMethodOracle implements Chow's W-method: it tests every word of the form
+// access(q) · middle · w where middle ranges over all input words up to
+// Depth and w over the hypothesis' characterizing set. If the system has at
+// most NumStates(hyp)+Depth states, passing the suite proves equivalence —
+// the strongest guarantee available in a closed-box setting.
+type WMethodOracle struct {
+	Oracle Oracle
+	Inputs []string
+	Depth  int
+}
+
+// FindCounterexample implements EquivalenceOracle.
+func (w *WMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+	access := hyp.AccessSequences()
+	wset := hyp.CharacterizingSet()
+	if len(wset) == 0 {
+		wset = [][]string{{}}
+	}
+	middles := [][]string{{}}
+	for d := 0; d < w.Depth; d++ {
+		var next [][]string
+		for _, mdl := range middles {
+			if len(mdl) == d {
+				for _, in := range w.Inputs {
+					next = append(next, append(append([]string(nil), mdl...), in))
+				}
+			}
+		}
+		middles = append(middles, next...)
+	}
+	for _, acc := range access {
+		for _, mid := range middles {
+			for _, suf := range wset {
+				word := make([]string, 0, len(acc)+len(mid)+len(suf))
+				word = append(word, acc...)
+				word = append(word, mid...)
+				word = append(word, suf...)
+				if len(word) == 0 {
+					continue
+				}
+				ce, err := checkWord(w.Oracle, hyp, word)
+				if err != nil {
+					return nil, err
+				}
+				if ce != nil {
+					return ce, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ModelOracle is a perfect equivalence oracle backed by a known Mealy
+// machine — the "omniscient oracle" of §4.1 that exists only when the true
+// model is already known. It is used in tests and to validate that learners
+// recover simulator ground truth exactly.
+type ModelOracle struct {
+	Model *automata.Mealy
+}
+
+// FindCounterexample implements EquivalenceOracle via the product
+// construction, returning a shortest distinguishing word.
+func (m *ModelOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+	eq, ce := m.Model.Equivalent(hyp)
+	if eq {
+		return nil, nil
+	}
+	return ce, nil
+}
+
+// ChainOracle tries several equivalence oracles in order, returning the
+// first counterexample found. Typical use: cheap random testing first, then
+// the exhaustive W-method.
+type ChainOracle []EquivalenceOracle
+
+// FindCounterexample implements EquivalenceOracle.
+func (c ChainOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+	for _, o := range c {
+		ce, err := o.FindCounterexample(hyp)
+		if err != nil {
+			return nil, err
+		}
+		if ce != nil {
+			return ce, nil
+		}
+	}
+	return nil, nil
+}
+
+// checkWord queries the system on word and compares against the hypothesis,
+// returning the shortest failing prefix as a counterexample (trimming makes
+// later counterexample analysis cheaper).
+func checkWord(o Oracle, hyp *automata.Mealy, word []string) ([]string, error) {
+	sys, err := query(o, word)
+	if err != nil {
+		return nil, err
+	}
+	hout, ok := hyp.Run(word)
+	if !ok {
+		// The hypothesis is partial where the system is not: the defined
+		// prefix plus one symbol already distinguishes.
+		return word[:len(hout)+1], nil
+	}
+	for i := range word {
+		if sys[i] != hout[i] {
+			return word[:i+1], nil
+		}
+	}
+	return nil, nil
+}

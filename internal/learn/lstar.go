@@ -1,0 +1,191 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// LStar is Angluin's L* adapted to Mealy machines (Shahbaz–Groz style
+// counterexample handling: all suffixes of a counterexample are added to
+// the distinguishing set E, which keeps the observation table consistent by
+// construction and avoids the consistency check of the classic algorithm).
+type LStar struct {
+	oracle Oracle
+	inputs []string
+
+	// prefixes S: prefix-closed set of access words; rows for S ∪ S·Σ.
+	prefixes [][]string
+	suffixes [][]string // distinguishing suffixes E, each non-empty
+
+	rows map[string][]string // key(prefix) -> concatenated outputs per suffix
+}
+
+// NewLStar returns an L* learner over the given input alphabet.
+func NewLStar(o Oracle, inputs []string) *LStar {
+	return &LStar{oracle: o, inputs: inputs}
+}
+
+func key(word []string) string { return strings.Join(word, "\x1f") }
+
+// Learn runs the full MAT loop: build a closed table, form a hypothesis,
+// ask eq for a counterexample, refine, repeat. It returns the final
+// hypothesis when eq finds no counterexample.
+func (l *LStar) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
+	l.prefixes = [][]string{{}}
+	l.suffixes = nil
+	for _, in := range l.inputs {
+		l.suffixes = append(l.suffixes, []string{in})
+	}
+	l.rows = make(map[string][]string)
+
+	for {
+		if err := l.close(); err != nil {
+			return nil, err
+		}
+		hyp, err := l.hypothesis()
+		if err != nil {
+			return nil, err
+		}
+		ce, err := eq.FindCounterexample(hyp)
+		if err != nil {
+			return nil, err
+		}
+		if ce == nil {
+			return hyp, nil
+		}
+		if err := l.refine(hyp, ce); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// row computes (and caches) the observation row of a prefix.
+func (l *LStar) row(prefix []string) ([]string, error) {
+	k := key(prefix)
+	if r, ok := l.rows[k]; ok && len(r) == len(l.suffixes) {
+		return r, nil
+	}
+	r := make([]string, len(l.suffixes))
+	for i, suf := range l.suffixes {
+		word := append(append([]string(nil), prefix...), suf...)
+		out, err := query(l.oracle, word)
+		if err != nil {
+			return nil, fmt.Errorf("learn: membership query %v: %w", word, err)
+		}
+		r[i] = strings.Join(out[len(prefix):], "\x1f")
+	}
+	l.rows[k] = r
+	return r, nil
+}
+
+// close extends S until every one-step extension row appears among S rows.
+func (l *LStar) close() error {
+	for {
+		index := make(map[string]bool)
+		for _, p := range l.prefixes {
+			r, err := l.row(p)
+			if err != nil {
+				return err
+			}
+			index[strings.Join(r, "\x1e")] = true
+		}
+		extended := false
+		for _, p := range l.prefixes {
+			for _, in := range l.inputs {
+				ext := append(append([]string(nil), p...), in)
+				r, err := l.row(ext)
+				if err != nil {
+					return err
+				}
+				if !index[strings.Join(r, "\x1e")] {
+					l.prefixes = append(l.prefixes, ext)
+					index[strings.Join(r, "\x1e")] = true
+					extended = true
+				}
+			}
+		}
+		if !extended {
+			return nil
+		}
+	}
+}
+
+// hypothesis builds the Mealy machine encoded by the closed table.
+func (l *LStar) hypothesis() (*automata.Mealy, error) {
+	// Map distinct rows to states; first occurrence in S order names the state.
+	stateOf := make(map[string]automata.State)
+	reps := make([][]string, 0)
+	m := automata.NewMealy(l.inputs)
+	for _, p := range l.prefixes {
+		r, err := l.row(p)
+		if err != nil {
+			return nil, err
+		}
+		rk := strings.Join(r, "\x1e")
+		if _, ok := stateOf[rk]; !ok {
+			var s automata.State
+			if len(reps) == 0 {
+				s = m.Initial()
+			} else {
+				s = m.AddState()
+			}
+			stateOf[rk] = s
+			reps = append(reps, p)
+		}
+	}
+	for _, p := range l.prefixes {
+		r, _ := l.row(p)
+		from := stateOf[strings.Join(r, "\x1e")]
+		for _, in := range l.inputs {
+			ext := append(append([]string(nil), p...), in)
+			extRow, err := l.row(ext)
+			if err != nil {
+				return nil, err
+			}
+			to, ok := stateOf[strings.Join(extRow, "\x1e")]
+			if !ok {
+				return nil, fmt.Errorf("learn: table not closed at %v", ext)
+			}
+			out, err := query(l.oracle, ext)
+			if err != nil {
+				return nil, err
+			}
+			m.SetTransition(from, in, to, out[len(ext)-1])
+		}
+	}
+	return m, nil
+}
+
+// refine incorporates a counterexample by adding all of its suffixes to E.
+func (l *LStar) refine(hyp *automata.Mealy, ce []string) error {
+	// Sanity: the counterexample must actually distinguish.
+	sysOut, err := query(l.oracle, ce)
+	if err != nil {
+		return err
+	}
+	hypOut, _ := hyp.Run(ce)
+	if strings.Join(sysOut, ",") == strings.Join(hypOut, ",") {
+		return fmt.Errorf("learn: spurious counterexample %v", ce)
+	}
+	have := make(map[string]bool, len(l.suffixes))
+	for _, s := range l.suffixes {
+		have[key(s)] = true
+	}
+	added := false
+	for i := 0; i < len(ce); i++ {
+		suf := ce[i:]
+		if !have[key(suf)] {
+			l.suffixes = append(l.suffixes, append([]string(nil), suf...))
+			have[key(suf)] = true
+			added = true
+		}
+	}
+	if !added {
+		return fmt.Errorf("learn: counterexample %v added no new suffixes", ce)
+	}
+	// Invalidate cached rows; they are stale now that E grew.
+	l.rows = make(map[string][]string)
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package learn implements active automata learning in the Minimally
+// Adequate Teacher framework: membership/equivalence oracles, a prefix-tree
+// query cache, the classic L* observation-table learner, a discrimination-
+// tree learner with Rivest–Schapire counterexample analysis (the TTT-style
+// algorithm the paper uses via LearnLib), and heuristic equivalence oracles
+// (random words and the W-method).
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/automata"
+)
+
+// Oracle answers membership queries: given an input word it returns the
+// output word the system under learning produces from its reset state.
+// Implementations must reset the system before each query.
+type Oracle interface {
+	Query(word []string) ([]string, error)
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(word []string) ([]string, error)
+
+// Query implements Oracle.
+func (f OracleFunc) Query(word []string) ([]string, error) { return f(word) }
+
+// EquivalenceOracle searches for an input word on which the hypothesis and
+// the system under learning disagree. A nil counterexample with nil error
+// means no disagreement was found (the heuristic guarantee of §4.1: absence
+// of a counterexample does not prove equivalence).
+type EquivalenceOracle interface {
+	FindCounterexample(hyp *automata.Mealy) ([]string, error)
+}
+
+// ErrIncompleteOutput is returned when an oracle produces fewer output
+// symbols than input symbols, which violates the Mealy query contract.
+var ErrIncompleteOutput = errors.New("learn: oracle returned short output word")
+
+// Stats counts oracle traffic. All fields are safe for concurrent update.
+type Stats struct {
+	Queries int64 // membership queries issued to the underlying oracle
+	Symbols int64 // total input symbols across those queries
+	Hits    int64 // queries answered from cache without touching the oracle
+}
+
+// Counting wraps an oracle and counts queries and symbols in st.
+func Counting(o Oracle, st *Stats) Oracle {
+	return OracleFunc(func(word []string) ([]string, error) {
+		atomic.AddInt64(&st.Queries, 1)
+		atomic.AddInt64(&st.Symbols, int64(len(word)))
+		return o.Query(word)
+	})
+}
+
+// MealyOracle returns an oracle backed by a Mealy machine, used to test
+// learners without a live protocol endpoint and by the analysis module for
+// model-based test generation. Querying a word with an undefined transition
+// returns an error.
+func MealyOracle(m *automata.Mealy) Oracle {
+	return OracleFunc(func(word []string) ([]string, error) {
+		out, ok := m.Run(word)
+		if !ok {
+			return nil, fmt.Errorf("learn: model has no run for %v", word)
+		}
+		return out, nil
+	})
+}
+
+// query is a helper that enforces the output-length contract.
+func query(o Oracle, word []string) ([]string, error) {
+	out, err := o.Query(word)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) < len(word) {
+		return nil, fmt.Errorf("%w: %d inputs, %d outputs", ErrIncompleteOutput, len(word), len(out))
+	}
+	return out[:len(word)], nil
+}

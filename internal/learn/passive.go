@@ -1,0 +1,225 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/automata"
+)
+
+// This file implements the future-work direction of the paper's §8: "in
+// cases where access to logs is possible ... the learning process could be
+// sped up using a combination of passive and active learning". Two pieces:
+//
+//   - PassiveLearn: an RPNI-style state-merging learner that infers a Mealy
+//     machine from logged I/O traces alone (no queries).
+//   - (*CachedOracle).Preload: seeds the active learner's query cache from
+//     logs, so logged behaviour is never re-queried live.
+
+// IOTracePair is one logged run: inputs and the outputs they produced.
+type IOTracePair struct {
+	Inputs  []string
+	Outputs []string
+}
+
+// ptaNode is a node of the prefix tree acceptor.
+type ptaNode struct {
+	children map[string]*ptaNode
+	outputs  map[string]string
+}
+
+// BuildPTA folds traces into a prefix tree acceptor, failing on
+// inconsistent logs (same input prefix, different outputs).
+func buildPTA(traces []IOTracePair) (*ptaNode, error) {
+	root := newPTANode()
+	for _, tr := range traces {
+		if len(tr.Outputs) < len(tr.Inputs) {
+			return nil, fmt.Errorf("learn: trace with %d inputs but %d outputs", len(tr.Inputs), len(tr.Outputs))
+		}
+		n := root
+		for i, in := range tr.Inputs {
+			if out, ok := n.outputs[in]; ok && out != tr.Outputs[i] {
+				return nil, fmt.Errorf("learn: inconsistent logs at %v: %q vs %q",
+					tr.Inputs[:i+1], out, tr.Outputs[i])
+			}
+			n.outputs[in] = tr.Outputs[i]
+			child, ok := n.children[in]
+			if !ok {
+				child = newPTANode()
+				n.children[in] = child
+			}
+			n = child
+		}
+	}
+	return root, nil
+}
+
+func newPTANode() *ptaNode {
+	return &ptaNode{children: map[string]*ptaNode{}, outputs: map[string]string{}}
+}
+
+// PassiveLearn infers a Mealy machine from logged traces by state merging:
+// it builds the prefix tree acceptor and folds each state into the earliest
+// compatible established state (RPNI's red-blue strategy adapted to Mealy
+// semantics: two states are compatible when no common suffix disagrees on
+// outputs). The result is consistent with every log; with characteristic
+// logs it is the target machine. inputs fixes the alphabet (and its order).
+func PassiveLearn(traces []IOTracePair, inputs []string) (*automata.Mealy, error) {
+	root, err := buildPTA(traces)
+	if err != nil {
+		return nil, err
+	}
+
+	var red []*ptaNode // established (merged-into) states, in BFS order
+	merged := map[*ptaNode]*ptaNode{}
+	resolve := func(n *ptaNode) *ptaNode {
+		for {
+			m, ok := merged[n]
+			if !ok {
+				return n
+			}
+			n = m
+		}
+	}
+
+	red = append(red, root)
+	queue := []*ptaNode{root}
+	for len(queue) > 0 {
+		n := resolve(queue[0])
+		queue = queue[1:]
+		// Visit children in alphabet order for determinism.
+		for _, in := range inputs {
+			child, ok := n.children[in]
+			if !ok {
+				continue
+			}
+			child = resolve(child)
+			if isRed(red, child) {
+				continue
+			}
+			target := (*ptaNode)(nil)
+			for _, r := range red {
+				if compatible(r, child, resolve) {
+					target = r
+					break
+				}
+			}
+			if target != nil {
+				fold(target, child, merged, resolve)
+			} else {
+				red = append(red, child)
+				queue = append(queue, child)
+			}
+		}
+	}
+
+	// Emit the quotient machine over red states.
+	m := automata.NewMealy(inputs)
+	index := map[*ptaNode]automata.State{red[0]: m.Initial()}
+	for _, r := range red[1:] {
+		index[r] = m.AddState()
+	}
+	for _, r := range red {
+		// Sort for deterministic emission.
+		ins := make([]string, 0, len(r.outputs))
+		for in := range r.outputs {
+			ins = append(ins, in)
+		}
+		sort.Strings(ins)
+		for _, in := range ins {
+			child, ok := r.children[in]
+			if !ok {
+				continue
+			}
+			to, ok := index[resolve(child)]
+			if !ok {
+				// The child folded into a red state transitively.
+				to = index[resolve(resolve(child))]
+			}
+			m.SetTransition(index[r], in, to, r.outputs[in])
+		}
+	}
+	return m, nil
+}
+
+func isRed(red []*ptaNode, n *ptaNode) bool {
+	for _, r := range red {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// compatible reports whether merging b into a would contradict any logged
+// output.
+func compatible(a, b *ptaNode, resolve func(*ptaNode) *ptaNode) bool {
+	a, b = resolve(a), resolve(b)
+	if a == b {
+		return true
+	}
+	for in, out := range b.outputs {
+		if aout, ok := a.outputs[in]; ok && aout != out {
+			return false
+		}
+	}
+	for in, bc := range b.children {
+		if ac, ok := a.children[in]; ok {
+			if !compatible(ac, bc, resolve) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fold merges b (and its subtree) into a.
+func fold(a, b *ptaNode, merged map[*ptaNode]*ptaNode, resolve func(*ptaNode) *ptaNode) {
+	a, b = resolve(a), resolve(b)
+	if a == b {
+		return
+	}
+	merged[b] = a
+	for in, out := range b.outputs {
+		if _, ok := a.outputs[in]; !ok {
+			a.outputs[in] = out
+		}
+	}
+	for in, bc := range b.children {
+		if ac, ok := a.children[in]; ok {
+			fold(ac, bc, merged, resolve)
+		} else {
+			a.children[in] = resolve(bc)
+		}
+	}
+}
+
+// Preload stores a logged run in the cache so the live system is never
+// asked about logged behaviour again — the passive/active hybrid of §8.
+func (c *CachedOracle) Preload(tr IOTracePair) error {
+	if len(tr.Outputs) < len(tr.Inputs) {
+		return fmt.Errorf("learn: preload trace with %d inputs but %d outputs", len(tr.Inputs), len(tr.Outputs))
+	}
+	c.cache.store(tr.Inputs, tr.Outputs[:len(tr.Inputs)])
+	return nil
+}
+
+// TracesFromWalks generates logged runs by random-walking an oracle; used
+// by tests and benchmarks to simulate captured traffic logs.
+func TracesFromWalks(o Oracle, inputs []string, walks, length int, seed int64) ([]IOTracePair, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []IOTracePair
+	for i := 0; i < walks; i++ {
+		word := make([]string, length)
+		for j := range word {
+			word[j] = inputs[rng.Intn(len(inputs))]
+		}
+		outputs, err := o.Query(word)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IOTracePair{Inputs: word, Outputs: outputs})
+	}
+	return out, nil
+}

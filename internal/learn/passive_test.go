@@ -1,0 +1,160 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+)
+
+func TestPassiveLearnFromCharacteristicLogs(t *testing.T) {
+	truth := tcpModel()
+	// Characteristic sample: every access sequence extended by every input
+	// and every distinguishing suffix — what good logs would contain.
+	oracle := MealyOracle(truth)
+	var logs []IOTracePair
+	access := truth.AccessSequences()
+	wset := truth.CharacterizingSet()
+	for _, acc := range access {
+		for _, in := range truth.Inputs() {
+			for _, suf := range wset {
+				word := append(append(append([]string(nil), acc...), in), suf...)
+				// Lengthen with one more round of inputs for fold evidence.
+				for _, in2 := range truth.Inputs() {
+					w2 := append(append([]string(nil), word...), in2)
+					out, err := oracle.Query(w2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					logs = append(logs, IOTracePair{Inputs: w2, Outputs: out})
+				}
+			}
+		}
+	}
+	m, err := PassiveLearn(logs, truth.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive learning must be consistent with every log.
+	for _, lg := range logs {
+		out, ok := m.Run(lg.Inputs)
+		if !ok {
+			t.Fatalf("learned machine rejects logged word %v", lg.Inputs)
+		}
+		for i := range out {
+			if out[i] != lg.Outputs[i] {
+				t.Fatalf("learned machine contradicts log at %v step %d", lg.Inputs, i)
+			}
+		}
+	}
+	// With a characteristic sample it should recover the target exactly.
+	min := m.Minimize()
+	if min.NumStates() != truth.NumStates() {
+		t.Fatalf("passive learner found %d states, want %d", min.NumStates(), truth.NumStates())
+	}
+}
+
+func TestPassiveLearnConsistentWithSparseLogs(t *testing.T) {
+	truth := tcpModel()
+	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 40, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := PassiveLearn(logs, truth.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lg := range logs {
+		out, ok := m.Run(lg.Inputs)
+		if !ok {
+			t.Fatalf("model rejects logged word %v", lg.Inputs)
+		}
+		for i := range out {
+			if out[i] != lg.Outputs[i] {
+				t.Fatalf("model contradicts log %v at %d: %q vs %q", lg.Inputs, i, out[i], lg.Outputs[i])
+			}
+		}
+	}
+	// Sparse logs over-generalize; the model must still be no larger than
+	// the prefix tree and at least one state.
+	if m.NumStates() < 1 {
+		t.Fatal("empty model")
+	}
+}
+
+func TestPassiveLearnRejectsInconsistentLogs(t *testing.T) {
+	logs := []IOTracePair{
+		{Inputs: []string{"a"}, Outputs: []string{"x"}},
+		{Inputs: []string{"a"}, Outputs: []string{"y"}},
+	}
+	if _, err := PassiveLearn(logs, []string{"a"}); err == nil {
+		t.Fatal("inconsistent logs accepted")
+	}
+	short := []IOTracePair{{Inputs: []string{"a", "b"}, Outputs: []string{"x"}}}
+	if _, err := PassiveLearn(short, []string{"a", "b"}); err == nil {
+		t.Fatal("short outputs accepted")
+	}
+}
+
+// TestHybridPreloadReducesLiveQueries is the §8 hybrid: seeding the cache
+// from logs cuts live traffic for the subsequent active learning session.
+func TestHybridPreloadReducesLiveQueries(t *testing.T) {
+	truth := tcpModel()
+
+	var coldStats Stats
+	cold := NewCache(Counting(MealyOracle(truth), &coldStats), &coldStats)
+	if _, err := NewDTLearner(cold, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+		t.Fatal(err)
+	}
+
+	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 200, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warmStats Stats
+	warm := NewCache(Counting(MealyOracle(truth), &warmStats), &warmStats)
+	for _, lg := range logs {
+		if err := warm.Preload(lg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewDTLearner(warm, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Queries >= coldStats.Queries {
+		t.Fatalf("preloading did not reduce live queries: %d (warm) vs %d (cold)",
+			warmStats.Queries, coldStats.Queries)
+	}
+	t.Logf("live queries: cold=%d warm=%d (with %d logged walks)",
+		coldStats.Queries, warmStats.Queries, len(logs))
+}
+
+func TestPreloadValidation(t *testing.T) {
+	c := NewCache(MealyOracle(tcpModel()), nil)
+	if err := c.Preload(IOTracePair{Inputs: []string{"a", "b"}, Outputs: []string{"x"}}); err == nil {
+		t.Fatal("short preload accepted")
+	}
+}
+
+// TestPassiveThenActive: use the passively-learned model as the first
+// hypothesis check — if logs already determine the machine, the active
+// phase only needs the equivalence confirmation.
+func TestPassiveModelAgainstActive(t *testing.T) {
+	truth := automata.NewMealy([]string{"a", "b"})
+	s1 := truth.AddState()
+	truth.SetTransition(0, "a", s1, "x")
+	truth.SetTransition(0, "b", 0, "y")
+	truth.SetTransition(s1, "a", 0, "z")
+	truth.SetTransition(s1, "b", s1, "w")
+
+	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 60, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passive, err := PassiveLearn(logs, truth.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := truth.Equivalent(passive.Minimize()); !eq {
+		t.Fatalf("rich logs should determine this 2-state machine; differs on %v", ce)
+	}
+}

@@ -1,0 +1,115 @@
+package learn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automata"
+)
+
+func TestWpMethodProvesEquivalence(t *testing.T) {
+	truth := tcpModel()
+	eqo := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1}
+	if ce, err := eqo.FindCounterexample(truth.Clone()); err != nil || ce != nil {
+		t.Fatalf("ce=%v err=%v", ce, err)
+	}
+}
+
+func TestWpMethodFindsMutations(t *testing.T) {
+	truth := tcpModel()
+	for s := 0; s < truth.NumStates(); s++ {
+		for _, in := range truth.Inputs() {
+			mut := truth.Clone()
+			to, _, _ := mut.Step(automata.State(s), in)
+			mut.SetTransition(automata.State(s), in, to, "MUTANT")
+			// The mutated machine plays the SUL; the hypothesis is truth.
+			eqo := &WpMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
+			ce, err := eqo.FindCounterexample(truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ce == nil {
+				// Only acceptable if the mutation is unreachable.
+				if eq, _ := truth.Equivalent(mut); !eq {
+					t.Fatalf("Wp-method missed output mutation at s%d/%s", s, in)
+				}
+			}
+		}
+	}
+}
+
+func TestWpMethodUsableAsLearningOracle(t *testing.T) {
+	truth := tcpModel()
+	o := MealyOracle(truth)
+	// Depth must cover the state-count gap between intermediate hypotheses
+	// (as small as 1 state) and the 4-state target.
+	eqo := &WpMethodOracle{Oracle: o, Inputs: truth.Inputs(), Depth: 3}
+	hyp, err := NewDTLearner(o, truth.Inputs()).Learn(eqo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := truth.Equivalent(hyp); !eq {
+		t.Fatalf("learned model differs on %v", ce)
+	}
+}
+
+// Property: on random machines, the Wp-method agrees with the W-method on
+// whether a mutant is detectable (both complete at the same depth bound).
+func TestPropertyWpAgreesWithW(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		truth := randomTotalMealy(r, 4, []string{"a", "b"}, []string{"0", "1"}).Minimize()
+		mut := truth.Clone()
+		reach := mut.Reachable()
+		s := reach[r.Intn(len(reach))]
+		in := mut.Inputs()[r.Intn(2)]
+		to, _, _ := mut.Step(s, in)
+		mut.SetTransition(s, in, to, "MUT")
+		wp := &WpMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
+		w := &WMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
+		ceWp, err1 := wp.FindCounterexample(truth)
+		ceW, err2 := w.FindCounterexample(truth)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (ceWp == nil) == (ceW == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdentificationSetsSeparateAllStates validates the W_i construction.
+func TestIdentificationSetsSeparateAllStates(t *testing.T) {
+	m := tcpModel()
+	wset := m.CharacterizingSet()
+	ids := identificationSets(m, wset)
+	for s := 0; s < m.NumStates(); s++ {
+		for o := 0; o < m.NumStates(); o++ {
+			if s == o {
+				continue
+			}
+			separated := false
+			for _, word := range ids[automata.State(s)] {
+				a, _ := m.RunFrom(automata.State(s), word)
+				b, _ := m.RunFrom(automata.State(o), word)
+				if join(a) != join(b) {
+					separated = true
+					break
+				}
+			}
+			if !separated {
+				t.Fatalf("W_%d does not separate state %d from %d", s, s, o)
+			}
+		}
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += s + "\x1f"
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package netem emulates adverse network conditions — datagram loss,
+// duplication, and reordering — around a reference.Transport. §5 of the
+// paper motivates the nondeterminism check precisely with such
+// environmental effects ("latency and packet loss could cause
+// non-determinism to be observed"); this package lets the test suite and
+// benchmarks inject those effects deterministically and verify that the
+// voting guard outvotes transient glitches while still flagging genuinely
+// nondeterministic implementations.
+package netem
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/reference"
+)
+
+// Config sets per-datagram fault probabilities, applied independently to
+// each direction. All probabilities are in [0, 1].
+type Config struct {
+	// LossClient drops client->server datagrams.
+	LossClient float64
+	// LossServer drops server->client datagrams.
+	LossServer float64
+	// Duplicate re-delivers a server->client datagram immediately.
+	Duplicate float64
+	// Reorder swaps adjacent server->client datagrams of one exchange.
+	Reorder float64
+	// Seed drives the fault coin flips.
+	Seed int64
+}
+
+// Link wraps a transport with emulated network faults. It is safe for
+// concurrent use.
+type Link struct {
+	mu    sync.Mutex
+	cfg   Config
+	inner reference.Transport
+	rng   *rand.Rand
+
+	// Counters for test assertions and reports.
+	SentClient, DroppedClient int
+	SentServer, DroppedServer int
+	Duplicated, Reordered     int
+}
+
+// New wraps inner with fault injection.
+func New(inner reference.Transport, cfg Config) *Link {
+	return &Link{cfg: cfg, inner: inner, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Send implements reference.Transport.
+func (l *Link) Send(src string, datagram []byte) [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.SentClient++
+	if l.rng.Float64() < l.cfg.LossClient {
+		l.DroppedClient++
+		return nil // the request never arrives; no response can exist
+	}
+	responses := l.inner.Send(src, datagram)
+	var out [][]byte
+	for _, r := range responses {
+		l.SentServer++
+		if l.rng.Float64() < l.cfg.LossServer {
+			l.DroppedServer++
+			continue
+		}
+		out = append(out, r)
+		if l.rng.Float64() < l.cfg.Duplicate {
+			l.Duplicated++
+			out = append(out, append([]byte(nil), r...))
+		}
+	}
+	if len(out) > 1 && l.rng.Float64() < l.cfg.Reorder {
+		i := l.rng.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+		l.Reordered++
+	}
+	return out
+}

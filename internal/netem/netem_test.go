@@ -1,0 +1,137 @@
+package netem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+)
+
+// lossySUL builds a QUIC SUL whose transport injects faults.
+func lossySUL(profile quicsim.Profile, cfg Config) (core.SUL, *Link) {
+	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: 7})
+	link := New(reference.ServerTransport(srv), cfg)
+	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, link)
+	return &sul{srv: srv, cli: cli}, link
+}
+
+type sul struct {
+	srv *quicsim.Server
+	cli *reference.QUICClient
+}
+
+func (s *sul) Reset() error {
+	s.srv.Reset()
+	return s.cli.Reset()
+}
+
+func (s *sul) Step(in string) (string, error) { return s.cli.Step(in) }
+
+func TestCleanLinkIsTransparent(t *testing.T) {
+	s, link := lossySUL(quicsim.ProfileQuiche, Config{Seed: 1})
+	out, err := core.Oracle(s).Query([]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := quicsim.GroundTruth(quicsim.ProfileQuiche).Run(
+		[]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC})
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("step %d: %q vs %q", i, out[i], want[i])
+		}
+	}
+	if link.DroppedClient+link.DroppedServer+link.Duplicated != 0 {
+		t.Fatal("clean link injected faults")
+	}
+}
+
+// TestLossCausesObservableNondeterminism: with 30% response loss the same
+// query produces different answers across runs, which the guard reports.
+func TestLossCausesObservableNondeterminism(t *testing.T) {
+	s, _ := lossySUL(quicsim.ProfileQuiche, Config{LossServer: 0.3, Seed: 2})
+	guarded := core.Guard(core.Oracle(s), core.GuardConfig{MinVotes: 3, MaxVotes: 12, Certainty: 0.95})
+	_, err := guarded.Query([]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream})
+	if _, ok := core.IsNondeterminism(err); !ok {
+		t.Fatalf("expected nondeterminism under heavy loss, got %v", err)
+	}
+}
+
+// TestGuardOutvotesRareLoss: with very light loss the majority answer wins
+// and learning-style queries still succeed (§5's environmental-glitch
+// scenario).
+func TestGuardOutvotesRareLoss(t *testing.T) {
+	s, _ := lossySUL(quicsim.ProfileQuiche, Config{LossServer: 0.01, Seed: 3})
+	guarded := core.Guard(core.Oracle(s), core.GuardConfig{MinVotes: 3, MaxVotes: 60, Certainty: 0.8})
+	word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC}
+	want, _ := quicsim.GroundTruth(quicsim.ProfileQuiche).Run(word)
+	for i := 0; i < 10; i++ {
+		out, err := guarded.Query(word)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("majority answer corrupted at step %d: %q", j, out[j])
+			}
+		}
+	}
+}
+
+// TestDuplicationIsHarmlessForAbstraction: duplicated response datagrams
+// change the abstract output (the duplicate packet is observed), which is
+// exactly the retransmission-induced nondeterminism §3.2's record-keeping
+// exists to surface.
+func TestDuplicationChangesAbstraction(t *testing.T) {
+	clean, _ := lossySUL(quicsim.ProfileQuiche, Config{Seed: 4})
+	dup, link := lossySUL(quicsim.ProfileQuiche, Config{Duplicate: 1.0, Seed: 4})
+	word := []string{quicsim.SymInitialCrypto}
+	a, err := core.Oracle(clean).Query(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Oracle(dup).Query(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Duplicated == 0 {
+		t.Fatal("no duplication happened")
+	}
+	if a[0] == b[0] {
+		t.Fatalf("duplicate delivery should be visible in the abstraction: %q", b[0])
+	}
+}
+
+// TestLearningSucceedsOverFlakyLink: end-to-end, the guard lets the full
+// learning pipeline succeed over a link with rare faults.
+func TestLearningSucceedsOverFlakyLink(t *testing.T) {
+	s, link := lossySUL(quicsim.ProfileQuiche, Config{LossServer: 0.002, Seed: 5})
+	exp := &core.Experiment{
+		Alphabet:    quicsim.InputAlphabet(),
+		SUL:         s,
+		Guard:       core.GuardConfig{MinVotes: 3, MaxVotes: 80, Certainty: 0.75},
+		Equivalence: &learn.ModelOracle{Model: quicsim.GroundTruth(quicsim.ProfileQuiche)},
+	}
+	m, err := exp.Learn()
+	if err != nil {
+		t.Fatalf("learning failed over flaky link (dropped %d): %v", link.DroppedServer, err)
+	}
+	if m.NumStates() != 8 {
+		t.Fatalf("learned %d states, want 8", m.NumStates())
+	}
+	if link.DroppedServer == 0 {
+		t.Log("note: no datagrams were dropped this run")
+	}
+}
+
+// TestReorderingCounter exercises the reorder path.
+func TestReorderingCounter(t *testing.T) {
+	s, link := lossySUL(quicsim.ProfileGoogle, Config{Reorder: 1.0, Seed: 6})
+	if _, err := core.Oracle(s).Query([]string{quicsim.SymInitialCrypto}); err != nil {
+		t.Fatal(err)
+	}
+	if link.Reordered == 0 {
+		t.Fatal("flight of 4 datagrams should have been reordered")
+	}
+}

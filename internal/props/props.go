@@ -1,0 +1,234 @@
+// Package props implements concrete-trace properties from the QUIC
+// specification, the Φ input of the Prognosis architecture (Fig. 1). §6.2.2
+// names two of them — "the sequence number on each newly-issued connection
+// id must increase by 1" and "an endpoint must not send data on a stream at
+// or beyond the final size" — and §5 uses "packet numbers are always
+// increasing" as its running example. Properties run over the concrete
+// packets recorded in the Oracle Table, complementing the abstract-model
+// checks in internal/analysis.
+package props
+
+import (
+	"fmt"
+
+	"repro/internal/quicwire"
+	"repro/internal/reference"
+)
+
+// Violation describes a failed property with the offending packet index.
+type Violation struct {
+	Property string
+	Index    int // index into the checked packet sequence
+	Detail   string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("props: %s violated at packet %d: %s", v.Property, v.Index, v.Detail)
+}
+
+// Property checks one requirement over a connection's packet sequence (one
+// endpoint's sent packets, in order).
+type Property interface {
+	Name() string
+	Check(packets []reference.ConcretePacket) *Violation
+}
+
+// All returns the built-in property set.
+func All() []Property {
+	return []Property{
+		PacketNumbersIncreasing{},
+		NewConnectionIDSeqIncrements{},
+		NoDataBeyondFinalSize{},
+		CloseIsTerminal{},
+		BlockedLimitNonDecreasing{},
+	}
+}
+
+// Check runs all given properties and returns every violation.
+func Check(packets []reference.ConcretePacket, properties ...Property) []*Violation {
+	if len(properties) == 0 {
+		properties = All()
+	}
+	var out []*Violation
+	for _, p := range properties {
+		if v := p.Check(packets); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// OutputPackets flattens the server-sent packets of recorded exchanges, in
+// order — the view the properties below inspect.
+func OutputPackets(exchanges []reference.Exchange) []reference.ConcretePacket {
+	var out []reference.ConcretePacket
+	for _, ex := range exchanges {
+		out = append(out, ex.ConcreteOut...)
+	}
+	return out
+}
+
+// PacketNumbersIncreasing is §5's example property: within each packet
+// number space, packet numbers must be strictly increasing.
+type PacketNumbersIncreasing struct{}
+
+// Name implements Property.
+func (PacketNumbersIncreasing) Name() string { return "packet numbers always increasing" }
+
+// Check implements Property.
+func (p PacketNumbersIncreasing) Check(packets []reference.ConcretePacket) *Violation {
+	last := map[string]uint64{}
+	seen := map[string]bool{}
+	for i, pkt := range packets {
+		space := pkt.Type
+		if space == "RETRY" || space == "RESET" || space == "VERSION_NEGOTIATION" {
+			continue // unnumbered packet types
+		}
+		if seen[space] && pkt.PacketNumber <= last[space] {
+			return &Violation{Property: p.Name(), Index: i,
+				Detail: fmt.Sprintf("pn %d after %d in space %s", pkt.PacketNumber, last[space], space)}
+		}
+		seen[space] = true
+		last[space] = pkt.PacketNumber
+	}
+	return nil
+}
+
+// NewConnectionIDSeqIncrements is the §6.2.2 property: sequence numbers of
+// NEW_CONNECTION_ID frames must increase by exactly 1.
+type NewConnectionIDSeqIncrements struct{}
+
+// Name implements Property.
+func (NewConnectionIDSeqIncrements) Name() string {
+	return "NEW_CONNECTION_ID sequence numbers increase by 1"
+}
+
+// Check implements Property.
+func (p NewConnectionIDSeqIncrements) Check(packets []reference.ConcretePacket) *Violation {
+	var last uint64
+	var seen bool
+	for i, pkt := range packets {
+		for _, f := range pkt.Frames {
+			if f.Type != quicwire.FrameNewConnectionID {
+				continue
+			}
+			if seen && f.SeqNumber != last+1 {
+				return &Violation{Property: p.Name(), Index: i,
+					Detail: fmt.Sprintf("sequence %d after %d", f.SeqNumber, last)}
+			}
+			seen = true
+			last = f.SeqNumber
+		}
+	}
+	return nil
+}
+
+// NoDataBeyondFinalSize is the §6.2.2 property: once a stream's final size
+// is known (a FIN-bearing STREAM frame or RESET_STREAM), no data may be
+// sent at or beyond it.
+type NoDataBeyondFinalSize struct{}
+
+// Name implements Property.
+func (NoDataBeyondFinalSize) Name() string {
+	return "no data on a stream at or beyond the final size"
+}
+
+// Check implements Property.
+func (p NoDataBeyondFinalSize) Check(packets []reference.ConcretePacket) *Violation {
+	finalSize := map[uint64]uint64{}
+	known := map[uint64]bool{}
+	for i, pkt := range packets {
+		for _, f := range pkt.Frames {
+			switch f.Type {
+			case quicwire.FrameStream:
+				end := f.Offset + uint64(len(f.Data))
+				if known[f.StreamID] && end > finalSize[f.StreamID] {
+					return &Violation{Property: p.Name(), Index: i,
+						Detail: fmt.Sprintf("stream %d data to offset %d beyond final size %d",
+							f.StreamID, end, finalSize[f.StreamID])}
+				}
+				if f.Fin {
+					if known[f.StreamID] && finalSize[f.StreamID] != end {
+						return &Violation{Property: p.Name(), Index: i,
+							Detail: fmt.Sprintf("stream %d final size changed %d -> %d",
+								f.StreamID, finalSize[f.StreamID], end)}
+					}
+					known[f.StreamID] = true
+					finalSize[f.StreamID] = end
+				}
+			case quicwire.FrameResetStream:
+				if known[f.StreamID] && finalSize[f.StreamID] != f.FinalSize {
+					return &Violation{Property: p.Name(), Index: i,
+						Detail: fmt.Sprintf("stream %d final size changed %d -> %d",
+							f.StreamID, finalSize[f.StreamID], f.FinalSize)}
+				}
+				known[f.StreamID] = true
+				finalSize[f.StreamID] = f.FinalSize
+			}
+		}
+	}
+	return nil
+}
+
+// CloseIsTerminal requires that after a CONNECTION_CLOSE frame the endpoint
+// sends nothing but further CONNECTION_CLOSE retransmissions (RFC 9000
+// §10.2: only packets containing CONNECTION_CLOSE may be sent in the
+// closing state).
+type CloseIsTerminal struct{}
+
+// Name implements Property.
+func (CloseIsTerminal) Name() string { return "only CONNECTION_CLOSE after closing" }
+
+// Check implements Property.
+func (p CloseIsTerminal) Check(packets []reference.ConcretePacket) *Violation {
+	closed := false
+	for i, pkt := range packets {
+		hasClose := false
+		for _, f := range pkt.Frames {
+			if f.Type == quicwire.FrameConnectionClose {
+				hasClose = true
+			}
+		}
+		if closed && !hasClose && pkt.Type != "RESET" {
+			return &Violation{Property: p.Name(), Index: i,
+				Detail: fmt.Sprintf("%s packet without CONNECTION_CLOSE after closing", pkt.Type)}
+		}
+		if hasClose {
+			closed = true
+		}
+	}
+	return nil
+}
+
+// BlockedLimitNonDecreasing requires STREAM_DATA_BLOCKED's Maximum Stream
+// Data field to be non-decreasing and, once data has flowed, non-zero — a
+// targeted check that flags the Issue 4 placeholder directly from traces.
+type BlockedLimitNonDecreasing struct{}
+
+// Name implements Property.
+func (BlockedLimitNonDecreasing) Name() string {
+	return "STREAM_DATA_BLOCKED carries the real blocked offset"
+}
+
+// Check implements Property.
+func (p BlockedLimitNonDecreasing) Check(packets []reference.ConcretePacket) *Violation {
+	sent := map[uint64]uint64{} // stream -> bytes sent so far
+	for i, pkt := range packets {
+		for _, f := range pkt.Frames {
+			switch f.Type {
+			case quicwire.FrameStream:
+				if end := f.Offset + uint64(len(f.Data)); end > sent[f.StreamID] {
+					sent[f.StreamID] = end
+				}
+			case quicwire.FrameStreamDataBlocked:
+				if sent[f.StreamID] > 0 && f.Limit == 0 {
+					return &Violation{Property: p.Name(), Index: i,
+						Detail: fmt.Sprintf("stream %d blocked at offset %d but frame says 0 (placeholder never updated?)",
+							f.StreamID, sent[f.StreamID])}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package props
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/quicsim"
+	"repro/internal/quicwire"
+	"repro/internal/reference"
+)
+
+func pkt(t string, pn uint64, frames ...quicwire.Frame) reference.ConcretePacket {
+	return reference.ConcretePacket{Type: t, PacketNumber: pn, Frames: frames}
+}
+
+func TestPacketNumbersIncreasing(t *testing.T) {
+	good := []reference.ConcretePacket{
+		pkt("INITIAL", 0), pkt("HANDSHAKE", 0), pkt("INITIAL", 1), pkt("SHORT", 0), pkt("SHORT", 1),
+	}
+	if v := (PacketNumbersIncreasing{}).Check(good); v != nil {
+		t.Fatalf("false positive: %v", v)
+	}
+	bad := []reference.ConcretePacket{pkt("SHORT", 3), pkt("SHORT", 3)}
+	v := (PacketNumbersIncreasing{}).Check(bad)
+	if v == nil || v.Index != 1 {
+		t.Fatalf("missed repeated pn: %v", v)
+	}
+	// Unnumbered packet types are exempt.
+	exempt := []reference.ConcretePacket{pkt("SHORT", 5), pkt("RETRY", 0), pkt("RESET", 0), pkt("SHORT", 6)}
+	if v := (PacketNumbersIncreasing{}).Check(exempt); v != nil {
+		t.Fatalf("exempt types flagged: %v", v)
+	}
+}
+
+func TestNewConnectionIDSeqIncrements(t *testing.T) {
+	ncid := func(seq uint64) quicwire.Frame {
+		return quicwire.Frame{Type: quicwire.FrameNewConnectionID, SeqNumber: seq, ConnectionID: []byte{1}}
+	}
+	good := []reference.ConcretePacket{pkt("SHORT", 0, ncid(1)), pkt("SHORT", 1, ncid(2)), pkt("SHORT", 2, ncid(3))}
+	if v := (NewConnectionIDSeqIncrements{}).Check(good); v != nil {
+		t.Fatalf("false positive: %v", v)
+	}
+	bad := []reference.ConcretePacket{pkt("SHORT", 0, ncid(1)), pkt("SHORT", 1, ncid(3))}
+	v := (NewConnectionIDSeqIncrements{}).Check(bad)
+	if v == nil || !strings.Contains(v.Detail, "sequence 3 after 1") {
+		t.Fatalf("missed seq jump: %v", v)
+	}
+}
+
+func TestNoDataBeyondFinalSize(t *testing.T) {
+	stream := func(id, off uint64, data string, fin bool) quicwire.Frame {
+		return quicwire.Frame{Type: quicwire.FrameStream, StreamID: id, Offset: off, Data: []byte(data), Fin: fin}
+	}
+	good := []reference.ConcretePacket{
+		pkt("SHORT", 0, stream(0, 0, "hello", false)),
+		pkt("SHORT", 1, stream(0, 5, "world", true)),
+		pkt("SHORT", 2, stream(0, 5, "world", true)), // exact retransmission is fine
+	}
+	if v := (NoDataBeyondFinalSize{}).Check(good); v != nil {
+		t.Fatalf("false positive: %v", v)
+	}
+	bad := []reference.ConcretePacket{
+		pkt("SHORT", 0, stream(0, 0, "hello", true)),
+		pkt("SHORT", 1, stream(0, 5, "x", false)), // beyond final size 5
+	}
+	if v := (NoDataBeyondFinalSize{}).Check(bad); v == nil {
+		t.Fatal("missed data beyond final size")
+	}
+	moved := []reference.ConcretePacket{
+		pkt("SHORT", 0, stream(0, 0, "hello", true)),
+		pkt("SHORT", 1, quicwire.Frame{Type: quicwire.FrameResetStream, StreamID: 0, FinalSize: 9}),
+	}
+	if v := (NoDataBeyondFinalSize{}).Check(moved); v == nil {
+		t.Fatal("missed final-size change via RESET_STREAM")
+	}
+}
+
+func TestCloseIsTerminal(t *testing.T) {
+	cc := quicwire.Frame{Type: quicwire.FrameConnectionClose}
+	good := []reference.ConcretePacket{
+		pkt("SHORT", 0, quicwire.Frame{Type: quicwire.FrameAck}),
+		pkt("SHORT", 1, cc),
+		pkt("SHORT", 2, cc), // retransmission allowed
+	}
+	if v := (CloseIsTerminal{}).Check(good); v != nil {
+		t.Fatalf("false positive: %v", v)
+	}
+	bad := []reference.ConcretePacket{
+		pkt("SHORT", 0, cc),
+		pkt("SHORT", 1, quicwire.Frame{Type: quicwire.FrameStream, StreamID: 0, Data: []byte("x")}),
+	}
+	if v := (CloseIsTerminal{}).Check(bad); v == nil {
+		t.Fatal("missed post-close data")
+	}
+}
+
+// TestBlockedLimitFlagsIssue4Live runs the property against live traces of
+// the buggy and fixed Google profiles — the trace-level complement of the
+// synthesis experiment.
+func TestBlockedLimitFlagsIssue4Live(t *testing.T) {
+	word := []string{
+		quicsim.SymInitialCrypto, quicsim.SymHandshakeC,
+		quicsim.SymShortStream, quicsim.SymShortStream,
+	}
+	collect := func(profile quicsim.Profile) []reference.ConcretePacket {
+		setup := lab.NewQUIC(profile, lab.QUICOptions{Seed: 3})
+		if err := setup.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		setup.Client.ClearTrace()
+		for _, sym := range word {
+			if _, err := setup.Client.Step(sym); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return OutputPackets(setup.Client.Trace())
+	}
+	if v := (BlockedLimitNonDecreasing{}).Check(collect(quicsim.ProfileGoogle)); v == nil {
+		t.Fatal("Issue 4 not flagged on the buggy profile")
+	} else if !strings.Contains(v.Detail, "placeholder") {
+		t.Fatalf("unexpected detail: %v", v)
+	}
+	if v := (BlockedLimitNonDecreasing{}).Check(collect(quicsim.ProfileGoogleFixed)); v != nil {
+		t.Fatalf("false positive on the fixed profile: %v", v)
+	}
+}
+
+// TestLiveServerSatisfiesCoreProperties checks that a full happy-path
+// session against the Quiche profile satisfies every built-in property.
+func TestLiveServerSatisfiesCoreProperties(t *testing.T) {
+	setup := lab.NewQUIC(quicsim.ProfileQuiche, lab.QUICOptions{Seed: 3})
+	if err := setup.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.ClearTrace()
+	for _, sym := range []string{
+		quicsim.SymInitialCrypto, quicsim.SymHandshakeC,
+		quicsim.SymShortFC, quicsim.SymShortStream, quicsim.SymShortStream,
+	} {
+		if _, err := setup.Client.Step(sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	packets := OutputPackets(setup.Client.Trace())
+	if len(packets) == 0 {
+		t.Fatal("no packets recorded")
+	}
+	if vs := Check(packets); len(vs) != 0 {
+		t.Fatalf("violations on a compliant session: %v", vs)
+	}
+}
+
+func TestCheckRunsAllByDefault(t *testing.T) {
+	bad := []reference.ConcretePacket{pkt("SHORT", 3), pkt("SHORT", 3)}
+	vs := Check(bad)
+	if len(vs) != 1 || vs[0].Property != (PacketNumbersIncreasing{}).Name() {
+		t.Fatalf("vs = %v", vs)
+	}
+	if !strings.Contains(vs[0].Error(), "packet 1") {
+		t.Fatalf("error rendering: %v", vs[0])
+	}
+}

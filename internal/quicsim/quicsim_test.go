@@ -1,0 +1,203 @@
+package quicsim
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+)
+
+// TestGroundTruthSizes checks the profile specifications against the model
+// sizes the paper reports in §6.2.2: Google QUIC 12 states / 84 transitions,
+// Quiche 8 states / 56 transitions.
+func TestGroundTruthSizes(t *testing.T) {
+	cases := []struct {
+		profile     Profile
+		states, trs int
+	}{
+		{ProfileGoogle, 12, 84},
+		{ProfileGoogleFixed, 12, 84},
+		{ProfileQuiche, 8, 56},
+		{ProfileMvfst, 4, 28},
+	}
+	for _, c := range cases {
+		m := GroundTruth(c.profile)
+		if m.NumStates() != c.states {
+			t.Errorf("%v: %d states, want %d", c.profile, m.NumStates(), c.states)
+		}
+		if m.NumTransitions() != c.trs {
+			t.Errorf("%v: %d transitions, want %d", c.profile, m.NumTransitions(), c.trs)
+		}
+		if !m.Total() {
+			t.Errorf("%v: machine not total", c.profile)
+		}
+	}
+}
+
+// TestGroundTruthMinimal verifies every profile machine is minimal: the
+// paper's learned models are minimal by construction (TTT learns the
+// canonical machine), so a non-minimal spec would make the state counts
+// unreachable for the learner.
+func TestGroundTruthMinimal(t *testing.T) {
+	for _, p := range []Profile{ProfileGoogle, ProfileQuiche, ProfileMvfst} {
+		m := GroundTruth(p)
+		min := m.Minimize()
+		if min.NumStates() != m.NumStates() {
+			t.Errorf("%v: spec has %d states but minimizes to %d", p, m.NumStates(), min.NumStates())
+		}
+	}
+}
+
+// TestGroundTruthReachable ensures every spec state is reachable, otherwise
+// the learner could never discover it.
+func TestGroundTruthReachable(t *testing.T) {
+	for _, p := range []Profile{ProfileGoogle, ProfileQuiche, ProfileMvfst} {
+		m := GroundTruth(p)
+		if got := len(m.Reachable()); got != m.NumStates() {
+			t.Errorf("%v: %d of %d states reachable", p, got, m.NumStates())
+		}
+	}
+}
+
+// TestGoogleVsQuicheDiffer reproduces the Issue 1 signal: the two
+// implementations' models are inequivalent, and a distinguishing trace
+// exists (the paper's RFC-imprecision finding started from exactly this
+// observation).
+func TestGoogleVsQuicheDiffer(t *testing.T) {
+	g := GroundTruth(ProfileGoogle)
+	q := GroundTruth(ProfileQuiche)
+	eq, ce := g.Equivalent(q)
+	if eq {
+		t.Fatal("Google and Quiche specs must differ")
+	}
+	if len(ce) == 0 {
+		t.Fatal("no distinguishing trace returned")
+	}
+	// The shortest difference is already at the first symbol: the flights
+	// differ (Google sends an early stream, Quiche does not).
+	og, _ := g.Run(ce)
+	oq, _ := q.Run(ce)
+	if og[len(og)-1] == oq[len(oq)-1] {
+		t.Fatalf("trace %v does not distinguish: %v vs %v", ce, og, oq)
+	}
+}
+
+// TestIssue1PacketNumberSpaceReset checks the behaviour divergence behind
+// Issue 1 (§6.2.3): after INITIAL[CRYPTO] at the handshake stage, Google
+// aborts the connection while Quiche closes with a plain handshake-level
+// CONNECTION_CLOSE — and, critically, on a *fresh* connection's violating
+// initial, Google creates a dead connection while Quiche ignores it.
+func TestIssue1PacketNumberSpaceReset(t *testing.T) {
+	g := GroundTruth(ProfileGoogle)
+	q := GroundTruth(ProfileQuiche)
+	word := []string{SymInitialHD, SymInitialCrypto}
+	og, _ := g.Run(word)
+	oq, _ := q.Run(word)
+	// Google: the violating initial created a dead connection, so the
+	// follow-up INITIAL[CRYPTO] is swallowed. Quiche: the violating initial
+	// was dropped, so the follow-up opens a connection normally.
+	if og[1] == oq[1] {
+		t.Fatalf("expected divergence, both produced %q", og[1])
+	}
+	if og[1] != "{}" {
+		t.Fatalf("Google should swallow the retried initial, got %q", og[1])
+	}
+	if oq[1] == "{}" {
+		t.Fatal("Quiche should answer the retried initial with its flight")
+	}
+}
+
+func TestBehaviorTablesComplete(t *testing.T) {
+	for _, p := range []Profile{ProfileGoogle, ProfileQuiche, ProfileMvfst} {
+		b := behaviorFor(p)
+		if len(b.table) != b.numStates {
+			t.Fatalf("%v: table has %d states, want %d", p, len(b.table), b.numStates)
+		}
+		for s, row := range b.table {
+			if len(row) != 7 {
+				t.Errorf("%v state %d: %d symbols, want 7", p, s, len(row))
+			}
+			for sym, tr := range row {
+				if tr.next < 0 || tr.next >= b.numStates {
+					t.Errorf("%v state %d on %s: next state %d out of range", p, s, sym, tr.next)
+				}
+			}
+		}
+	}
+}
+
+func TestOutputLabelFormat(t *testing.T) {
+	if got := OutputLabel(nil); got != "{}" {
+		t.Fatalf("empty output label = %q", got)
+	}
+	got := OutputLabel(googleDoneFlight)
+	want := "{SHORT(?,?)[CRYPTO],SHORT(?,?)[HANDSHAKE_DONE]}"
+	if got != want {
+		t.Fatalf("label = %q, want %q", got, want)
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	for p, want := range map[Profile]string{
+		ProfileGoogle: "google", ProfileGoogleFixed: "google-fixed",
+		ProfileQuiche: "quiche", ProfileMvfst: "mvfst",
+	} {
+		if p.String() != want {
+			t.Errorf("Profile(%d).String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestGroundTruthMvfstSkeletonStates(t *testing.T) {
+	m := GroundTruth(ProfileMvfst)
+	// The Issue 2 trigger: INITIAL[CRYPTO] then HANDSHAKE[ACK,HANDSHAKE_DONE]
+	// must land in the closed state with a CONNECTION_CLOSE output.
+	out, ok := m.Run([]string{SymInitialCrypto, SymHandshakeHD})
+	if !ok {
+		t.Fatal("run incomplete")
+	}
+	if out[1] != "{HANDSHAKE(?,?)[CONNECTION_CLOSE]}" {
+		t.Fatalf("close output = %q", out[1])
+	}
+	s, _ := m.StateAfter([]string{SymInitialCrypto, SymHandshakeHD})
+	if int(s) != behaviorFor(ProfileMvfst).closedState {
+		t.Fatalf("state after trigger = %d, want closed state", s)
+	}
+}
+
+func TestSeedBytesDeterministic(t *testing.T) {
+	a := seedBytes(42, "x", 64)
+	b := seedBytes(42, "x", 64)
+	c := seedBytes(43, "x", 64)
+	if string(a) != string(b) {
+		t.Fatal("seedBytes not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("seedBytes ignores seed")
+	}
+	if len(a) != 64 {
+		t.Fatalf("len = %d", len(a))
+	}
+}
+
+func TestGroundTruthStateRolesGoogle(t *testing.T) {
+	m := GroundTruth(ProfileGoogle)
+	// Happy path: connect, finish handshake, send data until blocked,
+	// raise limits twice, observe the flush.
+	word := []string{SymInitialCrypto, SymHandshakeC, SymShortStream, SymShortStream, SymShortFC, SymShortFC, SymShortStream}
+	out, ok := m.Run(word)
+	if !ok {
+		t.Fatal("happy path has undefined transitions")
+	}
+	// After the first data packet the server is blocked; the second data
+	// packet must surface STREAM_DATA_BLOCKED (Issue 4's carrier frame).
+	if out[3] != "{SHORT(?,?)[ACK,STREAM,STREAM_DATA_BLOCKED]}" {
+		t.Fatalf("blocked response = %q", out[3])
+	}
+	// After two raises the response is flushed; further data is just acked.
+	if out[6] != "{SHORT(?,?)[ACK]}" {
+		t.Fatalf("post-flush response = %q", out[6])
+	}
+	if st, _ := m.StateAfter(word); st == automata.Invalid {
+		t.Fatal("state tracking failed")
+	}
+}

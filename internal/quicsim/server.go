@@ -1,0 +1,447 @@
+package quicsim
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/quiccrypto"
+	"repro/internal/quicwire"
+)
+
+// Packet number spaces.
+const (
+	spaceInitial = iota
+	spaceHandshake
+	spaceApp
+	numSpaces
+)
+
+// Tunables shared with the reference client. Chunk is the response stream
+// chunk size; RespTotal is the total response the Google profile wants to
+// send (three chunks, so two flow-control raises are needed to flush it).
+const (
+	Chunk     = 100
+	RespTotal = 3 * Chunk
+	// CIDLen is the connection-ID length all endpoints in this repo use.
+	CIDLen = 8
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Profile Profile
+	// Seed drives all server randomness (CIDs, hello randoms). The same
+	// seed yields identical behaviour across resets, keeping learning
+	// deterministic (except for profile-intended nondeterminism).
+	Seed int64
+	// RetryRequired makes the server validate client addresses with a
+	// Retry exchange before accepting a connection (the Issue 3 setting).
+	RetryRequired bool
+}
+
+// Server is a mini-QUIC server endpoint. It processes one connection at a
+// time (the learning setup resets between queries) and is safe for
+// concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	cfg    Config
+	beh    behavior
+	static []byte // static key for reset tokens and retry tags
+
+	// resetRNG survives Reset: it drives the mvfst profile's
+	// nondeterministic stateless RESETs across queries (Issue 2).
+	resetRNG *rand.Rand
+
+	// Per-connection state, cleared by Reset.
+	est          bool
+	state        int
+	scid         []byte
+	clientCID    []byte // client's SCID: the DCID we send to
+	keys         [numSpaces]struct{ client, server *quiccrypto.Keys }
+	sendPN       [numSpaces]uint64
+	largestRecv  [numSpaces]uint64
+	serverRandom []byte
+	clientRandom []byte
+	cryptoSent   [numSpaces]uint64
+
+	clientStreamRecv uint64
+	respOffset       uint64
+	respLimit        uint64
+	greetingsSent    int
+}
+
+// NewServer returns a server in its initial state.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		beh:      behaviorFor(cfg.Profile),
+		static:   seedBytes(cfg.Seed, "static-key", 32),
+		resetRNG: rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+	}
+	s.resetLocked()
+	return s
+}
+
+// seedBytes derives deterministic pseudo-random bytes from a seed and label.
+func seedBytes(seed int64, label string, n int) []byte {
+	mac := hmac.New(sha256.New, []byte(label))
+	fmt.Fprintf(mac, "%d", seed)
+	out := mac.Sum(nil)
+	for len(out) < n {
+		mac.Reset()
+		mac.Write(out)
+		out = mac.Sum(out)
+	}
+	return out[:n]
+}
+
+// Reset implements Adapter property (3): it returns the server to its
+// initial state, dropping all connection state. Profile-intended
+// nondeterminism (the mvfst RESET coin) deliberately survives resets.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetLocked()
+}
+
+func (s *Server) resetLocked() {
+	s.est = false
+	s.state = 0
+	s.scid = seedBytes(s.cfg.Seed, "scid", CIDLen)
+	s.clientCID = nil
+	s.keys = [numSpaces]struct{ client, server *quiccrypto.Keys }{}
+	s.sendPN = [numSpaces]uint64{}
+	s.largestRecv = [numSpaces]uint64{}
+	s.serverRandom = seedBytes(s.cfg.Seed, "server-random", 32)
+	s.clientRandom = nil
+	s.cryptoSent = [numSpaces]uint64{}
+	s.clientStreamRecv = 0
+	s.respOffset = 0
+	s.greetingsSent = 0
+	if s.cfg.Profile == ProfileQuiche {
+		s.respLimit = 0
+	} else {
+		s.respLimit = Chunk
+	}
+}
+
+// BehaviorState returns the current abstract state (for tests).
+func (s *Server) BehaviorState() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// HandleDatagram processes one incoming UDP datagram from the given source
+// address (opaque string, e.g. "10.0.0.2:4433") and returns the datagrams
+// the server sends in response, one packet per datagram.
+func (s *Server) HandleDatagram(src string, datagram []byte) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var out [][]byte
+	rest := datagram
+	for len(rest) > 0 {
+		hdr, err := quicwire.ParseHeader(rest, CIDLen)
+		if err != nil {
+			break // undecodable datagram tail: drop silently
+		}
+		pkt := rest[:hdr.PayloadEnd]
+		rest = rest[hdr.PayloadEnd:]
+		out = append(out, s.processPacket(src, pkt, hdr)...)
+	}
+	return out
+}
+
+// processPacket handles a single (possibly coalesced-out) packet.
+func (s *Server) processPacket(src string, pkt []byte, hdr quicwire.Header) [][]byte {
+	// Connection admission on Initials.
+	if hdr.Type == quicwire.PacketInitial && !s.est {
+		if s.cfg.RetryRequired {
+			if len(hdr.Token) == 0 {
+				return [][]byte{s.buildRetry(src, hdr)}
+			}
+			if !s.validToken(src, hdr.DCID, hdr.Token) {
+				return nil
+			}
+		}
+		s.acceptConnection(hdr)
+	}
+	if !s.est {
+		return nil // no connection: nothing can be decrypted
+	}
+
+	space, ok := spaceForType(hdr.Type)
+	if !ok {
+		return nil // Retry/VN from a client is meaningless; drop
+	}
+	keys := s.keys[space].client
+	if keys == nil {
+		return nil // keys not derivable yet: drop (realistic behaviour)
+	}
+
+	// Remove header protection and packet protection.
+	buf := append([]byte(nil), pkt...)
+	if err := keys.UnprotectHeader(buf, hdr.PNOffset); err != nil {
+		return nil
+	}
+	pn, err := quicwire.DecodePacketNumber(buf, hdr.PNOffset)
+	if err != nil {
+		return nil
+	}
+	ad := buf[:hdr.PNOffset+4]
+	payload, err := keys.Open(buf[hdr.PNOffset+4:hdr.PayloadEnd], pn, ad)
+	if err != nil {
+		return nil
+	}
+	frames, err := quicwire.ParseFrames(payload)
+	if err != nil {
+		return nil
+	}
+	if pn > s.largestRecv[space] {
+		s.largestRecv[space] = pn
+	}
+	s.applyFrameEffects(space, frames)
+
+	// Abstract the packet and step the behaviour machine.
+	sym := fmt.Sprintf("%s(?,?)[%s]", hdr.Type, quicwire.FrameNames(frames))
+	if s.beh.closedState >= 0 && s.state == s.beh.closedState {
+		// Issue 2: the mvfst closed state answers probes with a stateless
+		// RESET only ~82% of the time, with no back-off.
+		if s.resetRNG.Float64() < 0.82 {
+			return [][]byte{s.buildStatelessReset()}
+		}
+		return nil
+	}
+	tr, ok := s.beh.table[s.state][sym]
+	if !ok {
+		return nil // symbol outside the modelled alphabet: drop
+	}
+	s.state = tr.next
+	var out [][]byte
+	for _, spec := range tr.out {
+		out = append(out, s.buildPacket(spec))
+	}
+	return out
+}
+
+// acceptConnection creates connection state from a client Initial.
+func (s *Server) acceptConnection(hdr quicwire.Header) {
+	s.est = true
+	s.clientCID = append([]byte(nil), hdr.SCID...)
+	clientSecret, serverSecret := quiccrypto.InitialSecrets(hdr.DCID)
+	s.keys[spaceInitial].client = mustKeys(clientSecret)
+	s.keys[spaceInitial].server = mustKeys(serverSecret)
+}
+
+// applyFrameEffects updates transport state from client frames.
+func (s *Server) applyFrameEffects(space int, frames []quicwire.Frame) {
+	for _, f := range frames {
+		switch f.Type {
+		case quicwire.FrameCrypto:
+			if space == spaceInitial && s.clientRandom == nil && len(f.Data) > 0 {
+				s.clientRandom = append([]byte(nil), f.Data...)
+				s.deriveSessionKeys()
+			}
+		case quicwire.FrameStream:
+			if end := f.Offset + uint64(len(f.Data)); end > s.clientStreamRecv {
+				s.clientStreamRecv = end
+			}
+		case quicwire.FrameMaxStreamData:
+			if f.Limit > s.respLimit {
+				s.respLimit = f.Limit
+			}
+		}
+	}
+}
+
+// deriveSessionKeys derives handshake and 1-RTT keys once both hello
+// randoms are known.
+func (s *Server) deriveSessionKeys() {
+	hc, hs := quiccrypto.HandshakeSecrets(s.clientRandom, s.serverRandom)
+	ac, as := quiccrypto.AppSecrets(s.clientRandom, s.serverRandom)
+	s.keys[spaceHandshake].client = mustKeys(hc)
+	s.keys[spaceHandshake].server = mustKeys(hs)
+	s.keys[spaceApp].client = mustKeys(ac)
+	s.keys[spaceApp].server = mustKeys(as)
+}
+
+func mustKeys(secret []byte) *quiccrypto.Keys {
+	k, err := quiccrypto.NewKeys(secret)
+	if err != nil {
+		panic(fmt.Sprintf("quicsim: key derivation failed: %v", err))
+	}
+	return k
+}
+
+func spaceForType(t quicwire.PacketType) (int, bool) {
+	switch t {
+	case quicwire.PacketInitial:
+		return spaceInitial, true
+	case quicwire.PacketHandshake:
+		return spaceHandshake, true
+	case quicwire.PacketShort:
+		return spaceApp, true
+	}
+	return 0, false
+}
+
+// serverCryptoStream returns the full server crypto byte stream for a
+// packet-number space: the simplified TLS messages of this repo's toy
+// handshake layer.
+func (s *Server) serverCryptoStream(space int) []byte {
+	switch space {
+	case spaceInitial:
+		return append([]byte("SERVER_HELLO:"), s.serverRandom...)
+	case spaceHandshake:
+		return []byte("ENCRYPTED_EXTENSIONS;CERTIFICATE;CERT_VERIFY;FINISHED-------------")
+	default:
+		return []byte("NEW_SESSION_TICKET:ticket-0001")
+	}
+}
+
+// buildPacket constructs, seals, and header-protects one output packet.
+func (s *Server) buildPacket(spec PacketSpec) []byte {
+	space, _ := spaceForType(spec.Type)
+	pn := s.sendPN[space]
+	s.sendPN[space]++
+
+	var payload []byte
+	for _, ft := range spec.Frames {
+		payload = quicwire.AppendFrame(payload, s.buildFrame(space, spec, ft))
+	}
+	// Pad so the sealed payload always covers the header-protection sample.
+	for len(payload) < 20 {
+		payload = append(payload, 0) // PADDING
+	}
+
+	keys := s.keys[space].server
+	var buf []byte
+	var pnOffset int
+	sealedLen := len(payload) + keys.Overhead()
+	if spec.Type == quicwire.PacketShort {
+		buf, pnOffset = quicwire.AppendShortHeader(nil, s.clientCID, pn)
+	} else {
+		buf, pnOffset = quicwire.AppendLongHeader(nil, spec.Type, s.clientCID, s.scid, nil, pn, sealedLen)
+	}
+	ad := append([]byte(nil), buf...)
+	buf = append(buf, keys.Seal(payload, pn, ad)...)
+	if err := keys.ProtectHeader(buf, pnOffset); err != nil {
+		panic(fmt.Sprintf("quicsim: header protection: %v", err))
+	}
+	return buf
+}
+
+// buildFrame constructs the concrete frame for an abstract frame type.
+func (s *Server) buildFrame(space int, spec PacketSpec, ft quicwire.FrameType) quicwire.Frame {
+	switch ft {
+	case quicwire.FrameAck:
+		largest := s.largestRecv[space]
+		return quicwire.Frame{Type: quicwire.FrameAck, AckLargest: largest, AckRange: largest}
+	case quicwire.FrameCrypto:
+		stream := s.serverCryptoStream(space)
+		off := s.cryptoSent[space]
+		if off >= uint64(len(stream)) {
+			return quicwire.Frame{Type: quicwire.FrameCrypto, Offset: off}
+		}
+		n := uint64(48)
+		if off+n > uint64(len(stream)) {
+			n = uint64(len(stream)) - off
+		}
+		s.cryptoSent[space] = off + n
+		return quicwire.Frame{Type: quicwire.FrameCrypto, Offset: off, Data: stream[off : off+n]}
+	case quicwire.FrameHandshakeDone:
+		return quicwire.Frame{Type: quicwire.FrameHandshakeDone}
+	case quicwire.FrameStream:
+		if spec.Greeting {
+			id := uint64(3 + 4*s.greetingsSent) // server-initiated unidirectional
+			s.greetingsSent++
+			return quicwire.Frame{Type: quicwire.FrameStream, StreamID: id,
+				Data: []byte(fmt.Sprintf("greeting-%d", id))}
+		}
+		return s.buildResponseStream()
+	case quicwire.FrameStreamDataBlocked:
+		limit := s.respLimit
+		if s.cfg.Profile == ProfileGoogle {
+			limit = 0 // Issue 4: placeholder never updated
+		}
+		return quicwire.Frame{Type: quicwire.FrameStreamDataBlocked, StreamID: 0, Limit: limit}
+	case quicwire.FrameConnectionClose:
+		return quicwire.Frame{Type: quicwire.FrameConnectionClose,
+			ErrorCode:    0x0a, // PROTOCOL_VIOLATION
+			CloseFrame:   uint64(quicwire.FrameHandshakeDone),
+			ReasonPhrase: "protocol violation"}
+	default:
+		panic(fmt.Sprintf("quicsim: no constructor for output frame %v", ft))
+	}
+}
+
+// buildResponseStream emits the next slice of the server's application
+// response on stream 0, respecting the client-granted flow-control limit.
+// When blocked the frame carries zero bytes at the current offset.
+func (s *Server) buildResponseStream() quicwire.Frame {
+	total := uint64(RespTotal)
+	if s.cfg.Profile == ProfileQuiche {
+		// Quiche echoes indefinitely: always one more chunk wanted.
+		total = s.respOffset + Chunk
+	}
+	n := uint64(0)
+	if s.respLimit > s.respOffset {
+		n = s.respLimit - s.respOffset
+	}
+	if remaining := total - s.respOffset; n > remaining {
+		n = remaining
+	}
+	data := bytes.Repeat([]byte{'r'}, int(n))
+	f := quicwire.Frame{Type: quicwire.FrameStream, StreamID: 0, Offset: s.respOffset, Data: data}
+	s.respOffset += n
+	f.Fin = s.cfg.Profile != ProfileQuiche && s.respOffset == total
+	return f
+}
+
+// buildRetry constructs a Retry packet whose token binds the client source
+// address (Issue 3's address validation).
+func (s *Server) buildRetry(src string, hdr quicwire.Header) []byte {
+	token := s.tokenFor(src)
+	tag := quiccrypto.RetryTag(s.static, hdr.DCID, token)
+	return quicwire.AppendRetry(nil, hdr.SCID, s.scid, append(token, tag[:]...))
+}
+
+// tokenFor derives the retry token for a source address.
+func (s *Server) tokenFor(src string) []byte {
+	mac := hmac.New(sha256.New, s.static)
+	mac.Write([]byte("retry-token"))
+	mac.Write([]byte(src))
+	return mac.Sum(nil)[:16]
+}
+
+// validToken checks a retry token against the claimed source address.
+func (s *Server) validToken(src string, dcid, token []byte) bool {
+	want := s.tokenFor(src)
+	if len(token) < len(want) {
+		return false
+	}
+	return hmac.Equal(token[:len(want)], want)
+}
+
+// buildStatelessReset constructs a stateless reset datagram: unpredictable
+// bytes shaped like a short-header packet, ending with the reset token for
+// the connection ID the server handed out (RFC 9000 §10.3).
+func (s *Server) buildStatelessReset() []byte {
+	buf := make([]byte, 24)
+	copy(buf, seedBytes(s.cfg.Seed, "reset-noise", 24))
+	buf[0] = 0x40 | (buf[0] & 0x3F)
+	token := quiccrypto.ResetToken(s.static, s.scid)
+	return append(buf, token[:]...)
+}
+
+// ResetTokenForTests exposes the server's stateless reset token so clients
+// and tests can recognize reset datagrams.
+func (s *Server) ResetTokenForTests() [16]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return quiccrypto.ResetToken(s.static, s.scid)
+}

@@ -1,0 +1,175 @@
+package reference
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tcpwire"
+)
+
+// TCPTransport delivers one encoded TCP segment to the target and returns
+// the encoded response segments.
+type TCPTransport interface {
+	Send(segment []byte) [][]byte
+}
+
+// TCPTransportFunc adapts a function to TCPTransport.
+type TCPTransportFunc func(segment []byte) [][]byte
+
+// Send implements TCPTransport.
+func (f TCPTransportFunc) Send(segment []byte) [][]byte { return f(segment) }
+
+// TCPExchange is one abstract TCP I/O step with its concrete segments, as
+// recorded for the Oracle Table.
+type TCPExchange struct {
+	AbstractIn  string
+	AbstractOut string
+	ConcreteIn  tcpwire.Segment
+	ConcreteOut []tcpwire.Segment
+}
+
+// TCPClientConfig parameterizes the TCP reference client.
+type TCPClientConfig struct {
+	Seed       int64
+	SrcPort    uint16
+	DstPort    uint16
+	SrcAddr    [4]byte
+	DstAddr    [4]byte
+	PayloadLen int // payload bytes for symbols with payload length 1
+}
+
+// TCPClient is the instrumented TCP reference client: the ~300-line
+// replacement for the 2,700-line hand-written mapper of prior work (§3.2).
+// It keeps live sequence/acknowledgement state so concretization is just
+// "fill in the current numbers".
+type TCPClient struct {
+	cfg   TCPClientConfig
+	tr    TCPTransport
+	rng   *rand.Rand
+	seq   uint32 // next sequence number to send
+	ack   uint32 // next expected peer sequence number (our ACK field)
+	trace []TCPExchange
+}
+
+// NewTCPClient returns a client speaking to the given transport.
+func NewTCPClient(cfg TCPClientConfig, tr TCPTransport) *TCPClient {
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = 40965
+	}
+	if cfg.DstPort == 0 {
+		cfg.DstPort = 44344
+	}
+	if cfg.PayloadLen == 0 {
+		cfg.PayloadLen = 1
+	}
+	if cfg.SrcAddr == ([4]byte{}) {
+		cfg.SrcAddr = [4]byte{10, 0, 0, 2}
+	}
+	if cfg.DstAddr == ([4]byte{}) {
+		cfg.DstAddr = [4]byte{10, 0, 0, 1}
+	}
+	c := &TCPClient{cfg: cfg, tr: tr}
+	c.Reset()
+	return c
+}
+
+// Reset starts a fresh connection attempt with a fresh (seeded) initial
+// sequence number.
+func (c *TCPClient) Reset() error {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	}
+	c.seq = c.rng.Uint32()
+	c.ack = 0
+	return nil
+}
+
+// Trace returns recorded exchanges.
+func (c *TCPClient) Trace() []TCPExchange { return c.trace }
+
+// ClearTrace discards recorded exchanges.
+func (c *TCPClient) ClearTrace() { c.trace = nil }
+
+// Step sends the concrete segment for one abstract symbol such as
+// "SYN(?,?,0)" or "ACK+PSH(?,?,1)" and returns the abstracted response.
+func (c *TCPClient) Step(abstract string) (string, error) {
+	flags, payloadLen, err := ParseTCPSymbol(abstract)
+	if err != nil {
+		return "", err
+	}
+	seg := tcpwire.Segment{
+		SourcePort:      c.cfg.SrcPort,
+		DestinationPort: c.cfg.DstPort,
+		SeqNumber:       c.seq,
+		AckNumber:       c.ack,
+		Flags:           flags,
+		Window:          65535,
+	}
+	if payloadLen > 0 {
+		seg.Payload = make([]byte, payloadLen)
+		for i := range seg.Payload {
+			seg.Payload[i] = 'd'
+		}
+	}
+	// SYN and FIN consume a sequence number; so does payload.
+	c.seq += uint32(payloadLen)
+	if flags&tcpwire.SYN != 0 || flags&tcpwire.FIN != 0 {
+		c.seq++
+	}
+
+	responses := c.tr.Send(seg.Encode(c.cfg.SrcAddr, c.cfg.DstAddr))
+	absOut := "NIL"
+	var concOut []tcpwire.Segment
+	for _, raw := range responses {
+		out, err := tcpwire.Decode(raw, c.cfg.DstAddr, c.cfg.SrcAddr)
+		if err != nil {
+			continue // corrupted response: not abstractable
+		}
+		concOut = append(concOut, out)
+		// Track the peer's sequence progression for our next ACK field.
+		adv := uint32(len(out.Payload))
+		if out.Flags&tcpwire.SYN != 0 || out.Flags&tcpwire.FIN != 0 {
+			adv++
+		}
+		if adv > 0 {
+			c.ack = out.SeqNumber + adv
+		}
+		absOut = out.Abstract()
+	}
+	c.trace = append(c.trace, TCPExchange{
+		AbstractIn: abstract, AbstractOut: absOut,
+		ConcreteIn: seg, ConcreteOut: concOut,
+	})
+	return absOut, nil
+}
+
+// ParseTCPSymbol parses the paper's TCP abstract notation "FLAGS(?,?,len)".
+func ParseTCPSymbol(s string) (tcpwire.Flags, int, error) {
+	open := -1
+	for i, r := range s {
+		if r == '(' {
+			open = i
+			break
+		}
+	}
+	if open < 0 || len(s) < open+7 || s[len(s)-1] != ')' {
+		return 0, 0, fmt.Errorf("reference: malformed TCP symbol %q", s)
+	}
+	flags, err := tcpwire.ParseFlags(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	var payloadLen int
+	if _, err := fmt.Sscanf(s[open:], "(?,?,%d)", &payloadLen); err != nil {
+		return 0, 0, fmt.Errorf("reference: malformed TCP symbol %q: %v", s, err)
+	}
+	return flags, payloadLen, nil
+}
+
+// TCPAlphabet returns the seven-symbol abstract input alphabet of §6.1.
+func TCPAlphabet() []string {
+	return []string{
+		"SYN(?,?,0)", "SYN+ACK(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)",
+		"ACK+FIN(?,?,0)", "RST(?,?,0)", "ACK+RST(?,?,0)",
+	}
+}

@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automata"
+)
+
+// DOT renders the extended machine in Graphviz dot, in the style of the
+// paper's Appendix B.1: every edge carries the abstract input/output pair
+// plus its register-update and output-parameter annotations, e.g.
+// "r0=p0 | o0=r0".
+func (e *ExtendedMealy) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  __start [shape=none, label=\"\"];\n")
+	fmt.Fprintf(&b, "  __start -> s%d;\n", e.Machine.Initial())
+	for s := 0; s < e.Machine.NumStates(); s++ {
+		fmt.Fprintf(&b, "  s%d [label=\"s%d\"];\n", s, s)
+	}
+	for s := 0; s < e.Machine.NumStates(); s++ {
+		for _, in := range e.Machine.Inputs() {
+			to, out, ok := e.Machine.Step(automata.State(s), in)
+			if !ok {
+				continue
+			}
+			k := transKey{automata.State(s), in}
+			var ann []string
+			for i, u := range e.Updates[k] {
+				ann = append(ann, fmt.Sprintf("r%d=%s", i, u))
+			}
+			for i, o := range e.Outputs[k] {
+				ann = append(ann, fmt.Sprintf("o%d=%s", i, o))
+			}
+			label := fmt.Sprintf("%s / %s", in, out)
+			if len(ann) > 0 {
+				label += "\\n" + strings.Join(ann, " | ")
+			}
+			label = strings.ReplaceAll(label, "\"", "\\\"")
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s\"];\n", s, to, label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mismatch describes a step where the synthesized machine's prediction
+// disagrees with an observed trace.
+type Mismatch struct {
+	Trace     Trace
+	StepIndex int
+	Predicted []int64
+	Observed  []int64
+}
+
+// Verify checks the extended machine against traces, returning the first
+// mismatch found (nil if all traces are reproduced). This is the random
+// equivalence testing of §4.3: synthesized register patterns are validated
+// on traces not used during solving.
+func Verify(em *ExtendedMealy, traces []Trace) *Mismatch {
+	for _, tr := range traces {
+		pred, _ := em.Run(tr)
+		for i := range pred {
+			if i >= len(tr) {
+				break
+			}
+			obs := tr[i].OutVals
+			if len(pred[i]) == 0 {
+				continue
+			}
+			if len(obs) < len(pred[i]) {
+				return &Mismatch{Trace: tr, StepIndex: i, Predicted: pred[i], Observed: obs}
+			}
+			for j := range pred[i] {
+				if pred[i][j] != obs[j] {
+					return &Mismatch{Trace: tr, StepIndex: i, Predicted: pred[i], Observed: obs}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNoConvergence is returned when refinement exhausts its round budget.
+var ErrNoConvergence = errors.New("synth: refinement did not converge")
+
+// Refine runs the synthesize–test loop of §4.3: synthesize from the current
+// trace set, test against fresh traces from gen, and on a mismatch add the
+// offending trace as a positive example (and the wrong prediction as a
+// negative example) before re-solving. gen is called with the round number
+// and should return a fresh concrete trace from the system under learning.
+func Refine(p *Problem, gen func(round int) (Trace, error), tests, maxRounds int) (*ExtendedMealy, error) {
+	for round := 0; round < maxRounds; round++ {
+		em, err := Synthesize(p)
+		if err != nil {
+			return nil, fmt.Errorf("synth: round %d: %w", round, err)
+		}
+		var fresh []Trace
+		for i := 0; i < tests; i++ {
+			tr, err := gen(round*tests + i)
+			if err != nil {
+				return nil, err
+			}
+			fresh = append(fresh, tr)
+		}
+		mm := Verify(em, fresh)
+		if mm == nil {
+			return em, nil
+		}
+		p.Positive = append(p.Positive, mm.Trace)
+		// The wrong prediction becomes a negative example: the same inputs
+		// must not yield the predicted outputs.
+		neg := make(Trace, len(mm.Trace))
+		copy(neg, mm.Trace)
+		pred, _ := em.Run(mm.Trace)
+		for i := range neg {
+			if i < len(pred) && len(pred[i]) > 0 {
+				neg[i].OutVals = pred[i]
+			}
+		}
+		p.Negative = append(p.Negative, neg)
+	}
+	return nil, ErrNoConvergence
+}

@@ -1,0 +1,229 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"repro/internal/tcpwire"
+)
+
+const port = 44344
+
+func newServer() *Server {
+	return NewServer(Config{Port: port, Seed: 1, StrictAckCheck: true})
+}
+
+// client is a minimal test peer tracking sequence numbers.
+type client struct {
+	seq, ack uint32
+	s        *Server
+	t        *testing.T
+}
+
+func (c *client) send(flags tcpwire.Flags, payload []byte) []tcpwire.Segment {
+	seg := tcpwire.Segment{
+		SourcePort:      40000,
+		DestinationPort: port,
+		SeqNumber:       c.seq,
+		AckNumber:       c.ack,
+		Flags:           flags,
+		Payload:         payload,
+	}
+	out := c.s.Handle(seg)
+	c.seq += uint32(len(payload))
+	if flags&tcpwire.SYN != 0 || flags&tcpwire.FIN != 0 {
+		c.seq++
+	}
+	for _, o := range out {
+		adv := uint32(len(o.Payload))
+		if o.Flags&tcpwire.SYN != 0 || o.Flags&tcpwire.FIN != 0 {
+			adv++
+		}
+		if adv > 0 {
+			c.ack = o.SeqNumber + adv
+		}
+	}
+	return out
+}
+
+func (c *client) expect(t *testing.T, got []tcpwire.Segment, want string) {
+	t.Helper()
+	if want == "NIL" {
+		if len(got) != 0 {
+			t.Fatalf("expected no reply, got %v", got)
+		}
+		return
+	}
+	if len(got) != 1 {
+		t.Fatalf("expected one reply %q, got %v", want, got)
+	}
+	if got[0].Flags.String() != want {
+		t.Fatalf("reply = %s, want %s", got[0].Flags, want)
+	}
+}
+
+func TestThreeWayHandshake(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1000, s: s, t: t}
+	c.expect(t, c.send(tcpwire.SYN, nil), "SYN+ACK")
+	if s.State() != StateSynRcvd {
+		t.Fatalf("state = %v, want SYN_RCVD", s.State())
+	}
+	c.expect(t, c.send(tcpwire.ACK, nil), "NIL")
+	if s.State() != StateEstablished {
+		t.Fatalf("state = %v, want ESTABLISHED", s.State())
+	}
+}
+
+func TestSynAckNumbers(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 48108, s: s, t: t}
+	out := c.send(tcpwire.SYN, nil)
+	if len(out) != 1 {
+		t.Fatal("no SYN-ACK")
+	}
+	if out[0].AckNumber != 48109 {
+		t.Fatalf("SYN-ACK acks %d, want 48109", out[0].AckNumber)
+	}
+}
+
+func TestDataTransferAcked(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.send(tcpwire.ACK, nil)
+	out := c.send(tcpwire.ACK|tcpwire.PSH, []byte("x"))
+	c.expect(t, out, "ACK")
+	if out[0].AckNumber != 3 { // seq 1 consumed by SYN, then 1 data byte
+		t.Fatalf("data ack = %d, want 3", out[0].AckNumber)
+	}
+}
+
+func TestPassiveClose(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.send(tcpwire.ACK, nil)
+	c.expect(t, c.send(tcpwire.FIN|tcpwire.ACK, nil), "ACK")
+	if s.State() != StateCloseWait {
+		t.Fatalf("state = %v, want CLOSE_WAIT", s.State())
+	}
+	c.expect(t, c.send(tcpwire.ACK, nil), "ACK+FIN")
+	if s.State() != StateLastAck {
+		t.Fatalf("state = %v, want LAST_ACK", s.State())
+	}
+	c.expect(t, c.send(tcpwire.ACK, nil), "NIL")
+	if s.State() != StateClosed {
+		t.Fatalf("state = %v, want CLOSED", s.State())
+	}
+	// After close, the one-shot server RSTs new traffic.
+	c.expect(t, c.send(tcpwire.SYN, nil), "ACK+RST")
+}
+
+func TestRstTearsDown(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.send(tcpwire.ACK, nil)
+	c.expect(t, c.send(tcpwire.RST, nil), "NIL")
+	if s.State() != StateClosed {
+		t.Fatalf("state = %v, want CLOSED", s.State())
+	}
+}
+
+func TestRstInSynRcvdReturnsToListen(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.expect(t, c.send(tcpwire.RST|tcpwire.ACK, nil), "NIL")
+	if s.State() != StateListen {
+		t.Fatalf("state = %v, want LISTEN", s.State())
+	}
+}
+
+func TestChallengeAckOnSynInEstablished(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.send(tcpwire.ACK, nil)
+	c.expect(t, c.send(tcpwire.SYN, nil), "ACK")
+	if s.State() != StateEstablished {
+		t.Fatal("challenge ACK must not change state")
+	}
+}
+
+func TestListenRejectsStrays(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	for _, f := range []tcpwire.Flags{tcpwire.ACK, tcpwire.ACK | tcpwire.PSH,
+		tcpwire.FIN | tcpwire.ACK, tcpwire.SYN | tcpwire.ACK} {
+		s.Reset()
+		c.seq, c.ack = 1, 0
+		out := c.send(f, nil)
+		if len(out) != 1 || out[0].Flags&tcpwire.RST == 0 {
+			t.Fatalf("flags %v: want RST, got %v", f, out)
+		}
+	}
+	s.Reset()
+	c.expect(t, c.send(tcpwire.RST, nil), "NIL")
+}
+
+func TestStrictAckCheckResets(t *testing.T) {
+	s := newServer()
+	seg := tcpwire.Segment{SourcePort: 40000, DestinationPort: port, SeqNumber: 1, Flags: tcpwire.SYN}
+	s.Handle(seg)
+	bad := tcpwire.Segment{SourcePort: 40000, DestinationPort: port, SeqNumber: 2,
+		AckNumber: 0xBAD, Flags: tcpwire.ACK}
+	out := s.Handle(bad)
+	if len(out) != 1 || out[0].Flags&tcpwire.RST == 0 {
+		t.Fatalf("bad ACK in SYN_RCVD must RST, got %v", out)
+	}
+	if s.State() != StateListen {
+		t.Fatalf("state = %v, want LISTEN", s.State())
+	}
+}
+
+func TestWrongPortGetsRst(t *testing.T) {
+	s := newServer()
+	seg := tcpwire.Segment{SourcePort: 40000, DestinationPort: port + 1, SeqNumber: 5, Flags: tcpwire.SYN}
+	out := s.Handle(seg)
+	if len(out) != 1 || out[0].Flags&tcpwire.RST == 0 {
+		t.Fatalf("want RST for closed port, got %v", out)
+	}
+	if out[0].AckNumber != 6 {
+		t.Fatalf("RST ack = %d, want 6 (SYN consumes one)", out[0].AckNumber)
+	}
+}
+
+func TestResetRestoresDeterminism(t *testing.T) {
+	s := newServer()
+	first := s.Handle(tcpwire.Segment{SourcePort: 1, DestinationPort: port, SeqNumber: 9, Flags: tcpwire.SYN})
+	s.Reset()
+	second := s.Handle(tcpwire.Segment{SourcePort: 1, DestinationPort: port, SeqNumber: 9, Flags: tcpwire.SYN})
+	if first[0].SeqNumber != second[0].SeqNumber {
+		t.Fatalf("ISS differs across resets: %d vs %d", first[0].SeqNumber, second[0].SeqNumber)
+	}
+}
+
+func TestSynRetransmitRepeatsSynAck(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	first := c.send(tcpwire.SYN, nil)
+	// Retransmit the same SYN.
+	again := s.Handle(tcpwire.Segment{SourcePort: 40000, DestinationPort: port, SeqNumber: 1, Flags: tcpwire.SYN})
+	if len(again) != 1 || again[0].Flags != tcpwire.SYN|tcpwire.ACK {
+		t.Fatalf("retransmit reply = %v", again)
+	}
+	if again[0].SeqNumber != first[0].SeqNumber {
+		t.Fatalf("retransmitted SYN-ACK reuses ISS: %d vs %d", again[0].SeqNumber, first[0].SeqNumber)
+	}
+}
+
+func TestFinInSynRcvd(t *testing.T) {
+	s := newServer()
+	c := &client{seq: 1, s: s, t: t}
+	c.send(tcpwire.SYN, nil)
+	c.expect(t, c.send(tcpwire.FIN|tcpwire.ACK, nil), "ACK")
+	if s.State() != StateCloseWait {
+		t.Fatalf("state = %v, want CLOSE_WAIT", s.State())
+	}
+}

@@ -1,0 +1,202 @@
+// Package tcpwire implements the TCP native alphabet: binary segment
+// encoding and decoding (RFC 793 header layout, Internet checksum over the
+// IPv4 pseudo-header) plus the structured concrete-symbol form of Example
+// 3.2 in the paper. Segments are the unit exchanged between the TCP
+// reference client and the TCP system under learning.
+package tcpwire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Flags is the TCP flag byte.
+type Flags uint8
+
+// TCP control flags.
+const (
+	FIN Flags = 1 << iota
+	SYN
+	RST
+	PSH
+	ACK
+	URG
+)
+
+var flagNames = []struct {
+	f    Flags
+	name string
+}{
+	{SYN, "SYN"}, {ACK, "ACK"}, {FIN, "FIN"}, {RST, "RST"}, {PSH, "PSH"}, {URG, "URG"},
+}
+
+// String renders flags in the paper's notation, e.g. "SYN+ACK" or "NIL".
+func (f Flags) String() string {
+	if f == 0 {
+		return "NIL"
+	}
+	var parts []string
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			parts = append(parts, fn.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseFlags parses the paper's notation back to a flag set. "NIL" and the
+// empty string parse to zero flags.
+func ParseFlags(s string) (Flags, error) {
+	if s == "" || s == "NIL" {
+		return 0, nil
+	}
+	var f Flags
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "SYN":
+			f |= SYN
+		case "ACK":
+			f |= ACK
+		case "FIN":
+			f |= FIN
+		case "RST":
+			f |= RST
+		case "PSH":
+			f |= PSH
+		case "URG":
+			f |= URG
+		default:
+			return 0, fmt.Errorf("tcpwire: unknown flag %q", part)
+		}
+	}
+	return f, nil
+}
+
+// Segment is the concrete alphabet symbol for TCP: a structured view of one
+// segment, mirroring the JSON object of Example 3.2.
+type Segment struct {
+	SourcePort      uint16 `json:"sourcePort"`
+	DestinationPort uint16 `json:"destinationPort"`
+	SeqNumber       uint32 `json:"seqNumber"`
+	AckNumber       uint32 `json:"ackNumber"`
+	Flags           Flags  `json:"-"`
+	Window          uint16 `json:"window"`
+	UrgentPointer   uint16 `json:"urgentPointer"`
+	Payload         []byte `json:"payload,omitempty"`
+}
+
+// MarshalJSON emits the concrete-symbol JSON form with symbolic flags.
+func (s Segment) MarshalJSON() ([]byte, error) {
+	type alias Segment
+	return json.Marshal(struct {
+		alias
+		Flags string `json:"flags"`
+	}{alias(s), s.Flags.String()})
+}
+
+// UnmarshalJSON parses the concrete-symbol JSON form.
+func (s *Segment) UnmarshalJSON(data []byte) error {
+	type alias Segment
+	var aux struct {
+		alias
+		Flags string `json:"flags"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	f, err := ParseFlags(aux.Flags)
+	if err != nil {
+		return err
+	}
+	*s = Segment(aux.alias)
+	s.Flags = f
+	return nil
+}
+
+// headerLen is the fixed TCP header size we emit (no options).
+const headerLen = 20
+
+// Decode errors.
+var (
+	ErrTooShort    = errors.New("tcpwire: segment shorter than header")
+	ErrBadOffset   = errors.New("tcpwire: data offset out of range")
+	ErrBadChecksum = errors.New("tcpwire: checksum mismatch")
+)
+
+// Encode serializes the segment to wire format. src and dst are the IPv4
+// addresses used in the checksum pseudo-header.
+func (s Segment) Encode(src, dst [4]byte) []byte {
+	var w wire.Writer
+	w.Uint16(s.SourcePort)
+	w.Uint16(s.DestinationPort)
+	w.Uint32(s.SeqNumber)
+	w.Uint32(s.AckNumber)
+	w.Byte(headerLen / 4 << 4) // data offset in 32-bit words, no reserved bits
+	w.Byte(byte(s.Flags))
+	w.Uint16(s.Window)
+	w.Uint16(0) // checksum placeholder
+	w.Uint16(s.UrgentPointer)
+	w.Write(s.Payload)
+	buf := w.Bytes()
+	sum := checksum(buf, src, dst)
+	buf[16] = byte(sum >> 8)
+	buf[17] = byte(sum)
+	return buf
+}
+
+// Decode parses a wire-format segment and verifies its checksum against the
+// pseudo-header for src and dst.
+func Decode(data []byte, src, dst [4]byte) (Segment, error) {
+	if len(data) < headerLen {
+		return Segment{}, ErrTooShort
+	}
+	r := wire.NewReader(data)
+	var s Segment
+	s.SourcePort = r.Uint16()
+	s.DestinationPort = r.Uint16()
+	s.SeqNumber = r.Uint32()
+	s.AckNumber = r.Uint32()
+	offsetByte := r.Byte()
+	s.Flags = Flags(r.Byte())
+	s.Window = r.Uint16()
+	r.Uint16() // checksum, verified over the whole buffer below
+	s.UrgentPointer = r.Uint16()
+	offset := int(offsetByte>>4) * 4
+	if offset < headerLen || offset > len(data) {
+		return Segment{}, ErrBadOffset
+	}
+	if payload := data[offset:]; len(payload) > 0 {
+		s.Payload = append([]byte(nil), payload...)
+	}
+	if checksum(data, src, dst) != 0 {
+		return Segment{}, ErrBadChecksum
+	}
+	return s, r.Err()
+}
+
+// checksum computes the TCP checksum including the IPv4 pseudo-header.
+// When the segment's own checksum field is filled in, the result is zero
+// for a valid segment.
+func checksum(segment []byte, src, dst [4]byte) uint16 {
+	pseudo := make([]byte, 0, 12+len(segment))
+	pseudo = append(pseudo, src[:]...)
+	pseudo = append(pseudo, dst[:]...)
+	pseudo = append(pseudo, 0, 6 /* TCP protocol number */, byte(len(segment)>>8), byte(len(segment)))
+	pseudo = append(pseudo, segment...)
+	return wire.Checksum(pseudo)
+}
+
+// String renders the segment compactly for logs and diffs.
+func (s Segment) String() string {
+	return fmt.Sprintf("%s(seq=%d,ack=%d,len=%d)", s.Flags, s.SeqNumber, s.AckNumber, len(s.Payload))
+}
+
+// Abstract renders the segment in the paper's abstract-alphabet notation,
+// e.g. "ACK+PSH(?,?,1)": flags, elided seq/ack, and payload length.
+func (s Segment) Abstract() string {
+	return fmt.Sprintf("%s(?,?,%d)", s.Flags, len(s.Payload))
+}

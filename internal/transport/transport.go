@@ -1,0 +1,227 @@
+// Package transport hosts the simulated protocol endpoints on real UDP
+// sockets and provides matching client transports, so Prognosis can learn
+// over an actual network path (loopback or otherwise) instead of in-process
+// function calls. TCP segments are carried in UDP datagrams — the userspace
+// stack plays the role the kernel plays in the paper's testbed.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+	"repro/internal/tcpsim"
+	"repro/internal/tcpwire"
+)
+
+// maxDatagram is the receive buffer size, comfortably above any packet the
+// simulators emit.
+const maxDatagram = 4096
+
+// quiet is how long client transports wait for further response datagrams
+// after the last one (the simulators answer synchronously, so loopback
+// responses arrive promptly or not at all).
+const quiet = 30 * time.Millisecond
+
+// QUICServer hosts a quicsim server on a UDP socket.
+type QUICServer struct {
+	conn *net.UDPConn
+	srv  *quicsim.Server
+	wg   sync.WaitGroup
+}
+
+// ListenQUIC binds addr (e.g. "127.0.0.1:0") and serves the QUIC simulator
+// on it. Close stops the server.
+func ListenQUIC(addr string, srv *quicsim.Server) (*QUICServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s := &QUICServer{conn: conn, srv: srv}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *QUICServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops serving.
+func (s *QUICServer) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *QUICServer) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, src, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		dgram := append([]byte(nil), buf[:n]...)
+		for _, out := range s.srv.HandleDatagram(src.String(), dgram) {
+			if _, err := s.conn.WriteToUDP(out, src); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// QUICClientTransport is a reference.Transport over UDP. It honours the
+// client's source-address changes (the Issue 3 bug) by rebinding its local
+// socket whenever the src string changes.
+type QUICClientTransport struct {
+	server  string
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	lastSrc string
+}
+
+// NewQUICClientTransport returns a transport that dials the given server
+// address per datagram exchange.
+func NewQUICClientTransport(server string) *QUICClientTransport {
+	return &QUICClientTransport{server: server}
+}
+
+// Send implements reference.Transport.
+func (t *QUICClientTransport) Send(src string, datagram []byte) [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil || src != t.lastSrc {
+		if t.conn != nil {
+			t.conn.Close()
+		}
+		ra, err := net.ResolveUDPAddr("udp", t.server)
+		if err != nil {
+			return nil
+		}
+		conn, err := net.DialUDP("udp", nil, ra) // fresh ephemeral port
+		if err != nil {
+			return nil
+		}
+		t.conn = conn
+		t.lastSrc = src
+	}
+	if _, err := t.conn.Write(datagram); err != nil {
+		return nil
+	}
+	var out [][]byte
+	buf := make([]byte, maxDatagram)
+	for {
+		t.conn.SetReadDeadline(time.Now().Add(quiet))
+		n, err := t.conn.Read(buf)
+		if err != nil {
+			break
+		}
+		out = append(out, append([]byte(nil), buf[:n]...))
+	}
+	return out
+}
+
+// Close releases the client socket.
+func (t *QUICClientTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		return t.conn.Close()
+	}
+	return nil
+}
+
+// TCPServer hosts a tcpsim server on a UDP socket, carrying binary TCP
+// segments in datagrams.
+type TCPServer struct {
+	conn     *net.UDPConn
+	srv      *tcpsim.Server
+	src, dst [4]byte
+	wg       sync.WaitGroup
+}
+
+// ListenTCP binds addr and serves the TCP simulator. src and dst are the
+// pseudo-header addresses used for checksums (client's and server's).
+func ListenTCP(addr string, srv *tcpsim.Server, src, dst [4]byte) (*TCPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{conn: conn, srv: srv, src: src, dst: dst}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops serving.
+func (s *TCPServer) Close() error {
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		seg, err := tcpwire.Decode(buf[:n], s.src, s.dst)
+		if err != nil {
+			continue // corrupt segment: drop, like a NIC would
+		}
+		for _, resp := range s.srv.Handle(seg) {
+			if _, err := s.conn.WriteToUDP(resp.Encode(s.dst, s.src), from); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// NewTCPClientTransport returns a reference.TCPTransport over UDP.
+func NewTCPClientTransport(server string) (reference.TCPTransport, func() error, error) {
+	ra, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ra)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := reference.TCPTransportFunc(func(segment []byte) [][]byte {
+		if _, err := conn.Write(segment); err != nil {
+			return nil
+		}
+		var out [][]byte
+		buf := make([]byte, maxDatagram)
+		for {
+			conn.SetReadDeadline(time.Now().Add(quiet))
+			n, err := conn.Read(buf)
+			if err != nil {
+				break
+			}
+			out = append(out, append([]byte(nil), buf[:n]...))
+		}
+		return out
+	})
+	return tr, conn.Close, nil
+}
+
+// Loopback returns a loopback listen address with an ephemeral port.
+func Loopback() string { return fmt.Sprintf("127.0.0.1:0") }

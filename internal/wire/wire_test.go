@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		size int
+	}{
+		{0, 1}, {37, 1}, {63, 1},
+		{64, 2}, {15293, 2}, {16383, 2},
+		{16384, 4}, {494878333, 4}, {1<<30 - 1, 4},
+		{1 << 30, 8}, {151288809941952652, 8}, {MaxVarint, 8},
+	}
+	for _, c := range cases {
+		b := AppendVarint(nil, c.v)
+		if len(b) != c.size {
+			t.Fatalf("varint(%d) encoded in %d bytes, want %d", c.v, len(b), c.size)
+		}
+		if got := VarintLen(c.v); got != c.size {
+			t.Fatalf("VarintLen(%d) = %d, want %d", c.v, got, c.size)
+		}
+		v, n, err := ReadVarint(b)
+		if err != nil || n != c.size || v != c.v {
+			t.Fatalf("ReadVarint(%x) = %d,%d,%v; want %d,%d,nil", b, v, n, err, c.v, c.size)
+		}
+	}
+}
+
+func TestVarintRFC9000Vectors(t *testing.T) {
+	// Appendix A.1 of RFC 9000.
+	vectors := map[uint64][]byte{
+		151288809941952652: {0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c},
+		494878333:          {0x9d, 0x7f, 0x3e, 0x7d},
+		15293:              {0x7b, 0xbd},
+		37:                 {0x25},
+	}
+	for v, want := range vectors {
+		if got := AppendVarint(nil, v); !bytes.Equal(got, want) {
+			t.Fatalf("varint(%d) = %x, want %x", v, got, want)
+		}
+	}
+}
+
+func TestVarintPropertyRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := raw & MaxVarint
+		got, n, err := ReadVarint(AppendVarint(nil, v))
+		return err == nil && got == v && n == VarintLen(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintShortBuffer(t *testing.T) {
+	if _, _, err := ReadVarint(nil); err == nil {
+		t.Fatal("empty buffer must error")
+	}
+	if _, _, err := ReadVarint([]byte{0xC0}); err == nil {
+		t.Fatal("truncated 8-byte varint must error")
+	}
+}
+
+func TestVarintPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AppendVarint(nil, MaxVarint+1)
+}
+
+func TestReaderWriterRoundTrip(t *testing.T) {
+	var w Writer
+	w.Byte(0xAB)
+	w.Uint16(0x1234)
+	w.Uint32(0xDEADBEEF)
+	w.Varint(16384)
+	w.Write([]byte("payload"))
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xAB {
+		t.Fatalf("Byte = %x", got)
+	}
+	if got := r.Uint16(); got != 0x1234 {
+		t.Fatalf("Uint16 = %x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x", got)
+	}
+	if got := r.Varint(); got != 16384 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := string(r.Bytes(7)); got != "payload" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if r.Err() != nil || r.Len() != 0 {
+		t.Fatalf("err=%v len=%d", r.Err(), r.Len())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	r.Uint32() // short
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if r.Byte() != 0 {
+		t.Fatal("reads after error must return zero")
+	}
+	if r.Rest() != nil {
+		t.Fatal("Rest after error must be nil")
+	}
+}
+
+func TestReaderNegativeCount(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if r.Bytes(-1) != nil || r.Err() == nil {
+		t.Fatal("negative count must error")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Fatalf("Checksum = %04x, want 220d", got)
+	}
+	// Odd length handled.
+	_ = Checksum([]byte{0x01, 0x02, 0x03})
+	// A buffer with its own checksum folded in verifies to zero.
+	withSum := append(append([]byte(nil), data...), 0x22, 0x0d)
+	if got := Checksum(withSum); got != 0 {
+		t.Fatalf("verification checksum = %04x, want 0", got)
+	}
+}
