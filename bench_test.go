@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/automata"
@@ -114,6 +115,57 @@ func BenchmarkLearnerComparison(b *testing.B) {
 				queries = res.Stats.Queries
 			}
 			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
+// BenchmarkPooledLearning — the concurrent query engine: a full
+// QUIC-profile learn against a latency-bearing target (one emulated
+// network round-trip per exchange, as in the paper's containerised
+// deployment), sequential vs fanned across a sharded SUL pool. Learning is
+// dominated by membership-query latency, so keeping `workers` queries in
+// flight cuts wall-clock near-linearly; the learned model and live query
+// counts are identical across all settings.
+func BenchmarkPooledLearning(b *testing.B) {
+	const rtt = 200 * time.Microsecond
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var queries int64
+			for i := 0; i < b.N; i++ {
+				res, err := lab.Learn(lab.TargetGoogle, lab.Options{
+					Seed: 13, Perfect: true, Workers: workers, RTT: rtt,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Model.NumStates() != 12 {
+					b.Fatalf("states = %d, want 12", res.Model.NumStates())
+				}
+				queries = res.Stats.Queries
+			}
+			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
+// BenchmarkPooledLearningInProcess — the same sweep against the in-process
+// simulator (no emulated latency): how much the pool buys when queries are
+// pure CPU. On a single-core host this is a wash; on multicore hosts the
+// crypto-heavy wire path parallelises.
+func BenchmarkPooledLearningInProcess(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := lab.Learn(lab.TargetGoogle, lab.Options{
+					Seed: 13, Perfect: true, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Model.NumStates() != 12 {
+					b.Fatalf("states = %d, want 12", res.Model.NumStates())
+				}
+			}
 		})
 	}
 }

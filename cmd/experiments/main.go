@@ -19,8 +19,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
+	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances per learn")
 	flag.Parse()
-	if err := run(*seed); err != nil {
+	if err := run(*seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -34,13 +35,13 @@ func row(label, paper, measured string) {
 	fmt.Printf("  %-38s paper: %-28s measured: %s\n", label, paper, measured)
 }
 
-func run(seed int64) error {
+func run(seed int64, workers int) error {
 	fmt.Println("Prognosis reproduction — experiment harness")
 	fmt.Println(strings.Repeat("-", 60))
 
 	// --- T6.1 / F3b / A1: TCP ---
 	header("T6.1", "Learning the TCP stack (§6.1, Appendix A.1)")
-	tcp, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed})
+	tcp, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -50,11 +51,11 @@ func run(seed int64) error {
 
 	// --- T6.2a/b: QUIC models ---
 	header("T6.2", "Learning QUIC implementations (§6.2.2, Appendix A.2-A.3)")
-	google, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: seed, Perfect: true})
+	google, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: seed, Perfect: true, Workers: workers})
 	if err != nil {
 		return err
 	}
-	quiche, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: seed, Perfect: true})
+	quiche, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: seed, Perfect: true, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func run(seed int64) error {
 
 	// --- I2: mvfst nondeterminism ---
 	header("I2", "Nondeterministic connection closure in mvfst (§6.2.4)")
-	mvfst, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: seed})
+	mvfst, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -122,7 +123,7 @@ func run(seed int64) error {
 	// --- I4 / B1: STREAM_DATA_BLOCKED synthesis ---
 	header("I4/B1", "Maximum Stream Data stuck at 0 (§6.2.6, Appendix B.1)")
 	for _, target := range []string{lab.TargetGoogle, lab.TargetGoogleFixed} {
-		verdict, err := sdbVerdict(target, seed)
+		verdict, err := sdbVerdict(target, seed, workers)
 		if err != nil {
 			return err
 		}
@@ -135,7 +136,7 @@ func run(seed int64) error {
 
 	// --- F3c/F4: TCP register synthesis ---
 	header("F3c/F4", "Synthesized TCP handshake registers (Fig. 3(c), Fig. 4)")
-	ok, err := tcpRegisterVerdict(seed)
+	ok, err := tcpRegisterVerdict(seed, workers)
 	if err != nil {
 		return err
 	}
@@ -180,8 +181,8 @@ func measureResetRate(seed int64) float64 {
 }
 
 // sdbVerdict runs the Issue 4 synthesis and classifies the output term.
-func sdbVerdict(target string, seed int64) (string, error) {
-	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: true})
+func sdbVerdict(target string, seed int64, workers int) (string, error) {
+	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: true, Workers: workers})
 	if err != nil {
 		return "", err
 	}
@@ -228,8 +229,8 @@ func sdbVerdict(target string, seed int64) (string, error) {
 
 // tcpRegisterVerdict synthesizes the SYN-ACK acknowledgement relationship
 // and validates it on a held-out trace.
-func tcpRegisterVerdict(seed int64) (bool, error) {
-	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed})
+func tcpRegisterVerdict(seed int64, workers int) (bool, error) {
+	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return false, err
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	prognosis -target google [-learner ttt|lstar] [-seed N] [-perfect]
-//	          [-dot model.dot] [-udp] [-no-cache]
+//	          [-dot model.dot] [-udp] [-no-cache] [-workers N] [-rtt D]
 //
 // Targets: tcp, google, google-fixed, quiche, mvfst.
 package main
@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -35,12 +36,14 @@ func main() {
 	depth := flag.Int("depth", 4, "exploration depth for -property")
 	udp := flag.Bool("udp", false, "run the session over a UDP loopback socket pair")
 	noCache := flag.Bool("no-cache", false, "disable the membership-query cache")
+	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances")
+	rtt := flag.Duration("rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
 	flag.Parse()
 
 	if err := run(runConfig{
 		target: *target, learner: *learner, seed: *seed, perfect: *perfect,
 		dotFile: *dotFile, saveFile: *saveFile, property: *property, depth: *depth,
-		udp: *udp, noCache: *noCache,
+		udp: *udp, noCache: *noCache, workers: *workers, rtt: *rtt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "prognosis:", err)
 		os.Exit(1)
@@ -55,6 +58,8 @@ type runConfig struct {
 	property          string
 	depth             int
 	udp, noCache      bool
+	workers           int
+	rtt               time.Duration
 }
 
 func run(cfg runConfig) error {
@@ -63,6 +68,7 @@ func run(cfg runConfig) error {
 	opts := lab.Options{
 		Learner: core.LearnerKind(learner), Seed: seed,
 		Perfect: perfect, DisableCache: noCache,
+		Workers: cfg.workers, RTT: cfg.rtt,
 	}
 	var res *lab.Result
 	var err error
@@ -127,26 +133,39 @@ func run(cfg runConfig) error {
 	return nil
 }
 
-// learnOverUDP hosts the QUIC target on a loopback UDP socket and learns
-// across it.
+// learnOverUDP hosts the QUIC target on loopback UDP sockets and learns
+// across them. With opts.Workers > 1 it opens one socket pair per worker —
+// a sharded pool of genuinely independent network endpoints.
 func learnOverUDP(target string, opts lab.Options) (*lab.Result, error) {
 	profile, err := lab.QUICProfile(target)
 	if err != nil {
 		return nil, err
 	}
-	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: opts.Seed})
-	hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
-	if err != nil {
-		return nil, err
+	n := opts.Workers
+	if n < 1 {
+		n = 1
 	}
-	defer hosted.Close()
-	tr := transport.NewQUICClientTransport(hosted.Addr())
-	defer tr.Close()
-	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: opts.Seed + 4}, tr)
-	sul := &udpSUL{srv: srv, cli: cli}
+	suls := make([]core.SUL, 0, n)
+	for i := 0; i < n; i++ {
+		srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: opts.Seed})
+		hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
+		if err != nil {
+			return nil, err
+		}
+		defer hosted.Close()
+		tr := transport.NewQUICClientTransport(hosted.Addr())
+		defer tr.Close()
+		cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: opts.Seed + 4}, tr)
+		var sul core.SUL = &udpSUL{srv: srv, cli: cli}
+		if opts.RTT > 0 {
+			sul = lab.Remote(sul, opts.RTT)
+		}
+		suls = append(suls, sul)
+	}
 
 	exp := &core.Experiment{
-		Alphabet: quicsim.InputAlphabet(), SUL: sul,
+		Alphabet: quicsim.InputAlphabet(), SUL: suls[0], SULs: suls[1:],
+		Workers: opts.Workers,
 		Learner: opts.Learner, Seed: opts.Seed, DisableCache: opts.DisableCache,
 	}
 	res := &lab.Result{Target: target, LearnerKind: opts.Learner}

@@ -159,9 +159,16 @@ const (
 type Experiment struct {
 	Alphabet []string
 	SUL      SUL
-	Learner  LearnerKind
+	// SULs optionally provides additional behaviourally identical replicas
+	// of SUL, each with its own reset state. Together with Workers > 1 they
+	// form the sharded pool the concurrent query engine fans batches
+	// across. SUL itself is always shard 0; SULs are shards 1..n.
+	SULs    []SUL
+	Workers int
+	Learner LearnerKind
 	// Equivalence is the equivalence oracle; when nil a random-words
-	// oracle over the guarded SUL with the given seed is used.
+	// oracle over the guarded SUL with the given seed is used (partitioned
+	// across Workers goroutines in concurrent mode).
 	Equivalence learn.EquivalenceOracle
 	Guard       GuardConfig
 	Seed        int64
@@ -182,14 +189,34 @@ func (e *Experiment) Learn() (*automata.Mealy, error) {
 	if guard == (GuardConfig{}) {
 		guard = DefaultGuard()
 	}
-	var oracle learn.Oracle = learn.Counting(Oracle(e.SUL), &e.Stats)
-	oracle = Guard(oracle, guard)
+	workers := e.Workers
+	if workers > 1+len(e.SULs) {
+		workers = 1 + len(e.SULs)
+	}
+	var oracle learn.Oracle
+	if workers > 1 {
+		// Concurrent mode: one guarded, counted oracle chain per SUL
+		// replica, pooled behind the batch dispatcher. The guard and the
+		// counter are per shard (each drives exactly one SUL); the stats
+		// are shared and updated atomically.
+		shards := make([]learn.Oracle, 0, workers)
+		for _, s := range append([]SUL{e.SUL}, e.SULs...)[:workers] {
+			shards = append(shards, Guard(learn.Counting(Oracle(s), &e.Stats), guard))
+		}
+		oracle = learn.NewPool(shards...)
+	} else {
+		oracle = Guard(learn.Counting(Oracle(e.SUL), &e.Stats), guard)
+	}
 	if !e.DisableCache {
 		oracle = learn.NewCache(oracle, &e.Stats)
 	}
 	eq := e.Equivalence
 	if eq == nil {
-		eq = learn.NewRandomWordsOracle(oracle, e.Alphabet, e.Seed+1)
+		rw := learn.NewRandomWordsOracle(oracle, e.Alphabet, e.Seed+1)
+		if workers > 1 {
+			rw.Workers = workers
+		}
+		eq = rw
 	}
 	switch e.Learner {
 	case LearnerLStar:

@@ -154,25 +154,90 @@ type Options struct {
 	// the heuristic random-words oracle is used, as in the paper.
 	Perfect      bool
 	DisableCache bool
+	// Workers > 1 runs the concurrent query engine: membership queries fan
+	// out across Workers independent replicas of the target (each with its
+	// own reset state), and equivalence search is partitioned across the
+	// same number of goroutines.
+	Workers int
+	// RTT emulates a remote target by adding one network round-trip of
+	// this duration to every reset and every symbol exchange, which is how
+	// the paper's deployment behaves (implementations live in containers
+	// behind real sockets). Query latency — not CPU — then dominates
+	// learning time, and the sharded pool hides it by keeping Workers
+	// queries in flight.
+	RTT time.Duration
+}
+
+// Remote wraps an SUL so that every reset and every step costs one
+// emulated network round-trip, turning an in-process simulator into a
+// latency-faithful stand-in for a containerised implementation.
+func Remote(sul core.SUL, rtt time.Duration) core.SUL {
+	return &remoteSUL{inner: sul, rtt: rtt}
+}
+
+type remoteSUL struct {
+	inner core.SUL
+	rtt   time.Duration
+}
+
+func (r *remoteSUL) Reset() error {
+	time.Sleep(r.rtt)
+	return r.inner.Reset()
+}
+
+func (r *remoteSUL) Step(in string) (string, error) {
+	time.Sleep(r.rtt)
+	return r.inner.Step(in)
+}
+
+// NewSUL builds one system under learning for a named target, returning
+// the SUL, its input alphabet, and the ground-truth model when one exists
+// (QUIC targets only; nil for TCP).
+func NewSUL(target string, seed int64) (core.SUL, []string, *automata.Mealy, error) {
+	switch target {
+	case TargetTCP:
+		return NewTCP(seed), reference.TCPAlphabet(), nil, nil
+	default:
+		profile, err := QUICProfile(target)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sul := NewQUIC(profile, QUICOptions{Seed: seed})
+		return sul, quicsim.InputAlphabet(), quicsim.GroundTruth(profile), nil
+	}
+}
+
+// NewSULPool builds n behaviourally identical replicas of a target, the
+// sharded pool the concurrent query engine fans membership batches across.
+// Every replica is constructed with the same seed: the deterministic
+// targets (TCP and the google/google-fixed/quiche profiles) are pure
+// functions of (seed, input word), so any shard answers any query with
+// the same output the others would give — the property the pool
+// dispatcher assumes. The mvfst profile is genuinely nondeterministic
+// (its post-close RESET coin flips survive resets, the paper's Issue 2),
+// so its replicas diverge with query history; the per-shard voting guard
+// still detects and reports that nondeterminism under pooling, but which
+// witness query trips it first may vary with scheduling.
+func NewSULPool(target string, n int, seed int64) ([]core.SUL, error) {
+	suls := make([]core.SUL, 0, n)
+	for i := 0; i < n; i++ {
+		sul, _, _, err := NewSUL(target, seed)
+		if err != nil {
+			return nil, err
+		}
+		suls = append(suls, sul)
+	}
+	return suls, nil
 }
 
 // Learn runs the full Prognosis pipeline against a named target.
 func Learn(target string, opts Options) (*Result, error) {
-	var sul core.SUL
-	var alphabet []string
-	var truth *automata.Mealy
-	switch target {
-	case TargetTCP:
-		sul = NewTCP(opts.Seed)
-		alphabet = reference.TCPAlphabet()
-	default:
-		profile, err := QUICProfile(target)
-		if err != nil {
-			return nil, err
-		}
-		sul = NewQUIC(profile, QUICOptions{Seed: opts.Seed})
-		alphabet = quicsim.InputAlphabet()
-		truth = quicsim.GroundTruth(profile)
+	sul, alphabet, truth, err := NewSUL(target, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RTT > 0 {
+		sul = Remote(sul, opts.RTT)
 	}
 	exp := &core.Experiment{
 		Alphabet:     alphabet,
@@ -180,6 +245,19 @@ func Learn(target string, opts Options) (*Result, error) {
 		Learner:      opts.Learner,
 		Seed:         opts.Seed,
 		DisableCache: opts.DisableCache,
+	}
+	if opts.Workers > 1 {
+		replicas, err := NewSULPool(target, opts.Workers-1, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if opts.RTT > 0 {
+			for i, r := range replicas {
+				replicas[i] = Remote(r, opts.RTT)
+			}
+		}
+		exp.SULs = replicas
+		exp.Workers = opts.Workers
 	}
 	if opts.Perfect {
 		if truth == nil {

@@ -1,0 +1,87 @@
+package lab
+
+import "testing"
+
+// TestPooledLearnMatchesSequential checks the concurrent query engine end
+// to end on real targets: a 4-shard SUL pool must produce exactly the
+// model (and, thanks to deterministic batching and counterexample
+// selection, exactly the query counts) of the sequential path.
+func TestPooledLearnMatchesSequential(t *testing.T) {
+	for _, target := range []string{TargetTCP, TargetQuiche} {
+		t.Run(target, func(t *testing.T) {
+			opts := Options{Seed: 13}
+			if target != TargetTCP {
+				opts.Perfect = true
+			}
+			seq, err := Learn(target, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 4
+			pooled, err := Learn(target, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq, ce := seq.Model.Equivalent(pooled.Model); !eq {
+				t.Fatalf("pooled model differs from sequential on %v", ce)
+			}
+			// With a deterministic equivalence oracle the pooled run asks
+			// exactly the sequential run's queries. (Under the heuristic
+			// random-words oracle the parallel search may check a few more
+			// words per round before pruning, so counts can differ there.)
+			if opts.Perfect && seq.Stats.Queries != pooled.Stats.Queries {
+				t.Errorf("live queries: pooled %d vs sequential %d",
+					pooled.Stats.Queries, seq.Stats.Queries)
+			}
+		})
+	}
+}
+
+// TestPooledLearnMvfstStillFlagsNondeterminism: the voting guard must keep
+// working per shard — pooling may not mask the mvfst Issue 2 behaviour.
+func TestPooledLearnMvfstStillFlagsNondeterminism(t *testing.T) {
+	res, err := Learn(TargetMvfst, Options{Seed: 13, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nondet == nil {
+		t.Fatal("pooled mvfst learn should be flagged nondeterministic")
+	}
+}
+
+// TestNewSULPoolReplicasAgree: replicas constructed by NewSULPool must be
+// behaviourally identical — the property the pool dispatcher assumes.
+func TestNewSULPoolReplicasAgree(t *testing.T) {
+	suls, err := NewSULPool(TargetGoogle, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, alphabet, _, err := NewSUL(TargetGoogle, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []string{alphabet[0], alphabet[1], alphabet[2]}
+	var first []string
+	for i, s := range suls {
+		if err := s.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, sym := range word {
+			o, err := s.Step(sym)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, o)
+		}
+		if i == 0 {
+			first = out
+			continue
+		}
+		for j := range out {
+			if out[j] != first[j] {
+				t.Fatalf("replica %d diverges at step %d: %q vs %q", i, j, out[j], first[j])
+			}
+		}
+	}
+}

@@ -1,12 +1,29 @@
 package learn
 
-import "sync"
+import (
+	"context"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // cacheNode is one node of the prefix tree. The output on the edge from the
 // parent is stored in the child.
 type cacheNode struct {
 	children map[string]*cacheNode
 	output   string
+}
+
+// cacheShards is the number of independently locked prefix subtrees. Words
+// are sharded by their first input symbol, which preserves prefix closure
+// inside each shard (every prefix of a word starts with the same symbol).
+const cacheShards = 16
+
+// cacheShard is one independently locked prefix subtree.
+type cacheShard struct {
+	mu   sync.Mutex
+	root cacheNode
 }
 
 // Cache is a prefix-tree membership-query cache. Because Mealy queries are
@@ -16,11 +33,18 @@ type cacheNode struct {
 // live traffic to the system under learning dramatically (ablated in the
 // benchmark suite).
 //
-// Cache is safe for concurrent use.
+// Cache is safe for concurrent use: the tree is split into cacheShards
+// subtrees keyed by a word's first symbol, each behind its own lock, so
+// pool workers touching different regions of the alphabet do not contend.
 type Cache struct {
-	mu    sync.Mutex
-	root  cacheNode
-	stats *Stats
+	shards [cacheShards]cacheShard
+	stats  *Stats
+}
+
+func (c *Cache) shard(word []string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(word[0]))
+	return &c.shards[h.Sum32()%cacheShards]
 }
 
 // NewCache wraps o with a prefix-tree cache. If st is non-nil, cache hits
@@ -30,34 +54,180 @@ func NewCache(o Oracle, st *Stats) *CachedOracle {
 }
 
 // CachedOracle is an Oracle that consults a Cache before its inner oracle.
+// Concurrent duplicate queries are deduplicated: while a word is in flight
+// to the inner oracle, later askers of the same word wait for the first
+// answer instead of issuing their own. It implements BatchOracle, fanning
+// cache misses to the inner oracle's batch path when available.
 type CachedOracle struct {
 	inner Oracle
 	cache *Cache
+
+	mu       sync.Mutex
+	inflight map[string]*inflightQuery
+}
+
+// inflightQuery is one query currently being asked of the inner oracle.
+type inflightQuery struct {
+	done chan struct{}
+	out  []string
+	err  error
+}
+
+func (c *CachedOracle) hit() {
+	if c.cache.stats != nil {
+		atomic.AddInt64(&c.cache.stats.Hits, 1)
+	}
 }
 
 // Query implements Oracle.
 func (c *CachedOracle) Query(word []string) ([]string, error) {
 	if out, ok := c.cache.lookup(word); ok {
-		if c.cache.stats != nil {
-			c.cache.mu.Lock()
-			c.cache.stats.Hits++
-			c.cache.mu.Unlock()
-		}
+		c.hit()
 		return out, nil
 	}
-	out, err := query(c.inner, word)
-	if err != nil {
-		return nil, err
+	k := strings.Join(word, "\x1f")
+	c.mu.Lock()
+	if fl, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		c.hit()
+		return fl.out, nil
 	}
-	c.cache.store(word, out)
-	return out, nil
+	fl := &inflightQuery{done: make(chan struct{})}
+	if c.inflight == nil {
+		c.inflight = make(map[string]*inflightQuery)
+	}
+	c.inflight[k] = fl
+	c.mu.Unlock()
+
+	out, err := query(c.inner, word)
+	if err == nil {
+		c.cache.store(word, out)
+	}
+	fl.out, fl.err = out, err
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.mu.Unlock()
+	close(fl.done)
+	return out, err
+}
+
+// QueryBatch implements BatchOracle: answers what it can from the cache,
+// deduplicates the misses (both inside the batch and against queries other
+// goroutines already have in flight), and forwards the remaining distinct
+// words to the inner oracle — as one batch when the inner oracle supports
+// it.
+func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]string, error) {
+	outs := make([][]string, len(words))
+	type missGroup struct {
+		word    []string
+		key     string
+		indices []int
+	}
+	var misses []missGroup        // distinct words this call must ask itself
+	missAt := make(map[string]int) // word key -> index in misses
+	var waits []*inflightQuery    // queries another goroutine is already asking
+	var waitIdx []int             // the batch position each wait fills
+
+	c.mu.Lock()
+	for i, w := range words {
+		if out, ok := c.cache.lookup(w); ok {
+			c.hit()
+			outs[i] = out
+			continue
+		}
+		k := strings.Join(w, "\x1f")
+		if j, ok := missAt[k]; ok {
+			misses[j].indices = append(misses[j].indices, i)
+			continue
+		}
+		if fl, ok := c.inflight[k]; ok {
+			waits = append(waits, fl)
+			waitIdx = append(waitIdx, i)
+			continue
+		}
+		fl := &inflightQuery{done: make(chan struct{})}
+		if c.inflight == nil {
+			c.inflight = make(map[string]*inflightQuery)
+		}
+		c.inflight[k] = fl
+		missAt[k] = len(misses)
+		misses = append(misses, missGroup{word: w, key: k, indices: []int{i}})
+	}
+	c.mu.Unlock()
+
+	// Ask the distinct misses, preferring the inner batch path.
+	var innerOuts [][]string
+	var innerErr error
+	if len(misses) > 0 {
+		missWords := make([][]string, len(misses))
+		for i, m := range misses {
+			missWords[i] = m.word
+		}
+		if bo, ok := c.inner.(BatchOracle); ok {
+			innerOuts, innerErr = bo.QueryBatch(ctx, missWords)
+			if innerErr == nil {
+				for i, out := range innerOuts {
+					if innerOuts[i], innerErr = conform(missWords[i], out); innerErr != nil {
+						break
+					}
+				}
+			}
+		} else {
+			innerOuts = make([][]string, len(missWords))
+			for i, w := range missWords {
+				if innerErr = ctx.Err(); innerErr != nil {
+					break
+				}
+				if innerOuts[i], innerErr = query(c.inner, w); innerErr != nil {
+					break
+				}
+			}
+		}
+	}
+
+	// Publish results (or the failure) to cache and any waiting goroutines.
+	c.mu.Lock()
+	for i, m := range misses {
+		fl := c.inflight[m.key]
+		if innerErr != nil {
+			fl.err = innerErr
+		} else {
+			fl.out = innerOuts[i]
+			c.cache.store(m.word, innerOuts[i])
+			for j, at := range m.indices {
+				outs[at] = innerOuts[i]
+				if j > 0 {
+					c.hit() // intra-batch duplicate answered by the leader
+				}
+			}
+		}
+		delete(c.inflight, m.key)
+		close(fl.done)
+	}
+	c.mu.Unlock()
+	if innerErr != nil {
+		return nil, innerErr
+	}
+
+	// Collect answers another goroutine was already computing.
+	for i, fl := range waits {
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		c.hit()
+		outs[waitIdx[i]] = fl.out
+	}
+	return outs, nil
 }
 
 // Size returns the number of cached input words (prefix-tree nodes minus
-// the root), which equals the number of distinct non-empty prefixes stored.
+// the roots), which equals the number of distinct non-empty prefixes stored.
 func (c *CachedOracle) Size() int {
-	c.cache.mu.Lock()
-	defer c.cache.mu.Unlock()
 	var count func(*cacheNode) int
 	count = func(n *cacheNode) int {
 		total := 0
@@ -66,13 +236,24 @@ func (c *CachedOracle) Size() int {
 		}
 		return total
 	}
-	return count(&c.cache.root)
+	total := 0
+	for i := range c.cache.shards {
+		sh := &c.cache.shards[i]
+		sh.mu.Lock()
+		total += count(&sh.root)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 func (c *Cache) lookup(word []string) ([]string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := &c.root
+	if len(word) == 0 {
+		return []string{}, true
+	}
+	sh := c.shard(word)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := &sh.root
 	out := make([]string, 0, len(word))
 	for _, in := range word {
 		ch, ok := n.children[in]
@@ -86,9 +267,13 @@ func (c *Cache) lookup(word []string) ([]string, bool) {
 }
 
 func (c *Cache) store(word, out []string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := &c.root
+	if len(word) == 0 {
+		return
+	}
+	sh := c.shard(word)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := &sh.root
 	for i, in := range word {
 		if n.children == nil {
 			n.children = make(map[string]*cacheNode)

@@ -96,6 +96,47 @@ func (d *DTLearner) sift(word []string) (*dtNode, bool, error) {
 	return n, false, nil
 }
 
+// siftAll descends many words through the tree in lock step: each round
+// batches the signature queries of every word still at an inner node, so a
+// pooled oracle answers a whole tree level at once instead of one
+// signature at a time. It returns the leaf each word lands on and whether
+// any new leaf was created along the way.
+func (d *DTLearner) siftAll(words [][]string) ([]*dtNode, bool, error) {
+	nodes := make([]*dtNode, len(words))
+	for i := range nodes {
+		nodes[i] = d.root
+	}
+	created := false
+	for {
+		var idxs []int
+		var qs [][]string
+		for i, n := range nodes {
+			if !n.leaf() {
+				idxs = append(idxs, i)
+				qs = append(qs, concat(words[i], n.suffix, nil))
+			}
+		}
+		if len(idxs) == 0 {
+			return nodes, created, nil
+		}
+		outs, err := queryAll(d.oracle, qs)
+		if err != nil {
+			return nil, false, err
+		}
+		for j, i := range idxs {
+			n := nodes[i]
+			sig := strings.Join(outs[j][len(words[i]):], "\x1f")
+			child, ok := n.children[sig]
+			if !ok {
+				child = &dtNode{access: append([]string(nil), words[i]...)}
+				n.children[sig] = child
+				created = true
+			}
+			nodes[i] = child
+		}
+	}
+}
+
 // leaves collects all leaves of the tree.
 func (d *DTLearner) leaves() []*dtNode {
 	var out []*dtNode
@@ -115,7 +156,10 @@ func (d *DTLearner) leaves() []*dtNode {
 
 // hypothesis constructs the Mealy machine induced by the current tree.
 // Sifting transition targets can create new leaves; construction loops
-// until the state set is stable.
+// until the state set is stable. Each round is a discriminator-refinement
+// batch point: the transition-output queries for every leaf×input
+// extension go out as one batch, and the extensions are then sifted in
+// lock step (siftAll), so a pooled oracle keeps all shards busy.
 func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
 	for {
 		ls := d.leaves()
@@ -137,31 +181,34 @@ func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
 				d.access[l.state] = l.access
 			}
 		}
-		grew := false
+		exts := make([][]string, 0, len(ls)*len(d.inputs))
 		for _, l := range ls {
 			for _, in := range d.inputs {
-				ext := append(append([]string(nil), l.access...), in)
-				target, created, err := d.sift(ext)
-				if err != nil {
-					return nil, err
-				}
-				if created {
-					grew = true
-					break
-				}
-				out, err := query(d.oracle, ext)
-				if err != nil {
-					return nil, err
-				}
-				m.SetTransition(l.state, in, target.state, out[len(ext)-1])
-			}
-			if grew {
-				break
+				exts = append(exts, append(append([]string(nil), l.access...), in))
 			}
 		}
-		if !grew {
-			return m, nil
+		targets, grew, err := d.siftAll(exts)
+		if err != nil {
+			return nil, err
 		}
+		if grew {
+			continue // new states discovered; rebuild over the larger tree
+		}
+		// Only a stable round pays for the transition outputs, so growth
+		// rounds never waste live queries on results that would be
+		// discarded.
+		outs, err := queryAll(d.oracle, exts)
+		if err != nil {
+			return nil, err
+		}
+		j := 0
+		for _, l := range ls {
+			for _, in := range d.inputs {
+				m.SetTransition(l.state, in, targets[j].state, outs[j][len(exts[j])-1])
+				j++
+			}
+		}
+		return m, nil
 	}
 }
 
@@ -264,14 +311,16 @@ func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
 	if created {
 		return nil // sifting alone discovered a new state; good enough
 	}
-	sigOld, err := d.signature(leaf.access, v)
+	// The two signature probes of the split are independent; emit them as
+	// one batch.
+	pairOuts, err := queryAll(d.oracle, [][]string{
+		concat(leaf.access, v, nil), concat(newAccess, v, nil),
+	})
 	if err != nil {
 		return err
 	}
-	sigNew, err := d.signature(newAccess, v)
-	if err != nil {
-		return err
-	}
+	sigOld := strings.Join(pairOuts[0][len(leaf.access):], "\x1f")
+	sigNew := strings.Join(pairOuts[1][len(newAccess):], "\x1f")
 	if sigOld == sigNew {
 		return fmt.Errorf("learn: discriminator %v fails to split %v from %v", v, leaf.access, newAccess)
 	}

@@ -17,7 +17,14 @@ type RandomWordsOracle struct {
 	MinLen   int
 	MaxLen   int
 	Rand     *rand.Rand
-	Attempts int // cumulative words tested, for statistics
+	Attempts int64 // cumulative words tested, for statistics
+	// Workers > 1 partitions the word suite across that many goroutines,
+	// cancelling the rest once a counterexample is found. The result is
+	// deterministic and identical to the sequential search: each call
+	// draws the full round of Words words up front (in both modes, so the
+	// shared Rand advances identically regardless of Workers) and the
+	// earliest failing word of the round wins.
+	Workers int
 }
 
 // NewRandomWordsOracle returns an oracle with sensible defaults
@@ -33,17 +40,29 @@ func NewRandomWordsOracle(o Oracle, inputs []string, seed int64) *RandomWordsOra
 	}
 }
 
+// draw generates the next random test word.
+func (r *RandomWordsOracle) draw() []string {
+	n := r.MinLen
+	if r.MaxLen > r.MinLen {
+		n += r.Rand.Intn(r.MaxLen - r.MinLen + 1)
+	}
+	word := make([]string, n)
+	for j := range word {
+		word[j] = r.Inputs[r.Rand.Intn(len(r.Inputs))]
+	}
+	return word
+}
+
 // FindCounterexample implements EquivalenceOracle.
 func (r *RandomWordsOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
-	for i := 0; i < r.Words; i++ {
-		n := r.MinLen
-		if r.MaxLen > r.MinLen {
-			n += r.Rand.Intn(r.MaxLen - r.MinLen + 1)
-		}
-		word := make([]string, n)
-		for j := range word {
-			word[j] = r.Inputs[r.Rand.Intn(len(r.Inputs))]
-		}
+	words := make([][]string, r.Words)
+	for i := range words {
+		words[i] = r.draw()
+	}
+	if r.Workers > 1 {
+		return findFirstCE(r.Oracle, hyp, words, r.Workers, &r.Attempts)
+	}
+	for _, word := range words {
 		r.Attempts++
 		ce, err := checkWord(r.Oracle, hyp, word)
 		if err != nil {

@@ -80,9 +80,67 @@ func (l *LStar) row(prefix []string) ([]string, error) {
 	return r, nil
 }
 
+// ensureRows materialises the observation rows of the given prefixes,
+// emitting every missing table cell as one membership-query batch. With a
+// BatchOracle underneath, this is where the observation table's work fans
+// out across the SUL pool.
+func (l *LStar) ensureRows(prefixes [][]string) error {
+	type cell struct {
+		key  string
+		idx  int // suffix index within the row
+		plen int // prefix length, to slice the suffix outputs
+	}
+	var words [][]string
+	var cells []cell
+	scheduled := make(map[string]bool)
+	for _, p := range prefixes {
+		k := key(p)
+		if scheduled[k] {
+			continue
+		}
+		if r, ok := l.rows[k]; ok && len(r) == len(l.suffixes) {
+			continue
+		}
+		scheduled[k] = true
+		for i, suf := range l.suffixes {
+			words = append(words, concat(p, suf, nil))
+			cells = append(cells, cell{key: k, idx: i, plen: len(p)})
+		}
+	}
+	if len(words) == 0 {
+		return nil
+	}
+	outs, err := queryAll(l.oracle, words)
+	if err != nil {
+		return fmt.Errorf("learn: membership batch: %w", err)
+	}
+	for j, c := range cells {
+		r, ok := l.rows[c.key]
+		if !ok || len(r) != len(l.suffixes) {
+			r = make([]string, len(l.suffixes))
+			l.rows[c.key] = r
+		}
+		r[c.idx] = strings.Join(outs[j][c.plen:], "\x1f")
+	}
+	return nil
+}
+
 // close extends S until every one-step extension row appears among S rows.
+// Each round batches all missing cells of the S ∪ S·Σ rows before the
+// closedness check, so a pooled oracle sees the table's whole frontier at
+// once instead of one cell at a time.
 func (l *LStar) close() error {
 	for {
+		want := make([][]string, 0, len(l.prefixes)*(len(l.inputs)+1))
+		want = append(want, l.prefixes...)
+		for _, p := range l.prefixes {
+			for _, in := range l.inputs {
+				want = append(want, append(append([]string(nil), p...), in))
+			}
+		}
+		if err := l.ensureRows(want); err != nil {
+			return err
+		}
 		index := make(map[string]bool)
 		for _, p := range l.prefixes {
 			r, err := l.row(p)
@@ -135,11 +193,27 @@ func (l *LStar) hypothesis() (*automata.Mealy, error) {
 			reps = append(reps, p)
 		}
 	}
+	// Batch the transition-output queries for every (prefix, input) pair.
+	// Each word equals the p·[in] table cell, so with the cache on these
+	// are all hits; with a raw pool they fan out in one round.
+	exts := make([][]string, 0, len(l.prefixes)*len(l.inputs))
+	for _, p := range l.prefixes {
+		for _, in := range l.inputs {
+			exts = append(exts, append(append([]string(nil), p...), in))
+		}
+	}
+	extOuts, err := queryAll(l.oracle, exts)
+	if err != nil {
+		return nil, err
+	}
+	j := 0
 	for _, p := range l.prefixes {
 		r, _ := l.row(p)
 		from := stateOf[strings.Join(r, "\x1e")]
 		for _, in := range l.inputs {
-			ext := append(append([]string(nil), p...), in)
+			ext := exts[j]
+			out := extOuts[j]
+			j++
 			extRow, err := l.row(ext)
 			if err != nil {
 				return nil, err
@@ -147,10 +221,6 @@ func (l *LStar) hypothesis() (*automata.Mealy, error) {
 			to, ok := stateOf[strings.Join(extRow, "\x1e")]
 			if !ok {
 				return nil, fmt.Errorf("learn: table not closed at %v", ext)
-			}
-			out, err := query(l.oracle, ext)
-			if err != nil {
-				return nil, err
 			}
 			m.SetTransition(from, in, to, out[len(ext)-1])
 		}

@@ -75,6 +75,12 @@ func query(o Oracle, word []string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return conform(word, out)
+}
+
+// conform checks the Mealy output-length contract for one answer: at least
+// one output symbol per input symbol, truncated to exactly one per input.
+func conform(word, out []string) ([]string, error) {
 	if len(out) < len(word) {
 		return nil, fmt.Errorf("%w: %d inputs, %d outputs", ErrIncompleteOutput, len(word), len(out))
 	}

@@ -1,0 +1,229 @@
+package learn
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/automata"
+)
+
+// BatchOracle is an Oracle that can answer many membership queries in one
+// call, typically by fanning them out across independent replicas of the
+// system under learning. Answers are positionally aligned with the input
+// words. Implementations must behave as if each word were asked with Query:
+// the i-th output word is the system's response to words[i] from its reset
+// state. A batch fails as a whole: on error the output slice is nil and the
+// first error encountered is returned.
+type BatchOracle interface {
+	Oracle
+	QueryBatch(ctx context.Context, words [][]string) ([][]string, error)
+}
+
+// queryAll answers a set of words through o, batching when o supports it
+// and falling back to one-at-a-time queries otherwise. Like query, it
+// enforces the Mealy output-length contract on every answer.
+func queryAll(o Oracle, words [][]string) ([][]string, error) {
+	if len(words) == 0 {
+		return nil, nil
+	}
+	if bo, ok := o.(BatchOracle); ok {
+		outs, err := bo.QueryBatch(context.Background(), words)
+		if err != nil {
+			return nil, err
+		}
+		for i, out := range outs {
+			conformed, err := conform(words[i], out)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = conformed
+		}
+		return outs, nil
+	}
+	outs := make([][]string, len(words))
+	for i, w := range words {
+		out, err := query(o, w)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// Pool fans membership queries across a fixed set of shard oracles, each
+// typically backed by its own system-under-learning instance with
+// independent reset state. Query borrows a free shard; QueryBatch keeps up
+// to len(shards) queries in flight at once. Pool itself holds no query
+// state, so it is safe for concurrent use as long as each shard oracle is
+// only ever driven by one goroutine at a time — which the free-list
+// guarantees.
+type Pool struct {
+	shards []Oracle
+	free   chan Oracle
+}
+
+// NewPool builds a pool over the given shard oracles. Every shard must be a
+// behaviourally identical replica of the same system: the pool assumes any
+// shard can answer any query.
+func NewPool(shards ...Oracle) *Pool {
+	if len(shards) == 0 {
+		panic("learn: NewPool needs at least one shard")
+	}
+	free := make(chan Oracle, len(shards))
+	for _, s := range shards {
+		free <- s
+	}
+	return &Pool{shards: shards, free: free}
+}
+
+// Size returns the number of shards (the maximum query concurrency).
+func (p *Pool) Size() int { return len(p.shards) }
+
+// Query implements Oracle by borrowing a free shard.
+func (p *Pool) Query(word []string) ([]string, error) {
+	shard := <-p.free
+	out, err := shard.Query(word)
+	p.free <- shard
+	return out, err
+}
+
+// QueryBatch implements BatchOracle. Words are dispatched to worker
+// goroutines, one per shard; the batch stops early on the first error or
+// when ctx is cancelled.
+func (p *Pool) QueryBatch(ctx context.Context, words [][]string) ([][]string, error) {
+	if len(words) == 0 {
+		return nil, nil
+	}
+	workers := len(p.shards)
+	if workers > len(words) {
+		workers = len(words)
+	}
+	if workers == 1 {
+		outs := make([][]string, len(words))
+		for i, w := range words {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := p.Query(w)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
+		return outs, nil
+	}
+
+	outs := make([][]string, len(words))
+	next := make(chan int)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := p.Query(words[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				outs[i] = out
+			}
+		}()
+	}
+dispatch:
+	for i := range words {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// findFirstCE tests words against hyp across workers and returns the
+// counterexample derived from the earliest failing word, making the result
+// deterministic regardless of worker scheduling: workers walk interleaved
+// index stripes in increasing order and prune everything at or above the
+// best failing index seen so far, so every index below the winner is fully
+// checked. The context cancels in-flight work on error.
+func findFirstCE(o Oracle, hyp *automata.Mealy, words [][]string, workers int, attempts *int64) ([]string, error) {
+	if workers > len(words) {
+		workers = len(words)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	best := int64(len(words)) // lowest failing index found so far
+	ces := make([][]string, len(words))
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < len(words); i += workers {
+				if int64(i) >= atomic.LoadInt64(&best) {
+					return // stripe indices only increase; nothing left to win
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if attempts != nil {
+					atomic.AddInt64(attempts, 1)
+				}
+				ce, err := checkWord(o, hyp, words[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				if ce != nil {
+					ces[i] = ce
+					// Lower best monotonically to i.
+					for {
+						cur := atomic.LoadInt64(&best)
+						if int64(i) >= cur || atomic.CompareAndSwapInt64(&best, cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if b := atomic.LoadInt64(&best); int(b) < len(words) {
+		return ces[b], nil
+	}
+	return nil, nil
+}

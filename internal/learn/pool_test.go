@@ -1,0 +1,347 @@
+package learn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// poolOver builds a pool of n independent oracles over the same model.
+func poolOver(n int, mk func() Oracle) *Pool {
+	shards := make([]Oracle, n)
+	for i := range shards {
+		shards[i] = mk()
+	}
+	return NewPool(shards...)
+}
+
+func TestPoolQueryBatchMatchesSequential(t *testing.T) {
+	truth := tcpModel()
+	pool := poolOver(4, func() Oracle { return MealyOracle(truth) })
+	rng := rand.New(rand.NewSource(11))
+	words := make([][]string, 200)
+	for i := range words {
+		w := make([]string, 1+rng.Intn(8))
+		for j := range w {
+			w[j] = truth.Inputs()[rng.Intn(len(truth.Inputs()))]
+		}
+		words[i] = w
+	}
+	outs, err := pool.QueryBatch(context.Background(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		want, _ := truth.Run(w)
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Fatalf("word %v: batch answer %v, want %v", w, outs[i], want)
+		}
+	}
+}
+
+func TestPoolQueryBatchPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int64
+	pool := poolOver(3, func() Oracle {
+		return OracleFunc(func(word []string) ([]string, error) {
+			if atomic.AddInt64(&calls, 1) > 5 {
+				return nil, boom
+			}
+			return make([]string, len(word)), nil
+		})
+	})
+	words := make([][]string, 50)
+	for i := range words {
+		words[i] = []string{"a"}
+	}
+	if _, err := pool.QueryBatch(context.Background(), words); !errors.Is(err, boom) {
+		t.Fatalf("batch error = %v, want %v", err, boom)
+	}
+}
+
+// TestPooledLearnersMatchSequential is the end-to-end determinism check:
+// both learners recover the exact same model through a 4-shard pool with a
+// concurrent cache as they do through a plain sequential oracle.
+func TestPooledLearnersMatchSequential(t *testing.T) {
+	truth := tcpModel()
+	for _, name := range []string{"lstar", "dtree"} {
+		t.Run(name, func(t *testing.T) {
+			var st Stats
+			pool := poolOver(4, func() Oracle { return Counting(MealyOracle(truth), &st) })
+			cached := NewCache(pool, &st)
+			l := learners(cached, truth.Inputs())[name]
+			hyp, err := l.Learn(&ModelOracle{Model: truth})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eq, ce := truth.Equivalent(hyp); !eq {
+				t.Fatalf("pooled %s learned a wrong model (differs on %v)", name, ce)
+			}
+			if hyp.NumStates() != truth.NumStates() {
+				t.Fatalf("pooled %s learned %d states, want %d", name, hyp.NumStates(), truth.NumStates())
+			}
+		})
+	}
+}
+
+// TestCachedOracleDedupsInflight checks that concurrent duplicate queries
+// share one execution: a slow inner oracle must see each distinct word
+// exactly once.
+func TestCachedOracleDedupsInflight(t *testing.T) {
+	truth := tcpModel()
+	var live int64
+	started := make(chan struct{})
+	var once sync.Once
+	gate := make(chan struct{})
+	inner := OracleFunc(func(word []string) ([]string, error) {
+		atomic.AddInt64(&live, 1)
+		once.Do(func() { close(started) })
+		<-gate // hold the first asker while the duplicates arrive
+		out, _ := truth.Run(word)
+		return out, nil
+	})
+	cached := NewCache(inner, nil)
+	word := []string{"SYN", "ACK"}
+	want, _ := truth.Run(word)
+
+	const askers = 8
+	var wg sync.WaitGroup
+	results := make([][]string, askers)
+	errs := make([]error, askers)
+	ask := func(i int) {
+		defer wg.Done()
+		results[i], errs[i] = cached.Query(word)
+	}
+	wg.Add(1)
+	go ask(0)
+	// Once the first asker is inside the inner oracle, its in-flight entry
+	// is registered and stays until the gate opens: every later asker
+	// either waits on it or (arriving after completion) hits the cache.
+	<-started
+	for i := 1; i < askers; i++ {
+		wg.Add(1)
+		go ask(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 0; i < askers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("asker %d got %v, want %v", i, results[i], want)
+		}
+	}
+	if live != 1 {
+		t.Fatalf("inner oracle saw %d executions of one word, want 1", live)
+	}
+}
+
+// TestCachedOracleBatchDedup checks dedup inside one batch: duplicate
+// words in a QueryBatch reach the inner oracle once.
+func TestCachedOracleBatchDedup(t *testing.T) {
+	truth := tcpModel()
+	var st Stats
+	cached := NewCache(Counting(MealyOracle(truth), &st), &st)
+	words := [][]string{
+		{"SYN"}, {"SYN"}, {"SYN", "ACK"}, {"SYN"}, {"SYN", "ACK"},
+	}
+	outs, err := cached.QueryBatch(context.Background(), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 2 {
+		t.Fatalf("inner oracle saw %d queries for 2 distinct words", st.Queries)
+	}
+	for i, w := range words {
+		want, _ := truth.Run(w)
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Fatalf("word %v: got %v, want %v", w, outs[i], want)
+		}
+	}
+}
+
+// TestCacheConcurrentUse hammers one CachedOracle from many goroutines
+// (run with -race); every answer must match the model and the stats must
+// balance: hits + live queries == total asks.
+func TestCacheConcurrentUse(t *testing.T) {
+	truth := tcpModel()
+	var st Stats
+	cached := NewCache(Counting(MealyOracle(truth), &st), &st)
+	inputs := truth.Inputs()
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				w := make([]string, 1+rng.Intn(6))
+				for j := range w {
+					w[j] = inputs[rng.Intn(len(inputs))]
+				}
+				out, err := cached.Query(w)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, _ := truth.Run(w)
+				if !reflect.DeepEqual(out, want) {
+					t.Errorf("word %v: got %v, want %v", w, out, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Hits+st.Queries != goroutines*perG {
+		t.Fatalf("hits(%d) + live(%d) != asks(%d)", st.Hits, st.Queries, goroutines*perG)
+	}
+}
+
+// TestCountingConcurrentUse checks the Stats counters under concurrent
+// update (run with -race).
+func TestCountingConcurrentUse(t *testing.T) {
+	var st Stats
+	o := Counting(OracleFunc(func(word []string) ([]string, error) {
+		return make([]string, len(word)), nil
+	}), &st)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := o.Query([]string{"a", "b", "c"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Queries != goroutines*perG {
+		t.Fatalf("queries = %d, want %d", st.Queries, goroutines*perG)
+	}
+	if st.Symbols != goroutines*perG*3 {
+		t.Fatalf("symbols = %d, want %d", st.Symbols, goroutines*perG*3)
+	}
+}
+
+// TestQueryShortOutputContract pins the ErrIncompleteOutput contract on
+// both the single-query and the batch paths: short answers are rejected
+// with an error satisfying errors.Is, and overlong answers are truncated
+// to one output per input.
+func TestQueryShortOutputContract(t *testing.T) {
+	short := OracleFunc(func(word []string) ([]string, error) {
+		return []string{"x"}, nil
+	})
+	if _, err := query(short, []string{"a", "b"}); !errors.Is(err, ErrIncompleteOutput) {
+		t.Fatalf("query error = %v, want ErrIncompleteOutput", err)
+	}
+	if _, err := queryAll(short, [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
+		t.Fatalf("queryAll error = %v, want ErrIncompleteOutput", err)
+	}
+	cached := NewCache(short, nil)
+	if _, err := cached.QueryBatch(context.Background(), [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
+		t.Fatalf("QueryBatch error = %v, want ErrIncompleteOutput", err)
+	}
+
+	long := OracleFunc(func(word []string) ([]string, error) {
+		out := make([]string, len(word)+3)
+		for i := range out {
+			out[i] = fmt.Sprint(i)
+		}
+		return out, nil
+	})
+	out, err := query(long, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("overlong answer not truncated: %v", out)
+	}
+}
+
+// TestParallelRandomWordsMatchesSequential: with the same seed, the
+// parallel random-words search must return the same (earliest) first
+// counterexample the sequential search finds.
+func TestParallelRandomWordsMatchesSequential(t *testing.T) {
+	truth := tcpModel()
+	hyp := truth.Clone()
+	hyp.SetTransition(2, "FIN", 3, "WRONG")
+
+	seq := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
+	ceSeq, err := seq.FindCounterexample(hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
+	par.Workers = 4
+	cePar, err := par.FindCounterexample(hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ceSeq == nil || cePar == nil {
+		t.Fatalf("missed the injected difference: seq=%v par=%v", ceSeq, cePar)
+	}
+	if !reflect.DeepEqual(ceSeq, cePar) {
+		t.Fatalf("parallel ce %v differs from sequential %v", cePar, ceSeq)
+	}
+}
+
+// TestParallelWpMatchesSequential: the partitioned Wp search returns the
+// same counterexample as the sequential walk of the same suite, and both
+// prove equivalence on a correct hypothesis.
+func TestParallelWpMatchesSequential(t *testing.T) {
+	truth := tcpModel()
+	hyp := truth.Clone()
+	hyp.SetTransition(3, "FIN", 0, "WRONG")
+
+	seq := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1}
+	par := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1, Workers: 4}
+
+	ceSeq, err := seq.FindCounterexample(hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cePar, err := par.FindCounterexample(hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ceSeq == nil || cePar == nil {
+		t.Fatalf("Wp missed the injected fault: seq=%v par=%v", ceSeq, cePar)
+	}
+	if !reflect.DeepEqual(ceSeq, cePar) {
+		t.Fatalf("parallel Wp ce %v differs from sequential %v", cePar, ceSeq)
+	}
+	if ce, err := par.FindCounterexample(truth.Clone()); err != nil || ce != nil {
+		t.Fatalf("parallel Wp on a correct hypothesis: ce=%v err=%v", ce, err)
+	}
+}
+
+// TestPoolWithGuardedShards drives the full concurrent oracle chain — a
+// pool of counted shards behind the shared cache — through a learner and
+// checks the stats balance.
+func TestPoolStatsBalance(t *testing.T) {
+	truth := tcpModel()
+	var st Stats
+	pool := poolOver(4, func() Oracle { return Counting(MealyOracle(truth), &st) })
+	cached := NewCache(pool, &st)
+	if _, err := NewDTLearner(cached, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries == 0 || st.Hits == 0 {
+		t.Fatalf("expected both live queries and cache hits, got %d/%d", st.Queries, st.Hits)
+	}
+}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/automata"
@@ -16,10 +17,23 @@ type WpMethodOracle struct {
 	Oracle Oracle
 	Inputs []string
 	Depth  int
+	// Workers > 1 partitions the test suite across that many goroutines
+	// with first-counterexample cancellation. The suite order is fixed, and
+	// the earliest failing word always wins, so the returned counterexample
+	// is the same one the sequential search finds.
+	Workers int
 }
 
-// FindCounterexample implements EquivalenceOracle.
-func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+// Suite materialises the full Wp test suite for a hypothesis, in the order
+// the sequential search checks it. The suite is O(|Q|·|Σ|^Depth·|W|)
+// words, fine at this repo's hypothesis sizes and shallow depths; a
+// streaming generator would be worth it before pointing large Depth at a
+// big machine. Phase 1 is state cover × W; phase 2 is
+// transition cover × middle words × W_target. The transition cover itself
+// contributes one symbol of depth, so middles extend only to Depth-1:
+// WpMethodOracle{Depth: d} and WMethodOracle{Depth: d} detect the same
+// fault class (up to d extra states).
+func (w *WpMethodOracle) Suite(hyp *automata.Mealy) [][]string {
 	access := hyp.AccessSequences()
 	wset := hyp.CharacterizingSet()
 	if len(wset) == 0 {
@@ -27,23 +41,30 @@ func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, erro
 	}
 	idSets := identificationSets(hyp, wset)
 
+	// Iterate states in numeric order so the suite — and therefore the
+	// counterexample the search returns — is reproducible run to run
+	// (access is a map; ranging over it directly would randomise the
+	// order).
+	states := make([]automata.State, 0, len(access))
+	for s := range access {
+		states = append(states, s)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+
+	var suite [][]string
 	// Phase 1: state cover × W.
-	for _, acc := range access {
+	for _, s := range states {
+		acc := access[s]
 		for _, suf := range wset {
 			word := concat(acc, nil, suf)
 			if len(word) == 0 {
 				continue
 			}
-			if ce, err := checkWord(w.Oracle, hyp, word); err != nil || ce != nil {
-				return ce, err
-			}
+			suite = append(suite, word)
 		}
 	}
 
-	// Phase 2: transition cover × middle words × W_target. The transition
-	// cover itself contributes one symbol of depth, so middles extend only
-	// to Depth-1: WpMethodOracle{Depth: d} and WMethodOracle{Depth: d}
-	// detect the same fault class (up to d extra states).
+	// Phase 2: transition cover × middle words × W_target.
 	middles := [][]string{{}}
 	frontier := [][]string{{}}
 	for d := 0; d < w.Depth-1; d++ {
@@ -56,7 +77,8 @@ func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, erro
 		middles = append(middles, next...)
 		frontier = next
 	}
-	for state, acc := range access {
+	for _, state := range states {
+		acc := access[state]
 		for _, in := range w.Inputs {
 			if _, _, ok := hyp.Step(state, in); !ok {
 				continue
@@ -69,12 +91,23 @@ func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, erro
 					continue
 				}
 				for _, suf := range idSets[target] {
-					word := concat(prefix, nil, suf)
-					if ce, err := checkWord(w.Oracle, hyp, word); err != nil || ce != nil {
-						return ce, err
-					}
+					suite = append(suite, concat(prefix, nil, suf))
 				}
 			}
+		}
+	}
+	return suite
+}
+
+// FindCounterexample implements EquivalenceOracle.
+func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+	suite := w.Suite(hyp)
+	if w.Workers > 1 {
+		return findFirstCE(w.Oracle, hyp, suite, w.Workers, nil)
+	}
+	for _, word := range suite {
+		if ce, err := checkWord(w.Oracle, hyp, word); err != nil || ce != nil {
+			return ce, err
 		}
 	}
 	return nil, nil
