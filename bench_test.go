@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -26,7 +27,7 @@ func BenchmarkLearnTCPHandshake(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sul := lab.NewTCP(1)
 		exp := &core.Experiment{Alphabet: []string{"SYN(?,?,0)", "ACK(?,?,0)"}, SUL: sul, Seed: 1}
-		m, err := exp.Learn()
+		m, err := exp.Learn(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func BenchmarkLearnTCPHandshake(b *testing.B) {
 func BenchmarkLearnTCPFull(b *testing.B) {
 	var queries int64
 	for i := 0; i < b.N; i++ {
-		res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13})
+		res, err := lab.Run(context.Background(), lab.TargetTCP, lab.WithSeed(13))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkLearnTCPFull(b *testing.B) {
 func BenchmarkLearnTCPFull_NoCache(b *testing.B) {
 	var queries int64
 	for i := 0; i < b.N; i++ {
-		res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13, DisableCache: true})
+		res, err := lab.Run(context.Background(), lab.TargetTCP, lab.WithSeed(13), lab.WithoutCache())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkLearnTCPFull_NoCache(b *testing.B) {
 func BenchmarkLearnGoogleQUIC(b *testing.B) {
 	var queries int64
 	for i := 0; i < b.N; i++ {
-		res, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 13, Perfect: true})
+		res, err := lab.Run(context.Background(), lab.TargetGoogle, lab.WithSeed(13), lab.WithPerfectEquivalence())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkLearnGoogleQUIC(b *testing.B) {
 func BenchmarkLearnQuiche(b *testing.B) {
 	var queries int64
 	for i := 0; i < b.N; i++ {
-		res, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true})
+		res, err := lab.Run(context.Background(), lab.TargetQuiche, lab.WithSeed(13), lab.WithPerfectEquivalence())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func BenchmarkLearnerComparison(b *testing.B) {
 		b.Run(string(kind), func(b *testing.B) {
 			var queries int64
 			for i := 0; i < b.N; i++ {
-				res, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true, Learner: kind})
+				res, err := lab.Run(context.Background(), lab.TargetQuiche, lab.WithSeed(13), lab.WithPerfectEquivalence(), lab.WithLearner(kind))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -132,9 +133,9 @@ func BenchmarkPooledLearning(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var queries int64
 			for i := 0; i < b.N; i++ {
-				res, err := lab.Learn(lab.TargetGoogle, lab.Options{
-					Seed: 13, Perfect: true, Workers: workers, RTT: rtt,
-				})
+				res, err := lab.Run(context.Background(), lab.TargetGoogle,
+					lab.WithSeed(13), lab.WithPerfectEquivalence(),
+					lab.WithWorkers(workers), lab.WithRTT(rtt))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -156,9 +157,8 @@ func BenchmarkPooledLearningInProcess(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := lab.Learn(lab.TargetGoogle, lab.Options{
-					Seed: 13, Perfect: true, Workers: workers,
-				})
+				res, err := lab.Run(context.Background(), lab.TargetGoogle,
+					lab.WithSeed(13), lab.WithPerfectEquivalence(), lab.WithWorkers(workers))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -201,7 +201,7 @@ func BenchmarkNondeterminismCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		setup := lab.NewQUIC(quicsim.ProfileMvfst, lab.QUICOptions{Seed: int64(i) + 1})
 		oracle := core.Guard(core.Oracle(setup), guard)
-		_, err := oracle.Query(word)
+		_, err := oracle.Query(context.Background(), word)
 		if _, ok := core.IsNondeterminism(err); !ok {
 			b.Fatalf("nondeterminism not detected: %v", err)
 		}
@@ -220,7 +220,7 @@ func BenchmarkGuardVotes(b *testing.B) {
 			word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := oracle.Query(word); err != nil {
+				if _, err := oracle.Query(context.Background(), word); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -267,7 +267,7 @@ func BenchmarkRetryPortBug(b *testing.B) {
 // BenchmarkSynthesizeTCPRegisters — Fig. 3(c)/Fig. 4: register synthesis
 // for the TCP handshake numbers.
 func BenchmarkSynthesizeTCPRegisters(b *testing.B) {
-	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 31})
+	res, err := lab.Run(context.Background(), lab.TargetTCP, lab.WithSeed(31))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func BenchmarkSynthesizeTCPRegisters(b *testing.B) {
 // BenchmarkSynthesizeStreamDataBlocked — §6.2.6 / Appendix B.1: the Issue 4
 // synthesis over the Maximum Stream Data field.
 func BenchmarkSynthesizeStreamDataBlocked(b *testing.B) {
-	res, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 29, Perfect: true})
+	res, err := lab.Run(context.Background(), lab.TargetGoogle, lab.WithSeed(29), lab.WithPerfectEquivalence())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func BenchmarkModelBasedTestGen(b *testing.B) {
 	oracle := learn.MealyOracle(quiche)
 	b.ReportMetric(float64(suite.Len()), "tests")
 	for i := 0; i < b.N; i++ {
-		fails, err := analysis.RunSuite(suite, oracle, 0)
+		fails, err := analysis.RunSuite(context.Background(), suite, oracle, 0)
 		if err != nil || len(fails) != 0 {
 			b.Fatalf("suite run failed: %v %v", fails, err)
 		}
@@ -433,7 +433,7 @@ func randomMealy(r *rand.Rand, states int, inputs, outputs []string) *automata.M
 // re-validates the reproduction end to end.
 func TestReproduceAllExperiments(t *testing.T) {
 	// T6.1
-	tcp, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: 13})
+	tcp, err := lab.Run(context.Background(), lab.TargetTCP, lab.WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,11 +441,11 @@ func TestReproduceAllExperiments(t *testing.T) {
 		t.Errorf("T6.1: %d/%d, want 6/42", tcp.Model.NumStates(), tcp.Model.NumTransitions())
 	}
 	// T6.2
-	google, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: 13, Perfect: true})
+	google, err := lab.Run(context.Background(), lab.TargetGoogle, lab.WithSeed(13), lab.WithPerfectEquivalence())
 	if err != nil {
 		t.Fatal(err)
 	}
-	quiche, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: 13, Perfect: true})
+	quiche, err := lab.Run(context.Background(), lab.TargetQuiche, lab.WithSeed(13), lab.WithPerfectEquivalence())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +453,7 @@ func TestReproduceAllExperiments(t *testing.T) {
 		t.Errorf("T6.2: %d/%d states, want 12/8", google.Model.NumStates(), quiche.Model.NumStates())
 	}
 	// I2
-	mvfst, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: 13})
+	mvfst, err := lab.Run(context.Background(), lab.TargetMvfst, lab.WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,7 +477,7 @@ func BenchmarkConformance(b *testing.B) {
 		eqo := &learn.WMethodOracle{Oracle: oracle, Inputs: truth.Inputs(), Depth: 1}
 		for i := 0; i < b.N; i++ {
 			st = learn.Stats{}
-			if ce, err := eqo.FindCounterexample(truth); err != nil || ce != nil {
+			if ce, err := eqo.FindCounterexample(context.Background(), truth); err != nil || ce != nil {
 				b.Fatalf("ce=%v err=%v", ce, err)
 			}
 		}
@@ -489,7 +489,7 @@ func BenchmarkConformance(b *testing.B) {
 		eqo := &learn.WpMethodOracle{Oracle: oracle, Inputs: truth.Inputs(), Depth: 1}
 		for i := 0; i < b.N; i++ {
 			st = learn.Stats{}
-			if ce, err := eqo.FindCounterexample(truth); err != nil || ce != nil {
+			if ce, err := eqo.FindCounterexample(context.Background(), truth); err != nil || ce != nil {
 				b.Fatalf("ce=%v err=%v", ce, err)
 			}
 		}
@@ -501,7 +501,7 @@ func BenchmarkConformance(b *testing.B) {
 // with a log-preloaded cache vs a cold cache (live queries reported).
 func BenchmarkHybridPreload(b *testing.B) {
 	truth := quicsim.GroundTruth(quicsim.ProfileQuiche)
-	logs, err := learn.TracesFromWalks(learn.MealyOracle(truth), truth.Inputs(), 300, 8, 4)
+	logs, err := learn.TracesFromWalks(context.Background(), learn.MealyOracle(truth), truth.Inputs(), 300, 8, 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -523,7 +523,7 @@ func BenchmarkHybridPreload(b *testing.B) {
 					}
 				}
 				if _, err := learn.NewDTLearner(cache, truth.Inputs()).
-					Learn(&learn.ModelOracle{Model: truth}); err != nil {
+					Learn(context.Background(), &learn.ModelOracle{Model: truth}); err != nil {
 					b.Fatal(err)
 				}
 				queries = st.Queries

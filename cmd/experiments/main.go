@@ -1,17 +1,24 @@
 // Command experiments regenerates every quantitative result of the paper's
 // evaluation (§6, Figs. 3-4, Appendices A-B), printing one block per
 // experiment with the paper's reported value next to the measured one.
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
-// recorded outcomes.
+//
+// All learning runs execute up front as one lab.Campaign with bounded
+// parallelism (-parallel); the report sections then read from the
+// aggregated results, so the slowest learns overlap instead of running
+// back to back. Per-run outcomes are isolated: mvfst halting on
+// nondeterminism is a result, not a failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/automata"
 	"repro/internal/lab"
 	"repro/internal/quicsim"
 	"repro/internal/synth"
@@ -19,9 +26,12 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
-	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances per learn")
+	workers := flag.Int("workers", 1, "membership-query concurrency inside each learning run")
+	parallel := flag.Int("parallel", 0, "how many learning runs execute at once (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*seed, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *seed, *workers, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -35,30 +45,54 @@ func row(label, paper, measured string) {
 	fmt.Printf("  %-38s paper: %-28s measured: %s\n", label, paper, measured)
 }
 
-func run(seed int64, workers int) error {
+func run(ctx context.Context, seed int64, workers, parallel int) error {
 	fmt.Println("Prognosis reproduction — experiment harness")
 	fmt.Println(strings.Repeat("-", 60))
 
-	// --- T6.1 / F3b / A1: TCP ---
-	header("T6.1", "Learning the TCP stack (§6.1, Appendix A.1)")
-	tcp, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed, Workers: workers})
+	// Every learning run of the evaluation, as one concurrent campaign.
+	std := func(extra ...lab.Option) []lab.Option {
+		return append([]lab.Option{lab.WithSeed(seed), lab.WithWorkers(workers)}, extra...)
+	}
+	camp := &lab.Campaign{
+		Runs: []lab.RunSpec{
+			{Name: "tcp", Target: lab.TargetTCP, Options: std()},
+			{Name: "google", Target: lab.TargetGoogle, Options: std(lab.WithPerfectEquivalence())},
+			{Name: "quiche", Target: lab.TargetQuiche, Options: std(lab.WithPerfectEquivalence())},
+			{Name: "mvfst", Target: lab.TargetMvfst, Options: std()},
+			{Name: "google-fixed", Target: lab.TargetGoogleFixed, Options: std(lab.WithPerfectEquivalence())},
+		},
+		Parallelism: parallel,
+	}
+	results, err := camp.Run(ctx)
 	if err != nil {
 		return err
 	}
+	byName := make(map[string]*lab.Result, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("campaign run %s: %w", r.Name, r.Err)
+		}
+		byName[r.Name] = r.Result
+	}
+	tcp, google, quiche := byName["tcp"], byName["google"], byName["quiche"]
+	mvfst, googleFixed := byName["mvfst"], byName["google-fixed"]
+	// Only mvfst is expected to halt on the §5 analysis; any other run
+	// doing so has no model to report on, so fail with the witness instead
+	// of dereferencing a nil model below.
+	for _, r := range []*lab.Result{tcp, google, quiche, googleFixed} {
+		if r.Nondet != nil {
+			return fmt.Errorf("target %s unexpectedly nondeterministic: %v", r.Target, r.Nondet)
+		}
+	}
+
+	// --- T6.1 / F3b / A1: TCP ---
+	header("T6.1", "Learning the TCP stack (§6.1, Appendix A.1)")
 	row("model states", "6", fmt.Sprint(tcp.Model.NumStates()))
 	row("model transitions", "42", fmt.Sprint(tcp.Model.NumTransitions()))
 	row("membership queries", "4,726", fmt.Sprintf("%d live (+%d cached)", tcp.Stats.Queries, tcp.Stats.Hits))
 
 	// --- T6.2a/b: QUIC models ---
 	header("T6.2", "Learning QUIC implementations (§6.2.2, Appendix A.2-A.3)")
-	google, err := lab.Learn(lab.TargetGoogle, lab.Options{Seed: seed, Perfect: true, Workers: workers})
-	if err != nil {
-		return err
-	}
-	quiche, err := lab.Learn(lab.TargetQuiche, lab.Options{Seed: seed, Perfect: true, Workers: workers})
-	if err != nil {
-		return err
-	}
 	row("google states/transitions", "12 / 84", fmt.Sprintf("%d / %d", google.Model.NumStates(), google.Model.NumTransitions()))
 	row("quiche states/transitions", "8 / 56", fmt.Sprintf("%d / %d", quiche.Model.NumStates(), quiche.Model.NumTransitions()))
 	row("google queries", "24,301", fmt.Sprintf("%d live (+%d cached)", google.Stats.Queries, google.Stats.Hits))
@@ -67,7 +101,7 @@ func run(seed int64, workers int) error {
 
 	// --- T6.2c: trace reduction ---
 	header("T6.2c", "Trace-space reduction (§6.2.2)")
-	all := totalWords(7, 10)
+	all := automata.TotalWords(7, 10)
 	row("words of length <=10 over 7 symbols", "329,554,456", fmt.Sprint(all))
 	// The paper reports 1,210 / 1,210+715 traces "to check"; the absolute
 	// count depends on the target's machine (ours is the profile spec), so
@@ -98,10 +132,6 @@ func run(seed int64, workers int) error {
 
 	// --- I2: mvfst nondeterminism ---
 	header("I2", "Nondeterministic connection closure in mvfst (§6.2.4)")
-	mvfst, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: seed, Workers: workers})
-	if err != nil {
-		return err
-	}
 	if mvfst.Nondet == nil {
 		row("nondeterminism detected", "yes", "NO — reproduction failed")
 	} else {
@@ -122,21 +152,27 @@ func run(seed int64, workers int) error {
 
 	// --- I4 / B1: STREAM_DATA_BLOCKED synthesis ---
 	header("I4/B1", "Maximum Stream Data stuck at 0 (§6.2.6, Appendix B.1)")
-	for _, target := range []string{lab.TargetGoogle, lab.TargetGoogleFixed} {
-		verdict, err := sdbVerdict(target, seed, workers)
+	for _, tc := range []struct {
+		target string
+		res    *lab.Result
+	}{
+		{lab.TargetGoogle, google},
+		{lab.TargetGoogleFixed, googleFixed},
+	} {
+		verdict, err := sdbVerdict(tc.target, tc.res, seed)
 		if err != nil {
 			return err
 		}
 		want := "constant 0"
-		if target == lab.TargetGoogleFixed {
+		if tc.target == lab.TargetGoogleFixed {
 			want = "tracks limit"
 		}
-		row(fmt.Sprintf("%s field term", target), want, verdict)
+		row(fmt.Sprintf("%s field term", tc.target), want, verdict)
 	}
 
 	// --- F3c/F4: TCP register synthesis ---
 	header("F3c/F4", "Synthesized TCP handshake registers (Fig. 3(c), Fig. 4)")
-	ok, err := tcpRegisterVerdict(seed, workers)
+	ok, err := tcpRegisterVerdict(tcp, seed)
 	if err != nil {
 		return err
 	}
@@ -180,12 +216,9 @@ func measureResetRate(seed int64) float64 {
 	return float64(resets) / trials
 }
 
-// sdbVerdict runs the Issue 4 synthesis and classifies the output term.
-func sdbVerdict(target string, seed int64, workers int) (string, error) {
-	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: true, Workers: workers})
-	if err != nil {
-		return "", err
-	}
+// sdbVerdict runs the Issue 4 synthesis over an already-learned model and
+// classifies the output term.
+func sdbVerdict(target string, res *lab.Result, seed int64) (string, error) {
 	profile, err := lab.QUICProfile(target)
 	if err != nil {
 		return "", err
@@ -228,12 +261,8 @@ func sdbVerdict(target string, seed int64, workers int) (string, error) {
 }
 
 // tcpRegisterVerdict synthesizes the SYN-ACK acknowledgement relationship
-// and validates it on a held-out trace.
-func tcpRegisterVerdict(seed int64, workers int) (bool, error) {
-	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed, Workers: workers})
-	if err != nil {
-		return false, err
-	}
+// over the campaign's TCP model and validates it on a held-out trace.
+func tcpRegisterVerdict(res *lab.Result, seed int64) (bool, error) {
 	setup := lab.NewTCP(seed)
 	collect := func(word []string) (synth.Trace, error) {
 		if err := setup.Reset(); err != nil {
@@ -276,13 +305,4 @@ func tcpRegisterVerdict(seed int64, workers int) (bool, error) {
 		return false, err
 	}
 	return synth.Verify(em, []synth.Trace{held}) == nil, nil
-}
-
-func totalWords(k, maxLen int) uint64 {
-	var total, pow uint64 = 0, 1
-	for i := 1; i <= maxLen; i++ {
-		pow *= uint64(k)
-		total += pow
-	}
-	return total
 }

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/analysis"
 	"repro/internal/automata"
@@ -26,22 +28,36 @@ func main() {
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
 	flag.Parse()
 
-	if err := run(*a, *b, *witnesses, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *a, *b, *witnesses, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "modeldiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(a, b string, witnesses int, seed int64) error {
-	ra, err := learn(a, seed)
+func run(ctx context.Context, a, b string, witnesses int, seed int64) error {
+	// Both learns are independent: run them as a two-run campaign so the
+	// slower target does not serialise behind the faster one.
+	camp := &lab.Campaign{Runs: []lab.RunSpec{
+		{Name: "a", Target: a, Options: learnOptions(a, seed)},
+		{Name: "b", Target: b, Options: learnOptions(b, seed)},
+	}}
+	results, err := camp.Run(ctx)
 	if err != nil {
 		return err
 	}
-	rb, err := learn(b, seed)
-	if err != nil {
-		return err
+	models := make(map[string]*automata.Mealy, 2)
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("target %s: %w", r.Target, r.Err)
+		}
+		if r.Result.Nondet != nil {
+			return fmt.Errorf("target %s is nondeterministic: %v", r.Target, r.Result.Nondet)
+		}
+		models[r.Name] = r.Result.Model
 	}
-	report := analysis.Diff(a, ra, b, rb, witnesses)
+	report := analysis.Diff(a, models["a"], b, models["b"], witnesses)
 	fmt.Print(report.String())
 	if !report.Equivalent {
 		fmt.Println("\nnote: a difference is not necessarily a bug — QUIC's specification")
@@ -50,13 +66,13 @@ func run(a, b string, witnesses int, seed int64) error {
 	return nil
 }
 
-func learn(target string, seed int64) (*automata.Mealy, error) {
-	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: target != lab.TargetTCP && target != lab.TargetMvfst})
-	if err != nil {
-		return nil, err
+// learnOptions mirrors the original tool's behaviour: ground-truth
+// equivalence for the targets that have one, the heuristic random-words
+// search for the rest.
+func learnOptions(target string, seed int64) []lab.Option {
+	opts := []lab.Option{lab.WithSeed(seed)}
+	if target != lab.TargetTCP && target != lab.TargetMvfst {
+		opts = append(opts, lab.WithPerfectEquivalence())
 	}
-	if res.Nondet != nil {
-		return nil, fmt.Errorf("target %s is nondeterministic: %v", target, res.Nondet)
-	}
-	return res.Model, nil
+	return opts
 }

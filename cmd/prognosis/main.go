@@ -6,27 +6,33 @@
 //
 //	prognosis -target google [-learner ttt|lstar] [-seed N] [-perfect]
 //	          [-dot model.dot] [-udp] [-no-cache] [-workers N] [-rtt D]
+//	          [-v] [-events out.jsonl]
 //
-// Targets: tcp, google, google-fixed, quiche, mvfst.
+// Targets: every name in the lab registry (tcp, google, google-fixed,
+// quiche, mvfst). Ctrl-C cancels a run cleanly mid-round. -v streams live
+// learning progress to stderr; -events appends the typed event stream as
+// JSON lines.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/lab"
-	"repro/internal/quicsim"
-	"repro/internal/reference"
-	"repro/internal/transport"
+	"repro/internal/learn"
 )
 
 func main() {
-	target := flag.String("target", "tcp", "target implementation: tcp, google, google-fixed, quiche, mvfst")
+	target := flag.String("target", "tcp", "target implementation: "+strings.Join(lab.Targets(), ", "))
 	learner := flag.String("learner", "ttt", "learning algorithm: ttt or lstar")
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
 	perfect := flag.Bool("perfect", false, "use the ground-truth equivalence oracle (QUIC targets only)")
@@ -34,16 +40,19 @@ func main() {
 	saveFile := flag.String("save", "", "write the learned model as JSON to this file")
 	property := flag.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
 	depth := flag.Int("depth", 4, "exploration depth for -property")
-	udp := flag.Bool("udp", false, "run the session over a UDP loopback socket pair")
+	udp := flag.Bool("udp", false, "run the session over UDP loopback socket pairs (one per worker)")
 	noCache := flag.Bool("no-cache", false, "disable the membership-query cache")
 	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances")
 	rtt := flag.Duration("rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
+	verbose := flag.Bool("v", false, "stream live learning progress to stderr")
+	eventsFile := flag.String("events", "", "append the typed event stream as JSON lines to this file")
 	flag.Parse()
 
 	if err := run(runConfig{
 		target: *target, learner: *learner, seed: *seed, perfect: *perfect,
 		dotFile: *dotFile, saveFile: *saveFile, property: *property, depth: *depth,
 		udp: *udp, noCache: *noCache, workers: *workers, rtt: *rtt,
+		verbose: *verbose, eventsFile: *eventsFile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "prognosis:", err)
 		os.Exit(1)
@@ -60,28 +69,72 @@ type runConfig struct {
 	udp, noCache      bool
 	workers           int
 	rtt               time.Duration
+	verbose           bool
+	eventsFile        string
+}
+
+// options assembles the lab functional options for one run.
+func (cfg runConfig) options() ([]lab.Option, func(), error) {
+	opts := []lab.Option{
+		lab.WithSeed(cfg.seed),
+		lab.WithLearner(core.LearnerKind(cfg.learner)),
+		lab.WithWorkers(cfg.workers),
+		lab.WithRTT(cfg.rtt),
+	}
+	if cfg.perfect {
+		opts = append(opts, lab.WithPerfectEquivalence())
+	}
+	if cfg.noCache {
+		opts = append(opts, lab.WithoutCache())
+	}
+	if cfg.udp {
+		// Unsupported combinations (e.g. tcp) are rejected by the target's
+		// builder with a clear error rather than silently ignored here.
+		opts = append(opts, lab.WithTransport(lab.TransportUDP))
+	}
+	cleanup := func() {}
+	var observers []learn.Observer
+	if cfg.verbose {
+		observers = append(observers, progressObserver{})
+	}
+	if cfg.eventsFile != "" {
+		f, err := os.OpenFile(cfg.eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = func() { f.Close() }
+		observers = append(observers, learn.NewJSONLObserver(f))
+	}
+	if len(observers) > 0 {
+		opts = append(opts, lab.WithObserver(learn.MultiObserver(observers...)))
+	}
+	return opts, cleanup, nil
 }
 
 func run(cfg runConfig) error {
-	target, learner, seed := cfg.target, cfg.learner, cfg.seed
-	perfect, dotFile, udp, noCache := cfg.perfect, cfg.dotFile, cfg.udp, cfg.noCache
-	opts := lab.Options{
-		Learner: core.LearnerKind(learner), Seed: seed,
-		Perfect: perfect, DisableCache: noCache,
-		Workers: cfg.workers, RTT: cfg.rtt,
+	opts, cleanup, err := cfg.options()
+	if err != nil {
+		return err
 	}
-	var res *lab.Result
-	var err error
-	if udp && target != lab.TargetTCP {
-		res, err = learnOverUDP(target, opts)
-	} else {
-		res, err = lab.Learn(target, opts)
+	defer cleanup()
+
+	exp, err := lab.NewExperiment(cfg.target, opts...)
+	if err != nil {
+		return err
 	}
+	defer exp.Close()
+
+	// Ctrl-C cancels the run mid-round; the context-first API unwinds the
+	// pool, cache, and equivalence goroutines before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := exp.Learn(ctx)
 	if err != nil {
 		return err
 	}
 	if res.Nondet != nil {
-		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", target)
+		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", cfg.target)
 		fmt.Printf("  witness query: %v\n", res.Nondet.Word)
 		fmt.Printf("  %d distinct responses over %d repetitions:\n", len(res.Nondet.Observed), res.Nondet.Votes)
 		for out, n := range res.Nondet.Observed {
@@ -91,12 +144,12 @@ func run(cfg runConfig) error {
 	}
 	m := res.Model
 	fmt.Printf("target %s: learned model with %d states, %d transitions\n",
-		target, m.NumStates(), m.NumTransitions())
+		cfg.target, m.NumStates(), m.NumTransitions())
 	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
 		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
 	fmt.Printf("  wall time: %v\n", res.Duration)
 	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
-		m.CountTraces(10), totalWords(len(m.Inputs()), 10))
+		m.CountTraces(10), automata.TotalWords(len(m.Inputs()), 10))
 	if cfg.saveFile != "" {
 		data, err := json.MarshalIndent(m, "", "  ")
 		if err != nil {
@@ -121,11 +174,11 @@ func run(cfg runConfig) error {
 			fmt.Printf("  property holds on all traces of length %d\n", cfg.depth)
 		}
 	}
-	if dotFile != "" {
-		if err := os.WriteFile(dotFile, []byte(m.DOT(target)), 0o644); err != nil {
+	if cfg.dotFile != "" {
+		if err := os.WriteFile(cfg.dotFile, []byte(m.DOT(cfg.target)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("  model written to %s\n", dotFile)
+		fmt.Printf("  model written to %s\n", cfg.dotFile)
 	} else {
 		fmt.Println()
 		fmt.Print(m.String())
@@ -133,72 +186,23 @@ func run(cfg runConfig) error {
 	return nil
 }
 
-// learnOverUDP hosts the QUIC target on loopback UDP sockets and learns
-// across them. With opts.Workers > 1 it opens one socket pair per worker —
-// a sharded pool of genuinely independent network endpoints.
-func learnOverUDP(target string, opts lab.Options) (*lab.Result, error) {
-	profile, err := lab.QUICProfile(target)
-	if err != nil {
-		return nil, err
-	}
-	n := opts.Workers
-	if n < 1 {
-		n = 1
-	}
-	suls := make([]core.SUL, 0, n)
-	for i := 0; i < n; i++ {
-		srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: opts.Seed})
-		hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
-		if err != nil {
-			return nil, err
-		}
-		defer hosted.Close()
-		tr := transport.NewQUICClientTransport(hosted.Addr())
-		defer tr.Close()
-		cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: opts.Seed + 4}, tr)
-		var sul core.SUL = &udpSUL{srv: srv, cli: cli}
-		if opts.RTT > 0 {
-			sul = lab.Remote(sul, opts.RTT)
-		}
-		suls = append(suls, sul)
-	}
+// progressObserver renders the event stream as -v live progress.
+type progressObserver struct{}
 
-	exp := &core.Experiment{
-		Alphabet: quicsim.InputAlphabet(), SUL: suls[0], SULs: suls[1:],
-		Workers: opts.Workers,
-		Learner: opts.Learner, Seed: opts.Seed, DisableCache: opts.DisableCache,
+func (progressObserver) OnEvent(e learn.Event) {
+	switch ev := e.(type) {
+	case learn.RoundStarted:
+		fmt.Fprintf(os.Stderr, "round %d: building hypothesis...\n", ev.Round)
+	case learn.HypothesisReady:
+		fmt.Fprintf(os.Stderr, "round %d: hypothesis with %d states / %d transitions\n",
+			ev.Round, ev.States, ev.Transitions)
+	case learn.CounterexampleFound:
+		fmt.Fprintf(os.Stderr, "round %d: counterexample %v\n", ev.Round, ev.Word)
+	case learn.CacheSnapshot:
+		fmt.Fprintf(os.Stderr, "round %d: %d live queries, %d cache hits, %d cached prefixes\n",
+			ev.Round, ev.LiveQueries, ev.Hits, ev.Entries)
+	case learn.NondeterminismDetected:
+		fmt.Fprintf(os.Stderr, "nondeterminism: %d alternatives after %d votes on %v\n",
+			ev.Alternatives, ev.Votes, ev.Word)
 	}
-	res := &lab.Result{Target: target, LearnerKind: opts.Learner}
-	m, err := exp.Learn()
-	res.Stats = exp.Stats
-	if err != nil {
-		if nd, ok := core.IsNondeterminism(err); ok {
-			res.Nondet = nd
-			return res, nil
-		}
-		return nil, err
-	}
-	res.Model = m
-	return res, nil
-}
-
-type udpSUL struct {
-	srv *quicsim.Server
-	cli *reference.QUICClient
-}
-
-func (u *udpSUL) Reset() error {
-	u.srv.Reset()
-	return u.cli.Reset()
-}
-
-func (u *udpSUL) Step(in string) (string, error) { return u.cli.Step(in) }
-
-func totalWords(k, maxLen int) uint64 {
-	var total, pow uint64 = 0, 1
-	for i := 1; i <= maxLen; i++ {
-		pow *= uint64(k)
-		total += pow
-	}
-	return total
 }

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/automata"
 	"repro/internal/lab"
@@ -30,12 +32,14 @@ func main() {
 	seed := flag.Int64("seed", 29, "seed for all pseudo-randomness")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch *experiment {
 	case "sdb":
-		err = runSDB(*target, *seed)
+		err = runSDB(ctx, *target, *seed)
 	case "tcp":
-		err = runTCP(*seed)
+		err = runTCP(ctx, *seed)
 	default:
 		err = fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -45,8 +49,8 @@ func main() {
 	}
 }
 
-func runSDB(target string, seed int64) error {
-	res, err := lab.Learn(target, lab.Options{Seed: seed, Perfect: true})
+func runSDB(ctx context.Context, target string, seed int64) error {
+	res, err := learnOne(ctx, target, lab.WithSeed(seed), lab.WithPerfectEquivalence())
 	if err != nil {
 		return err
 	}
@@ -102,8 +106,8 @@ func printBlockedTerms(em *synth.ExtendedMealy, states int) {
 	}
 }
 
-func runTCP(seed int64) error {
-	res, err := lab.Learn(lab.TargetTCP, lab.Options{Seed: seed})
+func runTCP(ctx context.Context, seed int64) error {
+	res, err := learnOne(ctx, lab.TargetTCP, lab.WithSeed(seed))
 	if err != nil {
 		return err
 	}
@@ -149,4 +153,17 @@ func runTCP(seed int64) error {
 	fmt.Println()
 	fmt.Print(em)
 	return nil
+}
+
+// learnOne runs one experiment, treating nondeterminism as fatal (the
+// synthesis pipeline needs a learned model).
+func learnOne(ctx context.Context, target string, opts ...lab.Option) (*lab.Result, error) {
+	res, err := lab.Run(ctx, target, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Nondet != nil {
+		return nil, fmt.Errorf("target %s is nondeterministic: %v", target, res.Nondet)
+	}
+	return res, nil
 }

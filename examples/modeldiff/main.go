@@ -1,31 +1,29 @@
 // Modeldiff reproduces the Issue 1 workflow (§6.2.3): learn models of two
-// QUIC implementations — here over a real UDP loopback socket pair — and
-// compare them. The size gap and the divergence on a retried INITIAL
-// (packet-number-space reset) are exactly the observations that led to a
-// clarification of the QUIC specification.
+// QUIC implementations — here over real UDP loopback socket pairs, via the
+// registry's UDP transport option — and compare them. The size gap and the
+// divergence on a retried INITIAL (packet-number-space reset) are exactly
+// the observations that led to a clarification of the QUIC specification.
 //
 //	go run ./examples/modeldiff
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/analysis"
 	"repro/internal/automata"
-	"repro/internal/core"
-	"repro/internal/learn"
+	"repro/internal/lab"
 	"repro/internal/quicsim"
-	"repro/internal/reference"
-	"repro/internal/transport"
 )
 
 func main() {
-	google, err := learnOverUDP(quicsim.ProfileGoogle)
+	google, err := learnOverUDP(lab.TargetGoogle)
 	if err != nil {
 		log.Fatal(err)
 	}
-	quiche, err := learnOverUDP(quicsim.ProfileQuiche)
+	quiche, err := learnOverUDP(lab.TargetQuiche)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,38 +42,22 @@ func main() {
 	fmt.Println("level. The RFC was amended to say a server MAY abort here (§6.2.3).")
 }
 
-// learnOverUDP hosts a profile on a loopback UDP socket and learns its
-// model across the network path.
-func learnOverUDP(profile quicsim.Profile) (*automata.Mealy, error) {
-	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: 7})
-	hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
+// learnOverUDP hosts a target on a loopback UDP socket pair — built by the
+// registry's UDP transport option — and learns its model across the
+// network path. The specification oracle recovers the full model quickly;
+// drop WithPerfectEquivalence for a real closed-box run.
+func learnOverUDP(target string) (*automata.Mealy, error) {
+	fmt.Printf("learning %s over UDP...\n", target)
+	res, err := lab.Run(context.Background(), target,
+		lab.WithSeed(7),
+		lab.WithTransport(lab.TransportUDP),
+		lab.WithPerfectEquivalence(),
+	)
 	if err != nil {
 		return nil, err
 	}
-	defer hosted.Close()
-	tr := transport.NewQUICClientTransport(hosted.Addr())
-	defer tr.Close()
-	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, tr)
-
-	exp := &core.Experiment{
-		Alphabet: quicsim.InputAlphabet(),
-		SUL:      &udpSUL{srv: srv, cli: cli},
-		// Use the specification oracle so the demo recovers the full model
-		// quickly; swap for a RandomWordsOracle in a real closed-box run.
-		Equivalence: &learn.ModelOracle{Model: quicsim.GroundTruth(profile)},
+	if res.Nondet != nil {
+		return nil, fmt.Errorf("%s: unexpected nondeterminism: %v", target, res.Nondet)
 	}
-	fmt.Printf("learning %v over UDP at %s...\n", profile, hosted.Addr())
-	return exp.Learn()
+	return res.Model, nil
 }
-
-type udpSUL struct {
-	srv *quicsim.Server
-	cli *reference.QUICClient
-}
-
-func (u *udpSUL) Reset() error {
-	u.srv.Reset()
-	return u.cli.Reset()
-}
-
-func (u *udpSUL) Step(in string) (string, error) { return u.cli.Step(in) }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,12 @@ import (
 func main() {
 	// Step 1: try to learn mvfst like any other target. The nondeterminism
 	// check of §5 halts learning and hands us a witness query.
-	res, err := lab.Learn(lab.TargetMvfst, lab.Options{Seed: 5})
+	exp, err := lab.NewExperiment(lab.TargetMvfst, lab.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer exp.Close()
+	res, err := exp.Learn(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,43 +1,45 @@
 // Quickstart: learn a model of a TCP implementation in a closed-box
 // fashion, exactly as §6.1 of the paper does for the Ubuntu kernel stack.
 //
-// The whole pipeline is three steps: build the system under learning (the
-// TCP server behind the instrumented reference client), pick an abstract
-// alphabet, and run the learner.
+// The whole pipeline is three steps: name a registered target, configure
+// the experiment with options, and run the learner with a context.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/lab"
-	"repro/internal/reference"
 )
 
 func main() {
-	// 1. The system under learning: a userspace TCP stack reachable only
-	//    through binary, checksummed segments — a closed box.
-	sul := lab.NewTCP(1)
-
-	// 2. The abstract alphabet of §6.1: packet flags with payload length,
-	//    sequence/ack numbers left to the reference implementation.
-	alphabet := reference.TCPAlphabet()
-
-	// 3. Learn.
-	exp := &core.Experiment{Alphabet: alphabet, SUL: sul, Seed: 1}
-	model, err := exp.Learn()
+	// 1. The system under learning: the registry knows how to build the
+	//    userspace TCP stack behind its instrumented reference client — a
+	//    closed box reachable only through binary, checksummed segments.
+	//    (lab.Targets() lists everything registered.)
+	exp, err := lab.NewExperiment(lab.TargetTCP, lab.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer exp.Close()
+
+	// 2. Learn. The context cancels a run mid-round (Ctrl-C handling,
+	//    deadlines); here we just run to completion.
+	res, err := exp.Learn(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := res.Model
 
 	fmt.Printf("learned the TCP model: %d states, %d transitions\n",
 		model.NumStates(), model.NumTransitions())
-	fmt.Printf("cost: %d live queries, %d cache hits\n\n", exp.Stats.Queries, exp.Stats.Hits)
+	fmt.Printf("cost: %d live queries, %d cache hits in %v\n\n",
+		res.Stats.Queries, res.Stats.Hits, res.Duration)
 
-	// The 3-way handshake of Fig. 3(b), read off the learned model.
+	// 3. The 3-way handshake of Fig. 3(b), read off the learned model.
 	word := []string{"SYN(?,?,0)", "ACK(?,?,0)"}
 	out, _ := model.Run(word)
 	fmt.Println("3-way handshake according to the model:")

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,12 @@ func main() {
 
 func analyze(target string) error {
 	// 1. Learn the abstract model (the control skeleton).
-	res, err := lab.Learn(target, lab.Options{Seed: 29, Perfect: true})
+	exp, err := lab.NewExperiment(target, lab.WithSeed(29), lab.WithPerfectEquivalence())
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+	res, err := exp.Learn(context.Background())
 	if err != nil {
 		return err
 	}

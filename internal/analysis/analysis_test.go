@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -184,7 +185,7 @@ func TestWMethodSuiteDetectsMutation(t *testing.T) {
 		t.Fatal("empty suite")
 	}
 	// Run against the correct system: no failures.
-	fails, err := RunSuite(suite, learn.MealyOracle(q), 0)
+	fails, err := RunSuite(context.Background(), suite, learn.MealyOracle(q), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestWMethodSuiteDetectsMutation(t *testing.T) {
 	// Mutate one transition's output: the suite must catch it.
 	mut := q.Clone()
 	mut.SetTransition(2, quicsim.SymShortStream, 5, "{MUTANT}")
-	fails, err = RunSuite(suite, learn.MealyOracle(mut), 3)
+	fails, err = RunSuite(context.Background(), suite, learn.MealyOracle(mut), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +211,14 @@ func TestRunSuiteReportsActualOutputs(t *testing.T) {
 	m := automata.NewMealy([]string{"a"})
 	m.SetTransition(0, "a", 0, "ok")
 	suite := TransitionCoverageSuite(m)
-	bad := learn.OracleFunc(func(w []string) ([]string, error) {
+	bad := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
 		out := make([]string, len(w))
 		for i := range out {
 			out[i] = "wrong"
 		}
 		return out, nil
 	})
-	fails, err := RunSuite(suite, bad, 0)
+	fails, err := RunSuite(context.Background(), suite, bad, 0)
 	if err != nil || len(fails) != 1 {
 		t.Fatalf("fails=%v err=%v", fails, err)
 	}

@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/automata"
@@ -65,8 +67,17 @@ func WMethodSuite(m *automata.Mealy, depth int) *TestSuite {
 		middles = append(middles, next...)
 		frontier = next
 	}
+	// Iterate states in numeric order: access is a map, and ranging over
+	// it directly randomises which duplicate word survives the dedup below,
+	// making the suite size vary run to run.
+	states := make([]automata.State, 0, len(access))
+	for st := range access {
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
 	seen := map[string]bool{}
-	for _, acc := range access {
+	for _, st := range states {
+		acc := access[st]
 		for _, mid := range middles {
 			for _, w := range wset {
 				word := make([]string, 0, len(acc)+len(mid)+len(w))
@@ -109,10 +120,14 @@ func (f Failure) String() string {
 // the model-based testing loop the paper uses to confirm model-level bugs
 // in the implementation (§2: Prognosis creates concrete traces to check
 // whether the bug is real or a false positive to refine the model with).
-func RunSuite(s *TestSuite, o learn.Oracle, maxFailures int) ([]Failure, error) {
+// Cancelling ctx aborts the run with the failures collected so far.
+func RunSuite(ctx context.Context, s *TestSuite, o learn.Oracle, maxFailures int) ([]Failure, error) {
 	var fails []Failure
 	for i, word := range s.Words {
-		got, err := o.Query(word)
+		if err := ctx.Err(); err != nil {
+			return fails, err
+		}
+		got, err := o.Query(ctx, word)
 		if err != nil {
 			return fails, err
 		}

@@ -420,6 +420,21 @@ func (m *Mealy) distinguishingWord(a, b State) []string {
 	return nil
 }
 
+// TotalWords returns the number of distinct input words of length
+// 1..maxLen over an alphabet of k symbols: sum over i of k^i. It is the
+// denominator of the trace-reduction statistic of §6.2.2 — the full word
+// space a learned model (CountTraces) cuts down. The result overflows
+// uint64 silently for very large k^maxLen; the paper's 7-symbol,
+// length-10 space (329,554,456) is nowhere near the limit.
+func TotalWords(k, maxLen int) uint64 {
+	var total, pow uint64 = 0, 1
+	for i := 1; i <= maxLen; i++ {
+		pow *= uint64(k)
+		total += pow
+	}
+	return total
+}
+
 // CountTraces returns the number of distinct input words of length 1..maxLen
 // that have defined runs in the machine. For a total machine over k inputs
 // this is sum over i of k^i; for a partial machine it counts only words the

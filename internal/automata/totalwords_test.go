@@ -1,0 +1,27 @@
+package automata
+
+import "testing"
+
+func TestTotalWords(t *testing.T) {
+	cases := []struct {
+		k, maxLen int
+		want      uint64
+	}{
+		{2, 1, 2},
+		{2, 3, 14},         // 2 + 4 + 8
+		{7, 10, 329554456}, // the §6.2.2 trace space
+		{3, 0, 0},
+	}
+	for _, c := range cases {
+		if got := TotalWords(c.k, c.maxLen); got != c.want {
+			t.Errorf("TotalWords(%d, %d) = %d, want %d", c.k, c.maxLen, got, c.want)
+		}
+	}
+	// A total machine's CountTraces equals TotalWords over its alphabet.
+	m := NewMealy([]string{"a", "b"})
+	m.SetTransition(m.Initial(), "a", m.Initial(), "x")
+	m.SetTransition(m.Initial(), "b", m.Initial(), "y")
+	if got, want := m.CountTraces(5), TotalWords(2, 5); got != want {
+		t.Errorf("CountTraces(5) = %d, TotalWords(2,5) = %d", got, want)
+	}
+}

@@ -4,13 +4,20 @@
 // nondeterminism (§5), maintains the Oracle Table used for model synthesis
 // (§4.3), and exposes the experiment driver used by the command-line tools
 // and benchmarks.
+//
+// The experiment API is context-first: Experiment.Learn takes a
+// context.Context, and cancelling it aborts the run mid-round — the pool
+// workers, the cache's in-flight waiters, the voting guard, and the
+// equivalence search all exit promptly without leaking goroutines.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/learn"
@@ -26,14 +33,22 @@ type SUL interface {
 }
 
 // Oracle adapts an SUL to the learning module's membership-query interface:
-// each query resets the system and replays the word symbol by symbol.
+// each query resets the system and replays the word symbol by symbol,
+// checking for cancellation between symbols so that aborting a run never
+// waits for a long word to finish.
 func Oracle(s SUL) learn.Oracle {
-	return learn.OracleFunc(func(word []string) ([]string, error) {
+	return learn.OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.Reset(); err != nil {
 			return nil, fmt.Errorf("core: reset: %w", err)
 		}
 		out := make([]string, 0, len(word))
 		for _, in := range word {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			o, err := s.Step(in)
 			if err != nil {
 				return nil, fmt.Errorf("core: step %q: %w", in, err)
@@ -97,6 +112,12 @@ func DefaultGuard() GuardConfig {
 // executed MinVotes times; on disagreement it keeps re-executing up to
 // MaxVotes and accepts the majority answer only if it reaches Certainty,
 // otherwise it fails with a *NondeterminismError.
+//
+// The vote tally is derived from the observed-output counts, so a vote
+// that errors mid-retry can never leave the tally inconsistent with the
+// counts: failed executions simply are not votes. Underlying query errors
+// are wrapped with the query word (and errors.Is/As still see through the
+// wrapping), so a failure deep in a retry loop stays diagnosable.
 func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
 	if cfg.MinVotes < 1 {
 		cfg.MinVotes = 1
@@ -104,16 +125,24 @@ func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
 	if cfg.MaxVotes < cfg.MinVotes {
 		cfg.MaxVotes = cfg.MinVotes
 	}
-	return learn.OracleFunc(func(word []string) ([]string, error) {
+	return learn.OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		counts := make(map[string]int)
 		first := make(map[string][]string)
-		votes := 0
-		ask := func() (string, error) {
-			out, err := o.Query(word)
-			if err != nil {
-				return "", err
+		votes := func() int {
+			n := 0
+			for _, c := range counts {
+				n += c
 			}
-			votes++
+			return n
+		}
+		ask := func() (string, error) {
+			out, err := o.Query(ctx, word)
+			if err != nil {
+				// The failed execution is not a vote: counts are untouched,
+				// so the tally stays consistent however far the retry loop
+				// got. Wrap with the word for diagnosability.
+				return "", fmt.Errorf("core: guard query %v after %d votes: %w", word, votes(), err)
+			}
 			key := strings.Join(out, "\x1e")
 			counts[key]++
 			if _, ok := first[key]; !ok {
@@ -131,17 +160,21 @@ func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
 				return first[k], nil
 			}
 		}
-		for votes < cfg.MaxVotes {
+		for votes() < cfg.MaxVotes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if _, err := ask(); err != nil {
 				return nil, err
 			}
+			v := votes()
 			for k, n := range counts {
-				if float64(n) >= cfg.Certainty*float64(votes) && votes >= cfg.MinVotes+2 {
+				if float64(n) >= cfg.Certainty*float64(v) && v >= cfg.MinVotes+2 {
 					return first[k], nil
 				}
 			}
 		}
-		return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes}
+		return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes()}
 	})
 }
 
@@ -174,14 +207,24 @@ type Experiment struct {
 	Seed        int64
 	// DisableCache turns off the prefix-tree query cache (for ablation).
 	DisableCache bool
+	// Observer, when set, receives the typed event stream of the run:
+	// RoundStarted / HypothesisReady / CounterexampleFound from the
+	// learner, CacheSnapshot once per hypothesis (only while the cache is
+	// enabled — a DisableCache run has no cache to snapshot), and
+	// NondeterminismDetected when the §5 guard halts the run.
+	Observer learn.Observer
 
 	// Stats is populated during Learn: Queries/Symbols count live SUL
 	// traffic, Hits counts cache hits.
 	Stats learn.Stats
 }
 
-// Learn runs the full MAT loop and returns the learned model.
-func (e *Experiment) Learn() (*automata.Mealy, error) {
+// Learn runs the full MAT loop and returns the learned model. Cancelling
+// ctx aborts the run within one query round and returns ctx.Err().
+func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if e.SUL == nil || len(e.Alphabet) == 0 {
 		return nil, errors.New("core: experiment needs an SUL and an alphabet")
 	}
@@ -207,8 +250,28 @@ func (e *Experiment) Learn() (*automata.Mealy, error) {
 	} else {
 		oracle = Guard(learn.Counting(Oracle(e.SUL), &e.Stats), guard)
 	}
+	obs := e.Observer
 	if !e.DisableCache {
-		oracle = learn.NewCache(oracle, &e.Stats)
+		cached := learn.NewCache(oracle, &e.Stats)
+		oracle = cached
+		if obs != nil {
+			// Every hypothesis is a natural synchronisation point: piggyback
+			// a cache/traffic snapshot on it so observers can watch live
+			// query costs without polling.
+			inner := obs
+			obs = learn.ObserverFunc(func(ev learn.Event) {
+				inner.OnEvent(ev)
+				if h, ok := ev.(learn.HypothesisReady); ok {
+					inner.OnEvent(learn.CacheSnapshot{
+						Round:       h.Round,
+						Entries:     cached.Size(),
+						LiveQueries: atomic.LoadInt64(&e.Stats.Queries),
+						Symbols:     atomic.LoadInt64(&e.Stats.Symbols),
+						Hits:        atomic.LoadInt64(&e.Stats.Hits),
+					})
+				}
+			})
+		}
 	}
 	eq := e.Equivalence
 	if eq == nil {
@@ -218,12 +281,27 @@ func (e *Experiment) Learn() (*automata.Mealy, error) {
 		}
 		eq = rw
 	}
+	var model *automata.Mealy
+	var err error
 	switch e.Learner {
 	case LearnerLStar:
-		return learn.NewLStar(oracle, e.Alphabet).Learn(eq)
+		l := learn.NewLStar(oracle, e.Alphabet)
+		l.Observer = obs
+		model, err = l.Learn(ctx, eq)
 	case LearnerTTT, "":
-		return learn.NewDTLearner(oracle, e.Alphabet).Learn(eq)
+		d := learn.NewDTLearner(oracle, e.Alphabet)
+		d.Observer = obs
+		model, err = d.Learn(ctx, eq)
 	default:
 		return nil, fmt.Errorf("core: unknown learner %q", e.Learner)
 	}
+	if err != nil {
+		if nd, ok := IsNondeterminism(err); ok && obs != nil {
+			obs.OnEvent(learn.NondeterminismDetected{
+				Word: nd.Word, Alternatives: len(nd.Observed), Votes: nd.Votes,
+			})
+		}
+		return nil, err
+	}
+	return model, nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/learn"
@@ -11,6 +13,9 @@ import (
 	"repro/internal/tcpsim"
 	"repro/internal/tcpwire"
 )
+
+// bg is the default context for tests that never cancel.
+var bg = context.Background()
 
 // quicSUL builds the standard QUIC learning setup against an in-process
 // server.
@@ -44,7 +49,7 @@ func TestLearnGoogleQUIC(t *testing.T) {
 		Learner:     LearnerTTT,
 		Equivalence: &learn.ModelOracle{Model: quicsim.GroundTruth(quicsim.ProfileGoogle)},
 	}
-	m, err := exp.Learn()
+	m, err := exp.Learn(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +71,7 @@ func TestLearnQuiche(t *testing.T) {
 		Learner:     LearnerTTT,
 		Equivalence: &learn.ModelOracle{Model: quicsim.GroundTruth(quicsim.ProfileQuiche)},
 	}
-	m, err := exp.Learn()
+	m, err := exp.Learn(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +90,7 @@ func TestLearnQuicheWithRandomEquivalence(t *testing.T) {
 		Learner:  LearnerTTT,
 		Seed:     3,
 	}
-	m, err := exp.Learn()
+	m, err := exp.Learn(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +109,7 @@ func TestLearnMvfstDetectsNondeterminism(t *testing.T) {
 		Learner:  LearnerTTT,
 		Seed:     5,
 	}
-	_, err := exp.Learn()
+	_, err := exp.Learn(bg)
 	if err == nil {
 		t.Fatal("expected nondeterminism to abort learning")
 	}
@@ -170,7 +175,7 @@ func TestLearnTCPFull(t *testing.T) {
 		Learner:  LearnerTTT,
 		Seed:     9,
 	}
-	m, err := exp.Learn()
+	m, err := exp.Learn(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +186,7 @@ func TestLearnTCPFull(t *testing.T) {
 
 	// Cross-check with L* on the same system.
 	exp2 := &Experiment{Alphabet: reference.TCPAlphabet(), SUL: tcpSUL(), Learner: LearnerLStar, Seed: 9}
-	m2, err := exp2.Learn()
+	m2, err := exp2.Learn(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +199,7 @@ func TestLearnTCPFull(t *testing.T) {
 // guard with minimal overhead.
 func TestGuardAcceptsDeterministic(t *testing.T) {
 	var st learn.Stats
-	base := learn.Counting(learn.OracleFunc(func(w []string) ([]string, error) {
+	base := learn.Counting(learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
 		out := make([]string, len(w))
 		for i := range out {
 			out[i] = "ok"
@@ -202,7 +207,7 @@ func TestGuardAcceptsDeterministic(t *testing.T) {
 		return out, nil
 	}), &st)
 	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 10, Certainty: 0.9})
-	out, err := g.Query([]string{"a", "b"})
+	out, err := g.Query(bg, []string{"a", "b"})
 	if err != nil || len(out) != 2 {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
@@ -214,7 +219,7 @@ func TestGuardAcceptsDeterministic(t *testing.T) {
 // TestGuardFlagsCoinFlip: a 50/50 answer can never reach 90% certainty.
 func TestGuardFlagsCoinFlip(t *testing.T) {
 	i := 0
-	base := learn.OracleFunc(func(w []string) ([]string, error) {
+	base := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
 		i++
 		if i%2 == 0 {
 			return []string{"heads"}, nil
@@ -222,7 +227,7 @@ func TestGuardFlagsCoinFlip(t *testing.T) {
 		return []string{"tails"}, nil
 	})
 	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 12, Certainty: 0.9})
-	_, err := g.Query([]string{"flip"})
+	_, err := g.Query(bg, []string{"flip"})
 	nd, ok := IsNondeterminism(err)
 	if !ok {
 		t.Fatalf("expected nondeterminism, got %v", err)
@@ -237,7 +242,7 @@ func TestGuardFlagsCoinFlip(t *testing.T) {
 // is returned.
 func TestGuardAcceptsRareGlitch(t *testing.T) {
 	i := 0
-	base := learn.OracleFunc(func(w []string) ([]string, error) {
+	base := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
 		i++
 		if i == 2 {
 			return []string{"glitch"}, nil
@@ -245,12 +250,93 @@ func TestGuardAcceptsRareGlitch(t *testing.T) {
 		return []string{"steady"}, nil
 	})
 	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 40, Certainty: 0.9})
-	out, err := g.Query([]string{"x"})
+	out, err := g.Query(bg, []string{"x"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out[0] != "steady" {
 		t.Fatalf("majority answer = %q", out[0])
+	}
+}
+
+// TestGuardVotesConsistentWithObserved pins the §5 bookkeeping invariant:
+// the reported vote total is derived from the observed-output counts, so
+// the two can never disagree — however the retry loop ends.
+func TestGuardVotesConsistentWithObserved(t *testing.T) {
+	i := 0
+	base := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
+		i++
+		return []string{fmt.Sprintf("answer-%d", i%3)}, nil // 3-way disagreement
+	})
+	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 9, Certainty: 0.9})
+	_, err := g.Query(bg, []string{"w"})
+	nd, ok := IsNondeterminism(err)
+	if !ok {
+		t.Fatalf("expected nondeterminism, got %v", err)
+	}
+	sum := 0
+	for _, n := range nd.Observed {
+		sum += n
+	}
+	if sum != nd.Votes {
+		t.Fatalf("votes (%d) inconsistent with observed counts (sum %d)", nd.Votes, sum)
+	}
+}
+
+// TestGuardWrapsRetryError: a vote that errors after partial retries must
+// surface the underlying error (errors.Is still sees it) wrapped with the
+// query word, and must not be misreported as nondeterminism.
+func TestGuardWrapsRetryError(t *testing.T) {
+	boom := errors.New("connection torn down")
+	i := 0
+	base := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
+		i++
+		switch {
+		case i <= 2:
+			// Disagree on the first two votes to force the retry loop.
+			return []string{fmt.Sprintf("v%d", i)}, nil
+		default:
+			return nil, boom
+		}
+	})
+	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 20, Certainty: 0.9})
+	_, err := g.Query(bg, []string{"SYN", "ACK"})
+	if err == nil {
+		t.Fatal("retry error swallowed")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("underlying error not preserved: %v", err)
+	}
+	if _, ok := IsNondeterminism(err); ok {
+		t.Fatalf("query failure misreported as nondeterminism: %v", err)
+	}
+	if !strings.Contains(err.Error(), "SYN") || !strings.Contains(err.Error(), "ACK") {
+		t.Fatalf("error does not name the query word: %v", err)
+	}
+}
+
+// TestGuardHonorsCancel: cancelling the context stops the vote loop with
+// ctx.Err().
+func TestGuardHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg)
+	i := 0
+	base := learn.OracleFunc(func(ctx context.Context, w []string) ([]string, error) {
+		i++
+		if i == 3 {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return []string{fmt.Sprintf("v%d", i%2)}, nil // keep disagreeing
+	})
+	g := Guard(base, GuardConfig{MinVotes: 2, MaxVotes: 100, Certainty: 0.99})
+	_, err := g.Query(ctx, []string{"x"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("guard error = %v, want context.Canceled", err)
+	}
+	if i > 4 {
+		t.Fatalf("guard kept voting after cancellation: %d executions", i)
 	}
 }
 
@@ -264,7 +350,7 @@ func TestOracleResetsPerQuery(t *testing.T) {
 	}
 	o := Oracle(s)
 	for i := 0; i < 3; i++ {
-		if _, err := o.Query([]string{"a"}); err != nil {
+		if _, err := o.Query(bg, []string{"a"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,21 +364,69 @@ func TestOracleStepErrorPropagates(t *testing.T) {
 		reset: func() error { return nil },
 		step:  func(in string) (string, error) { return "", errors.New("boom") },
 	}
-	if _, err := Oracle(s).Query([]string{"a"}); err == nil {
+	if _, err := Oracle(s).Query(bg, []string{"a"}); err == nil {
 		t.Fatal("step error swallowed")
 	}
 }
 
 func TestExperimentValidation(t *testing.T) {
-	if _, err := (&Experiment{}).Learn(); err == nil {
+	if _, err := (&Experiment{}).Learn(bg); err == nil {
 		t.Fatal("empty experiment accepted")
 	}
 	exp := &Experiment{Alphabet: []string{"a"}, SUL: &fakeSUL{
 		reset: func() error { return nil },
 		step:  func(string) (string, error) { return "o", nil },
 	}, Learner: "bogus"}
-	if _, err := exp.Learn(); err == nil {
+	if _, err := exp.Learn(bg); err == nil {
 		t.Fatal("bogus learner accepted")
+	}
+}
+
+// TestExperimentObserverEvents: the experiment-level observer sees the
+// learner's round events plus per-round cache snapshots, and a
+// nondeterministic run ends with NondeterminismDetected.
+func TestExperimentObserverEvents(t *testing.T) {
+	var events []learn.Event
+	exp := &Experiment{
+		Alphabet: quicsim.InputAlphabet(),
+		SUL:      quicSUL(quicsim.ProfileQuiche),
+		Equivalence: &learn.ModelOracle{
+			Model: quicsim.GroundTruth(quicsim.ProfileQuiche),
+		},
+		Observer: learn.ObserverFunc(func(e learn.Event) { events = append(events, e) }),
+	}
+	if _, err := exp.Learn(bg); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind()]++
+	}
+	if kinds["round_started"] == 0 || kinds["hypothesis_ready"] == 0 {
+		t.Fatalf("missing round events: %v", kinds)
+	}
+	if kinds["cache_snapshot"] != kinds["hypothesis_ready"] {
+		t.Fatalf("want one cache snapshot per hypothesis, got %v", kinds)
+	}
+
+	// A nondeterministic target ends with NondeterminismDetected.
+	events = nil
+	nd := &Experiment{
+		Alphabet: quicsim.InputAlphabet(),
+		SUL:      quicSUL(quicsim.ProfileMvfst),
+		Seed:     5,
+		Observer: learn.ObserverFunc(func(e learn.Event) { events = append(events, e) }),
+	}
+	if _, err := nd.Learn(bg); err == nil {
+		t.Fatal("expected mvfst nondeterminism")
+	}
+	last := events[len(events)-1]
+	det, ok := last.(learn.NondeterminismDetected)
+	if !ok {
+		t.Fatalf("final event is %T, want NondeterminismDetected", last)
+	}
+	if det.Alternatives < 2 || det.Votes == 0 || len(det.Word) == 0 {
+		t.Fatalf("empty nondeterminism report: %+v", det)
 	}
 }
 
@@ -300,11 +434,11 @@ func TestExperimentValidation(t *testing.T) {
 // learning run (the ablation DESIGN.md calls out).
 func TestCacheAblation(t *testing.T) {
 	with := &Experiment{Alphabet: reference.TCPAlphabet(), SUL: tcpSUL(), Seed: 9}
-	if _, err := with.Learn(); err != nil {
+	if _, err := with.Learn(bg); err != nil {
 		t.Fatal(err)
 	}
 	without := &Experiment{Alphabet: reference.TCPAlphabet(), SUL: tcpSUL(), Seed: 9, DisableCache: true}
-	if _, err := without.Learn(); err != nil {
+	if _, err := without.Learn(bg); err != nil {
 		t.Fatal(err)
 	}
 	if with.Stats.Queries >= without.Stats.Queries {
@@ -330,7 +464,7 @@ func TestLearningIsReproducible(t *testing.T) {
 			SUL:      quicSUL(quicsim.ProfileGoogle),
 			Seed:     21,
 		}
-		m, err := exp.Learn()
+		m, err := exp.Learn(bg)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -350,5 +484,4 @@ func TestLearningIsReproducible(t *testing.T) {
 	if s1 != 12 {
 		t.Logf("note: random equivalence oracle found %d of 12 states", s1)
 	}
-	_ = fmt.Sprintf
 }

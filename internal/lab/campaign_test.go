@@ -1,0 +1,245 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/learn"
+	"repro/internal/testutil"
+)
+
+// gauge tracks concurrent SUL activity across campaign runs so tests can
+// assert the parallelism bound.
+type gauge struct {
+	cur, max  int64
+	stepDelay time.Duration
+}
+
+func (g *gauge) reset() {
+	atomic.StoreInt64(&g.cur, 0)
+	atomic.StoreInt64(&g.max, 0)
+}
+
+// gaugeSUL is a deterministic 1-state system ("a"->"A", "b"->"B") whose
+// steps record how many queries are in flight across the whole process.
+type gaugeSUL struct{ g *gauge }
+
+func (s *gaugeSUL) Reset() error { return nil }
+
+func (s *gaugeSUL) Step(in string) (string, error) {
+	c := atomic.AddInt64(&s.g.cur, 1)
+	for {
+		m := atomic.LoadInt64(&s.g.max)
+		if c <= m || atomic.CompareAndSwapInt64(&s.g.max, m, c) {
+			break
+		}
+	}
+	if s.g.stepDelay > 0 {
+		time.Sleep(s.g.stepDelay)
+	}
+	atomic.AddInt64(&s.g.cur, -1)
+	switch in {
+	case "a":
+		return "A", nil
+	case "b":
+		return "B", nil
+	}
+	return "", fmt.Errorf("gauge: unknown symbol %q", in)
+}
+
+func gaugeTruth() *automata.Mealy {
+	m := automata.NewMealy([]string{"a", "b"})
+	m.SetTransition(m.Initial(), "a", m.Initial(), "A")
+	m.SetTransition(m.Initial(), "b", m.Initial(), "B")
+	return m
+}
+
+// campaignGauge is the shared instrument behind the registered test
+// target; builders read it at build time.
+var campaignGauge = &gauge{}
+
+func init() {
+	Register("campaign-gauge", func(spec BuildSpec) (*System, error) {
+		sys := &System{Alphabet: []string{"a", "b"}, Truth: gaugeTruth()}
+		for i := 0; i < spec.Replicas; i++ {
+			sys.SULs = append(sys.SULs, &gaugeSUL{g: campaignGauge})
+		}
+		return sys, nil
+	})
+}
+
+// TestCampaignRunsAllTargets drives a mixed campaign — deterministic
+// targets, the nondeterministic mvfst, and a registered custom target —
+// and checks per-run results are isolated and positionally aligned.
+func TestCampaignRunsAllTargets(t *testing.T) {
+	campaignGauge.reset()
+	camp := &Campaign{
+		Runs: []RunSpec{
+			{Target: TargetTCP, Options: []Option{WithSeed(13)}},
+			{Target: TargetQuiche, Options: []Option{WithSeed(13), WithPerfectEquivalence()}},
+			{Target: TargetMvfst, Options: []Option{WithSeed(13)}},
+			{Name: "custom", Target: "campaign-gauge", Options: []Option{WithSeed(1), WithPerfectEquivalence()}},
+		},
+		Parallelism: 4,
+	}
+	results, err := camp.Run(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results for 4 runs", len(results))
+	}
+	byName := map[string]RunResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if r := byName["tcp"]; r.Err != nil || r.Result.Model.NumStates() != 6 {
+		t.Fatalf("tcp run: %+v (err=%v)", r.Result, r.Err)
+	}
+	if r := byName["quiche"]; r.Err != nil || r.Result.Model.NumStates() != 8 {
+		t.Fatalf("quiche run: %+v (err=%v)", r.Result, r.Err)
+	}
+	// mvfst halts on nondeterminism — an isolated, first-class outcome,
+	// not a campaign failure.
+	if r := byName["mvfst"]; r.Err != nil || r.Result.Nondet == nil {
+		t.Fatalf("mvfst run: %+v (err=%v)", r.Result, r.Err)
+	}
+	if r := byName["custom"]; r.Err != nil || r.Result.Model.NumStates() != 1 {
+		t.Fatalf("custom run: %+v (err=%v)", r.Result, r.Err)
+	}
+	s := Summarize(results)
+	if s.Learned != 3 || s.Nondet != 1 || s.Failed != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// TestCampaignIsolatesFailures: a run that cannot even build (unknown
+// target) fails alone; its siblings complete.
+func TestCampaignIsolatesFailures(t *testing.T) {
+	camp := &Campaign{
+		Runs: []RunSpec{
+			{Target: "no-such-target"},
+			{Target: TargetQuiche, Options: []Option{WithSeed(13), WithPerfectEquivalence()}},
+		},
+		Parallelism: 2,
+	}
+	results, err := camp.Run(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("unknown target did not error")
+	}
+	if results[1].Err != nil || results[1].Result.Model == nil {
+		t.Fatalf("sibling run damaged: %+v (err=%v)", results[1].Result, results[1].Err)
+	}
+	s := Summarize(results)
+	if s.Failed != 1 || s.FirstErr == nil {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// TestCampaignBoundedParallelism: with Parallelism=1, queries from
+// different runs never overlap; the campaign semaphore is the only thing
+// enforcing that, since every run is eager.
+func TestCampaignBoundedParallelism(t *testing.T) {
+	campaignGauge.reset()
+	campaignGauge.stepDelay = 100 * time.Microsecond
+	defer func() { campaignGauge.stepDelay = 0 }()
+	runs := make([]RunSpec, 4)
+	for i := range runs {
+		runs[i] = RunSpec{
+			Name:   fmt.Sprintf("run-%d", i),
+			Target: "campaign-gauge",
+			Options: []Option{
+				WithSeed(int64(i)), WithPerfectEquivalence(),
+			},
+		}
+	}
+	camp := &Campaign{Runs: runs, Parallelism: 1}
+	if _, err := camp.Run(bg); err != nil {
+		t.Fatal(err)
+	}
+	if max := atomic.LoadInt64(&campaignGauge.max); max > 1 {
+		t.Fatalf("Parallelism=1 campaign had %d queries in flight", max)
+	}
+}
+
+// TestCampaignCancelledPromptly is the redesign's headline guarantee: a
+// cancelled campaign returns within one query round, every pending run is
+// marked with ctx.Err(), and no goroutines are left behind.
+func TestCampaignCancelledPromptly(t *testing.T) {
+	campaignGauge.reset()
+	campaignGauge.stepDelay = time.Millisecond
+	defer func() { campaignGauge.stepDelay = 0 }()
+	base := runtime.NumGoroutine()
+
+	// Random-words equivalence (no perfect oracle) keeps each run busy for
+	// seconds — far longer than the cancellation deadline below.
+	runs := make([]RunSpec, 4)
+	for i := range runs {
+		runs[i] = RunSpec{
+			Name:    fmt.Sprintf("slow-%d", i),
+			Target:  "campaign-gauge",
+			Options: []Option{WithSeed(int64(i)), WithWorkers(2)},
+		}
+	}
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results, err := (&Campaign{Runs: runs, Parallelism: 2}).Run(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign error = %v, want context.Canceled", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancelled campaign took %v to return", elapsed)
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no run reported the cancellation: %+v", results)
+	}
+	// goleak-style check: every pool worker and equivalence goroutine of
+	// the aborted runs must have exited.
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestCampaignObserverSharedStream: one JSONL-style observer can serve a
+// whole campaign; events from concurrent runs interleave but never race.
+func TestCampaignObserverSharedStream(t *testing.T) {
+	var events int64
+	obs := WithObserver(learn.ObserverFunc(func(learn.Event) { atomic.AddInt64(&events, 1) }))
+	camp := &Campaign{
+		Runs: []RunSpec{
+			{Name: "g1", Target: "campaign-gauge", Options: []Option{WithSeed(1), WithPerfectEquivalence(), obs}},
+			{Name: "g2", Target: "campaign-gauge", Options: []Option{WithSeed(2), WithPerfectEquivalence(), obs}},
+		},
+		Parallelism: 2,
+	}
+	results, err := camp.Run(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if atomic.LoadInt64(&events) == 0 {
+		t.Fatal("shared observer saw no events")
+	}
+}

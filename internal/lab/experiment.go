@@ -1,0 +1,225 @@
+package lab
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/learn"
+)
+
+// Result is the outcome of one learning run.
+type Result struct {
+	Target      string
+	Model       *automata.Mealy
+	Stats       learn.Stats
+	Nondet      *core.NondeterminismError
+	Duration    time.Duration
+	LearnerKind core.LearnerKind
+}
+
+// Experiment is one configured learning run against a registered target:
+// the built SUL replicas, the assembled oracle chain, and the resolved
+// options. Build it with NewExperiment, run it with Learn (repeatably —
+// replicas reset per query), and release any transport resources with
+// Close.
+type Experiment struct {
+	target string
+	cfg    config
+	sys    *System
+	exp    *core.Experiment
+}
+
+// NewExperiment resolves target in the registry, builds one SUL replica
+// per worker, and assembles the experiment from the given options.
+func NewExperiment(target string, opts ...Option) (*Experiment, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	sys, err := build(BuildSpec{
+		Target:    target,
+		Replicas:  cfg.workers,
+		Seed:      cfg.seed,
+		Transport: cfg.transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	suls := sys.SULs
+	if cfg.rtt > 0 {
+		wrapped := make([]core.SUL, len(suls))
+		for i, s := range suls {
+			wrapped[i] = Remote(s, cfg.rtt)
+		}
+		suls = wrapped
+	}
+	exp := &core.Experiment{
+		Alphabet:     sys.Alphabet,
+		SUL:          suls[0],
+		SULs:         suls[1:],
+		Workers:      cfg.workers,
+		Learner:      cfg.learner,
+		Seed:         cfg.seed,
+		DisableCache: cfg.disableCache,
+		Guard:        cfg.guard,
+		Equivalence:  cfg.equivalence,
+		Observer:     cfg.observer,
+	}
+	if cfg.perfect && exp.Equivalence == nil {
+		if sys.Truth == nil {
+			sys.Close()
+			return nil, fmt.Errorf("lab: no ground truth available for %q", target)
+		}
+		exp.Equivalence = &learn.ModelOracle{Model: sys.Truth}
+	}
+	return &Experiment{target: target, cfg: cfg, sys: sys, exp: exp}, nil
+}
+
+// Target returns the experiment's registered target name.
+func (e *Experiment) Target() string { return e.target }
+
+// Alphabet returns the target's input alphabet.
+func (e *Experiment) Alphabet() []string { return e.sys.Alphabet }
+
+// GroundTruth returns the target's specification model, nil when the
+// target has none.
+func (e *Experiment) GroundTruth() *automata.Mealy { return e.sys.Truth }
+
+// Stats returns a snapshot of the live-traffic counters (valid after — or,
+// from an observer, during — Learn). The counters are read atomically, so
+// snapshots taken while pool workers are updating them are safe.
+func (e *Experiment) Stats() learn.Stats { return statsSnapshot(&e.exp.Stats) }
+
+// statsSnapshot reads the atomically-updated counters without racing
+// concurrent pool workers.
+func statsSnapshot(st *learn.Stats) learn.Stats {
+	return learn.Stats{
+		Queries: atomic.LoadInt64(&st.Queries),
+		Symbols: atomic.LoadInt64(&st.Symbols),
+		Hits:    atomic.LoadInt64(&st.Hits),
+	}
+}
+
+// Learn runs the full Prognosis pipeline. Cancelling ctx aborts the run
+// within one query round and returns ctx.Err(); a nondeterministic target
+// (the §5 analysis) is not an error — it is reported in Result.Nondet.
+// Learn is repeatable (replicas reset per query); each call's Result.Stats
+// counts only that run's traffic.
+func (e *Experiment) Learn(ctx context.Context) (*Result, error) {
+	// Zero the counters so repeated Learns report per-run traffic rather
+	// than an accumulating total. (Learn itself is not safe for concurrent
+	// use on one Experiment; campaign runs each own their Experiment.)
+	atomic.StoreInt64(&e.exp.Stats.Queries, 0)
+	atomic.StoreInt64(&e.exp.Stats.Symbols, 0)
+	atomic.StoreInt64(&e.exp.Stats.Hits, 0)
+	res := &Result{Target: e.target, LearnerKind: e.cfg.learner}
+	start := time.Now()
+	model, err := e.exp.Learn(ctx)
+	res.Duration = time.Since(start)
+	res.Stats = statsSnapshot(&e.exp.Stats)
+	if err != nil {
+		if nd, ok := core.IsNondeterminism(err); ok {
+			res.Nondet = nd
+			return res, nil
+		}
+		return nil, err
+	}
+	res.Model = model
+	return res, nil
+}
+
+// Close releases the transport resources (UDP sockets, listeners) the
+// experiment's replicas hold. In-memory experiments hold none; calling
+// Close is still always safe.
+func (e *Experiment) Close() error { return e.sys.Close() }
+
+// Run is the one-shot convenience: build the experiment, learn it, and
+// release its resources. Use NewExperiment directly to learn repeatedly
+// or to interrogate the experiment (alphabet, ground truth) around a run.
+func Run(ctx context.Context, target string, opts ...Option) (*Result, error) {
+	exp, err := NewExperiment(target, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer exp.Close()
+	return exp.Learn(ctx)
+}
+
+// ---------------------------------------------------------------------
+// Deprecated PR-1 entry points, kept as thin shims for one release.
+// ---------------------------------------------------------------------
+
+// Options is the PR-1 configuration struct.
+//
+// Deprecated: use NewExperiment with functional options (WithSeed,
+// WithWorkers, WithRTT, WithPerfectEquivalence, ...). Options remains as a
+// shim for one release.
+type Options struct {
+	Learner core.LearnerKind
+	Seed    int64
+	// Perfect uses the ground-truth specification as the equivalence
+	// oracle (exact recovery, used to validate state counts); otherwise
+	// the heuristic random-words oracle is used, as in the paper.
+	Perfect      bool
+	DisableCache bool
+	// Workers > 1 runs the concurrent query engine.
+	Workers int
+	// RTT emulates a remote target by adding one network round-trip of
+	// this duration to every reset and every symbol exchange.
+	RTT time.Duration
+}
+
+// options converts the legacy struct to the functional form.
+func (o Options) options() []Option {
+	opts := []Option{WithSeed(o.Seed), WithLearner(o.Learner), WithWorkers(o.Workers), WithRTT(o.RTT)}
+	if o.Perfect {
+		opts = append(opts, WithPerfectEquivalence())
+	}
+	if o.DisableCache {
+		opts = append(opts, WithoutCache())
+	}
+	return opts
+}
+
+// Learn runs the full Prognosis pipeline against a named target.
+//
+// Deprecated: use NewExperiment(target, opts...).Learn(ctx), which adds
+// cancellation, transports, observers, and resource cleanup. Learn remains
+// as a shim for one release.
+func Learn(target string, opts Options) (*Result, error) {
+	return Run(context.Background(), target, opts.options()...)
+}
+
+// NewSUL builds one system under learning for a named target, returning
+// the SUL, its input alphabet, and the ground-truth model when one exists
+// (QUIC targets only; nil for TCP).
+//
+// Deprecated: use the registry (NewExperiment, or Register for new
+// targets). NewSUL remains as a shim for one release.
+func NewSUL(target string, seed int64) (core.SUL, []string, *automata.Mealy, error) {
+	sys, err := build(BuildSpec{Target: target, Replicas: 1, Seed: seed, Transport: TransportInMemory})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys.SULs[0], sys.Alphabet, sys.Truth, nil
+}
+
+// NewSULPool builds n behaviourally identical replicas of a target, the
+// sharded pool the concurrent query engine fans membership batches across.
+//
+// Deprecated: NewExperiment(target, WithWorkers(n)) builds and wires the
+// pool in one step. NewSULPool remains as a shim for one release.
+func NewSULPool(target string, n int, seed int64) ([]core.SUL, error) {
+	sys, err := build(BuildSpec{Target: target, Replicas: n, Seed: seed, Transport: TransportInMemory})
+	if err != nil {
+		return nil, err
+	}
+	return sys.SULs, nil
+}

@@ -1,9 +1,14 @@
-// Package lab wires complete Prognosis experiments: it builds systems
-// under learning for every target this repository reproduces (the TCP
-// stack and the four QUIC implementation profiles), runs learning with the
-// standard configuration, and extracts Oracle-Table traces for the
-// synthesis experiments. The command-line tools, examples, and the
-// benchmark harness all drive experiments through this package.
+// Package lab wires complete Prognosis experiments. Targets — the TCP
+// stack and the four QUIC implementation profiles this repository
+// reproduces — live in a registry (Register/Targets): each target name
+// maps to a Builder that constructs any number of independent SUL replicas
+// from a declarative BuildSpec, over the in-memory transport or real UDP
+// loopback sockets. Experiments are configured with functional options
+// (WithWorkers, WithTransport, WithRTT, WithLearner, WithGuard, ...),
+// learned with a context (cancellable mid-round), observed through a typed
+// event stream, and batched into concurrent Campaigns. The command-line
+// tools, examples, and the benchmark harness all drive experiments through
+// this package.
 package lab
 
 import (
@@ -12,7 +17,6 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/core"
-	"repro/internal/learn"
 	"repro/internal/quicsim"
 	"repro/internal/quicwire"
 	"repro/internal/reference"
@@ -21,7 +25,7 @@ import (
 	"repro/internal/tcpwire"
 )
 
-// Target names accepted by the tools.
+// Target names registered by this package.
 const (
 	TargetTCP         = "tcp"
 	TargetGoogle      = "google"
@@ -29,11 +33,6 @@ const (
 	TargetQuiche      = "quiche"
 	TargetMvfst       = "mvfst"
 )
-
-// Targets lists all learnable targets.
-func Targets() []string {
-	return []string{TargetTCP, TargetGoogle, TargetGoogleFixed, TargetQuiche, TargetMvfst}
-}
 
 // QUICProfile resolves a QUIC target name.
 func QUICProfile(name string) (quicsim.Profile, error) {
@@ -50,7 +49,8 @@ func QUICProfile(name string) (quicsim.Profile, error) {
 	return 0, fmt.Errorf("lab: unknown QUIC target %q", name)
 }
 
-// QUICSetup is a wired QUIC system under learning.
+// QUICSetup is a wired QUIC system under learning: the simulated server
+// behind the instrumented reference client, over any transport.
 type QUICSetup struct {
 	Server *quicsim.Server
 	Client *reference.QUICClient
@@ -134,40 +134,6 @@ func NewTCP(seed int64) *TCPSetup {
 	return &TCPSetup{Server: srv, Client: cli}
 }
 
-// Result is the outcome of one learning run.
-type Result struct {
-	Target      string
-	Model       *automata.Mealy
-	Stats       learn.Stats
-	Nondet      *core.NondeterminismError
-	Duration    time.Duration
-	EqAttempts  int
-	LearnerKind core.LearnerKind
-}
-
-// Options tune Learn.
-type Options struct {
-	Learner core.LearnerKind
-	Seed    int64
-	// Perfect uses the ground-truth specification as the equivalence
-	// oracle (exact recovery, used to validate state counts); otherwise
-	// the heuristic random-words oracle is used, as in the paper.
-	Perfect      bool
-	DisableCache bool
-	// Workers > 1 runs the concurrent query engine: membership queries fan
-	// out across Workers independent replicas of the target (each with its
-	// own reset state), and equivalence search is partitioned across the
-	// same number of goroutines.
-	Workers int
-	// RTT emulates a remote target by adding one network round-trip of
-	// this duration to every reset and every symbol exchange, which is how
-	// the paper's deployment behaves (implementations live in containers
-	// behind real sockets). Query latency — not CPU — then dominates
-	// learning time, and the sharded pool hides it by keeping Workers
-	// queries in flight.
-	RTT time.Duration
-}
-
 // Remote wraps an SUL so that every reset and every step costs one
 // emulated network round-trip, turning an in-process simulator into a
 // latency-faithful stand-in for a containerised implementation.
@@ -188,97 +154,6 @@ func (r *remoteSUL) Reset() error {
 func (r *remoteSUL) Step(in string) (string, error) {
 	time.Sleep(r.rtt)
 	return r.inner.Step(in)
-}
-
-// NewSUL builds one system under learning for a named target, returning
-// the SUL, its input alphabet, and the ground-truth model when one exists
-// (QUIC targets only; nil for TCP).
-func NewSUL(target string, seed int64) (core.SUL, []string, *automata.Mealy, error) {
-	switch target {
-	case TargetTCP:
-		return NewTCP(seed), reference.TCPAlphabet(), nil, nil
-	default:
-		profile, err := QUICProfile(target)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		sul := NewQUIC(profile, QUICOptions{Seed: seed})
-		return sul, quicsim.InputAlphabet(), quicsim.GroundTruth(profile), nil
-	}
-}
-
-// NewSULPool builds n behaviourally identical replicas of a target, the
-// sharded pool the concurrent query engine fans membership batches across.
-// Every replica is constructed with the same seed: the deterministic
-// targets (TCP and the google/google-fixed/quiche profiles) are pure
-// functions of (seed, input word), so any shard answers any query with
-// the same output the others would give — the property the pool
-// dispatcher assumes. The mvfst profile is genuinely nondeterministic
-// (its post-close RESET coin flips survive resets, the paper's Issue 2),
-// so its replicas diverge with query history; the per-shard voting guard
-// still detects and reports that nondeterminism under pooling, but which
-// witness query trips it first may vary with scheduling.
-func NewSULPool(target string, n int, seed int64) ([]core.SUL, error) {
-	suls := make([]core.SUL, 0, n)
-	for i := 0; i < n; i++ {
-		sul, _, _, err := NewSUL(target, seed)
-		if err != nil {
-			return nil, err
-		}
-		suls = append(suls, sul)
-	}
-	return suls, nil
-}
-
-// Learn runs the full Prognosis pipeline against a named target.
-func Learn(target string, opts Options) (*Result, error) {
-	sul, alphabet, truth, err := NewSUL(target, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if opts.RTT > 0 {
-		sul = Remote(sul, opts.RTT)
-	}
-	exp := &core.Experiment{
-		Alphabet:     alphabet,
-		SUL:          sul,
-		Learner:      opts.Learner,
-		Seed:         opts.Seed,
-		DisableCache: opts.DisableCache,
-	}
-	if opts.Workers > 1 {
-		replicas, err := NewSULPool(target, opts.Workers-1, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if opts.RTT > 0 {
-			for i, r := range replicas {
-				replicas[i] = Remote(r, opts.RTT)
-			}
-		}
-		exp.SULs = replicas
-		exp.Workers = opts.Workers
-	}
-	if opts.Perfect {
-		if truth == nil {
-			return nil, fmt.Errorf("lab: no ground truth available for %q", target)
-		}
-		exp.Equivalence = &learn.ModelOracle{Model: truth}
-	}
-	res := &Result{Target: target, LearnerKind: opts.Learner}
-	start := time.Now()
-	model, err := exp.Learn()
-	res.Duration = time.Since(start)
-	res.Stats = exp.Stats
-	if err != nil {
-		if nd, ok := core.IsNondeterminism(err); ok {
-			res.Nondet = nd
-			return res, nil
-		}
-		return nil, err
-	}
-	res.Model = model
-	return res, nil
 }
 
 // SDBTraces converts recorded QUIC exchanges into synthesis traces for the

@@ -1,11 +1,26 @@
 package lab
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/quicsim"
 	"repro/internal/synth"
 )
+
+// bg is the default context for tests that never cancel.
+var bg = context.Background()
+
+// learnT builds, runs, and closes one experiment, failing the test on any
+// error (nondeterminism is not an error; it lands in Result.Nondet).
+func learnT(t *testing.T, target string, opts ...Option) *Result {
+	t.Helper()
+	res, err := Run(bg, target, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func TestLearnAllDeterministicTargets(t *testing.T) {
 	want := map[string]int{
@@ -15,14 +30,11 @@ func TestLearnAllDeterministicTargets(t *testing.T) {
 		TargetQuiche:      8,
 	}
 	for target, states := range want {
-		opts := Options{Seed: 13}
+		opts := []Option{WithSeed(13)}
 		if target != TargetTCP {
-			opts.Perfect = true
+			opts = append(opts, WithPerfectEquivalence())
 		}
-		res, err := Learn(target, opts)
-		if err != nil {
-			t.Fatalf("%s: %v", target, err)
-		}
+		res := learnT(t, target, opts...)
 		if res.Nondet != nil {
 			t.Fatalf("%s: unexpected nondeterminism: %v", target, res.Nondet)
 		}
@@ -36,10 +48,7 @@ func TestLearnAllDeterministicTargets(t *testing.T) {
 }
 
 func TestLearnMvfstReportsNondeterminism(t *testing.T) {
-	res, err := Learn(TargetMvfst, Options{Seed: 13})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := learnT(t, TargetMvfst, WithSeed(13))
 	if res.Nondet == nil {
 		t.Fatal("mvfst should be flagged nondeterministic")
 	}
@@ -48,9 +57,62 @@ func TestLearnMvfstReportsNondeterminism(t *testing.T) {
 	}
 }
 
-func TestLearnUnknownTarget(t *testing.T) {
-	if _, err := Learn("nope", Options{}); err == nil {
+// TestLearnRepeatablePerRunStats: Learn is documented as repeatable, and
+// every call's Result.Stats must count only that run's traffic.
+func TestLearnRepeatablePerRunStats(t *testing.T) {
+	exp, err := NewExperiment(TargetQuiche, WithSeed(13), WithPerfectEquivalence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	r1, err := exp.Learn(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exp.Learn(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ce := r1.Model.Equivalent(r2.Model); !eq {
+		t.Fatalf("repeated Learn diverged on %v", ce)
+	}
+	if r1.Stats.Queries != r2.Stats.Queries {
+		t.Fatalf("per-run stats accumulate: first %d queries, second %d", r1.Stats.Queries, r2.Stats.Queries)
+	}
+}
+
+func TestNewExperimentUnknownTarget(t *testing.T) {
+	if _, err := NewExperiment("nope"); err == nil {
 		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestNewExperimentPerfectNeedsTruth(t *testing.T) {
+	if _, err := NewExperiment(TargetTCP, WithPerfectEquivalence()); err == nil {
+		t.Fatal("perfect equivalence accepted for a target without ground truth")
+	}
+}
+
+// TestDeprecatedLearnShim keeps the PR-1 entry points working for one
+// release: the struct-options shim must produce the same result as the
+// functional API.
+func TestDeprecatedLearnShim(t *testing.T) {
+	old, err := Learn(TargetQuiche, Options{Seed: 13, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := learnT(t, TargetQuiche, WithSeed(13), WithPerfectEquivalence())
+	if eq, ce := old.Model.Equivalent(res.Model); !eq {
+		t.Fatalf("shim model differs from functional-API model on %v", ce)
+	}
+	if old.Stats.Queries != res.Stats.Queries {
+		t.Fatalf("shim live queries %d != %d", old.Stats.Queries, res.Stats.Queries)
+	}
+	if _, _, _, err := NewSUL(TargetTCP, 13); err != nil {
+		t.Fatal(err)
+	}
+	if suls, err := NewSULPool(TargetGoogle, 3, 13); err != nil || len(suls) != 3 {
+		t.Fatalf("NewSULPool: %d suls, err=%v", len(suls), err)
 	}
 }
 
@@ -74,10 +136,7 @@ func TestIssue4SynthesisEndToEnd(t *testing.T) {
 		{TargetGoogle, true},
 		{TargetGoogleFixed, false},
 	} {
-		res, err := Learn(tc.target, Options{Seed: 29, Perfect: true})
-		if err != nil {
-			t.Fatal(err)
-		}
+		res := learnT(t, tc.target, WithSeed(29), WithPerfectEquivalence())
 		profile, _ := QUICProfile(tc.target)
 		setup := NewQUIC(profile, QUICOptions{Seed: 29})
 		var traces []synth.Trace
@@ -133,10 +192,7 @@ func TestTCPSynthEndToEnd(t *testing.T) {
 		}
 		return TCPSynthTraces(setup.Client.Trace())
 	}
-	res, err := Learn(TargetTCP, Options{Seed: 31})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := learnT(t, TargetTCP, WithSeed(31))
 	traces := []synth.Trace{
 		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)"}),
 		collect([]string{"SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"}),

@@ -1,0 +1,97 @@
+package lab
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+)
+
+// config is the resolved option set of one experiment.
+type config struct {
+	seed         int64
+	learner      core.LearnerKind
+	workers      int
+	rtt          time.Duration
+	transport    TransportKind
+	perfect      bool
+	disableCache bool
+	guard        core.GuardConfig
+	equivalence  learn.EquivalenceOracle
+	observer     learn.Observer
+}
+
+func defaultConfig() config {
+	return config{workers: 1, transport: TransportInMemory}
+}
+
+// Option is one declarative experiment setting, applied by NewExperiment.
+type Option func(*config)
+
+// WithSeed fixes the seed for all pseudo-randomness in the run (SUL
+// construction and the heuristic equivalence search).
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithLearner selects the learning algorithm (core.LearnerTTT by default).
+func WithLearner(kind core.LearnerKind) Option {
+	return func(c *config) { c.learner = kind }
+}
+
+// WithWorkers runs the concurrent query engine: membership queries fan out
+// across n independent replicas of the target (each with its own reset
+// state), and the equivalence search is partitioned across the same number
+// of goroutines.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithRTT emulates a remote target by adding one network round-trip of
+// this duration to every reset and every symbol exchange, which is how the
+// paper's deployment behaves (implementations live in containers behind
+// real sockets). Query latency — not CPU — then dominates learning time,
+// and the sharded pool hides it by keeping WithWorkers queries in flight.
+func WithRTT(rtt time.Duration) Option {
+	return func(c *config) { c.rtt = rtt }
+}
+
+// WithTransport selects how replicas are wired (in-memory by default; UDP
+// builds one loopback socket pair per worker for QUIC targets).
+func WithTransport(t TransportKind) Option {
+	return func(c *config) { c.transport = t }
+}
+
+// WithGuard tunes the §5 nondeterminism voting check (core.DefaultGuard
+// otherwise).
+func WithGuard(cfg core.GuardConfig) Option {
+	return func(c *config) { c.guard = cfg }
+}
+
+// WithPerfectEquivalence uses the target's ground-truth specification as
+// the equivalence oracle (exact recovery, used to validate state counts);
+// NewExperiment fails for targets without one. Without it the heuristic
+// random-words oracle is used, as in the paper.
+func WithPerfectEquivalence() Option {
+	return func(c *config) { c.perfect = true }
+}
+
+// WithEquivalence installs a custom equivalence oracle (overrides both the
+// default random-words search and WithPerfectEquivalence).
+func WithEquivalence(eq learn.EquivalenceOracle) Option {
+	return func(c *config) { c.equivalence = eq }
+}
+
+// WithoutCache disables the prefix-tree membership-query cache (for
+// ablation).
+func WithoutCache() Option {
+	return func(c *config) { c.disableCache = true }
+}
+
+// WithObserver streams the run's typed events (RoundStarted,
+// HypothesisReady, CounterexampleFound, CacheSnapshot,
+// NondeterminismDetected) to obs. Observers shared across campaign runs
+// must be safe for concurrent use.
+func WithObserver(obs learn.Observer) Option {
+	return func(c *config) { c.observer = obs }
+}

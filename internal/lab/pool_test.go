@@ -9,19 +9,13 @@ import "testing"
 func TestPooledLearnMatchesSequential(t *testing.T) {
 	for _, target := range []string{TargetTCP, TargetQuiche} {
 		t.Run(target, func(t *testing.T) {
-			opts := Options{Seed: 13}
-			if target != TargetTCP {
-				opts.Perfect = true
+			perfect := target != TargetTCP
+			opts := []Option{WithSeed(13)}
+			if perfect {
+				opts = append(opts, WithPerfectEquivalence())
 			}
-			seq, err := Learn(target, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			opts.Workers = 4
-			pooled, err := Learn(target, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
+			seq := learnT(t, target, opts...)
+			pooled := learnT(t, target, append(opts, WithWorkers(4))...)
 			if eq, ce := seq.Model.Equivalent(pooled.Model); !eq {
 				t.Fatalf("pooled model differs from sequential on %v", ce)
 			}
@@ -29,7 +23,7 @@ func TestPooledLearnMatchesSequential(t *testing.T) {
 			// exactly the sequential run's queries. (Under the heuristic
 			// random-words oracle the parallel search may check a few more
 			// words per round before pruning, so counts can differ there.)
-			if opts.Perfect && seq.Stats.Queries != pooled.Stats.Queries {
+			if perfect && seq.Stats.Queries != pooled.Stats.Queries {
 				t.Errorf("live queries: pooled %d vs sequential %d",
 					pooled.Stats.Queries, seq.Stats.Queries)
 			}
@@ -40,29 +34,23 @@ func TestPooledLearnMatchesSequential(t *testing.T) {
 // TestPooledLearnMvfstStillFlagsNondeterminism: the voting guard must keep
 // working per shard — pooling may not mask the mvfst Issue 2 behaviour.
 func TestPooledLearnMvfstStillFlagsNondeterminism(t *testing.T) {
-	res, err := Learn(TargetMvfst, Options{Seed: 13, Workers: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := learnT(t, TargetMvfst, WithSeed(13), WithWorkers(4))
 	if res.Nondet == nil {
 		t.Fatal("pooled mvfst learn should be flagged nondeterministic")
 	}
 }
 
-// TestNewSULPoolReplicasAgree: replicas constructed by NewSULPool must be
+// TestReplicasAgree: replicas constructed by a registered builder must be
 // behaviourally identical — the property the pool dispatcher assumes.
-func TestNewSULPoolReplicasAgree(t *testing.T) {
-	suls, err := NewSULPool(TargetGoogle, 3, 13)
+func TestReplicasAgree(t *testing.T) {
+	sys, err := build(BuildSpec{Target: TargetGoogle, Replicas: 3, Seed: 13, Transport: TransportInMemory})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, alphabet, _, err := NewSUL(TargetGoogle, 13)
-	if err != nil {
-		t.Fatal(err)
-	}
-	word := []string{alphabet[0], alphabet[1], alphabet[2]}
+	defer sys.Close()
+	word := []string{sys.Alphabet[0], sys.Alphabet[1], sys.Alphabet[2]}
 	var first []string
-	for i, s := range suls {
+	for i, s := range sys.SULs {
 		if err := s.Reset(); err != nil {
 			t.Fatal(err)
 		}
@@ -83,5 +71,32 @@ func TestNewSULPoolReplicasAgree(t *testing.T) {
 				t.Fatalf("replica %d diverges at step %d: %q vs %q", i, j, out[j], first[j])
 			}
 		}
+	}
+}
+
+// TestUDPLearnMatchesInMemory encodes the redesign's compatibility
+// guarantee: learning a QUIC profile over per-worker UDP socket pairs
+// yields the identical model and identical live query counts as the
+// in-memory transport with the same seed and worker count.
+func TestUDPLearnMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("UDP learning session is slow in -short mode")
+	}
+	opts := []Option{WithSeed(13), WithWorkers(4), WithPerfectEquivalence()}
+	mem := learnT(t, TargetGoogle, opts...)
+	udp := learnT(t, TargetGoogle, append(opts, WithTransport(TransportUDP))...)
+	if eq, ce := mem.Model.Equivalent(udp.Model); !eq {
+		t.Fatalf("UDP model differs from in-memory on %v", ce)
+	}
+	if mem.Stats.Queries != udp.Stats.Queries {
+		t.Fatalf("live queries: udp %d vs in-memory %d", udp.Stats.Queries, mem.Stats.Queries)
+	}
+}
+
+// TestTCPRejectsUDPTransport: the TCP stack only speaks the in-memory
+// transport and must say so instead of silently ignoring the option.
+func TestTCPRejectsUDPTransport(t *testing.T) {
+	if _, err := NewExperiment(TargetTCP, WithTransport(TransportUDP)); err == nil {
+		t.Fatal("tcp + UDP transport accepted")
 	}
 }

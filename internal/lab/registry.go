@@ -1,0 +1,198 @@
+package lab
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+	"repro/internal/transport"
+)
+
+// TransportKind selects how an experiment's SUL replicas are wired to
+// their reference clients.
+type TransportKind string
+
+// Available transports.
+const (
+	// TransportInMemory wires client and server through an in-process
+	// function call — the fastest path, used by default.
+	TransportInMemory TransportKind = "in-memory"
+	// TransportUDP hosts each replica's server on a loopback UDP socket
+	// and drives it through a real client socket — one independent socket
+	// pair per replica, as the paper's containerised deployment would.
+	TransportUDP TransportKind = "udp"
+)
+
+// BuildSpec is the declarative request a Builder receives: everything a
+// target needs to construct Replicas behaviourally identical systems under
+// learning. All replicas share the Seed, which is what makes them
+// interchangeable shards for the concurrent query engine.
+type BuildSpec struct {
+	Target    string
+	Replicas  int
+	Seed      int64
+	Transport TransportKind
+}
+
+// System is a built target: the SUL replicas, their input alphabet, the
+// ground-truth model when the target has one (nil otherwise), and any
+// resources (sockets, listeners) that must be released with Close.
+type System struct {
+	SULs     []core.SUL
+	Alphabet []string
+	Truth    *automata.Mealy
+
+	closers []func() error
+}
+
+// AddCloser registers a resource released by Close. Builders call it for
+// every socket or listener a replica owns.
+func (s *System) AddCloser(fn func() error) { s.closers = append(s.closers, fn) }
+
+// Close releases every registered resource in reverse order, joining
+// errors.
+func (s *System) Close() error {
+	var errs []error
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		if err := s.closers[i](); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	s.closers = nil
+	return errors.Join(errs...)
+}
+
+// Builder constructs a System for a BuildSpec. Builders must honour
+// spec.Replicas (every replica independently resettable, all seeded
+// identically) and either support spec.Transport or return an error naming
+// the unsupported combination.
+type Builder func(spec BuildSpec) (*System, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// Register makes a target available to NewExperiment, Campaign, and the
+// command-line tools under the given name. It panics on an empty name or a
+// duplicate registration — both are programmer errors at init time.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("lab: Register needs a target name and a builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("lab: target %q registered twice", name))
+	}
+	registry[name] = b
+}
+
+// Targets lists all registered target names, sorted.
+func Targets() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// build resolves a target name and runs its builder.
+func build(spec BuildSpec) (*System, error) {
+	registryMu.RLock()
+	b, ok := registry[spec.Target]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lab: unknown target %q (registered: %v)", spec.Target, Targets())
+	}
+	if spec.Replicas < 1 {
+		spec.Replicas = 1
+	}
+	if spec.Transport == "" {
+		spec.Transport = TransportInMemory
+	}
+	sys, err := b(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(sys.SULs) != spec.Replicas {
+		sys.Close()
+		return nil, fmt.Errorf("lab: builder for %q produced %d replicas, want %d",
+			spec.Target, len(sys.SULs), spec.Replicas)
+	}
+	return sys, nil
+}
+
+func init() {
+	Register(TargetTCP, buildTCP)
+	registerQUIC(TargetGoogle, quicsim.ProfileGoogle)
+	registerQUIC(TargetGoogleFixed, quicsim.ProfileGoogleFixed)
+	registerQUIC(TargetQuiche, quicsim.ProfileQuiche)
+	registerQUIC(TargetMvfst, quicsim.ProfileMvfst)
+}
+
+// buildTCP is the Builder for the userspace TCP stack. It only speaks the
+// in-memory transport: the stack's Scapy-style client exchanges raw
+// segments with the server function directly.
+func buildTCP(spec BuildSpec) (*System, error) {
+	if spec.Transport != TransportInMemory {
+		return nil, fmt.Errorf("lab: target %q supports only the in-memory transport, not %q",
+			spec.Target, spec.Transport)
+	}
+	sys := &System{Alphabet: reference.TCPAlphabet()}
+	for i := 0; i < spec.Replicas; i++ {
+		sys.SULs = append(sys.SULs, NewTCP(spec.Seed))
+	}
+	return sys, nil
+}
+
+// registerQUIC registers one QUIC profile as a target supporting both
+// transports.
+func registerQUIC(name string, profile quicsim.Profile) {
+	Register(name, func(spec BuildSpec) (*System, error) {
+		sys := &System{
+			Alphabet: quicsim.InputAlphabet(),
+			Truth:    quicsim.GroundTruth(profile),
+		}
+		// Both transports must drive identically-seeded systems (the
+		// documented transport-equivalence guarantee), so the UDP path
+		// applies NewQUIC's zero-seed default too.
+		seed := spec.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		for i := 0; i < spec.Replicas; i++ {
+			switch spec.Transport {
+			case TransportInMemory:
+				sys.SULs = append(sys.SULs, NewQUIC(profile, QUICOptions{Seed: seed}))
+			case TransportUDP:
+				// One real socket pair per replica: a loopback-hosted server
+				// and a dedicated client socket, so pooled workers drive
+				// genuinely independent network endpoints.
+				srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: seed})
+				hosted, err := transport.ListenQUIC(transport.Loopback(), srv)
+				if err != nil {
+					sys.Close()
+					return nil, fmt.Errorf("lab: hosting %q replica %d: %w", name, i, err)
+				}
+				sys.AddCloser(hosted.Close)
+				tr := transport.NewQUICClientTransport(hosted.Addr())
+				sys.AddCloser(tr.Close)
+				cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: seed + 4}, tr)
+				sys.SULs = append(sys.SULs, &QUICSetup{Server: srv, Client: cli})
+			default:
+				sys.Close()
+				return nil, fmt.Errorf("lab: target %q does not support transport %q", name, spec.Transport)
+			}
+		}
+		return sys, nil
+	})
+}

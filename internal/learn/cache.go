@@ -2,6 +2,7 @@ package learn
 
 import (
 	"context"
+	"errors"
 	"hash/fnv"
 	"strings"
 	"sync"
@@ -39,6 +40,7 @@ type cacheShard struct {
 type Cache struct {
 	shards [cacheShards]cacheShard
 	stats  *Stats
+	nodes  int64 // total prefix-tree nodes, kept O(1)-readable for snapshots
 }
 
 func (c *Cache) shard(word []string) *cacheShard {
@@ -56,8 +58,10 @@ func NewCache(o Oracle, st *Stats) *CachedOracle {
 // CachedOracle is an Oracle that consults a Cache before its inner oracle.
 // Concurrent duplicate queries are deduplicated: while a word is in flight
 // to the inner oracle, later askers of the same word wait for the first
-// answer instead of issuing their own. It implements BatchOracle, fanning
-// cache misses to the inner oracle's batch path when available.
+// answer instead of issuing their own — or give up with ctx.Err() when
+// their context is cancelled first, so cancellation is never stuck behind
+// another goroutine's slow query. It implements BatchOracle, fanning cache
+// misses to the inner oracle's batch path when available.
 type CachedOracle struct {
 	inner Oracle
 	cache *Cache
@@ -79,40 +83,58 @@ func (c *CachedOracle) hit() {
 	}
 }
 
-// Query implements Oracle.
-func (c *CachedOracle) Query(word []string) ([]string, error) {
-	if out, ok := c.cache.lookup(word); ok {
-		c.hit()
-		return out, nil
-	}
-	k := strings.Join(word, "\x1f")
-	c.mu.Lock()
-	if fl, ok := c.inflight[k]; ok {
-		c.mu.Unlock()
-		<-fl.done
-		if fl.err != nil {
-			return nil, fl.err
-		}
-		c.hit()
-		return fl.out, nil
-	}
-	fl := &inflightQuery{done: make(chan struct{})}
-	if c.inflight == nil {
-		c.inflight = make(map[string]*inflightQuery)
-	}
-	c.inflight[k] = fl
-	c.mu.Unlock()
+// isCtxErr reports whether err is a context cancellation or deadline —
+// a failure of the asking goroutine's context, not of the query itself.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
-	out, err := query(c.inner, word)
-	if err == nil {
-		c.cache.store(word, out)
+// Query implements Oracle.
+func (c *CachedOracle) Query(ctx context.Context, word []string) ([]string, error) {
+	for {
+		if out, ok := c.cache.lookup(word); ok {
+			c.hit()
+			return out, nil
+		}
+		k := strings.Join(word, "\x1f")
+		c.mu.Lock()
+		if fl, ok := c.inflight[k]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err != nil {
+				// A leader that died of its *own* context must not poison
+				// waiters whose contexts are still live: retry the word
+				// ourselves (becoming the new leader).
+				if isCtxErr(fl.err) && ctx.Err() == nil {
+					continue
+				}
+				return nil, fl.err
+			}
+			c.hit()
+			return fl.out, nil
+		}
+		fl := &inflightQuery{done: make(chan struct{})}
+		if c.inflight == nil {
+			c.inflight = make(map[string]*inflightQuery)
+		}
+		c.inflight[k] = fl
+		c.mu.Unlock()
+
+		out, err := query(ctx, c.inner, word)
+		if err == nil {
+			c.cache.store(word, out)
+		}
+		fl.out, fl.err = out, err
+		c.mu.Lock()
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		close(fl.done)
+		return out, err
 	}
-	fl.out, fl.err = out, err
-	c.mu.Lock()
-	delete(c.inflight, k)
-	c.mu.Unlock()
-	close(fl.done)
-	return out, err
 }
 
 // QueryBatch implements BatchOracle: answers what it can from the cache,
@@ -127,10 +149,10 @@ func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]st
 		key     string
 		indices []int
 	}
-	var misses []missGroup        // distinct words this call must ask itself
+	var misses []missGroup         // distinct words this call must ask itself
 	missAt := make(map[string]int) // word key -> index in misses
-	var waits []*inflightQuery    // queries another goroutine is already asking
-	var waitIdx []int             // the batch position each wait fills
+	var waits []*inflightQuery     // queries another goroutine is already asking
+	var waitIdx []int              // the batch position each wait fills
 
 	c.mu.Lock()
 	for i, w := range words {
@@ -179,10 +201,7 @@ func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]st
 		} else {
 			innerOuts = make([][]string, len(missWords))
 			for i, w := range missWords {
-				if innerErr = ctx.Err(); innerErr != nil {
-					break
-				}
-				if innerOuts[i], innerErr = query(c.inner, w); innerErr != nil {
+				if innerOuts[i], innerErr = query(ctx, c.inner, w); innerErr != nil {
 					break
 				}
 			}
@@ -215,8 +234,22 @@ func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]st
 
 	// Collect answers another goroutine was already computing.
 	for i, fl := range waits {
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if fl.err != nil {
+			// As in Query: a leader cancelled by its own context must not
+			// fail live waiters — re-ask the word under our context.
+			if isCtxErr(fl.err) && ctx.Err() == nil {
+				out, err := c.Query(ctx, words[waitIdx[i]])
+				if err != nil {
+					return nil, err
+				}
+				outs[waitIdx[i]] = out
+				continue
+			}
 			return nil, fl.err
 		}
 		c.hit()
@@ -226,24 +259,11 @@ func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]st
 }
 
 // Size returns the number of cached input words (prefix-tree nodes minus
-// the roots), which equals the number of distinct non-empty prefixes stored.
+// the roots), which equals the number of distinct non-empty prefixes
+// stored. It is an O(1) atomic read, so per-round snapshots never stall
+// pool workers on the shard locks.
 func (c *CachedOracle) Size() int {
-	var count func(*cacheNode) int
-	count = func(n *cacheNode) int {
-		total := 0
-		for _, ch := range n.children {
-			total += 1 + count(ch)
-		}
-		return total
-	}
-	total := 0
-	for i := range c.cache.shards {
-		sh := &c.cache.shards[i]
-		sh.mu.Lock()
-		total += count(&sh.root)
-		sh.mu.Unlock()
-	}
-	return total
+	return int(atomic.LoadInt64(&c.cache.nodes))
 }
 
 func (c *Cache) lookup(word []string) ([]string, bool) {
@@ -282,6 +302,7 @@ func (c *Cache) store(word, out []string) {
 		if !ok {
 			ch = &cacheNode{output: out[i]}
 			n.children[in] = ch
+			atomic.AddInt64(&c.nodes, 1)
 		}
 		n = ch
 	}

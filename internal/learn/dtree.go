@@ -1,7 +1,9 @@
 package learn
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/automata"
@@ -17,6 +19,10 @@ type DTLearner struct {
 	oracle Oracle
 	inputs []string
 	root   *dtNode
+
+	// Observer, when set, receives RoundStarted / HypothesisReady /
+	// CounterexampleFound events as the MAT loop progresses.
+	Observer Observer
 
 	// access maps each hypothesis state to the access sequence of its tree
 	// leaf. Counterexample analysis must use these canonical sequences (not
@@ -43,22 +49,31 @@ func NewDTLearner(o Oracle, inputs []string) *DTLearner {
 	return &DTLearner{oracle: o, inputs: inputs}
 }
 
-// Learn runs the MAT loop to a stable hypothesis.
-func (d *DTLearner) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
+// Learn runs the MAT loop to a stable hypothesis, or returns ctx.Err() as
+// soon as the context is cancelled mid-round.
+func (d *DTLearner) Learn(ctx context.Context, eq EquivalenceOracle) (*automata.Mealy, error) {
 	d.root = &dtNode{access: []string{}} // single-leaf tree: one state
-	for {
-		hyp, err := d.hypothesis()
+	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		notify(d.Observer, RoundStarted{Round: round})
+		hyp, err := d.hypothesis(ctx)
 		if err != nil {
 			return nil, err
 		}
-		ce, err := eq.FindCounterexample(hyp)
+		notify(d.Observer, HypothesisReady{
+			Round: round, States: hyp.NumStates(), Transitions: hyp.NumTransitions(),
+		})
+		ce, err := eq.FindCounterexample(ctx, hyp)
 		if err != nil {
 			return nil, err
 		}
 		if ce == nil {
 			return hyp, nil
 		}
-		if err := d.processCounterexample(hyp, ce); err != nil {
+		notify(d.Observer, CounterexampleFound{Round: round, Word: ce})
+		if err := d.processCounterexample(ctx, hyp, ce); err != nil {
 			return nil, err
 		}
 	}
@@ -66,9 +81,9 @@ func (d *DTLearner) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
 
 // signature returns the output word of the oracle on prefix·suffix,
 // restricted to the suffix positions, joined as a map key.
-func (d *DTLearner) signature(prefix, suffix []string) (string, error) {
+func (d *DTLearner) signature(ctx context.Context, prefix, suffix []string) (string, error) {
 	word := append(append([]string(nil), prefix...), suffix...)
-	out, err := query(d.oracle, word)
+	out, err := query(ctx, d.oracle, word)
 	if err != nil {
 		return "", err
 	}
@@ -78,10 +93,10 @@ func (d *DTLearner) signature(prefix, suffix []string) (string, error) {
 // sift descends the tree with the given access word, creating a new leaf if
 // an unseen signature is encountered. It returns the leaf and whether it
 // was newly created.
-func (d *DTLearner) sift(word []string) (*dtNode, bool, error) {
+func (d *DTLearner) sift(ctx context.Context, word []string) (*dtNode, bool, error) {
 	n := d.root
 	for !n.leaf() {
-		sig, err := d.signature(word, n.suffix)
+		sig, err := d.signature(ctx, word, n.suffix)
 		if err != nil {
 			return nil, false, err
 		}
@@ -101,7 +116,7 @@ func (d *DTLearner) sift(word []string) (*dtNode, bool, error) {
 // pooled oracle answers a whole tree level at once instead of one
 // signature at a time. It returns the leaf each word lands on and whether
 // any new leaf was created along the way.
-func (d *DTLearner) siftAll(words [][]string) ([]*dtNode, bool, error) {
+func (d *DTLearner) siftAll(ctx context.Context, words [][]string) ([]*dtNode, bool, error) {
 	nodes := make([]*dtNode, len(words))
 	for i := range nodes {
 		nodes[i] = d.root
@@ -119,7 +134,7 @@ func (d *DTLearner) siftAll(words [][]string) ([]*dtNode, bool, error) {
 		if len(idxs) == 0 {
 			return nodes, created, nil
 		}
-		outs, err := queryAll(d.oracle, qs)
+		outs, err := queryAll(ctx, d.oracle, qs)
 		if err != nil {
 			return nil, false, err
 		}
@@ -137,7 +152,10 @@ func (d *DTLearner) siftAll(words [][]string) ([]*dtNode, bool, error) {
 	}
 }
 
-// leaves collects all leaves of the tree.
+// leaves collects all leaves of the tree, walking children in sorted
+// signature order so the enumeration — and therefore hypothesis state
+// numbering — is identical run to run (children is a map; ranging over it
+// directly would randomise state names between otherwise-equal runs).
 func (d *DTLearner) leaves() []*dtNode {
 	var out []*dtNode
 	var walk func(*dtNode)
@@ -146,8 +164,13 @@ func (d *DTLearner) leaves() []*dtNode {
 			out = append(out, n)
 			return
 		}
-		for _, c := range n.children {
-			walk(c)
+		sigs := make([]string, 0, len(n.children))
+		for sig := range n.children {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			walk(n.children[sig])
 		}
 	}
 	walk(d.root)
@@ -160,11 +183,11 @@ func (d *DTLearner) leaves() []*dtNode {
 // batch point: the transition-output queries for every leaf×input
 // extension go out as one batch, and the extensions are then sifted in
 // lock step (siftAll), so a pooled oracle keeps all shards busy.
-func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
+func (d *DTLearner) hypothesis(ctx context.Context) (*automata.Mealy, error) {
 	for {
 		ls := d.leaves()
 		// The initial leaf is where the empty word sifts to.
-		init, created, err := d.sift(nil)
+		init, created, err := d.sift(ctx, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +210,7 @@ func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
 				exts = append(exts, append(append([]string(nil), l.access...), in))
 			}
 		}
-		targets, grew, err := d.siftAll(exts)
+		targets, grew, err := d.siftAll(ctx, exts)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +220,7 @@ func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
 		// Only a stable round pays for the transition outputs, so growth
 		// rounds never waste live queries on results that would be
 		// discarded.
-		outs, err := queryAll(d.oracle, exts)
+		outs, err := queryAll(ctx, d.oracle, exts)
 		if err != nil {
 			return nil, err
 		}
@@ -214,9 +237,9 @@ func (d *DTLearner) hypothesis() (*automata.Mealy, error) {
 
 // processCounterexample applies Rivest–Schapire decomposition repeatedly
 // until the hypothesis agrees with the system on ce.
-func (d *DTLearner) processCounterexample(hyp *automata.Mealy, ce []string) error {
+func (d *DTLearner) processCounterexample(ctx context.Context, hyp *automata.Mealy, ce []string) error {
 	for {
-		sysOut, err := query(d.oracle, ce)
+		sysOut, err := query(ctx, d.oracle, ce)
 		if err != nil {
 			return err
 		}
@@ -224,10 +247,10 @@ func (d *DTLearner) processCounterexample(hyp *automata.Mealy, ce []string) erro
 		if ok && strings.Join(sysOut, ",") == strings.Join(hypOut, ",") {
 			return nil // fully incorporated
 		}
-		if err := d.splitOnce(hyp, ce); err != nil {
+		if err := d.splitOnce(ctx, hyp, ce); err != nil {
 			return err
 		}
-		hyp, err = d.hypothesis()
+		hyp, err = d.hypothesis(ctx)
 		if err != nil {
 			return err
 		}
@@ -236,7 +259,7 @@ func (d *DTLearner) processCounterexample(hyp *automata.Mealy, ce []string) erro
 
 // splitOnce finds one split point in ce by binary search and splits the
 // corresponding leaf with a new discriminator.
-func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
+func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []string) error {
 	// alpha(i) returns the canonical (tree-leaf) access word of the
 	// hypothesis state reached after ce[:i].
 	alpha := func(i int) ([]string, error) {
@@ -259,7 +282,7 @@ func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
 			return false, err
 		}
 		word := append(append([]string(nil), a...), ce[i:]...)
-		out, err := query(d.oracle, word)
+		out, err := query(ctx, d.oracle, word)
 		if err != nil {
 			return false, err
 		}
@@ -304,7 +327,7 @@ func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
 	}
 
 	// Locate the leaf the new access currently sifts to and split it.
-	leaf, created, err := d.sift(newAccess)
+	leaf, created, err := d.sift(ctx, newAccess)
 	if err != nil {
 		return err
 	}
@@ -313,7 +336,7 @@ func (d *DTLearner) splitOnce(hyp *automata.Mealy, ce []string) error {
 	}
 	// The two signature probes of the split are independent; emit them as
 	// one batch.
-	pairOuts, err := queryAll(d.oracle, [][]string{
+	pairOuts, err := queryAll(ctx, d.oracle, [][]string{
 		concat(leaf.access, v, nil), concat(newAccess, v, nil),
 	})
 	if err != nil {

@@ -1,7 +1,9 @@
 package learn
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 
 	"repro/internal/automata"
 )
@@ -54,17 +56,17 @@ func (r *RandomWordsOracle) draw() []string {
 }
 
 // FindCounterexample implements EquivalenceOracle.
-func (r *RandomWordsOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+func (r *RandomWordsOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
 	words := make([][]string, r.Words)
 	for i := range words {
 		words[i] = r.draw()
 	}
 	if r.Workers > 1 {
-		return findFirstCE(r.Oracle, hyp, words, r.Workers, &r.Attempts)
+		return findFirstCE(ctx, r.Oracle, hyp, words, r.Workers, &r.Attempts)
 	}
 	for _, word := range words {
 		r.Attempts++
-		ce, err := checkWord(r.Oracle, hyp, word)
+		ce, err := checkWord(ctx, r.Oracle, hyp, word)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +89,7 @@ type WMethodOracle struct {
 }
 
 // FindCounterexample implements EquivalenceOracle.
-func (w *WMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+func (w *WMethodOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
 	access := hyp.AccessSequences()
 	wset := hyp.CharacterizingSet()
 	if len(wset) == 0 {
@@ -105,7 +107,16 @@ func (w *WMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error
 		}
 		middles = append(middles, next...)
 	}
-	for _, acc := range access {
+	// Walk states in numeric order so the suite — and therefore the
+	// counterexample this search returns — is reproducible run to run
+	// (access is a map; ranging over it would randomise the order).
+	states := make([]automata.State, 0, len(access))
+	for s := range access {
+		states = append(states, s)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, s := range states {
+		acc := access[s]
 		for _, mid := range middles {
 			for _, suf := range wset {
 				word := make([]string, 0, len(acc)+len(mid)+len(suf))
@@ -115,7 +126,7 @@ func (w *WMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error
 				if len(word) == 0 {
 					continue
 				}
-				ce, err := checkWord(w.Oracle, hyp, word)
+				ce, err := checkWord(ctx, w.Oracle, hyp, word)
 				if err != nil {
 					return nil, err
 				}
@@ -138,7 +149,10 @@ type ModelOracle struct {
 
 // FindCounterexample implements EquivalenceOracle via the product
 // construction, returning a shortest distinguishing word.
-func (m *ModelOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+func (m *ModelOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	eq, ce := m.Model.Equivalent(hyp)
 	if eq {
 		return nil, nil
@@ -152,9 +166,9 @@ func (m *ModelOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) 
 type ChainOracle []EquivalenceOracle
 
 // FindCounterexample implements EquivalenceOracle.
-func (c ChainOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+func (c ChainOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
 	for _, o := range c {
-		ce, err := o.FindCounterexample(hyp)
+		ce, err := o.FindCounterexample(ctx, hyp)
 		if err != nil {
 			return nil, err
 		}
@@ -168,8 +182,8 @@ func (c ChainOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
 // checkWord queries the system on word and compares against the hypothesis,
 // returning the shortest failing prefix as a counterexample (trimming makes
 // later counterexample analysis cheaper).
-func checkWord(o Oracle, hyp *automata.Mealy, word []string) ([]string, error) {
-	sys, err := query(o, word)
+func checkWord(ctx context.Context, o Oracle, hyp *automata.Mealy, word []string) ([]string, error) {
+	sys, err := query(ctx, o, word)
 	if err != nil {
 		return nil, err
 	}

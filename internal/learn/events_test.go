@@ -1,0 +1,138 @@
+package learn
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// collector is a thread-safe event sink for tests.
+type collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collector) OnEvent(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func (c *collector) byKind(kind string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Kind() == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestLearnerEmitsEventStream: a full learning run emits RoundStarted and
+// HypothesisReady every round, CounterexampleFound for every refinement,
+// and the final HypothesisReady matches the returned model.
+func TestLearnerEmitsEventStream(t *testing.T) {
+	truth := tcpModel()
+	for name, mk := range map[string]func(Oracle, *collector) learner{
+		"lstar": func(o Oracle, c *collector) learner {
+			l := NewLStar(o, truth.Inputs())
+			l.Observer = c
+			return l
+		},
+		"dtree": func(o Oracle, c *collector) learner {
+			d := NewDTLearner(o, truth.Inputs())
+			d.Observer = c
+			return d
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := &collector{}
+			model, err := mk(MealyOracle(truth), c).Learn(bg, &ModelOracle{Model: truth})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds := c.byKind("round_started")
+			hyps := c.byKind("hypothesis_ready")
+			ces := c.byKind("counterexample_found")
+			if len(rounds) == 0 || len(hyps) == 0 {
+				t.Fatalf("missing round events: %d rounds, %d hypotheses", len(rounds), len(hyps))
+			}
+			if len(rounds) != len(hyps) {
+				t.Fatalf("rounds (%d) and hypotheses (%d) out of step", len(rounds), len(hyps))
+			}
+			// Every round but the last was refuted. (L* may close the whole
+			// table in round one — zero counterexamples is legal there; the
+			// discrimination tree starts from one state and always needs
+			// refinement on this 4-state target.)
+			if name == "dtree" && len(ces) == 0 {
+				t.Fatal("dtree run emitted no CounterexampleFound events")
+			}
+			if len(ces) != len(rounds)-1 {
+				t.Fatalf("%d counterexamples for %d rounds, want rounds-1", len(ces), len(rounds))
+			}
+			final := hyps[len(hyps)-1].(HypothesisReady)
+			if final.States != model.NumStates() || final.Transitions != model.NumTransitions() {
+				t.Fatalf("final HypothesisReady %d/%d does not match model %d/%d",
+					final.States, final.Transitions, model.NumStates(), model.NumTransitions())
+			}
+			for i, e := range rounds {
+				if e.(RoundStarted).Round != i+1 {
+					t.Fatalf("round %d numbered %d", i+1, e.(RoundStarted).Round)
+				}
+			}
+		})
+	}
+}
+
+// TestJSONLObserver: events stream as one JSON object per line with the
+// kind tag and payload.
+func TestJSONLObserver(t *testing.T) {
+	var buf bytes.Buffer
+	obs := NewJSONLObserver(&buf)
+	obs.OnEvent(RoundStarted{Round: 1})
+	obs.OnEvent(HypothesisReady{Round: 1, States: 4, Transitions: 12})
+	obs.OnEvent(CounterexampleFound{Round: 1, Word: []string{"SYN", "FIN"}})
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var first struct {
+		Event string `json:"event"`
+		Data  struct {
+			Round int `json:"round"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Event != "round_started" || first.Data.Round != 1 {
+		t.Fatalf("first line decoded as %+v", first)
+	}
+	var third struct {
+		Event string `json:"event"`
+		Data  struct {
+			Word []string `json:"word"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(lines[2], &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Event != "counterexample_found" || len(third.Data.Word) != 2 {
+		t.Fatalf("third line decoded as %+v", third)
+	}
+}
+
+// TestMultiObserverFansOut: every event reaches every sink; nils are
+// tolerated.
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := &collector{}, &collector{}
+	m := MultiObserver(a, nil, b)
+	m.OnEvent(RoundStarted{Round: 7})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Fatalf("fan-out missed a sink: %d/%d", len(a.events), len(b.events))
+	}
+}

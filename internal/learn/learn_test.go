@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -8,6 +9,9 @@ import (
 
 	"repro/internal/automata"
 )
+
+// bg is the default context for tests that never cancel.
+var bg = context.Background()
 
 // tcpModel is the 6-state-style fragment used as ground truth in tests.
 func tcpModel() *automata.Mealy {
@@ -32,7 +36,7 @@ func tcpModel() *automata.Mealy {
 }
 
 type learner interface {
-	Learn(EquivalenceOracle) (*automata.Mealy, error)
+	Learn(context.Context, EquivalenceOracle) (*automata.Mealy, error)
 }
 
 func learners(o Oracle, inputs []string) map[string]learner {
@@ -46,7 +50,7 @@ func TestLearnersRecoverTCPModel(t *testing.T) {
 	truth := tcpModel()
 	for name, l := range learners(MealyOracle(truth), truth.Inputs()) {
 		t.Run(name, func(t *testing.T) {
-			hyp, err := l.Learn(&ModelOracle{Model: truth})
+			hyp, err := l.Learn(bg, &ModelOracle{Model: truth})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +72,7 @@ func TestLearnersWithRandomEquivalence(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			o := MealyOracle(truth)
-			hyp, err := mk(o).Learn(NewRandomWordsOracle(o, truth.Inputs(), 7))
+			hyp, err := mk(o).Learn(bg, NewRandomWordsOracle(o, truth.Inputs(), 7))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,7 +89,7 @@ func TestLearnersWithWMethod(t *testing.T) {
 	eqo := &WMethodOracle{Oracle: o, Inputs: truth.Inputs(), Depth: 2}
 	for name, l := range learners(o, truth.Inputs()) {
 		t.Run(name, func(t *testing.T) {
-			hyp, err := l.Learn(eqo)
+			hyp, err := l.Learn(bg, eqo)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -120,7 +124,7 @@ func TestPropertyLearnersExact(t *testing.T) {
 			func(o Oracle) learner { return NewLStar(o, truth.Inputs()) },
 			func(o Oracle) learner { return NewDTLearner(o, truth.Inputs()) },
 		} {
-			hyp, err := mk(MealyOracle(truth)).Learn(&ModelOracle{Model: truth})
+			hyp, err := mk(MealyOracle(truth)).Learn(bg, &ModelOracle{Model: truth})
 			if err != nil {
 				return false
 			}
@@ -145,12 +149,12 @@ func TestCacheAvoidsRepeatQueries(t *testing.T) {
 	cached := NewCache(counted, &st)
 
 	w := []string{"SYN", "ACK", "FIN"}
-	first, err := cached.Query(w)
+	first, err := cached.Query(bg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	live := st.Queries
-	second, err := cached.Query(w)
+	second, err := cached.Query(bg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +168,7 @@ func TestCacheAvoidsRepeatQueries(t *testing.T) {
 		t.Fatalf("cache returned different answer: %v vs %v", first, second)
 	}
 	// A prefix of a cached word is also served from cache.
-	if _, err := cached.Query(w[:2]); err != nil {
+	if _, err := cached.Query(bg, w[:2]); err != nil {
 		t.Fatal(err)
 	}
 	if st.Queries != live {
@@ -180,13 +184,13 @@ func TestCachedLearningReducesLiveQueries(t *testing.T) {
 	var raw, cachedStats Stats
 
 	_, err := NewLStar(Counting(MealyOracle(truth), &raw), truth.Inputs()).
-		Learn(&ModelOracle{Model: truth})
+		Learn(bg, &ModelOracle{Model: truth})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	cached := NewCache(Counting(MealyOracle(truth), &cachedStats), &cachedStats)
-	_, err = NewLStar(cached, truth.Inputs()).Learn(&ModelOracle{Model: truth})
+	_, err = NewLStar(cached, truth.Inputs()).Learn(bg, &ModelOracle{Model: truth})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +200,10 @@ func TestCachedLearningReducesLiveQueries(t *testing.T) {
 }
 
 func TestShortOutputRejected(t *testing.T) {
-	bad := OracleFunc(func(word []string) ([]string, error) {
+	bad := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		return []string{"only-one"}, nil
 	})
-	_, err := query(bad, []string{"a", "b"})
+	_, err := query(bg, bad, []string{"a", "b"})
 	if err == nil {
 		t.Fatal("short output word must be rejected")
 	}
@@ -210,7 +214,7 @@ func TestRandomOracleFindsInjectedDifference(t *testing.T) {
 	hyp := truth.Clone()
 	hyp.SetTransition(2, "FIN", 3, "WRONG")
 	eqo := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
-	ce, err := eqo.FindCounterexample(hyp)
+	ce, err := eqo.FindCounterexample(bg, hyp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +231,7 @@ func TestRandomOracleFindsInjectedDifference(t *testing.T) {
 func TestWMethodProvesEquivalence(t *testing.T) {
 	truth := tcpModel()
 	eqo := &WMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1}
-	ce, err := eqo.FindCounterexample(truth.Clone())
+	ce, err := eqo.FindCounterexample(bg, truth.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +245,12 @@ func TestChainOracleOrder(t *testing.T) {
 	hyp := truth.Clone()
 	hyp.SetTransition(0, "SYN", 1, "WRONG")
 	calls := 0
-	first := OracleFunc(nil)
-	_ = first
 	probe := eqFunc(func(h *automata.Mealy) ([]string, error) {
 		calls++
 		return nil, nil
 	})
 	model := &ModelOracle{Model: truth}
-	ce, err := ChainOracle{probe, model}.FindCounterexample(hyp)
+	ce, err := ChainOracle{probe, model}.FindCounterexample(bg, hyp)
 	if err != nil || ce == nil {
 		t.Fatalf("chain failed: ce=%v err=%v", ce, err)
 	}
@@ -259,7 +261,9 @@ func TestChainOracleOrder(t *testing.T) {
 
 type eqFunc func(*automata.Mealy) ([]string, error)
 
-func (f eqFunc) FindCounterexample(h *automata.Mealy) ([]string, error) { return f(h) }
+func (f eqFunc) FindCounterexample(ctx context.Context, h *automata.Mealy) ([]string, error) {
+	return f(h)
+}
 
 // Ablation-relevant check: with the query cache in front (the deployment
 // configuration), the discrimination-tree learner needs no more live
@@ -269,12 +273,12 @@ func TestDTreeNotWorseThanLStarCached(t *testing.T) {
 	var lsStats, dtStats Stats
 	lsOracle := NewCache(Counting(MealyOracle(truth), &lsStats), &lsStats)
 	if _, err := NewLStar(lsOracle, truth.Inputs()).
-		Learn(&ModelOracle{Model: truth}); err != nil {
+		Learn(bg, &ModelOracle{Model: truth}); err != nil {
 		t.Fatal(err)
 	}
 	dtOracle := NewCache(Counting(MealyOracle(truth), &dtStats), &dtStats)
 	if _, err := NewDTLearner(dtOracle, truth.Inputs()).
-		Learn(&ModelOracle{Model: truth}); err != nil {
+		Learn(bg, &ModelOracle{Model: truth}); err != nil {
 		t.Fatal(err)
 	}
 	if dtStats.Queries > lsStats.Queries {

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,10 @@ import (
 type LStar struct {
 	oracle Oracle
 	inputs []string
+
+	// Observer, when set, receives RoundStarted / HypothesisReady /
+	// CounterexampleFound events as the MAT loop progresses.
+	Observer Observer
 
 	// prefixes S: prefix-closed set of access words; rows for S ∪ S·Σ.
 	prefixes [][]string
@@ -31,8 +36,9 @@ func key(word []string) string { return strings.Join(word, "\x1f") }
 
 // Learn runs the full MAT loop: build a closed table, form a hypothesis,
 // ask eq for a counterexample, refine, repeat. It returns the final
-// hypothesis when eq finds no counterexample.
-func (l *LStar) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
+// hypothesis when eq finds no counterexample, or ctx.Err() as soon as the
+// context is cancelled mid-round.
+func (l *LStar) Learn(ctx context.Context, eq EquivalenceOracle) (*automata.Mealy, error) {
 	l.prefixes = [][]string{{}}
 	l.suffixes = nil
 	for _, in := range l.inputs {
@@ -40,29 +46,37 @@ func (l *LStar) Learn(eq EquivalenceOracle) (*automata.Mealy, error) {
 	}
 	l.rows = make(map[string][]string)
 
-	for {
-		if err := l.close(); err != nil {
+	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hyp, err := l.hypothesis()
+		notify(l.Observer, RoundStarted{Round: round})
+		if err := l.close(ctx); err != nil {
+			return nil, err
+		}
+		hyp, err := l.hypothesis(ctx)
 		if err != nil {
 			return nil, err
 		}
-		ce, err := eq.FindCounterexample(hyp)
+		notify(l.Observer, HypothesisReady{
+			Round: round, States: hyp.NumStates(), Transitions: hyp.NumTransitions(),
+		})
+		ce, err := eq.FindCounterexample(ctx, hyp)
 		if err != nil {
 			return nil, err
 		}
 		if ce == nil {
 			return hyp, nil
 		}
-		if err := l.refine(hyp, ce); err != nil {
+		notify(l.Observer, CounterexampleFound{Round: round, Word: ce})
+		if err := l.refine(ctx, hyp, ce); err != nil {
 			return nil, err
 		}
 	}
 }
 
 // row computes (and caches) the observation row of a prefix.
-func (l *LStar) row(prefix []string) ([]string, error) {
+func (l *LStar) row(ctx context.Context, prefix []string) ([]string, error) {
 	k := key(prefix)
 	if r, ok := l.rows[k]; ok && len(r) == len(l.suffixes) {
 		return r, nil
@@ -70,7 +84,7 @@ func (l *LStar) row(prefix []string) ([]string, error) {
 	r := make([]string, len(l.suffixes))
 	for i, suf := range l.suffixes {
 		word := append(append([]string(nil), prefix...), suf...)
-		out, err := query(l.oracle, word)
+		out, err := query(ctx, l.oracle, word)
 		if err != nil {
 			return nil, fmt.Errorf("learn: membership query %v: %w", word, err)
 		}
@@ -84,7 +98,7 @@ func (l *LStar) row(prefix []string) ([]string, error) {
 // emitting every missing table cell as one membership-query batch. With a
 // BatchOracle underneath, this is where the observation table's work fans
 // out across the SUL pool.
-func (l *LStar) ensureRows(prefixes [][]string) error {
+func (l *LStar) ensureRows(ctx context.Context, prefixes [][]string) error {
 	type cell struct {
 		key  string
 		idx  int // suffix index within the row
@@ -110,7 +124,7 @@ func (l *LStar) ensureRows(prefixes [][]string) error {
 	if len(words) == 0 {
 		return nil
 	}
-	outs, err := queryAll(l.oracle, words)
+	outs, err := queryAll(ctx, l.oracle, words)
 	if err != nil {
 		return fmt.Errorf("learn: membership batch: %w", err)
 	}
@@ -129,7 +143,7 @@ func (l *LStar) ensureRows(prefixes [][]string) error {
 // Each round batches all missing cells of the S ∪ S·Σ rows before the
 // closedness check, so a pooled oracle sees the table's whole frontier at
 // once instead of one cell at a time.
-func (l *LStar) close() error {
+func (l *LStar) close(ctx context.Context) error {
 	for {
 		want := make([][]string, 0, len(l.prefixes)*(len(l.inputs)+1))
 		want = append(want, l.prefixes...)
@@ -138,12 +152,12 @@ func (l *LStar) close() error {
 				want = append(want, append(append([]string(nil), p...), in))
 			}
 		}
-		if err := l.ensureRows(want); err != nil {
+		if err := l.ensureRows(ctx, want); err != nil {
 			return err
 		}
 		index := make(map[string]bool)
 		for _, p := range l.prefixes {
-			r, err := l.row(p)
+			r, err := l.row(ctx, p)
 			if err != nil {
 				return err
 			}
@@ -153,7 +167,7 @@ func (l *LStar) close() error {
 		for _, p := range l.prefixes {
 			for _, in := range l.inputs {
 				ext := append(append([]string(nil), p...), in)
-				r, err := l.row(ext)
+				r, err := l.row(ctx, ext)
 				if err != nil {
 					return err
 				}
@@ -171,13 +185,13 @@ func (l *LStar) close() error {
 }
 
 // hypothesis builds the Mealy machine encoded by the closed table.
-func (l *LStar) hypothesis() (*automata.Mealy, error) {
+func (l *LStar) hypothesis(ctx context.Context) (*automata.Mealy, error) {
 	// Map distinct rows to states; first occurrence in S order names the state.
 	stateOf := make(map[string]automata.State)
 	reps := make([][]string, 0)
 	m := automata.NewMealy(l.inputs)
 	for _, p := range l.prefixes {
-		r, err := l.row(p)
+		r, err := l.row(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -202,19 +216,19 @@ func (l *LStar) hypothesis() (*automata.Mealy, error) {
 			exts = append(exts, append(append([]string(nil), p...), in))
 		}
 	}
-	extOuts, err := queryAll(l.oracle, exts)
+	extOuts, err := queryAll(ctx, l.oracle, exts)
 	if err != nil {
 		return nil, err
 	}
 	j := 0
 	for _, p := range l.prefixes {
-		r, _ := l.row(p)
+		r, _ := l.row(ctx, p)
 		from := stateOf[strings.Join(r, "\x1e")]
 		for _, in := range l.inputs {
 			ext := exts[j]
 			out := extOuts[j]
 			j++
-			extRow, err := l.row(ext)
+			extRow, err := l.row(ctx, ext)
 			if err != nil {
 				return nil, err
 			}
@@ -229,9 +243,9 @@ func (l *LStar) hypothesis() (*automata.Mealy, error) {
 }
 
 // refine incorporates a counterexample by adding all of its suffixes to E.
-func (l *LStar) refine(hyp *automata.Mealy, ce []string) error {
+func (l *LStar) refine(ctx context.Context, hyp *automata.Mealy, ce []string) error {
 	// Sanity: the counterexample must actually distinguish.
-	sysOut, err := query(l.oracle, ce)
+	sysOut, err := query(ctx, l.oracle, ce)
 	if err != nil {
 		return err
 	}

@@ -4,9 +4,16 @@
 // tree learner with Rivest–Schapire counterexample analysis (the TTT-style
 // algorithm the paper uses via LearnLib), and heuristic equivalence oracles
 // (random words and the W-method).
+//
+// The whole query plane is context-first: every membership query and every
+// equivalence search takes a context.Context, and cancelling it aborts the
+// run mid-round — pool workers, in-flight cache waiters, and partitioned
+// equivalence searches all observe the same cancellation signal and exit
+// without leaking goroutines.
 package learn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -16,23 +23,27 @@ import (
 
 // Oracle answers membership queries: given an input word it returns the
 // output word the system under learning produces from its reset state.
-// Implementations must reset the system before each query.
+// Implementations must reset the system before each query and should return
+// promptly (with ctx.Err()) once ctx is cancelled.
 type Oracle interface {
-	Query(word []string) ([]string, error)
+	Query(ctx context.Context, word []string) ([]string, error)
 }
 
 // OracleFunc adapts a function to the Oracle interface.
-type OracleFunc func(word []string) ([]string, error)
+type OracleFunc func(ctx context.Context, word []string) ([]string, error)
 
 // Query implements Oracle.
-func (f OracleFunc) Query(word []string) ([]string, error) { return f(word) }
+func (f OracleFunc) Query(ctx context.Context, word []string) ([]string, error) {
+	return f(ctx, word)
+}
 
 // EquivalenceOracle searches for an input word on which the hypothesis and
 // the system under learning disagree. A nil counterexample with nil error
 // means no disagreement was found (the heuristic guarantee of §4.1: absence
-// of a counterexample does not prove equivalence).
+// of a counterexample does not prove equivalence). Cancelling ctx aborts
+// the search with ctx.Err().
 type EquivalenceOracle interface {
-	FindCounterexample(hyp *automata.Mealy) ([]string, error)
+	FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error)
 }
 
 // ErrIncompleteOutput is returned when an oracle produces fewer output
@@ -48,10 +59,10 @@ type Stats struct {
 
 // Counting wraps an oracle and counts queries and symbols in st.
 func Counting(o Oracle, st *Stats) Oracle {
-	return OracleFunc(func(word []string) ([]string, error) {
+	return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		atomic.AddInt64(&st.Queries, 1)
 		atomic.AddInt64(&st.Symbols, int64(len(word)))
-		return o.Query(word)
+		return o.Query(ctx, word)
 	})
 }
 
@@ -60,7 +71,7 @@ func Counting(o Oracle, st *Stats) Oracle {
 // model-based test generation. Querying a word with an undefined transition
 // returns an error.
 func MealyOracle(m *automata.Mealy) Oracle {
-	return OracleFunc(func(word []string) ([]string, error) {
+	return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		out, ok := m.Run(word)
 		if !ok {
 			return nil, fmt.Errorf("learn: model has no run for %v", word)
@@ -69,9 +80,13 @@ func MealyOracle(m *automata.Mealy) Oracle {
 	})
 }
 
-// query is a helper that enforces the output-length contract.
-func query(o Oracle, word []string) ([]string, error) {
-	out, err := o.Query(word)
+// query is a helper that checks for cancellation and enforces the
+// output-length contract.
+func query(ctx context.Context, o Oracle, word []string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out, err := o.Query(ctx, word)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -207,7 +208,7 @@ func (c *CachedOracle) Preload(tr IOTracePair) error {
 
 // TracesFromWalks generates logged runs by random-walking an oracle; used
 // by tests and benchmarks to simulate captured traffic logs.
-func TracesFromWalks(o Oracle, inputs []string, walks, length int, seed int64) ([]IOTracePair, error) {
+func TracesFromWalks(ctx context.Context, o Oracle, inputs []string, walks, length int, seed int64) ([]IOTracePair, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var out []IOTracePair
 	for i := 0; i < walks; i++ {
@@ -215,7 +216,7 @@ func TracesFromWalks(o Oracle, inputs []string, walks, length int, seed int64) (
 		for j := range word {
 			word[j] = inputs[rng.Intn(len(inputs))]
 		}
-		outputs, err := o.Query(word)
+		outputs, err := o.Query(ctx, word)
 		if err != nil {
 			return nil, err
 		}

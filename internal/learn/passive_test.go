@@ -21,7 +21,7 @@ func TestPassiveLearnFromCharacteristicLogs(t *testing.T) {
 				// Lengthen with one more round of inputs for fold evidence.
 				for _, in2 := range truth.Inputs() {
 					w2 := append(append([]string(nil), word...), in2)
-					out, err := oracle.Query(w2)
+					out, err := oracle.Query(bg, w2)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -55,7 +55,7 @@ func TestPassiveLearnFromCharacteristicLogs(t *testing.T) {
 
 func TestPassiveLearnConsistentWithSparseLogs(t *testing.T) {
 	truth := tcpModel()
-	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 40, 6, 9)
+	logs, err := TracesFromWalks(bg, MealyOracle(truth), truth.Inputs(), 40, 6, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +102,11 @@ func TestHybridPreloadReducesLiveQueries(t *testing.T) {
 
 	var coldStats Stats
 	cold := NewCache(Counting(MealyOracle(truth), &coldStats), &coldStats)
-	if _, err := NewDTLearner(cold, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+	if _, err := NewDTLearner(cold, truth.Inputs()).Learn(bg, &ModelOracle{Model: truth}); err != nil {
 		t.Fatal(err)
 	}
 
-	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 200, 8, 4)
+	logs, err := TracesFromWalks(bg, MealyOracle(truth), truth.Inputs(), 200, 8, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestHybridPreloadReducesLiveQueries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := NewDTLearner(warm, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+	if _, err := NewDTLearner(warm, truth.Inputs()).Learn(bg, &ModelOracle{Model: truth}); err != nil {
 		t.Fatal(err)
 	}
 	if warmStats.Queries >= coldStats.Queries {
@@ -146,7 +146,7 @@ func TestPassiveModelAgainstActive(t *testing.T) {
 	truth.SetTransition(s1, "a", 0, "z")
 	truth.SetTransition(s1, "b", s1, "w")
 
-	logs, err := TracesFromWalks(MealyOracle(truth), truth.Inputs(), 60, 8, 2)
+	logs, err := TracesFromWalks(bg, MealyOracle(truth), truth.Inputs(), 60, 8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,12 +23,12 @@ type BatchOracle interface {
 // queryAll answers a set of words through o, batching when o supports it
 // and falling back to one-at-a-time queries otherwise. Like query, it
 // enforces the Mealy output-length contract on every answer.
-func queryAll(o Oracle, words [][]string) ([][]string, error) {
+func queryAll(ctx context.Context, o Oracle, words [][]string) ([][]string, error) {
 	if len(words) == 0 {
 		return nil, nil
 	}
 	if bo, ok := o.(BatchOracle); ok {
-		outs, err := bo.QueryBatch(context.Background(), words)
+		outs, err := bo.QueryBatch(ctx, words)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +43,7 @@ func queryAll(o Oracle, words [][]string) ([][]string, error) {
 	}
 	outs := make([][]string, len(words))
 	for i, w := range words {
-		out, err := query(o, w)
+		out, err := query(ctx, o, w)
 		if err != nil {
 			return nil, err
 		}
@@ -81,10 +81,17 @@ func NewPool(shards ...Oracle) *Pool {
 // Size returns the number of shards (the maximum query concurrency).
 func (p *Pool) Size() int { return len(p.shards) }
 
-// Query implements Oracle by borrowing a free shard.
-func (p *Pool) Query(word []string) ([]string, error) {
-	shard := <-p.free
-	out, err := shard.Query(word)
+// Query implements Oracle by borrowing a free shard. Waiting for a free
+// shard is interruptible: a cancelled caller stops queueing instead of
+// blocking behind other askers.
+func (p *Pool) Query(ctx context.Context, word []string) ([]string, error) {
+	var shard Oracle
+	select {
+	case shard = <-p.free:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	out, err := shard.Query(ctx, word)
 	p.free <- shard
 	return out, err
 }
@@ -106,7 +113,7 @@ func (p *Pool) QueryBatch(ctx context.Context, words [][]string) ([][]string, er
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, err := p.Query(w)
+			out, err := p.Query(ctx, w)
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +140,7 @@ func (p *Pool) QueryBatch(ctx context.Context, words [][]string) ([][]string, er
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out, err := p.Query(words[i])
+				out, err := p.Query(ctx, words[i])
 				if err != nil {
 					fail(err)
 					return
@@ -166,15 +173,16 @@ dispatch:
 // deterministic regardless of worker scheduling: workers walk interleaved
 // index stripes in increasing order and prune everything at or above the
 // best failing index seen so far, so every index below the winner is fully
-// checked. The context cancels in-flight work on error.
-func findFirstCE(o Oracle, hyp *automata.Mealy, words [][]string, workers int, attempts *int64) ([]string, error) {
+// checked. The derived context cancels in-flight work on error, and
+// cancelling the caller's ctx aborts the whole search with ctx.Err().
+func findFirstCE(ctx context.Context, o Oracle, hyp *automata.Mealy, words [][]string, workers int, attempts *int64) ([]string, error) {
 	if workers > len(words) {
 		workers = len(words)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	best := int64(len(words)) // lowest failing index found so far
@@ -196,7 +204,7 @@ func findFirstCE(o Oracle, hyp *automata.Mealy, words [][]string, workers int, a
 				if attempts != nil {
 					atomic.AddInt64(attempts, 1)
 				}
-				ce, err := checkWord(o, hyp, words[i])
+				ce, err := checkWord(ctx, o, hyp, words[i])
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -224,6 +232,11 @@ func findFirstCE(o Oracle, hyp *automata.Mealy, words [][]string, workers int, a
 	}
 	if b := atomic.LoadInt64(&best); int(b) < len(words) {
 		return ces[b], nil
+	}
+	// A cancelled search proved nothing: report the cancellation rather
+	// than an (unverified) "no counterexample".
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return nil, nil
 }

@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/testutil"
 )
 
 // poolOver builds a pool of n independent oracles over the same model.
@@ -32,7 +36,7 @@ func TestPoolQueryBatchMatchesSequential(t *testing.T) {
 		}
 		words[i] = w
 	}
-	outs, err := pool.QueryBatch(context.Background(), words)
+	outs, err := pool.QueryBatch(bg, words)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +52,7 @@ func TestPoolQueryBatchPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	var calls int64
 	pool := poolOver(3, func() Oracle {
-		return OracleFunc(func(word []string) ([]string, error) {
+		return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 			if atomic.AddInt64(&calls, 1) > 5 {
 				return nil, boom
 			}
@@ -59,7 +63,7 @@ func TestPoolQueryBatchPropagatesError(t *testing.T) {
 	for i := range words {
 		words[i] = []string{"a"}
 	}
-	if _, err := pool.QueryBatch(context.Background(), words); !errors.Is(err, boom) {
+	if _, err := pool.QueryBatch(bg, words); !errors.Is(err, boom) {
 		t.Fatalf("batch error = %v, want %v", err, boom)
 	}
 }
@@ -75,7 +79,7 @@ func TestPooledLearnersMatchSequential(t *testing.T) {
 			pool := poolOver(4, func() Oracle { return Counting(MealyOracle(truth), &st) })
 			cached := NewCache(pool, &st)
 			l := learners(cached, truth.Inputs())[name]
-			hyp, err := l.Learn(&ModelOracle{Model: truth})
+			hyp, err := l.Learn(bg, &ModelOracle{Model: truth})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +102,7 @@ func TestCachedOracleDedupsInflight(t *testing.T) {
 	started := make(chan struct{})
 	var once sync.Once
 	gate := make(chan struct{})
-	inner := OracleFunc(func(word []string) ([]string, error) {
+	inner := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		atomic.AddInt64(&live, 1)
 		once.Do(func() { close(started) })
 		<-gate // hold the first asker while the duplicates arrive
@@ -115,7 +119,7 @@ func TestCachedOracleDedupsInflight(t *testing.T) {
 	errs := make([]error, askers)
 	ask := func(i int) {
 		defer wg.Done()
-		results[i], errs[i] = cached.Query(word)
+		results[i], errs[i] = cached.Query(bg, word)
 	}
 	wg.Add(1)
 	go ask(0)
@@ -151,7 +155,7 @@ func TestCachedOracleBatchDedup(t *testing.T) {
 	words := [][]string{
 		{"SYN"}, {"SYN"}, {"SYN", "ACK"}, {"SYN"}, {"SYN", "ACK"},
 	}
-	outs, err := cached.QueryBatch(context.Background(), words)
+	outs, err := cached.QueryBatch(bg, words)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +192,7 @@ func TestCacheConcurrentUse(t *testing.T) {
 				for j := range w {
 					w[j] = inputs[rng.Intn(len(inputs))]
 				}
-				out, err := cached.Query(w)
+				out, err := cached.Query(bg, w)
 				if err != nil {
 					t.Error(err)
 					return
@@ -211,7 +215,7 @@ func TestCacheConcurrentUse(t *testing.T) {
 // update (run with -race).
 func TestCountingConcurrentUse(t *testing.T) {
 	var st Stats
-	o := Counting(OracleFunc(func(word []string) ([]string, error) {
+	o := Counting(OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		return make([]string, len(word)), nil
 	}), &st)
 	const goroutines = 8
@@ -222,7 +226,7 @@ func TestCountingConcurrentUse(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				if _, err := o.Query([]string{"a", "b", "c"}); err != nil {
+				if _, err := o.Query(bg, []string{"a", "b", "c"}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -243,28 +247,28 @@ func TestCountingConcurrentUse(t *testing.T) {
 // with an error satisfying errors.Is, and overlong answers are truncated
 // to one output per input.
 func TestQueryShortOutputContract(t *testing.T) {
-	short := OracleFunc(func(word []string) ([]string, error) {
+	short := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		return []string{"x"}, nil
 	})
-	if _, err := query(short, []string{"a", "b"}); !errors.Is(err, ErrIncompleteOutput) {
+	if _, err := query(bg, short, []string{"a", "b"}); !errors.Is(err, ErrIncompleteOutput) {
 		t.Fatalf("query error = %v, want ErrIncompleteOutput", err)
 	}
-	if _, err := queryAll(short, [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
+	if _, err := queryAll(bg, short, [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
 		t.Fatalf("queryAll error = %v, want ErrIncompleteOutput", err)
 	}
 	cached := NewCache(short, nil)
-	if _, err := cached.QueryBatch(context.Background(), [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
+	if _, err := cached.QueryBatch(bg, [][]string{{"a", "b"}}); !errors.Is(err, ErrIncompleteOutput) {
 		t.Fatalf("QueryBatch error = %v, want ErrIncompleteOutput", err)
 	}
 
-	long := OracleFunc(func(word []string) ([]string, error) {
+	long := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		out := make([]string, len(word)+3)
 		for i := range out {
 			out[i] = fmt.Sprint(i)
 		}
 		return out, nil
 	})
-	out, err := query(long, []string{"a", "b"})
+	out, err := query(bg, long, []string{"a", "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +286,13 @@ func TestParallelRandomWordsMatchesSequential(t *testing.T) {
 	hyp.SetTransition(2, "FIN", 3, "WRONG")
 
 	seq := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
-	ceSeq, err := seq.FindCounterexample(hyp)
+	ceSeq, err := seq.FindCounterexample(bg, hyp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
 	par.Workers = 4
-	cePar, err := par.FindCounterexample(hyp)
+	cePar, err := par.FindCounterexample(bg, hyp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +315,11 @@ func TestParallelWpMatchesSequential(t *testing.T) {
 	seq := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1}
 	par := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1, Workers: 4}
 
-	ceSeq, err := seq.FindCounterexample(hyp)
+	ceSeq, err := seq.FindCounterexample(bg, hyp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cePar, err := par.FindCounterexample(hyp)
+	cePar, err := par.FindCounterexample(bg, hyp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +329,7 @@ func TestParallelWpMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(ceSeq, cePar) {
 		t.Fatalf("parallel Wp ce %v differs from sequential %v", cePar, ceSeq)
 	}
-	if ce, err := par.FindCounterexample(truth.Clone()); err != nil || ce != nil {
+	if ce, err := par.FindCounterexample(bg, truth.Clone()); err != nil || ce != nil {
 		t.Fatalf("parallel Wp on a correct hypothesis: ce=%v err=%v", ce, err)
 	}
 }
@@ -338,10 +342,227 @@ func TestPoolStatsBalance(t *testing.T) {
 	var st Stats
 	pool := poolOver(4, func() Oracle { return Counting(MealyOracle(truth), &st) })
 	cached := NewCache(pool, &st)
-	if _, err := NewDTLearner(cached, truth.Inputs()).Learn(&ModelOracle{Model: truth}); err != nil {
+	if _, err := NewDTLearner(cached, truth.Inputs()).Learn(bg, &ModelOracle{Model: truth}); err != nil {
 		t.Fatal(err)
 	}
 	if st.Queries == 0 || st.Hits == 0 {
 		t.Fatalf("expected both live queries and cache hits, got %d/%d", st.Queries, st.Hits)
 	}
+}
+
+// --- context cancellation and goroutine hygiene -------------------------
+
+// slowOracle answers correctly but takes delay per query, observing ctx.
+func slowOracle(truth interface {
+	Run([]string) ([]string, bool)
+}, delay time.Duration) Oracle {
+	return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		out, ok := truth.Run(word)
+		if !ok {
+			return nil, fmt.Errorf("no run for %v", word)
+		}
+		return out, nil
+	})
+}
+
+// TestPoolQueryBatchHonorsCancel: cancelling the batch context aborts the
+// dispatch promptly and all pool workers exit.
+func TestPoolQueryBatchHonorsCancel(t *testing.T) {
+	truth := tcpModel()
+	base := runtime.NumGoroutine()
+	pool := poolOver(4, func() Oracle { return slowOracle(truth, 2*time.Millisecond) })
+	words := make([][]string, 500)
+	for i := range words {
+		words[i] = []string{"SYN", "ACK"}[:1+i%2]
+	}
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := pool.QueryBatch(ctx, words)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled batch took %v to return", elapsed)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestLearnReturnsCtxErrPromptly: cancelling mid-Learn surfaces ctx.Err()
+// within one query round for both learners.
+func TestLearnReturnsCtxErrPromptly(t *testing.T) {
+	truth := tcpModel()
+	for name, mk := range map[string]func(Oracle) learner{
+		"lstar": func(o Oracle) learner { return NewLStar(o, truth.Inputs()) },
+		"dtree": func(o Oracle) learner { return NewDTLearner(o, truth.Inputs()) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(bg)
+			queries := int64(0)
+			o := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+				if atomic.AddInt64(&queries, 1) == 10 {
+					cancel() // cancel from inside the run, mid-round
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				out, _ := truth.Run(word)
+				return out, nil
+			})
+			_, err := mk(o).Learn(ctx, &ModelOracle{Model: truth})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Learn error = %v, want context.Canceled", err)
+			}
+			asked := atomic.LoadInt64(&queries)
+			if asked > 12 {
+				t.Fatalf("learner kept querying after cancellation: %d queries", asked)
+			}
+		})
+	}
+}
+
+// TestCancelledPooledLearnLeaksNoGoroutines is the end-to-end hygiene
+// check: cancel a pooled learning run (pool workers + concurrent cache +
+// partitioned equivalence search) mid-flight, confirm Learn returns
+// ctx.Err() quickly, and verify every goroutine the run spawned has exited.
+func TestCancelledPooledLearnLeaksNoGoroutines(t *testing.T) {
+	truth := tcpModel()
+	base := runtime.NumGoroutine()
+
+	var st Stats
+	pool := poolOver(4, func() Oracle {
+		return Counting(slowOracle(truth, time.Millisecond), &st)
+	})
+	cached := NewCache(pool, &st)
+	eq := NewRandomWordsOracle(cached, truth.Inputs(), 3)
+	eq.Workers = 4
+
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewDTLearner(cached, truth.Inputs()).Learn(ctx, eq)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Learn error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled pooled learn took %v to return", elapsed)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestFindFirstCECancelledReportsError: a cancelled equivalence search must
+// report the cancellation, never a silent "no counterexample".
+func TestFindFirstCECancelledReportsError(t *testing.T) {
+	truth := tcpModel()
+	hyp := truth.Clone()
+	hyp.SetTransition(3, "FIN", 0, "WRONG") // late-suite fault
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	eq := NewRandomWordsOracle(MealyOracle(truth), truth.Inputs(), 3)
+	eq.Workers = 4
+	ce, err := eq.FindCounterexample(ctx, hyp)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search returned ce=%v err=%v, want context.Canceled", ce, err)
+	}
+}
+
+// TestCacheWaiterSurvivesLeaderCancel: a leader that dies of its *own*
+// cancelled context must not poison waiters with live contexts — they
+// retry the word themselves and succeed.
+func TestCacheWaiterSurvivesLeaderCancel(t *testing.T) {
+	truth := tcpModel()
+	leaderIn := make(chan struct{})
+	var calls int64
+	inner := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			close(leaderIn)
+			<-ctx.Done() // the leader's query dies with its context
+			return nil, ctx.Err()
+		}
+		out, _ := truth.Run(word)
+		return out, nil
+	})
+	cached := NewCache(inner, nil)
+	word := []string{"SYN", "ACK"}
+	want, _ := truth.Run(word)
+
+	leaderCtx, cancelLeader := context.WithCancel(bg)
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := cached.Query(leaderCtx, word)
+		leaderDone <- err
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		out, err := cached.Query(bg, word)
+		if err != nil {
+			t.Errorf("waiter failed after leader cancellation: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Errorf("waiter got %v, want %v", out, want)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter park on the in-flight entry
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never recovered from the leader's cancellation")
+	}
+}
+
+// TestCacheWaiterHonorsCancel: a goroutine waiting on another asker's
+// in-flight query must give up with ctx.Err() when its context dies first.
+func TestCacheWaiterHonorsCancel(t *testing.T) {
+	truth := tcpModel()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	inner := OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		once.Do(func() { close(started) })
+		<-gate
+		out, _ := truth.Run(word)
+		return out, nil
+	})
+	cached := NewCache(inner, nil)
+	word := []string{"SYN"}
+
+	go cached.Query(bg, word) //nolint:errcheck // leader; released via gate below
+	<-started
+
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cached.Query(ctx, word)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter park on the in-flight entry
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter stayed blocked behind the in-flight query")
+	}
+	close(gate) // release the leader
 }

@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -100,13 +101,13 @@ func (w *WpMethodOracle) Suite(hyp *automata.Mealy) [][]string {
 }
 
 // FindCounterexample implements EquivalenceOracle.
-func (w *WpMethodOracle) FindCounterexample(hyp *automata.Mealy) ([]string, error) {
+func (w *WpMethodOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
 	suite := w.Suite(hyp)
 	if w.Workers > 1 {
-		return findFirstCE(w.Oracle, hyp, suite, w.Workers, nil)
+		return findFirstCE(ctx, w.Oracle, hyp, suite, w.Workers, nil)
 	}
 	for _, word := range suite {
-		if ce, err := checkWord(w.Oracle, hyp, word); err != nil || ce != nil {
+		if ce, err := checkWord(ctx, w.Oracle, hyp, word); err != nil || ce != nil {
 			return ce, err
 		}
 	}

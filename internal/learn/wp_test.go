@@ -11,7 +11,7 @@ import (
 func TestWpMethodProvesEquivalence(t *testing.T) {
 	truth := tcpModel()
 	eqo := &WpMethodOracle{Oracle: MealyOracle(truth), Inputs: truth.Inputs(), Depth: 1}
-	if ce, err := eqo.FindCounterexample(truth.Clone()); err != nil || ce != nil {
+	if ce, err := eqo.FindCounterexample(bg, truth.Clone()); err != nil || ce != nil {
 		t.Fatalf("ce=%v err=%v", ce, err)
 	}
 }
@@ -25,7 +25,7 @@ func TestWpMethodFindsMutations(t *testing.T) {
 			mut.SetTransition(automata.State(s), in, to, "MUTANT")
 			// The mutated machine plays the SUL; the hypothesis is truth.
 			eqo := &WpMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
-			ce, err := eqo.FindCounterexample(truth)
+			ce, err := eqo.FindCounterexample(bg, truth)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +45,7 @@ func TestWpMethodUsableAsLearningOracle(t *testing.T) {
 	// Depth must cover the state-count gap between intermediate hypotheses
 	// (as small as 1 state) and the 4-state target.
 	eqo := &WpMethodOracle{Oracle: o, Inputs: truth.Inputs(), Depth: 3}
-	hyp, err := NewDTLearner(o, truth.Inputs()).Learn(eqo)
+	hyp, err := NewDTLearner(o, truth.Inputs()).Learn(bg, eqo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,8 +68,8 @@ func TestPropertyWpAgreesWithW(t *testing.T) {
 		mut.SetTransition(s, in, to, "MUT")
 		wp := &WpMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
 		w := &WMethodOracle{Oracle: MealyOracle(mut), Inputs: truth.Inputs(), Depth: 1}
-		ceWp, err1 := wp.FindCounterexample(truth)
-		ceW, err2 := w.FindCounterexample(truth)
+		ceWp, err1 := wp.FindCounterexample(bg, truth)
+		ceW, err2 := w.FindCounterexample(bg, truth)
 		if err1 != nil || err2 != nil {
 			return false
 		}

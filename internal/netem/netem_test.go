@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -8,6 +9,9 @@ import (
 	"repro/internal/quicsim"
 	"repro/internal/reference"
 )
+
+// bg is the default context for tests that never cancel.
+var bg = context.Background()
 
 // lossySUL builds a QUIC SUL whose transport injects faults.
 func lossySUL(profile quicsim.Profile, cfg Config) (core.SUL, *Link) {
@@ -31,7 +35,7 @@ func (s *sul) Step(in string) (string, error) { return s.cli.Step(in) }
 
 func TestCleanLinkIsTransparent(t *testing.T) {
 	s, link := lossySUL(quicsim.ProfileQuiche, Config{Seed: 1})
-	out, err := core.Oracle(s).Query([]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC})
+	out, err := core.Oracle(s).Query(bg, []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +56,7 @@ func TestCleanLinkIsTransparent(t *testing.T) {
 func TestLossCausesObservableNondeterminism(t *testing.T) {
 	s, _ := lossySUL(quicsim.ProfileQuiche, Config{LossServer: 0.3, Seed: 2})
 	guarded := core.Guard(core.Oracle(s), core.GuardConfig{MinVotes: 3, MaxVotes: 12, Certainty: 0.95})
-	_, err := guarded.Query([]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream})
+	_, err := guarded.Query(bg, []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream})
 	if _, ok := core.IsNondeterminism(err); !ok {
 		t.Fatalf("expected nondeterminism under heavy loss, got %v", err)
 	}
@@ -67,7 +71,7 @@ func TestGuardOutvotesRareLoss(t *testing.T) {
 	word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC}
 	want, _ := quicsim.GroundTruth(quicsim.ProfileQuiche).Run(word)
 	for i := 0; i < 10; i++ {
-		out, err := guarded.Query(word)
+		out, err := guarded.Query(bg, word)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -87,11 +91,11 @@ func TestDuplicationChangesAbstraction(t *testing.T) {
 	clean, _ := lossySUL(quicsim.ProfileQuiche, Config{Seed: 4})
 	dup, link := lossySUL(quicsim.ProfileQuiche, Config{Duplicate: 1.0, Seed: 4})
 	word := []string{quicsim.SymInitialCrypto}
-	a, err := core.Oracle(clean).Query(word)
+	a, err := core.Oracle(clean).Query(bg, word)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.Oracle(dup).Query(word)
+	b, err := core.Oracle(dup).Query(bg, word)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +117,7 @@ func TestLearningSucceedsOverFlakyLink(t *testing.T) {
 		Guard:       core.GuardConfig{MinVotes: 3, MaxVotes: 80, Certainty: 0.75},
 		Equivalence: &learn.ModelOracle{Model: quicsim.GroundTruth(quicsim.ProfileQuiche)},
 	}
-	m, err := exp.Learn()
+	m, err := exp.Learn(bg)
 	if err != nil {
 		t.Fatalf("learning failed over flaky link (dropped %d): %v", link.DroppedServer, err)
 	}
@@ -128,7 +132,7 @@ func TestLearningSucceedsOverFlakyLink(t *testing.T) {
 // TestReorderingCounter exercises the reorder path.
 func TestReorderingCounter(t *testing.T) {
 	s, link := lossySUL(quicsim.ProfileGoogle, Config{Reorder: 1.0, Seed: 6})
-	if _, err := core.Oracle(s).Query([]string{quicsim.SymInitialCrypto}); err != nil {
+	if _, err := core.Oracle(s).Query(bg, []string{quicsim.SymInitialCrypto}); err != nil {
 		t.Fatal(err)
 	}
 	if link.Reordered == 0 {

@@ -1,0 +1,29 @@
+// Package testutil holds small helpers shared across this repo's test
+// suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitForGoroutines polls until the goroutine count drops back to at most
+// base (plus a small tolerance for runtime background goroutines), failing
+// the test with a full stack dump if it never does — a dependency-free
+// goleak-style check.
+func WaitForGoroutines(tb testing.TB, base int) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	tb.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf[:n])
+}

@@ -3,7 +3,6 @@ package transport
 import (
 	"testing"
 
-	"repro/internal/lab"
 	"repro/internal/quicsim"
 	"repro/internal/reference"
 	"repro/internal/tcpsim"
@@ -56,10 +55,10 @@ func TestLearnQuicheOverUDP(t *testing.T) {
 	tr := NewQUICClientTransport(hosted.Addr())
 	defer tr.Close()
 
-	setup := lab.NewQUIC(quicsim.ProfileQuiche, lab.QUICOptions{Seed: 7, Transport: tr})
-	// Reuse the hosted server for resets: the lab setup's private server is
-	// bypassed by the custom transport, so wire resets to the hosted one.
-	sul := &udpSUL{setup: setup, hosted: srv}
+	// Wire the reference client straight to the hosted server over the UDP
+	// transport (the same seeds lab's UDP builder uses).
+	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, tr)
+	sul := &udpSUL{cli: cli, hosted: srv}
 	out, err := runWord(sul, []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream})
 	if err != nil {
 		t.Fatal(err)
@@ -74,16 +73,16 @@ func TestLearnQuicheOverUDP(t *testing.T) {
 }
 
 type udpSUL struct {
-	setup  *lab.QUICSetup
+	cli    *reference.QUICClient
 	hosted *quicsim.Server
 }
 
 func (u *udpSUL) Reset() error {
 	u.hosted.Reset()
-	return u.setup.Client.Reset()
+	return u.cli.Reset()
 }
 
-func (u *udpSUL) Step(in string) (string, error) { return u.setup.Client.Step(in) }
+func (u *udpSUL) Step(in string) (string, error) { return u.cli.Step(in) }
 
 func runWord(s interface {
 	Reset() error
