@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/learn"
+	"repro/internal/netem"
 	"repro/internal/quicsim"
 	"repro/internal/synth"
 )
@@ -167,6 +168,82 @@ func BenchmarkPooledLearningInProcess(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLearnUnderLoss — learning through an impaired link: a full
+// Google-profile learn across a loss grid and worker counts, reporting
+// live queries (SUL executions including guard votes), guard votes beyond
+// the clean floor, and escalations per cell. The learned model must stay
+// identical to the clean ground truth at every cell: the adaptive guard's
+// job is to outvote the link, not to model it. The two guard=* cells pin
+// the adaptive-vs-provisioned comparison at 5% loss: adaptive voting must
+// beat a guard fixed at its worst-case vote floor on total queries.
+func BenchmarkLearnUnderLoss(b *testing.B) {
+	learn := func(b *testing.B, workers int, loss float64, extra ...lab.Option) *lab.Result {
+		b.Helper()
+		opts := append([]lab.Option{
+			lab.WithSeed(13), lab.WithPerfectEquivalence(), lab.WithWorkers(workers),
+		}, extra...)
+		if loss > 0 {
+			opts = append(opts, lab.WithImpairment(netem.Config{
+				LossClient: loss, LossServer: loss, Seed: 99,
+			}))
+		}
+		res, err := lab.Run(context.Background(), lab.TargetGoogle, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Nondet != nil {
+			b.Fatalf("guard gave up: %v", res.Nondet)
+		}
+		if res.Model.NumStates() != 12 {
+			b.Fatalf("states = %d, want 12", res.Model.NumStates())
+		}
+		return res
+	}
+	for _, loss := range []float64{0, 0.01, 0.05} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("loss=%g%%/workers=%d", loss*100, workers), func(b *testing.B) {
+				var res *lab.Result
+				for i := 0; i < b.N; i++ {
+					res = learn(b, workers, loss)
+				}
+				b.ReportMetric(float64(res.Stats.Queries), "queries")
+				b.ReportMetric(float64(res.Guard.Votes), "votes")
+				b.ReportMetric(float64(res.Guard.WastedVotes), "wasted-votes")
+				b.ReportMetric(float64(res.Guard.Escalations), "escalations")
+			})
+		}
+	}
+	// The comparison the adaptive guard exists for: at 5% loss, scaling
+	// votes to observed flakiness must cost fewer total queries than
+	// provisioning every query at a fixed worst-case floor.
+	guards := []struct {
+		name string
+		cfg  core.GuardConfig
+	}{
+		{"guard=adaptive", core.DefaultAdaptiveGuard()},
+		{"guard=fixed-max", func() core.GuardConfig {
+			cfg := core.DefaultAdaptiveGuard()
+			cfg.MinVotes = 2 * cfg.ModeVotes // worst-case floor on every query
+			return cfg
+		}()},
+	}
+	queries := make(map[string]int64, len(guards))
+	for _, g := range guards {
+		b.Run(g.name, func(b *testing.B) {
+			var res *lab.Result
+			for i := 0; i < b.N; i++ {
+				res = learn(b, 4, 0.05, lab.WithGuard(g.cfg))
+			}
+			queries[g.name] = res.Stats.Queries
+			b.ReportMetric(float64(res.Stats.Queries), "queries")
+			b.ReportMetric(float64(res.Guard.WastedVotes), "wasted-votes")
+		})
+	}
+	if a, f := queries["guard=adaptive"], queries["guard=fixed-max"]; a > 0 && f > 0 && a >= f {
+		b.Fatalf("adaptive guard (%d queries) must beat the fixed worst-case guard (%d) at 5%% loss", a, f)
 	}
 }
 

@@ -1,0 +1,49 @@
+// Command benchjson converts `go test -bench` text output into the JSON
+// the CI perf-trajectory artifact (BENCH_PR.json) wants: one entry per
+// benchmark mapping its name to ns/op and every custom metric the
+// benchmark reported (queries, votes, escalations, ...).
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | benchjson [-o BENCH_PR.json]
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	results, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

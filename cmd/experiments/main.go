@@ -28,13 +28,64 @@ func main() {
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
 	workers := flag.Int("workers", 1, "membership-query concurrency inside each learning run")
 	parallel := flag.Int("parallel", 0, "how many learning runs execute at once (0 = GOMAXPROCS)")
+	impair := flag.String("impair", "", "run the impairment matrix for this target (e.g. google, lossy-retransmit) instead of the paper report")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *seed, *workers, *parallel); err != nil {
+	var err error
+	if *impair != "" {
+		err = runImpairmentGrid(ctx, *impair, *seed, *workers, *parallel)
+	} else {
+		err = run(ctx, *seed, *workers, *parallel)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runImpairmentGrid fans one target across a loss × duplication × reorder
+// grid (per-cell isolation) and prints one verdict line per cell: model
+// identical to the clean baseline? query inflation? guard effort?
+func runImpairmentGrid(ctx context.Context, target string, seed int64, workers, parallel int) error {
+	cells := lab.ImpairmentGrid(
+		[]float64{0, 0.01, 0.05},
+		[]float64{0, 0.01},
+		[]float64{0, 0.05},
+	)
+	base := []lab.Option{lab.WithSeed(seed), lab.WithWorkers(workers)}
+	fmt.Printf("Impairment matrix — target %s (%d cells, workers=%d)\n", target, len(cells), workers)
+	fmt.Println(strings.Repeat("-", 78))
+	m, err := lab.RunImpairmentMatrix(ctx, target, base, cells, parallel, seed+101)
+	if err != nil {
+		return err
+	}
+	if m.Baseline.Err != nil {
+		return fmt.Errorf("clean baseline: %w", m.Baseline.Err)
+	}
+	bres := m.Baseline.Result
+	if bres.Nondet != nil {
+		return fmt.Errorf("clean baseline halted on nondeterminism: %v", bres.Nondet)
+	}
+	fmt.Printf("  %-28s %d states, %d live queries (baseline)\n",
+		"clean", bres.Model.NumStates(), bres.Stats.Queries)
+	for _, v := range m.Cells {
+		switch {
+		case v.Run.Err != nil:
+			fmt.Printf("  %-28s ERROR: %v\n", v.Cell.Name(), v.Run.Err)
+		case v.Nondet:
+			fmt.Printf("  %-28s nondeterminism after %d votes on %v\n",
+				v.Cell.Name(), v.Run.Result.Nondet.Votes, v.Run.Result.Nondet.Word)
+		default:
+			verdict := "MODEL DIVERGED"
+			if v.MatchesBaseline {
+				verdict = "model identical"
+			}
+			fmt.Printf("  %-28s %s, %.1fx queries, %d escalations, %d wasted votes\n",
+				v.Cell.Name(), verdict, v.QueryInflation, v.Escalations, v.WastedVotes)
+		}
+	}
+	return nil
 }
 
 func header(id, title string) {

@@ -6,12 +6,18 @@
 //
 //	prognosis -target google [-learner ttt|lstar] [-seed N] [-perfect]
 //	          [-dot model.dot] [-udp] [-no-cache] [-workers N] [-rtt D]
+//	          [-loss P] [-dup P] [-reorder P] [-impair-seed N]
 //	          [-v] [-events out.jsonl]
 //
 // Targets: every name in the lab registry (tcp, google, google-fixed,
-// quiche, mvfst). Ctrl-C cancels a run cleanly mid-round. -v streams live
-// learning progress to stderr; -events appends the typed event stream as
-// JSON lines.
+// quiche, mvfst, lossy-retransmit). Ctrl-C cancels a run cleanly
+// mid-round. -v streams live learning progress to stderr; -events appends
+// the typed event stream as JSON lines.
+//
+// -loss/-dup/-reorder impair every worker's link with the given
+// per-datagram fault probabilities (loss applies to each direction); the
+// guard then defaults to the adaptive §5 check, whose escalations -v
+// reports live. See docs/IMPAIRMENT.md.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/learn"
+	"repro/internal/netem"
 )
 
 func main() {
@@ -44,6 +51,10 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the membership-query cache")
 	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances")
 	rtt := flag.Duration("rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
+	loss := flag.Float64("loss", 0, "per-datagram loss probability injected in each direction of every worker's link")
+	dup := flag.Float64("dup", 0, "per-datagram probability of duplicating a response")
+	reorder := flag.Float64("reorder", 0, "per-exchange probability of reordering adjacent response datagrams")
+	impairSeed := flag.Int64("impair-seed", 0, "seed for the fault streams (defaults to -seed)")
 	verbose := flag.Bool("v", false, "stream live learning progress to stderr")
 	eventsFile := flag.String("events", "", "append the typed event stream as JSON lines to this file")
 	flag.Parse()
@@ -52,6 +63,7 @@ func main() {
 		target: *target, learner: *learner, seed: *seed, perfect: *perfect,
 		dotFile: *dotFile, saveFile: *saveFile, property: *property, depth: *depth,
 		udp: *udp, noCache: *noCache, workers: *workers, rtt: *rtt,
+		loss: *loss, dup: *dup, reorder: *reorder, impairSeed: *impairSeed,
 		verbose: *verbose, eventsFile: *eventsFile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "prognosis:", err)
@@ -60,17 +72,33 @@ func main() {
 }
 
 type runConfig struct {
-	target, learner   string
-	seed              int64
-	perfect           bool
-	dotFile, saveFile string
-	property          string
-	depth             int
-	udp, noCache      bool
-	workers           int
-	rtt               time.Duration
-	verbose           bool
-	eventsFile        string
+	target, learner    string
+	seed               int64
+	perfect            bool
+	dotFile, saveFile  string
+	property           string
+	depth              int
+	udp, noCache       bool
+	workers            int
+	rtt                time.Duration
+	loss, dup, reorder float64
+	impairSeed         int64
+	verbose            bool
+	eventsFile         string
+}
+
+// impairment assembles the netem config of the run's flags (zero when no
+// fault flag is set).
+func (cfg runConfig) impairment() netem.Config {
+	seed := cfg.impairSeed
+	if seed == 0 {
+		seed = cfg.seed
+	}
+	return netem.Config{
+		LossClient: cfg.loss, LossServer: cfg.loss,
+		Duplicate: cfg.dup, Reorder: cfg.reorder,
+		Seed: seed,
+	}
 }
 
 // options assembles the lab functional options for one run.
@@ -91,6 +119,9 @@ func (cfg runConfig) options() ([]lab.Option, func(), error) {
 		// Unsupported combinations (e.g. tcp) are rejected by the target's
 		// builder with a clear error rather than silently ignored here.
 		opts = append(opts, lab.WithTransport(lab.TransportUDP))
+	}
+	if impair := cfg.impairment(); impair.Enabled() {
+		opts = append(opts, lab.WithImpairment(impair))
 	}
 	cleanup := func() {}
 	var observers []learn.Observer
@@ -148,6 +179,13 @@ func run(cfg runConfig) error {
 	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
 		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
 	fmt.Printf("  wall time: %v\n", res.Duration)
+	if cfg.impairment().Enabled() {
+		fmt.Printf("  impaired link (%s): dropped %d->/%d<- datagrams, %d duplicated, %d reordered\n",
+			cfg.impairment().Label(), res.Faults.DroppedClient, res.Faults.DroppedServer,
+			res.Faults.Duplicated, res.Faults.Reordered)
+		fmt.Printf("  guard: %d flaky queries, %d escalations, %d votes beyond the floor\n",
+			res.Guard.RetriedQueries, res.Guard.Escalations, res.Guard.WastedVotes)
+	}
 	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
 		m.CountTraces(10), automata.TotalWords(len(m.Inputs()), 10))
 	if cfg.saveFile != "" {
@@ -204,5 +242,8 @@ func (progressObserver) OnEvent(e learn.Event) {
 	case learn.NondeterminismDetected:
 		fmt.Fprintf(os.Stderr, "nondeterminism: %d alternatives after %d votes on %v\n",
 			ev.Alternatives, ev.Votes, ev.Word)
+	case learn.GuardEscalated:
+		fmt.Fprintf(os.Stderr, "guard: escalated to %d votes after %d (disagreement %.2f) on %v\n",
+			ev.Budget, ev.Votes, ev.EWMA, ev.Word)
 	}
 }

@@ -1,0 +1,85 @@
+// Package benchparse parses `go test -bench` text output into structured
+// results, so CI can track the perf trajectory (cmd/benchjson) and tests
+// can assert on benchmark numbers without scraping text themselves.
+package benchparse
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (the -cpu suffix stripped), the
+// iteration count, and every reported metric keyed by unit — "ns/op"
+// always, plus whatever the benchmark added with ReportMetric.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the parsed stream: the environment header lines Go prints
+// (goos/goarch/pkg/cpu) and the benchmarks in input order.
+type File struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// cpuSuffix is the trailing "-N" GOMAXPROCS tag on benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads a `go test -bench` stream, ignoring everything that is not
+// a benchmark result or an environment header.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				f.Benchmarks = append(f.Benchmarks, res)
+			}
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				f.Env[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Env) == 0 {
+		f.Env = nil
+	}
+	return f, nil
+}
+
+// parseLine parses one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false // e.g. "BenchmarkX ... FAIL" or other noise
+	}
+	res := Result{
+		Name:       cpuSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

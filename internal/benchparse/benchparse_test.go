@@ -1,0 +1,60 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLearnTCPFull-8   	      12	  95123456 ns/op	      4726 queries
+BenchmarkLearnUnderLoss/loss=5%/workers=4         	       1	 334802372 ns/op	        21.00 escalations	      2613 queries	      2613 votes	      2219 wasted-votes
+BenchmarkWirePath 	   10000	    105000 ns/op
+PASS
+ok  	repro	1.827s
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env["goos"] != "linux" || f.Env["cpu"] == "" {
+		t.Fatalf("env not captured: %v", f.Env)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	tcp := f.Benchmarks[0]
+	if tcp.Name != "LearnTCPFull" {
+		t.Fatalf("cpu suffix not stripped: %q", tcp.Name)
+	}
+	if tcp.Iterations != 12 || tcp.Metrics["ns/op"] != 95123456 || tcp.Metrics["queries"] != 4726 {
+		t.Fatalf("tcp result mangled: %+v", tcp)
+	}
+	loss := f.Benchmarks[1]
+	if loss.Name != "LearnUnderLoss/loss=5%/workers=4" {
+		t.Fatalf("sub-benchmark name mangled: %q", loss.Name)
+	}
+	if loss.Metrics["escalations"] != 21 || loss.Metrics["wasted-votes"] != 2219 {
+		t.Fatalf("custom metrics mangled: %+v", loss.Metrics)
+	}
+	if f.Benchmarks[2].Metrics["ns/op"] != 105000 {
+		t.Fatalf("plain result mangled: %+v", f.Benchmarks[2])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	f, err := Parse(strings.NewReader("BenchmarkBroken FAIL\nrandom text\n--- FAIL: TestX\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", f.Benchmarks)
+	}
+	if f.Env != nil {
+		t.Fatalf("no env lines, got %v", f.Env)
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/automata"
@@ -100,6 +102,37 @@ type GuardConfig struct {
 	// Certainty is the fraction of agreeing executions required to accept
 	// a majority answer after a disagreement (e.g. 0.9).
 	Certainty float64
+
+	// Adaptive enables learning under adverse networks: the per-query vote
+	// budget starts at MinVotes and escalates with the observed
+	// disagreement rate (an EWMA over past queries), and disagreeing
+	// executions are resolved by positional consensus — each output
+	// position is accepted once enough executions that agree with the
+	// already-accepted prefix also agree on it. No answer can reach a
+	// whole-word Certainty threshold on a link whose per-datagram faults
+	// corrupt a large fraction of executions, but per-position the clean
+	// outcome stays strongly modal however long the word is. See
+	// docs/IMPAIRMENT.md for the algorithm and its trade-offs.
+	Adaptive bool
+	// EWMAAlpha smooths the disagreement-rate estimate (adaptive mode
+	// only; default 0.15). Larger values react faster to a link going bad
+	// and recover faster on a clean streak.
+	EWMAAlpha float64
+	// ModeVotes and ModeLead parameterize the positional acceptance rule:
+	// a position is accepted once its modal output holds at least
+	// ModeVotes votes (default 7) and at least ModeLead times the
+	// runner-up's count (default 3) among prefix-consistent executions.
+	// Link noise gives the wrong outcomes at any one position only a
+	// small probability each, so the true output builds this lead
+	// quickly, while a genuine coin flip (e.g. a 50/50 RESET) never does.
+	ModeVotes int
+	ModeLead  int
+	// PriorDisagreement seeds the EWMA before the first query. A run that
+	// expects an impaired link starts pessimistic (0.5) so the earliest
+	// queries — which seed the cache everything later builds on — are
+	// already sampled generously; on a clean link the prior decays to
+	// MinVotes-cheap behaviour within a couple dozen queries.
+	PriorDisagreement float64
 }
 
 // DefaultGuard mirrors the paper's setup: cheap when the system is
@@ -108,74 +141,399 @@ func DefaultGuard() GuardConfig {
 	return GuardConfig{MinVotes: 2, MaxVotes: 20, Certainty: 0.9}
 }
 
-// Guard wraps an oracle with the nondeterminism check. Each query is
-// executed MinVotes times; on disagreement it keeps re-executing up to
-// MaxVotes and accepts the majority answer only if it reaches Certainty,
-// otherwise it fails with a *NondeterminismError.
-//
-// The vote tally is derived from the observed-output counts, so a vote
-// that errors mid-retry can never leave the tally inconsistent with the
-// counts: failed executions simply are not votes. Underlying query errors
-// are wrapped with the query word (and errors.Is/As still see through the
-// wrapping), so a failure deep in a retry loop stays diagnosable.
-func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
+// DefaultAdaptiveGuard is the guard for learning through an impaired link:
+// it starts as cheap as DefaultGuard and pays votes only where the link
+// actually bites. MaxVotes is sized so that long words keep enough
+// prefix-consistent executions to reach positional consensus at several
+// percent datagram loss.
+func DefaultAdaptiveGuard() GuardConfig {
+	return GuardConfig{
+		MinVotes: 2, MaxVotes: 160, Certainty: 0.9,
+		Adaptive: true, EWMAAlpha: 0.15, ModeVotes: 7, ModeLead: 3,
+		PriorDisagreement: 0.5,
+	}
+}
+
+// GuardStats are cumulative voting-cost counters, updated atomically by
+// every oracle a Guardian wraps. Read them with Snapshot.
+type GuardStats struct {
+	// Votes counts every SUL execution the guard performed.
+	Votes int64
+	// Escalations counts vote-budget raises (each also emitted as a
+	// learn.GuardEscalated event).
+	Escalations int64
+	// RetriedQueries counts queries that saw at least one disagreement.
+	RetriedQueries int64
+	// WastedVotes counts votes beyond the MinVotes floor — the price of
+	// the link's flakiness (a clean link wastes none).
+	WastedVotes int64
+}
+
+// Snapshot returns a consistent copy safe to read while queries are in
+// flight.
+func (s *GuardStats) Snapshot() GuardStats {
+	return GuardStats{
+		Votes:          atomic.LoadInt64(&s.Votes),
+		Escalations:    atomic.LoadInt64(&s.Escalations),
+		RetriedQueries: atomic.LoadInt64(&s.RetriedQueries),
+		WastedVotes:    atomic.LoadInt64(&s.WastedVotes),
+	}
+}
+
+// Guardian applies the §5 nondeterminism check to any number of oracle
+// shards, sharing one adaptive state (disagreement EWMA, stats) across all
+// of them: a pooled experiment has one link quality, not one per worker.
+// Wrap as many shard oracles as needed; all methods are safe for
+// concurrent use.
+type Guardian struct {
+	cfg   GuardConfig
+	stats *GuardStats
+	obs   learn.Observer
+
+	mu   sync.Mutex
+	ewma float64 // observed disagreement rate across recent queries
+}
+
+// NewGuardian validates cfg (filling adaptive defaults) and returns a
+// Guardian. stats may be nil (counters are then kept internally); obs may
+// be nil (escalation events are then dropped).
+func NewGuardian(cfg GuardConfig, stats *GuardStats, obs learn.Observer) *Guardian {
 	if cfg.MinVotes < 1 {
 		cfg.MinVotes = 1
 	}
 	if cfg.MaxVotes < cfg.MinVotes {
 		cfg.MaxVotes = cfg.MinVotes
 	}
+	if cfg.Adaptive {
+		if cfg.EWMAAlpha <= 0 || cfg.EWMAAlpha > 1 {
+			cfg.EWMAAlpha = 0.15
+		}
+		if cfg.ModeVotes <= 0 {
+			cfg.ModeVotes = 7
+		}
+		if cfg.ModeLead <= 0 {
+			cfg.ModeLead = 3
+		}
+	}
+	if stats == nil {
+		stats = &GuardStats{}
+	}
+	ewma := 0.0
+	if cfg.Adaptive {
+		ewma = cfg.PriorDisagreement
+	}
+	return &Guardian{cfg: cfg, stats: stats, obs: obs, ewma: ewma}
+}
+
+// Disagreement returns the current EWMA of the per-query disagreement
+// rate.
+func (g *Guardian) Disagreement() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ewma
+}
+
+// StartBudget returns the vote budget a disagreeing query begins with:
+// enough for positional consensus on a typical word (ModeVotes-scaled,
+// growing with the disagreement rate), while queries the link hits harder
+// — long words keep fewer prefix-consistent executions — escalate past it
+// step by step toward MaxVotes, emitting a learn.GuardEscalated event at
+// every raise. Non-adaptive guards always budget MaxVotes (the fixed
+// retry bound of §5).
+func (g *Guardian) StartBudget() int {
+	if !g.cfg.Adaptive {
+		return g.cfg.MaxVotes
+	}
+	budget := g.cfg.ModeVotes + int(g.Disagreement()*2*float64(g.cfg.ModeVotes)+0.5)
+	if min := g.InitialVotes() + 2; budget < min {
+		budget = min
+	}
+	if budget > g.cfg.MaxVotes {
+		budget = g.cfg.MaxVotes
+	}
+	return budget
+}
+
+// InitialVotes returns how many executions the next query samples before a
+// unanimous answer is accepted: MinVotes on a clean link, growing toward
+// ModeVotes as the disagreement EWMA climbs. This is the other half of
+// adaptivity — on a badly impaired link, two executions can agree by
+// suffering the *same* fault (two lost copies of the same response look
+// identical), so unanimity among MinVotes is only trustworthy when
+// disagreements are rare.
+func (g *Guardian) InitialVotes() int {
+	if !g.cfg.Adaptive {
+		return g.cfg.MinVotes
+	}
+	n := g.cfg.MinVotes
+	if span := float64(g.cfg.ModeVotes - g.cfg.MinVotes); span > 0 {
+		n += int(g.Disagreement()*span + 0.5)
+		if n > g.cfg.ModeVotes {
+			n = g.cfg.ModeVotes
+		}
+	}
+	return n
+}
+
+// observe folds one finished query into the shared disagreement EWMA.
+func (g *Guardian) observe(flaky bool) {
+	x := 0.0
+	if flaky {
+		x = 1.0
+	}
+	g.mu.Lock()
+	g.ewma += g.cfg.EWMAAlpha * (x - g.ewma)
+	g.mu.Unlock()
+}
+
+// Wrap returns an oracle applying the guard to o. Each query is executed
+// MinVotes times; unanimity is accepted immediately. On disagreement the
+// fixed guard keeps re-executing up to MaxVotes and accepts a whole-word
+// answer only at Certainty; the adaptive guard resolves the word by
+// positional consensus within an escalating vote budget. Either way an
+// unresolved query fails with a *NondeterminismError.
+//
+// The vote tally is derived from the observed executions, so a vote that
+// errors mid-retry can never leave the tally inconsistent: failed
+// executions simply are not votes. Underlying query errors are wrapped
+// with the query word (and errors.Is/As still see through the wrapping),
+// so a failure deep in a retry loop stays diagnosable.
+func (g *Guardian) Wrap(o learn.Oracle) learn.Oracle {
 	return learn.OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
-		counts := make(map[string]int)
-		first := make(map[string][]string)
-		votes := func() int {
-			n := 0
-			for _, c := range counts {
-				n += c
-			}
-			return n
+		if g.cfg.Adaptive {
+			return g.adaptiveQuery(ctx, o, word)
 		}
-		ask := func() (string, error) {
-			out, err := o.Query(ctx, word)
-			if err != nil {
-				// The failed execution is not a vote: counts are untouched,
-				// so the tally stays consistent however far the retry loop
-				// got. Wrap with the word for diagnosability.
-				return "", fmt.Errorf("core: guard query %v after %d votes: %w", word, votes(), err)
-			}
-			key := strings.Join(out, "\x1e")
-			counts[key]++
-			if _, ok := first[key]; !ok {
-				first[key] = out
-			}
-			return key, nil
+		return g.fixedQuery(ctx, o, word)
+	})
+}
+
+// fixedQuery is the paper's §5 check: whole-word majority at Certainty.
+func (g *Guardian) fixedQuery(ctx context.Context, o learn.Oracle, word []string) ([]string, error) {
+	cfg := g.cfg
+	counts := make(map[string]int)
+	first := make(map[string][]string)
+	votes := 0
+	ask := func() error {
+		out, err := o.Query(ctx, word)
+		if err != nil {
+			return fmt.Errorf("core: guard query %v after %d votes: %w", word, votes, err)
 		}
-		for i := 0; i < cfg.MinVotes; i++ {
-			if _, err := ask(); err != nil {
-				return nil, err
+		votes++
+		atomic.AddInt64(&g.stats.Votes, 1)
+		key := strings.Join(out, "\x1e")
+		counts[key]++
+		if _, ok := first[key]; !ok {
+			first[key] = out
+		}
+		return nil
+	}
+	accept := func(key string) []string {
+		atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+		return first[key]
+	}
+	for i := 0; i < cfg.MinVotes; i++ {
+		if err := ask(); err != nil {
+			return nil, err
+		}
+	}
+	if len(counts) == 1 {
+		g.observe(false)
+		for k := range counts {
+			return accept(k), nil
+		}
+	}
+	atomic.AddInt64(&g.stats.RetriedQueries, 1)
+	g.observe(true)
+	for votes < cfg.MaxVotes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := ask(); err != nil {
+			return nil, err
+		}
+		for k, n := range counts {
+			if float64(n) >= cfg.Certainty*float64(votes) && votes >= cfg.MinVotes+2 {
+				return accept(k), nil
 			}
 		}
-		if len(counts) == 1 {
-			for k := range counts {
-				return first[k], nil
-			}
+	}
+	atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+	return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes}
+}
+
+// adaptiveQuery resolves a disagreeing query by positional consensus: the
+// answer is built one output position at a time, and a position is
+// accepted once its modal output holds ModeVotes votes with a ModeLead
+// lead among the executions that agree with the already-accepted prefix.
+// Per position the clean outcome stays strongly modal regardless of word
+// length — the property whole-word majorities lose on long words, where
+// the fully-clean execution can be a minority even though every
+// alternative is rarer still. The vote budget starts from the
+// disagreement EWMA and escalates (emitting learn.GuardEscalated) while
+// the query stays unresolved.
+func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []string) ([]string, error) {
+	cfg := g.cfg
+	var execs [][]string
+	votes := 0
+	cast := func() error {
+		out, err := o.Query(ctx, word)
+		if err != nil {
+			return fmt.Errorf("core: guard query %v after %d votes: %w", word, votes, err)
 		}
-		for votes() < cfg.MaxVotes {
+		votes++
+		atomic.AddInt64(&g.stats.Votes, 1)
+		execs = append(execs, out)
+		return nil
+	}
+	initial := g.InitialVotes()
+	for i := 0; i < initial; i++ {
+		if err := cast(); err != nil {
+			return nil, err
+		}
+	}
+	unanimous := true
+	for _, e := range execs[1:] {
+		if !slices.Equal(e, execs[0]) {
+			unanimous = false
+			break
+		}
+	}
+	if unanimous {
+		g.observe(false)
+		atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+		return execs[0], nil
+	}
+	atomic.AddInt64(&g.stats.RetriedQueries, 1)
+	g.observe(true)
+	budget := g.StartBudget()
+	// alive[j]: execs[j] agrees with every accepted position so far, and
+	// therefore gets a vote on the next one.
+	alive := make([]bool, len(execs))
+	for j := range alive {
+		alive[j] = true
+	}
+	accepted := make([]string, 0, len(word))
+	for pos := range word {
+		for {
+			counts := make(map[string]int)
+			for j, e := range execs {
+				if alive[j] {
+					counts[e[pos]]++
+				}
+			}
+			mode, haveMode, runner := "", false, 0
+			for out, n := range counts {
+				if !haveMode || n > counts[mode] {
+					if haveMode && counts[mode] > runner {
+						runner = counts[mode]
+					}
+					mode, haveMode = out, true
+					continue
+				}
+				if n > runner {
+					runner = n
+				}
+			}
+			if counts[mode] >= cfg.ModeVotes && counts[mode] >= cfg.ModeLead*runner {
+				accepted = append(accepted, mode)
+				for j, e := range execs {
+					alive[j] = alive[j] && e[pos] == mode
+				}
+				break
+			}
+			if votes >= budget {
+				if budget >= cfg.MaxVotes {
+					atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+					whole := make(map[string]int, len(execs))
+					for _, e := range execs {
+						whole[strings.Join(e, "\x1e")]++
+					}
+					return nil, &NondeterminismError{Word: word, Observed: whole, Votes: votes}
+				}
+				// Escalate: double the budget (at least 4 more votes) up to
+				// the hard ceiling, and tell observers the link is biting.
+				budget *= 2
+				if budget < votes+4 {
+					budget = votes + 4
+				}
+				if budget > cfg.MaxVotes {
+					budget = cfg.MaxVotes
+				}
+				atomic.AddInt64(&g.stats.Escalations, 1)
+				if g.obs != nil {
+					g.obs.OnEvent(learn.GuardEscalated{
+						Word: word, Votes: votes, Budget: budget, EWMA: g.Disagreement(),
+					})
+				}
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if _, err := ask(); err != nil {
+			if err := cast(); err != nil {
 				return nil, err
 			}
-			v := votes()
-			for k, n := range counts {
-				if float64(n) >= cfg.Certainty*float64(v) && v >= cfg.MinVotes+2 {
-					return first[k], nil
-				}
-			}
+			// The fresh execution votes only where it agrees with the
+			// consensus built so far.
+			alive = append(alive, slices.Equal(execs[len(execs)-1][:pos], accepted[:pos]))
 		}
-		return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes()}
-	})
+	}
+	atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+	return accepted, nil
+}
+
+// maxCacheRepairs bounds how many times one Learn call may repair the
+// cache and restart its learner before giving up: repairs are cheap (the
+// warm cache answers everything untainted), but an implementation that
+// keeps producing contradictions is genuinely unlearnable and must fail
+// rather than spin.
+const maxCacheRepairs = 3
+
+// revalidatedEq wraps an equivalence oracle with the cache-poisoning
+// breaker: a counterexample identical to the previous round's means the
+// learner made no progress on it. After the guard, the likeliest cause is
+// a wrongly accepted answer sitting in the cache (which would otherwise
+// loop the MAT rounds forever), so the word is re-voted live and the
+// cached path overwritten before the learner retries it. A counterexample
+// that still makes no progress after repeated repairs is escalated as an
+// InconsistencyError, which Experiment.Learn handles with a wider repair
+// and a learner restart.
+type revalidatedEq struct {
+	inner   learn.EquivalenceOracle
+	cache   *learn.CachedOracle
+	last    string
+	repeats int
+}
+
+// FindCounterexample implements learn.EquivalenceOracle.
+func (r *revalidatedEq) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
+	ce, err := r.inner.FindCounterexample(ctx, hyp)
+	if err != nil || ce == nil {
+		r.last, r.repeats = "", 0
+		return ce, err
+	}
+	key := strings.Join(ce, "\x1f")
+	if key != r.last {
+		r.last, r.repeats = key, 0
+		return ce, nil
+	}
+	r.repeats++
+	if r.repeats > maxCacheRepairs {
+		return nil, &learn.InconsistencyError{
+			CE: ce, Words: [][]string{ce},
+			Reason: "counterexample made no progress despite repeated cache repairs",
+		}
+	}
+	if _, err := r.cache.Refresh(ctx, ce); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// Guard wraps a single oracle with the nondeterminism check — the one-shot
+// form of NewGuardian(cfg, nil, nil).Wrap(o) for callers that need no
+// shared stats or escalation events.
+func Guard(o learn.Oracle, cfg GuardConfig) learn.Oracle {
+	return NewGuardian(cfg, nil, nil).Wrap(o)
 }
 
 // LearnerKind selects the learning algorithm.
@@ -217,6 +575,9 @@ type Experiment struct {
 	// Stats is populated during Learn: Queries/Symbols count live SUL
 	// traffic, Hits counts cache hits.
 	Stats learn.Stats
+	// GuardStats is populated during Learn with the voting guard's
+	// cumulative cost counters (read with Snapshot while running).
+	GuardStats GuardStats
 }
 
 // Learn runs the full MAT loop and returns the learned model. Cancelling
@@ -236,23 +597,28 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 	if workers > 1+len(e.SULs) {
 		workers = 1 + len(e.SULs)
 	}
+	// One Guardian serves every shard: the voting policy adapts to the
+	// link's observed quality, which is a property of the experiment, not
+	// of any single replica.
+	guardian := NewGuardian(guard, &e.GuardStats, e.Observer)
 	var oracle learn.Oracle
 	if workers > 1 {
 		// Concurrent mode: one guarded, counted oracle chain per SUL
-		// replica, pooled behind the batch dispatcher. The guard and the
-		// counter are per shard (each drives exactly one SUL); the stats
-		// are shared and updated atomically.
+		// replica, pooled behind the batch dispatcher. The counter is per
+		// shard (each drives exactly one SUL); the stats and the guard
+		// state are shared and updated atomically.
 		shards := make([]learn.Oracle, 0, workers)
 		for _, s := range append([]SUL{e.SUL}, e.SULs...)[:workers] {
-			shards = append(shards, Guard(learn.Counting(Oracle(s), &e.Stats), guard))
+			shards = append(shards, guardian.Wrap(learn.Counting(Oracle(s), &e.Stats)))
 		}
 		oracle = learn.NewPool(shards...)
 	} else {
-		oracle = Guard(learn.Counting(Oracle(e.SUL), &e.Stats), guard)
+		oracle = guardian.Wrap(learn.Counting(Oracle(e.SUL), &e.Stats))
 	}
 	obs := e.Observer
+	var cached *learn.CachedOracle
 	if !e.DisableCache {
-		cached := learn.NewCache(oracle, &e.Stats)
+		cached = learn.NewCache(oracle, &e.Stats)
 		oracle = cached
 		if obs != nil {
 			// Every hypothesis is a natural synchronisation point: piggyback
@@ -281,19 +647,54 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 		}
 		eq = rw
 	}
+	if cached != nil {
+		// A counterexample the learner makes no progress on would loop the
+		// MAT rounds forever; with a cache in front of a voting guard, the
+		// likeliest cause is a wrongly accepted (and therefore permanently
+		// cached) answer. Re-vote and repair rather than spin.
+		eq = &revalidatedEq{inner: eq, cache: cached}
+	}
+	runLearner := func() (*automata.Mealy, error) {
+		switch e.Learner {
+		case LearnerLStar:
+			l := learn.NewLStar(oracle, e.Alphabet)
+			l.Observer = obs
+			return l.Learn(ctx, eq)
+		case LearnerTTT, "":
+			d := learn.NewDTLearner(oracle, e.Alphabet)
+			d.Observer = obs
+			return d.Learn(ctx, eq)
+		default:
+			return nil, fmt.Errorf("core: unknown learner %q", e.Learner)
+		}
+	}
 	var model *automata.Mealy
 	var err error
-	switch e.Learner {
-	case LearnerLStar:
-		l := learn.NewLStar(oracle, e.Alphabet)
-		l.Observer = obs
-		model, err = l.Learn(ctx, eq)
-	case LearnerTTT, "":
-		d := learn.NewDTLearner(oracle, e.Alphabet)
-		d.Observer = obs
-		model, err = d.Learn(ctx, eq)
-	default:
-		return nil, fmt.Errorf("core: unknown learner %q", e.Learner)
+	for attempt := 0; ; attempt++ {
+		model, err = runLearner()
+		var inc *learn.InconsistencyError
+		if err == nil || cached == nil || attempt >= maxCacheRepairs || !errors.As(err, &inc) {
+			break
+		}
+		// The learner proved its observations contradict every
+		// deterministic machine. Two causes exist: a wrongly accepted
+		// answer poisoned the cache (the guard makes that rare, the cache
+		// makes it permanent), or the target's behaviour genuinely
+		// shifted mid-run (state leaking across resets, as the
+		// lossy-retransmit profile does under loss). Re-vote the
+		// implicated words and restart — the warm cache answers
+		// everything untainted for free; on the last attempt drop the
+		// whole cache, which converges whenever the current behaviour is
+		// stable, whatever stale entries remain elsewhere.
+		if attempt == maxCacheRepairs-1 {
+			cached.Clear()
+			continue
+		}
+		for _, w := range inc.Words {
+			if _, rerr := cached.Refresh(ctx, w); rerr != nil {
+				return nil, rerr
+			}
+		}
 	}
 	if err != nil {
 		if nd, ok := IsNondeterminism(err); ok && obs != nil {

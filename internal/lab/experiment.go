@@ -9,6 +9,8 @@ import (
 	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/netem"
+	"repro/internal/reference"
 )
 
 // Result is the outcome of one learning run.
@@ -19,6 +21,13 @@ type Result struct {
 	Nondet      *core.NondeterminismError
 	Duration    time.Duration
 	LearnerKind core.LearnerKind
+	// Guard reports the voting guard's cost counters for this run —
+	// escalations and wasted votes quantify how hard the link fought the
+	// learner.
+	Guard core.GuardStats
+	// Faults aggregates the netem fault counters across all worker links
+	// for this run (zero without WithImpairment).
+	Faults netem.Stats
 }
 
 // Experiment is one configured learning run against a registered target:
@@ -31,6 +40,7 @@ type Experiment struct {
 	cfg    config
 	sys    *System
 	exp    *core.Experiment
+	links  []*netem.Link
 }
 
 // NewExperiment resolves target in the registry, builds one SUL replica
@@ -43,11 +53,35 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
+	if cfg.impair.Enabled() && !cfg.guardSet {
+		// A fixed certainty threshold cannot be met on a link that
+		// corrupts a large fraction of executions; impaired runs default
+		// to the adaptive guard unless the caller chose one explicitly.
+		cfg.guard = core.DefaultAdaptiveGuard()
+	}
+	var links []*netem.Link
+	var wrap func(worker int, tr reference.Transport) reference.Transport
+	if cfg.impair.Enabled() || len(cfg.middleware) > 0 {
+		impair := cfg.impair
+		middleware := cfg.middleware
+		wrap = func(worker int, tr reference.Transport) reference.Transport {
+			if impair.Enabled() {
+				l := netem.New(tr, impair.ForWorker(worker))
+				links = append(links, l)
+				tr = l
+			}
+			for _, mw := range middleware {
+				tr = mw(worker, tr)
+			}
+			return tr
+		}
+	}
 	sys, err := build(BuildSpec{
-		Target:    target,
-		Replicas:  cfg.workers,
-		Seed:      cfg.seed,
-		Transport: cfg.transport,
+		Target:        target,
+		Replicas:      cfg.workers,
+		Seed:          cfg.seed,
+		Transport:     cfg.transport,
+		WrapTransport: wrap,
 	})
 	if err != nil {
 		return nil, err
@@ -79,7 +113,7 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 		}
 		exp.Equivalence = &learn.ModelOracle{Model: sys.Truth}
 	}
-	return &Experiment{target: target, cfg: cfg, sys: sys, exp: exp}, nil
+	return &Experiment{target: target, cfg: cfg, sys: sys, exp: exp, links: links}, nil
 }
 
 // Target returns the experiment's registered target name.
@@ -96,6 +130,32 @@ func (e *Experiment) GroundTruth() *automata.Mealy { return e.sys.Truth }
 // from an observer, during — Learn). The counters are read atomically, so
 // snapshots taken while pool workers are updating them are safe.
 func (e *Experiment) Stats() learn.Stats { return statsSnapshot(&e.exp.Stats) }
+
+// GuardStats returns a snapshot of the voting guard's cumulative cost
+// counters (safe to read mid-run).
+func (e *Experiment) GuardStats() core.GuardStats { return e.exp.GuardStats.Snapshot() }
+
+// Faults aggregates the fault counters of every worker's netem link.
+// Without WithImpairment there are no links and the result is zero.
+func (e *Experiment) Faults() netem.Stats {
+	var total netem.Stats
+	for _, l := range e.links {
+		total.Add(l.Stats())
+	}
+	return total
+}
+
+// faultsDelta subtracts the pre-run fault snapshot from the post-run one.
+func faultsDelta(before, after netem.Stats) netem.Stats {
+	return netem.Stats{
+		SentClient:    after.SentClient - before.SentClient,
+		DroppedClient: after.DroppedClient - before.DroppedClient,
+		SentServer:    after.SentServer - before.SentServer,
+		DroppedServer: after.DroppedServer - before.DroppedServer,
+		Duplicated:    after.Duplicated - before.Duplicated,
+		Reordered:     after.Reordered - before.Reordered,
+	}
+}
 
 // statsSnapshot reads the atomically-updated counters without racing
 // concurrent pool workers.
@@ -119,11 +179,20 @@ func (e *Experiment) Learn(ctx context.Context) (*Result, error) {
 	atomic.StoreInt64(&e.exp.Stats.Queries, 0)
 	atomic.StoreInt64(&e.exp.Stats.Symbols, 0)
 	atomic.StoreInt64(&e.exp.Stats.Hits, 0)
+	atomic.StoreInt64(&e.exp.GuardStats.Votes, 0)
+	atomic.StoreInt64(&e.exp.GuardStats.Escalations, 0)
+	atomic.StoreInt64(&e.exp.GuardStats.RetriedQueries, 0)
+	atomic.StoreInt64(&e.exp.GuardStats.WastedVotes, 0)
+	// Link counters cannot be zeroed (the links keep their fault streams),
+	// so per-run fault totals are deltas against the pre-run snapshot.
+	faultsBefore := e.Faults()
 	res := &Result{Target: e.target, LearnerKind: e.cfg.learner}
 	start := time.Now()
 	model, err := e.exp.Learn(ctx)
 	res.Duration = time.Since(start)
 	res.Stats = statsSnapshot(&e.exp.Stats)
+	res.Guard = e.exp.GuardStats.Snapshot()
+	res.Faults = faultsDelta(faultsBefore, e.Faults())
 	if err != nil {
 		if nd, ok := core.IsNondeterminism(err); ok {
 			res.Nondet = nd

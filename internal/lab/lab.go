@@ -32,6 +32,12 @@ const (
 	TargetGoogleFixed = "google-fixed"
 	TargetQuiche      = "quiche"
 	TargetMvfst       = "mvfst"
+	// TargetLossyRetransmit is the retransmission-buggy Google variant:
+	// clean-link-identical to TargetGoogle, but enough lost datagrams
+	// flip its (connection-leaking) loss recovery into permanent
+	// double-send — the scenario target for learning under impairment
+	// (WithImpairment, docs/IMPAIRMENT.md).
+	TargetLossyRetransmit = "lossy-retransmit"
 )
 
 // QUICProfile resolves a QUIC target name.
@@ -45,6 +51,8 @@ func QUICProfile(name string) (quicsim.Profile, error) {
 		return quicsim.ProfileQuiche, nil
 	case TargetMvfst:
 		return quicsim.ProfileMvfst, nil
+	case TargetLossyRetransmit:
+		return quicsim.ProfileLossyRetransmit, nil
 	}
 	return 0, fmt.Errorf("lab: unknown QUIC target %q", name)
 }
@@ -110,14 +118,20 @@ func (s *TCPSetup) Step(in string) (string, error) { return s.Client.Step(in) }
 // NewTCP builds the TCP system under learning: the userspace stack behind
 // the instrumented Scapy-style client, exchanging checksummed binary
 // segments.
-func NewTCP(seed int64) *TCPSetup {
+func NewTCP(seed int64) *TCPSetup { return newTCP(seed, nil) }
+
+// newTCP builds the TCP setup, optionally threading the segment path
+// through a datagram-transport wrapper (how WithImpairment reaches the
+// TCP target: segments ride the same fault-injection interface as QUIC
+// datagrams).
+func newTCP(seed int64, wrap func(reference.Transport) reference.Transport) *TCPSetup {
 	if seed == 0 {
 		seed = 5
 	}
 	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: seed, StrictAckCheck: true})
 	src := [4]byte{10, 0, 0, 2}
 	dst := [4]byte{10, 0, 0, 1}
-	tr := reference.TCPTransportFunc(func(raw []byte) [][]byte {
+	var tr reference.TCPTransport = reference.TCPTransportFunc(func(raw []byte) [][]byte {
 		seg, err := tcpwire.Decode(raw, src, dst)
 		if err != nil {
 			return nil
@@ -128,6 +142,15 @@ func NewTCP(seed int64) *TCPSetup {
 		}
 		return out
 	})
+	if wrap != nil {
+		inner := tr
+		wrapped := wrap(reference.TransportFunc(func(_ string, raw []byte) [][]byte {
+			return inner.Send(raw)
+		}))
+		tr = reference.TCPTransportFunc(func(raw []byte) [][]byte {
+			return wrapped.Send("10.0.0.2:0", raw)
+		})
+	}
 	cli := reference.NewTCPClient(reference.TCPClientConfig{
 		Seed: seed + 2, DstPort: 44344, SrcAddr: src, DstAddr: dst,
 	}, tr)

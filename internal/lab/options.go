@@ -5,7 +5,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/learn"
+	"repro/internal/netem"
+	"repro/internal/reference"
 )
+
+// LinkMiddleware decorates one replica's client transport before the
+// reference client attaches — fault injectors, tracers, rate limiters.
+// worker is the replica index; middlewares run in registration order,
+// innermost first.
+type LinkMiddleware func(worker int, tr reference.Transport) reference.Transport
 
 // config is the resolved option set of one experiment.
 type config struct {
@@ -17,6 +25,9 @@ type config struct {
 	perfect      bool
 	disableCache bool
 	guard        core.GuardConfig
+	guardSet     bool
+	impair       netem.Config
+	middleware   []LinkMiddleware
 	equivalence  learn.EquivalenceOracle
 	observer     learn.Observer
 }
@@ -62,10 +73,28 @@ func WithTransport(t TransportKind) Option {
 	return func(c *config) { c.transport = t }
 }
 
-// WithGuard tunes the §5 nondeterminism voting check (core.DefaultGuard
-// otherwise).
+// WithGuard tunes the §5 nondeterminism voting check. Without it,
+// experiments use core.DefaultGuard — or core.DefaultAdaptiveGuard when
+// WithImpairment injects faults, since a fixed certainty threshold cannot
+// be met on a link that corrupts a large fraction of executions.
 func WithGuard(cfg core.GuardConfig) Option {
-	return func(c *config) { c.guard = cfg }
+	return func(c *config) { c.guard, c.guardSet = cfg, true }
+}
+
+// WithImpairment wraps every replica's transport — in-memory or the
+// per-worker UDP socket pair — in a netem.Link injecting the configured
+// datagram faults. Each worker's link draws from its own fault stream
+// derived from cfg.Seed (netem.Config.ForWorker), so impaired pooled runs
+// are reproducible regardless of goroutine interleaving.
+func WithImpairment(cfg netem.Config) Option {
+	return func(c *config) { c.impair = cfg }
+}
+
+// WithLinkMiddleware installs a custom transport decorator on every
+// replica, outside any WithImpairment link (the middleware sees the
+// already-impaired traffic). Repeated options stack in order.
+func WithLinkMiddleware(mw LinkMiddleware) Option {
+	return func(c *config) { c.middleware = append(c.middleware, mw) }
 }
 
 // WithPerfectEquivalence uses the target's ground-truth specification as

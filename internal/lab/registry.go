@@ -37,6 +37,20 @@ type BuildSpec struct {
 	Replicas  int
 	Seed      int64
 	Transport TransportKind
+	// WrapTransport, when non-nil, must be applied by the builder to each
+	// replica's client transport (passing the replica index) before the
+	// reference client attaches. NewExperiment uses it to thread netem
+	// links (WithImpairment) and custom middleware (WithLinkMiddleware)
+	// around every worker's traffic, whatever the transport kind.
+	WrapTransport func(worker int, tr reference.Transport) reference.Transport
+}
+
+// wrapFor resolves WrapTransport for one replica (identity when unset).
+func (s BuildSpec) wrapFor(worker int) func(reference.Transport) reference.Transport {
+	if s.WrapTransport == nil {
+		return func(tr reference.Transport) reference.Transport { return tr }
+	}
+	return func(tr reference.Transport) reference.Transport { return s.WrapTransport(worker, tr) }
 }
 
 // System is a built target: the SUL replicas, their input alphabet, the
@@ -137,6 +151,7 @@ func init() {
 	registerQUIC(TargetGoogleFixed, quicsim.ProfileGoogleFixed)
 	registerQUIC(TargetQuiche, quicsim.ProfileQuiche)
 	registerQUIC(TargetMvfst, quicsim.ProfileMvfst)
+	registerQUIC(TargetLossyRetransmit, quicsim.ProfileLossyRetransmit)
 }
 
 // buildTCP is the Builder for the userspace TCP stack. It only speaks the
@@ -149,7 +164,11 @@ func buildTCP(spec BuildSpec) (*System, error) {
 	}
 	sys := &System{Alphabet: reference.TCPAlphabet()}
 	for i := 0; i < spec.Replicas; i++ {
-		sys.SULs = append(sys.SULs, NewTCP(spec.Seed))
+		var wrap func(reference.Transport) reference.Transport
+		if spec.WrapTransport != nil {
+			wrap = spec.wrapFor(i)
+		}
+		sys.SULs = append(sys.SULs, newTCP(spec.Seed, wrap))
 	}
 	return sys, nil
 }
@@ -172,7 +191,10 @@ func registerQUIC(name string, profile quicsim.Profile) {
 		for i := 0; i < spec.Replicas; i++ {
 			switch spec.Transport {
 			case TransportInMemory:
-				sys.SULs = append(sys.SULs, NewQUIC(profile, QUICOptions{Seed: seed}))
+				srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: seed})
+				tr := spec.wrapFor(i)(reference.ServerTransport(srv))
+				cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: seed + 4}, tr)
+				sys.SULs = append(sys.SULs, &QUICSetup{Server: srv, Client: cli})
 			case TransportUDP:
 				// One real socket pair per replica: a loopback-hosted server
 				// and a dedicated client socket, so pooled workers drive
@@ -184,8 +206,9 @@ func registerQUIC(name string, profile quicsim.Profile) {
 					return nil, fmt.Errorf("lab: hosting %q replica %d: %w", name, i, err)
 				}
 				sys.AddCloser(hosted.Close)
-				tr := transport.NewQUICClientTransport(hosted.Addr())
-				sys.AddCloser(tr.Close)
+				sock := transport.NewQUICClientTransport(hosted.Addr())
+				sys.AddCloser(sock.Close)
+				tr := spec.wrapFor(i)(sock)
 				cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: seed + 4}, tr)
 				sys.SULs = append(sys.SULs, &QUICSetup{Server: srv, Client: cli})
 			default:

@@ -266,6 +266,37 @@ func (c *CachedOracle) Size() int {
 	return int(atomic.LoadInt64(&c.cache.nodes))
 }
 
+// Clear drops every cached answer (in-flight queries are unaffected: the
+// leaders publish into the emptied tree). It is the repair of last resort
+// when the target's observable behaviour has shifted mid-run — e.g. an
+// implementation whose state leaks across resets — and per-word refreshes
+// cannot catch every stale entry.
+func (c *CachedOracle) Clear() {
+	for i := range c.cache.shards {
+		sh := &c.cache.shards[i]
+		sh.mu.Lock()
+		sh.root = cacheNode{}
+		sh.mu.Unlock()
+	}
+	atomic.StoreInt64(&c.cache.nodes, 0)
+}
+
+// Refresh re-asks word of the inner oracle — bypassing any cached answer —
+// and overwrites the stored outputs along the word's whole path, prefixes
+// included. The voting guard makes a wrongly accepted answer extremely
+// unlikely, but a cache makes any such answer permanent; when the
+// experiment driver suspects one (a counterexample that stops making
+// progress), Refresh lets a fresh consensus repair the poisoned entries
+// instead of trusting them forever.
+func (c *CachedOracle) Refresh(ctx context.Context, word []string) ([]string, error) {
+	out, err := query(ctx, c.inner, word)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.refresh(word, out)
+	return out, nil
+}
+
 func (c *Cache) lookup(word []string) ([]string, bool) {
 	if len(word) == 0 {
 		return []string{}, true
@@ -284,6 +315,31 @@ func (c *Cache) lookup(word []string) ([]string, bool) {
 		n = ch
 	}
 	return out, true
+}
+
+// refresh is store with clobber semantics: existing outputs along the
+// path are overwritten rather than kept.
+func (c *Cache) refresh(word, out []string) {
+	if len(word) == 0 {
+		return
+	}
+	sh := c.shard(word)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := &sh.root
+	for i, in := range word {
+		if n.children == nil {
+			n.children = make(map[string]*cacheNode)
+		}
+		ch, ok := n.children[in]
+		if !ok {
+			ch = &cacheNode{}
+			n.children[in] = ch
+			atomic.AddInt64(&c.nodes, 1)
+		}
+		ch.output = out[i]
+		n = ch
+	}
 }
 
 func (c *Cache) store(word, out []string) {

@@ -260,6 +260,15 @@ func (d *DTLearner) processCounterexample(ctx context.Context, hyp *automata.Mea
 // splitOnce finds one split point in ce by binary search and splits the
 // corresponding leaf with a new discriminator.
 func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []string) error {
+	// asked records every query this analysis issued, so a contradiction
+	// can report exactly the words whose cached answers are suspect.
+	var asked [][]string
+	inconsistent := func(reason string, extra ...[]string) error {
+		words := append([][]string{ce}, asked...)
+		words = append(words, extra...)
+		return &InconsistencyError{CE: ce, Words: words, Reason: reason}
+	}
+
 	// alpha(i) returns the canonical (tree-leaf) access word of the
 	// hypothesis state reached after ce[:i].
 	alpha := func(i int) ([]string, error) {
@@ -282,6 +291,7 @@ func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []str
 			return false, err
 		}
 		word := append(append([]string(nil), a...), ce[i:]...)
+		asked = append(asked, word)
 		out, err := query(ctx, d.oracle, word)
 		if err != nil {
 			return false, err
@@ -299,7 +309,7 @@ func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []str
 	if a0, err := agrees(0); err != nil {
 		return err
 	} else if a0 {
-		return fmt.Errorf("learn: spurious counterexample %v", ce)
+		return inconsistent("counterexample is spurious: the system agrees with the hypothesis on it")
 	}
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
@@ -323,7 +333,7 @@ func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []str
 	newAccess := append(append([]string(nil), ai...), ce[i])
 	v := append([]string(nil), ce[i+1:]...)
 	if len(v) == 0 {
-		return fmt.Errorf("learn: empty discriminator for counterexample %v at %d", ce, i)
+		return inconsistent(fmt.Sprintf("empty discriminator at %d: a transition output contradicts itself", i))
 	}
 
 	// Locate the leaf the new access currently sifts to and split it.
@@ -345,7 +355,9 @@ func (d *DTLearner) splitOnce(ctx context.Context, hyp *automata.Mealy, ce []str
 	sigOld := strings.Join(pairOuts[0][len(leaf.access):], "\x1f")
 	sigNew := strings.Join(pairOuts[1][len(newAccess):], "\x1f")
 	if sigOld == sigNew {
-		return fmt.Errorf("learn: discriminator %v fails to split %v from %v", v, leaf.access, newAccess)
+		return inconsistent(
+			fmt.Sprintf("discriminator %v fails to split %v from %v", v, leaf.access, newAccess),
+			concat(leaf.access, v, nil), concat(newAccess, v, nil))
 	}
 	oldLeaf := &dtNode{access: leaf.access}
 	newLeaf := &dtNode{access: newAccess}

@@ -70,6 +70,22 @@ type NondeterminismDetected struct {
 // Kind implements Event.
 func (NondeterminismDetected) Kind() string { return "nondeterminism_detected" }
 
+// GuardEscalated reports that the adaptive voting guard raised the vote
+// budget of one query: the votes cast so far disagreed without reaching a
+// verdict, so the guard keeps voting up to Budget. EWMA is the observed
+// disagreement rate driving the starting budget of future queries — on a
+// flaky link it climbs, pre-provisioning votes where they will be needed;
+// on a clean streak it decays back and the guard returns to MinVotes.
+type GuardEscalated struct {
+	Word   []string `json:"word"`
+	Votes  int      `json:"votes"`
+	Budget int      `json:"budget"`
+	EWMA   float64  `json:"ewma"`
+}
+
+// Kind implements Event.
+func (GuardEscalated) Kind() string { return "guard_escalated" }
+
 // Observer receives learning events. OnEvent may be called from the
 // learner's goroutine while queries are in flight, and — in a campaign —
 // from several runs at once; implementations shared across runs must be

@@ -8,30 +8,22 @@ import (
 	"repro/internal/learn"
 	"repro/internal/quicsim"
 	"repro/internal/reference"
+	"repro/internal/testutil"
 )
 
 // bg is the default context for tests that never cancel.
 var bg = context.Background()
 
-// lossySUL builds a QUIC SUL whose transport injects faults.
+// lossySUL builds a QUIC SUL whose transport injects faults, on the shared
+// test fixture.
 func lossySUL(profile quicsim.Profile, cfg Config) (core.SUL, *Link) {
-	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: 7})
-	link := New(reference.ServerTransport(srv), cfg)
-	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, link)
-	return &sul{srv: srv, cli: cli}, link
+	var link *Link
+	pair := testutil.NewQUICPair(profile, func(tr reference.Transport) reference.Transport {
+		link = New(tr, cfg)
+		return link
+	})
+	return pair, link
 }
-
-type sul struct {
-	srv *quicsim.Server
-	cli *reference.QUICClient
-}
-
-func (s *sul) Reset() error {
-	s.srv.Reset()
-	return s.cli.Reset()
-}
-
-func (s *sul) Step(in string) (string, error) { return s.cli.Step(in) }
 
 func TestCleanLinkIsTransparent(t *testing.T) {
 	s, link := lossySUL(quicsim.ProfileQuiche, Config{Seed: 1})
@@ -46,7 +38,8 @@ func TestCleanLinkIsTransparent(t *testing.T) {
 			t.Fatalf("step %d: %q vs %q", i, out[i], want[i])
 		}
 	}
-	if link.DroppedClient+link.DroppedServer+link.Duplicated != 0 {
+	st := link.Stats()
+	if st.DroppedClient+st.DroppedServer+st.Duplicated != 0 {
 		t.Fatal("clean link injected faults")
 	}
 }
@@ -99,7 +92,7 @@ func TestDuplicationChangesAbstraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if link.Duplicated == 0 {
+	if link.Stats().Duplicated == 0 {
 		t.Fatal("no duplication happened")
 	}
 	if a[0] == b[0] {
@@ -119,12 +112,12 @@ func TestLearningSucceedsOverFlakyLink(t *testing.T) {
 	}
 	m, err := exp.Learn(bg)
 	if err != nil {
-		t.Fatalf("learning failed over flaky link (dropped %d): %v", link.DroppedServer, err)
+		t.Fatalf("learning failed over flaky link (dropped %d): %v", link.Stats().DroppedServer, err)
 	}
 	if m.NumStates() != 8 {
 		t.Fatalf("learned %d states, want 8", m.NumStates())
 	}
-	if link.DroppedServer == 0 {
+	if link.Stats().DroppedServer == 0 {
 		t.Log("note: no datagrams were dropped this run")
 	}
 }
@@ -135,7 +128,89 @@ func TestReorderingCounter(t *testing.T) {
 	if _, err := core.Oracle(s).Query(bg, []string{quicsim.SymInitialCrypto}); err != nil {
 		t.Fatal(err)
 	}
-	if link.Reordered == 0 {
+	if link.Stats().Reordered == 0 {
 		t.Fatal("flight of 4 datagrams should have been reordered")
+	}
+}
+
+// countingTransport records how many datagrams flowed through.
+type countingTransport struct{ n int }
+
+func (c *countingTransport) Send(src string, d []byte) [][]byte {
+	c.n++
+	return [][]byte{d, d, d}
+}
+
+// TestPerDirectionStreamsIndependent: client-side loss must not change
+// which server->client datagrams are dropped. Each surviving response
+// consumes server-direction coins in order, so the drop pattern *by
+// response ordinal* is a pure function of the seed — toggling client loss
+// only removes whole exchanges, it never shifts the server coin stream.
+// (With the old single shared stream, every client coin shifted all later
+// server decisions.)
+func TestPerDirectionStreamsIndependent(t *testing.T) {
+	dropOrdinals := func(cfg Config) []int {
+		link := New(&countingTransport{}, cfg)
+		var pattern []int
+		for i := 0; i < 400; i++ {
+			before := link.Stats()
+			link.Send("src", []byte{byte(i)})
+			after := link.Stats()
+			for d := before.DroppedServer; d < after.DroppedServer; d++ {
+				pattern = append(pattern, after.SentServer)
+			}
+		}
+		return pattern
+	}
+	base := Config{LossServer: 0.2, Seed: 42}
+	withClient := base
+	withClient.LossClient = 0.5
+	a, b := dropOrdinals(base), dropOrdinals(withClient)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("loss patterns empty; rates too low for the sample size")
+	}
+	// Run b sees fewer responses (half its requests are eaten), so compare
+	// the prefix both runs observed.
+	n := len(b)
+	if len(a) < n {
+		n = len(a)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("server drop pattern shifted by client loss at %d: ordinal %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestForWorkerStreamsDiffer: per-worker configs derive distinct fault
+// streams from the same base seed, and the derivation is stable.
+func TestForWorkerStreamsDiffer(t *testing.T) {
+	base := Config{LossServer: 0.2, Seed: 9}
+	if base.ForWorker(0).Seed == base.ForWorker(1).Seed {
+		t.Fatal("workers 0 and 1 share a fault stream")
+	}
+	if base.ForWorker(3).Seed != base.ForWorker(3).Seed {
+		t.Fatal("ForWorker is not deterministic")
+	}
+	if base.ForWorker(0).LossServer != base.LossServer {
+		t.Fatal("ForWorker changed the fault rates")
+	}
+}
+
+// TestConfigEnabledAndLabel covers the option-plumbing helpers.
+func TestConfigEnabledAndLabel(t *testing.T) {
+	if (Config{Seed: 3}).Enabled() {
+		t.Fatal("zero-rate config reports enabled")
+	}
+	if !(Config{Duplicate: 0.01}).Enabled() {
+		t.Fatal("duplication config reports disabled")
+	}
+	got := Config{LossClient: 0.05, LossServer: 0.05, Duplicate: 0.01}.Label()
+	if got != "loss=5%,dup=1%,reorder=0%" {
+		t.Fatalf("label = %q", got)
+	}
+	asym := Config{LossClient: 0.01, LossServer: 0.05}.Label()
+	if asym != "loss=1%/5%,dup=0%,reorder=0%" {
+		t.Fatalf("asymmetric label = %q", asym)
 	}
 }

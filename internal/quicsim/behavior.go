@@ -42,6 +42,18 @@ const (
 	// client HANDSHAKE_DONE and thereafter answers probes with a stateless
 	// RESET only ~82% of the time (Issue 2).
 	ProfileMvfst
+	// ProfileLossyRetransmit is a deliberately retransmission-buggy
+	// variant of the Google profile: on a clean link it is behaviourally
+	// identical (its ground truth is the same 12-state machine), but its
+	// loss-recovery statistics are kept server-globally — they leak
+	// across connections and resets, mvfst-style — and once enough
+	// client packet-number gaps reveal lost datagrams, the server
+	// permanently "recovers" by sending every output packet twice. The
+	// bug is invisible to clean-link learning and surfaces under
+	// impairment as a genuinely different learned model (doubled
+	// flights), not as noise — the scenario target for the
+	// adverse-network campaign and modeldiff.
+	ProfileLossyRetransmit
 )
 
 // String names the profile.
@@ -55,6 +67,8 @@ func (p Profile) String() string {
 		return "quiche"
 	case ProfileMvfst:
 		return "mvfst"
+	case ProfileLossyRetransmit:
+		return "lossy-retransmit"
 	}
 	return fmt.Sprintf("profile-%d", int(p))
 }
@@ -414,7 +428,10 @@ func allSelf(state int, out []PacketSpec) map[string]transition {
 // behaviorFor returns the profile's behaviour table.
 func behaviorFor(p Profile) behavior {
 	switch p {
-	case ProfileGoogle, ProfileGoogleFixed:
+	case ProfileGoogle, ProfileGoogleFixed, ProfileLossyRetransmit:
+		// The lossy-retransmit profile shares Google's clean-link
+		// behaviour table; its retransmission bug lives in the server's
+		// packet-number gap handling, outside the table.
 		return googleBehavior()
 	case ProfileQuiche:
 		return quicheBehavior()
@@ -428,7 +445,10 @@ func behaviorFor(p Profile) behavior {
 // machine over the paper's alphabet. For ProfileMvfst the machine encodes
 // only the deterministic skeleton (closed-state probes answered silently);
 // the live server deviates nondeterministically, which is precisely what
-// the nondeterminism check detects.
+// the nondeterminism check detects. For ProfileLossyRetransmit it is the
+// clean-link specification (identical to ProfileGoogle's): the doubled
+// flights of the degraded mode are, by design, observable only after the
+// link has actually lost datagrams.
 func GroundTruth(p Profile) *automata.Mealy {
 	b := behaviorFor(p)
 	m := automata.NewMealy(InputAlphabet())

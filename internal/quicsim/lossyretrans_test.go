@@ -1,0 +1,118 @@
+package quicsim_test
+
+import (
+	"testing"
+
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+	"repro/internal/testutil"
+)
+
+// droppingTransport drops the nth client→server datagram (0-based), once.
+type droppingTransport struct {
+	inner reference.Transport
+	n     int
+	seen  int
+}
+
+func (d *droppingTransport) Send(src string, datagram []byte) [][]byte {
+	d.seen++
+	if d.seen-1 == d.n {
+		return nil
+	}
+	return d.inner.Send(src, datagram)
+}
+
+func drive(t *testing.T, p *testutil.QUICPair, word ...string) []string {
+	t.Helper()
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(word))
+	for _, sym := range word {
+		o, err := p.Step(sym)
+		if err != nil {
+			t.Fatalf("step %q: %v", sym, err)
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// TestLossyRetransmitCleanIdenticalToGoogle: with no losses the profile is
+// observationally the Google profile — same ground truth, same wire
+// behaviour.
+func TestLossyRetransmitCleanIdenticalToGoogle(t *testing.T) {
+	gt := quicsim.GroundTruth(quicsim.ProfileLossyRetransmit)
+	gg := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	if eq, ce := gt.Equivalent(gg); !eq {
+		t.Fatalf("ground truths differ, witness %v", ce)
+	}
+	lossy := testutil.NewQUICPair(quicsim.ProfileLossyRetransmit, nil)
+	google := testutil.NewQUICPair(quicsim.ProfileGoogle, nil)
+	words := [][]string{
+		{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream},
+		{quicsim.SymInitialCrypto, quicsim.SymInitialCrypto},
+		{quicsim.SymShortStream, quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortFC},
+	}
+	for _, w := range words {
+		a, b := drive(t, lossy, w...), drive(t, google, w...)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("clean-link divergence on %v step %d: %q vs %q", w, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestLossyRetransmitDegradesAfterGap: one lost client datagram flips the
+// server into permanent double-send — visible on every later connection,
+// because the buggy loss statistics leak across resets. The drop must hit
+// a non-first packet of its number space: the server adopts the first
+// packet it processes per space (clients legitimately burn numbers on
+// pre-handshake packets), so only a mid-space gap reveals a loss.
+func TestLossyRetransmitDegradesAfterGap(t *testing.T) {
+	pair := testutil.NewQUICPair(quicsim.ProfileLossyRetransmit, func(tr reference.Transport) reference.Transport {
+		// Datagrams: #0 INITIAL, #1 HANDSHAKE, #2 SHORT (app pn 0),
+		// #3 SHORT (app pn 1) — dropped, #4 SHORT (app pn 2) → gap.
+		return &droppingTransport{inner: tr, n: 3}
+	})
+	out := drive(t, pair,
+		quicsim.SymInitialCrypto, quicsim.SymHandshakeC,
+		quicsim.SymShortStream, quicsim.SymShortStream, quicsim.SymShortFC)
+	if out[3] != "{}" {
+		t.Fatalf("dropped datagram still answered: %q", out[3])
+	}
+	// The next app-space packet exposes the gap; from then on every
+	// flight is doubled.
+	want := "{SHORT(?,?)[ACK,STREAM],SHORT(?,?)[ACK,STREAM]}"
+	if out[4] != want {
+		t.Fatalf("degraded flight = %q, want doubled %q", out[4], want)
+	}
+	// A fresh connection after Reset still shows the doubled handshake
+	// flight: the degradation survives resets (the Issue-style leak).
+	next := drive(t, pair, quicsim.SymInitialCrypto)
+	if next[0] == "{INITIAL(?,?)[ACK,CRYPTO],HANDSHAKE(?,?)[CRYPTO],HANDSHAKE(?,?)[CRYPTO],SHORT(?,?)[STREAM]}" {
+		t.Fatalf("degradation did not survive reset: %q", next[0])
+	}
+}
+
+// TestLossyRetransmitToleratesPreHandshakePackets: packet numbers burned
+// on packets the server discards for lack of keys are not losses; the
+// profile must stay clean through them.
+func TestLossyRetransmitToleratesPreHandshakePackets(t *testing.T) {
+	pair := testutil.NewQUICPair(quicsim.ProfileLossyRetransmit, nil)
+	out := drive(t, pair,
+		quicsim.SymShortStream, quicsim.SymHandshakeC, // dropped: no keys yet
+		quicsim.SymInitialCrypto, quicsim.SymHandshakeC)
+	if out[3] != "{SHORT(?,?)[CRYPTO],SHORT(?,?)[HANDSHAKE_DONE]}" {
+		t.Fatalf("pre-handshake packets misread as losses: %q", out[3])
+	}
+}
+
+// TestLossyRetransmitProfileString pins the registry name.
+func TestLossyRetransmitProfileString(t *testing.T) {
+	if got := quicsim.ProfileLossyRetransmit.String(); got != "lossy-retransmit" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -71,7 +71,33 @@ type Server struct {
 	respOffset       uint64
 	respLimit        uint64
 	greetingsSent    int
+
+	// ProfileLossyRetransmit state: nextPN tracks the expected client
+	// packet number per space, and a gap means a datagram was lost in
+	// flight. pnSeen makes tracking start at the first packet the server
+	// actually processes in a space — clients legitimately burn packet
+	// numbers on pre-handshake packets the server discards for lack of
+	// keys, and those must not look like losses. gapCount and degraded
+	// model the bug itself: the loss-recovery statistics are kept
+	// server-globally (they deliberately survive Reset, like mvfst's
+	// reset coin), and once enough gaps accumulate the server permanently
+	// switches to aggressive double-send "retransmission" of every
+	// output packet.
+	nextPN [numSpaces]uint64
+	pnSeen [numSpaces]bool
+
+	// gapCount and degraded survive Reset: Issue-style cross-connection
+	// leakage, observable only on links that actually lose datagrams.
+	gapCount int
+	degraded bool
 }
+
+// lossyRetransGapLimit is how many observed packet-number gaps flip the
+// lossy-retransmit profile into its degraded double-send mode. The first
+// gap suffices: on an impaired link the flip then happens within the
+// first few queries, so essentially the whole learning run observes the
+// (consistent) degraded behaviour.
+const lossyRetransGapLimit = 1
 
 // NewServer returns a server in its initial state.
 func NewServer(cfg Config) *Server {
@@ -121,6 +147,8 @@ func (s *Server) resetLocked() {
 	s.clientStreamRecv = 0
 	s.respOffset = 0
 	s.greetingsSent = 0
+	s.nextPN = [numSpaces]uint64{}
+	s.pnSeen = [numSpaces]bool{}
 	if s.cfg.Profile == ProfileQuiche {
 		s.respLimit = 0
 	} else {
@@ -206,6 +234,26 @@ func (s *Server) processPacket(src string, pkt []byte, hdr quicwire.Header) [][]
 	}
 	s.applyFrameEffects(space, frames)
 
+	if s.cfg.Profile == ProfileLossyRetransmit {
+		// The retransmission bug: a packet-number gap means a client
+		// datagram was lost. The broken loss-recovery logic accumulates
+		// gaps in a server-global counter, and past the limit it
+		// permanently "recovers" by sending every output packet twice.
+		// Invisible on a clean link (client packet numbers are contiguous
+		// per space); on a lossy one the flip is deterministic and the
+		// doubled flights become the behaviour learning observes.
+		if s.pnSeen[space] && pn > s.nextPN[space] {
+			s.gapCount++
+			if s.gapCount >= lossyRetransGapLimit {
+				s.degraded = true
+			}
+		}
+		if !s.pnSeen[space] || pn >= s.nextPN[space] {
+			s.pnSeen[space] = true
+			s.nextPN[space] = pn + 1
+		}
+	}
+
 	// Abstract the packet and step the behaviour machine.
 	sym := fmt.Sprintf("%s(?,?)[%s]", hdr.Type, quicwire.FrameNames(frames))
 	if s.beh.closedState >= 0 && s.state == s.beh.closedState {
@@ -224,6 +272,12 @@ func (s *Server) processPacket(src string, pkt []byte, hdr quicwire.Header) [][]
 	var out [][]byte
 	for _, spec := range tr.out {
 		out = append(out, s.buildPacket(spec))
+		if s.degraded {
+			// The "retransmission": a second copy of the packet, freshly
+			// numbered and sealed, doubling every flight the profile
+			// emits from now on.
+			out = append(out, s.buildPacket(spec))
+		}
 	}
 	return out
 }

@@ -1,24 +1,26 @@
-package reference
+package reference_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/quicsim"
+	"repro/internal/reference"
 	"repro/internal/tcpsim"
 	"repro/internal/tcpwire"
+	"repro/internal/testutil"
 )
 
-// newQUICPair wires a client to an in-process server.
-func newQUICPair(t *testing.T, profile quicsim.Profile) (*QUICClient, *quicsim.Server) {
+// newQUICPair wires a client to an in-process server via the shared
+// fixture.
+func newQUICPair(t *testing.T, profile quicsim.Profile) (*reference.QUICClient, *quicsim.Server) {
 	t.Helper()
-	srv := quicsim.NewServer(quicsim.Config{Profile: profile, Seed: 7})
-	cli := NewQUICClient(QUICClientConfig{Seed: 11}, ServerTransport(srv))
-	return cli, srv
+	p := testutil.NewQUICPair(profile, nil)
+	return p.Client, p.Server
 }
 
 // run sends a word of abstract symbols, resetting first.
-func run(t *testing.T, cli *QUICClient, srv *quicsim.Server, word ...string) []string {
+func run(t *testing.T, cli *reference.QUICClient, srv *quicsim.Server, word ...string) []string {
 	t.Helper()
 	if err := cli.Reset(); err != nil {
 		t.Fatal(err)
@@ -128,7 +130,7 @@ func TestMvfstNondeterministicReset(t *testing.T) {
 // never establish a connection.
 func TestRetryAddressValidation(t *testing.T) {
 	srv := quicsim.NewServer(quicsim.Config{Profile: quicsim.ProfileGoogle, Seed: 7, RetryRequired: true})
-	good := NewQUICClient(QUICClientConfig{Seed: 11}, ServerTransport(srv))
+	good := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, reference.ServerTransport(srv))
 
 	out := run(t, good, srv, quicsim.SymInitialCrypto, quicsim.SymInitialCrypto, quicsim.SymHandshakeC)
 	if out[0] != "{RETRY(?,?)[]}" {
@@ -141,7 +143,7 @@ func TestRetryAddressValidation(t *testing.T) {
 		t.Fatalf("handshake should complete after retry, got %q", out[2])
 	}
 
-	bad := NewQUICClient(QUICClientConfig{Seed: 11, RetryFromNewPort: true}, ServerTransport(srv))
+	bad := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11, RetryFromNewPort: true}, reference.ServerTransport(srv))
 	out = run(t, bad, srv, quicsim.SymInitialCrypto, quicsim.SymInitialCrypto, quicsim.SymHandshakeC)
 	if out[0] != "{RETRY(?,?)[]}" {
 		t.Fatalf("first initial should draw a Retry, got %q", out[0])
@@ -225,12 +227,12 @@ func TestPlaceholderKeysPacketsDropped(t *testing.T) {
 
 // --- TCP reference client ---
 
-func newTCPPair(t *testing.T) (*TCPClient, *tcpsim.Server) {
+func newTCPPair(t *testing.T) (*reference.TCPClient, *tcpsim.Server) {
 	t.Helper()
 	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: 5, StrictAckCheck: true})
 	src := [4]byte{10, 0, 0, 2}
 	dst := [4]byte{10, 0, 0, 1}
-	tr := TCPTransportFunc(func(raw []byte) [][]byte {
+	tr := reference.TCPTransportFunc(func(raw []byte) [][]byte {
 		seg, err := tcpwire.Decode(raw, src, dst)
 		if err != nil {
 			t.Fatalf("server received corrupt segment: %v", err)
@@ -241,11 +243,11 @@ func newTCPPair(t *testing.T) (*TCPClient, *tcpsim.Server) {
 		}
 		return out
 	})
-	cli := NewTCPClient(TCPClientConfig{Seed: 3, DstPort: 44344, SrcAddr: src, DstAddr: dst}, tr)
+	cli := reference.NewTCPClient(reference.TCPClientConfig{Seed: 3, DstPort: 44344, SrcAddr: src, DstAddr: dst}, tr)
 	return cli, srv
 }
 
-func runTCP(t *testing.T, cli *TCPClient, srv *tcpsim.Server, word ...string) []string {
+func runTCP(t *testing.T, cli *reference.TCPClient, srv *tcpsim.Server, word ...string) []string {
 	t.Helper()
 	if err := cli.Reset(); err != nil {
 		t.Fatal(err)
@@ -289,18 +291,18 @@ func TestTCPFullCloseSequence(t *testing.T) {
 }
 
 func TestTCPSymbolParsing(t *testing.T) {
-	flags, n, err := ParseTCPSymbol("ACK+PSH(?,?,1)")
+	flags, n, err := reference.ParseTCPSymbol("ACK+PSH(?,?,1)")
 	if err != nil || flags != tcpwire.ACK|tcpwire.PSH || n != 1 {
 		t.Fatalf("parse: %v %d %v", flags, n, err)
 	}
-	if _, _, err := ParseTCPSymbol("garbage"); err == nil {
+	if _, _, err := reference.ParseTCPSymbol("garbage"); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if _, _, err := ParseTCPSymbol("XYZ(?,?,0)"); err == nil {
+	if _, _, err := reference.ParseTCPSymbol("XYZ(?,?,0)"); err == nil {
 		t.Fatal("unknown flags accepted")
 	}
-	for _, sym := range TCPAlphabet() {
-		if _, _, err := ParseTCPSymbol(sym); err != nil {
+	for _, sym := range reference.TCPAlphabet() {
+		if _, _, err := reference.ParseTCPSymbol(sym); err != nil {
 			t.Fatalf("alphabet symbol %q does not parse: %v", sym, err)
 		}
 	}
