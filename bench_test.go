@@ -47,8 +47,8 @@ func BenchmarkLearnTCPFull(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Model.NumStates() != 6 {
-			b.Fatalf("states = %d, want 6", res.Model.NumStates())
+		if res.Machine.NumStates() != 6 {
+			b.Fatalf("states = %d, want 6", res.Machine.NumStates())
 		}
 		queries = res.Stats.Queries
 	}
@@ -78,8 +78,8 @@ func BenchmarkLearnGoogleQUIC(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Model.NumStates() != 12 {
-			b.Fatalf("states = %d, want 12", res.Model.NumStates())
+		if res.Machine.NumStates() != 12 {
+			b.Fatalf("states = %d, want 12", res.Machine.NumStates())
 		}
 		queries = res.Stats.Queries
 	}
@@ -95,8 +95,8 @@ func BenchmarkLearnQuiche(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.Model.NumStates() != 8 {
-			b.Fatalf("states = %d, want 8", res.Model.NumStates())
+		if res.Machine.NumStates() != 8 {
+			b.Fatalf("states = %d, want 8", res.Machine.NumStates())
 		}
 		queries = res.Stats.Queries
 	}
@@ -140,8 +140,8 @@ func BenchmarkPooledLearning(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if res.Model.NumStates() != 12 {
-					b.Fatalf("states = %d, want 12", res.Model.NumStates())
+				if res.Machine.NumStates() != 12 {
+					b.Fatalf("states = %d, want 12", res.Machine.NumStates())
 				}
 				queries = res.Stats.Queries
 			}
@@ -163,8 +163,8 @@ func BenchmarkPooledLearningInProcess(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if res.Model.NumStates() != 12 {
-					b.Fatalf("states = %d, want 12", res.Model.NumStates())
+				if res.Machine.NumStates() != 12 {
+					b.Fatalf("states = %d, want 12", res.Machine.NumStates())
 				}
 			}
 		})
@@ -197,8 +197,8 @@ func BenchmarkLearnUnderLoss(b *testing.B) {
 		if res.Nondet != nil {
 			b.Fatalf("guard gave up: %v", res.Nondet)
 		}
-		if res.Model.NumStates() != 12 {
-			b.Fatalf("states = %d, want 12", res.Model.NumStates())
+		if res.Machine.NumStates() != 12 {
+			b.Fatalf("states = %d, want 12", res.Machine.NumStates())
 		}
 		return res
 	}
@@ -369,7 +369,7 @@ func BenchmarkSynthesizeTCPRegisters(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := &synth.Problem{
-			Machine: res.Model, NumRegisters: 1, NumInputParams: 2,
+			Machine: res.Machine, NumRegisters: 1, NumInputParams: 2,
 			OutputParams: map[string]int{"SYN+ACK(?,?,0)": 1},
 			Consts:       []int64{0}, Positive: traces,
 		}
@@ -403,7 +403,7 @@ func BenchmarkSynthesizeStreamDataBlocked(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := synth.Synthesize(lab.SDBProblem(res.Model, traces)); err != nil {
+		if _, err := synth.Synthesize(lab.SDBProblem(res.Machine, traces)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -411,10 +411,10 @@ func BenchmarkSynthesizeStreamDataBlocked(b *testing.B) {
 
 // BenchmarkModelDiff — §6.2.3 / Issue 1: comparing the two learned models.
 func BenchmarkModelDiff(b *testing.B) {
-	google := quicsim.GroundTruth(quicsim.ProfileGoogle)
-	quiche := quicsim.GroundTruth(quicsim.ProfileQuiche)
+	google := analysis.NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	quiche := analysis.NewModel("quiche", quicsim.GroundTruth(quicsim.ProfileQuiche))
 	for i := 0; i < b.N; i++ {
-		r := analysis.Diff("google", google, "quiche", quiche, 5)
+		r := analysis.Diff(google, quiche, 5)
 		if r.Equivalent {
 			b.Fatal("models must differ")
 		}
@@ -514,8 +514,8 @@ func TestReproduceAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tcp.Model.NumStates() != 6 || tcp.Model.NumTransitions() != 42 {
-		t.Errorf("T6.1: %d/%d, want 6/42", tcp.Model.NumStates(), tcp.Model.NumTransitions())
+	if tcp.Machine.NumStates() != 6 || tcp.Machine.NumTransitions() != 42 {
+		t.Errorf("T6.1: %d/%d, want 6/42", tcp.Machine.NumStates(), tcp.Machine.NumTransitions())
 	}
 	// T6.2
 	google, err := lab.Run(context.Background(), lab.TargetGoogle, lab.WithSeed(13), lab.WithPerfectEquivalence())
@@ -526,8 +526,8 @@ func TestReproduceAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if google.Model.NumStates() != 12 || quiche.Model.NumStates() != 8 {
-		t.Errorf("T6.2: %d/%d states, want 12/8", google.Model.NumStates(), quiche.Model.NumStates())
+	if google.Machine.NumStates() != 12 || quiche.Machine.NumStates() != 8 {
+		t.Errorf("T6.2: %d/%d states, want 12/8", google.Machine.NumStates(), quiche.Machine.NumStates())
 	}
 	// I2
 	mvfst, err := lab.Run(context.Background(), lab.TargetMvfst, lab.WithSeed(13))
@@ -538,7 +538,7 @@ func TestReproduceAllExperiments(t *testing.T) {
 		t.Error("I2: mvfst nondeterminism not detected")
 	}
 	// Trace space sanity (§6.2.2).
-	if got := google.Model.CountTraces(10); got != 329554456 {
+	if got := google.Machine.CountTraces(10); got != 329554456 {
 		t.Errorf("trace space = %d, want 329554456", got)
 	}
 }

@@ -68,7 +68,7 @@ func runImpairmentGrid(ctx context.Context, target string, seed int64, workers, 
 		return fmt.Errorf("clean baseline halted on nondeterminism: %v", bres.Nondet)
 	}
 	fmt.Printf("  %-28s %d states, %d live queries (baseline)\n",
-		"clean", bres.Model.NumStates(), bres.Stats.Queries)
+		"clean", bres.Machine.NumStates(), bres.Stats.Queries)
 	for _, v := range m.Cells {
 		switch {
 		case v.Run.Err != nil:
@@ -138,14 +138,14 @@ func run(ctx context.Context, seed int64, workers, parallel int) error {
 
 	// --- T6.1 / F3b / A1: TCP ---
 	header("T6.1", "Learning the TCP stack (§6.1, Appendix A.1)")
-	row("model states", "6", fmt.Sprint(tcp.Model.NumStates()))
-	row("model transitions", "42", fmt.Sprint(tcp.Model.NumTransitions()))
+	row("model states", "6", fmt.Sprint(tcp.Machine.NumStates()))
+	row("model transitions", "42", fmt.Sprint(tcp.Machine.NumTransitions()))
 	row("membership queries", "4,726", fmt.Sprintf("%d live (+%d cached)", tcp.Stats.Queries, tcp.Stats.Hits))
 
 	// --- T6.2a/b: QUIC models ---
 	header("T6.2", "Learning QUIC implementations (§6.2.2, Appendix A.2-A.3)")
-	row("google states/transitions", "12 / 84", fmt.Sprintf("%d / %d", google.Model.NumStates(), google.Model.NumTransitions()))
-	row("quiche states/transitions", "8 / 56", fmt.Sprintf("%d / %d", quiche.Model.NumStates(), quiche.Model.NumTransitions()))
+	row("google states/transitions", "12 / 84", fmt.Sprintf("%d / %d", google.Machine.NumStates(), google.Machine.NumTransitions()))
+	row("quiche states/transitions", "8 / 56", fmt.Sprintf("%d / %d", quiche.Machine.NumStates(), quiche.Machine.NumTransitions()))
 	row("google queries", "24,301", fmt.Sprintf("%d live (+%d cached)", google.Stats.Queries, google.Stats.Hits))
 	row("quiche queries", "12,301", fmt.Sprintf("%d live (+%d cached)", quiche.Stats.Queries, quiche.Stats.Hits))
 	row("learned 2 of 3 targets", "yes (mvfst fails)", "yes (see I2)")
@@ -160,15 +160,15 @@ func run(ctx context.Context, seed int64, workers, parallel int) error {
 	// of magnitude below the full space, and google > quiche.
 	productive := func(o string) bool { return o != "{}" }
 	row("google: checking suite (W-method d=1)", "1,210 traces to check",
-		fmt.Sprintf("%d words (+%d productive traces)", analysis.WMethodSuite(google.Model, 1).Len(),
-			google.Model.CountTracesFiltered(10, productive)))
+		fmt.Sprintf("%d words (+%d productive traces)", analysis.WMethodSuite(google.Machine, 1).Len(),
+			google.Machine.CountTracesFiltered(10, productive)))
 	row("quiche: checking suite (W-method d=1)", "715 traces to check",
-		fmt.Sprintf("%d words (+%d productive traces)", analysis.WMethodSuite(quiche.Model, 1).Len(),
-			quiche.Model.CountTracesFiltered(10, productive)))
+		fmt.Sprintf("%d words (+%d productive traces)", analysis.WMethodSuite(quiche.Machine, 1).Len(),
+			quiche.Machine.CountTracesFiltered(10, productive)))
 
 	// --- I1: RFC imprecision ---
 	header("I1", "RFC imprecision: model-size divergence (§6.2.3)")
-	diff := analysis.Diff("google", google.Model, "quiche", quiche.Model, 3)
+	diff := analysis.Diff(google.Model(), quiche.Model(), 3)
 	row("models equivalent", "no (sizes 12 vs 8)", fmt.Sprintf("%v (sizes %d vs %d)", diff.Equivalent, diff.StatesA, diff.StatesB))
 	if len(diff.Witnesses) > 0 {
 		w := diff.Witnesses[0]
@@ -177,8 +177,8 @@ func run(ctx context.Context, seed int64, workers, parallel int) error {
 	}
 	// The packet-number-space reset divergence behind the RFC fix.
 	word := []string{quicsim.SymInitialCrypto, quicsim.SymInitialCrypto}
-	og, _ := google.Model.Run(word)
-	oq, _ := quiche.Model.Run(word)
+	og, _ := google.Machine.Run(word)
+	oq, _ := quiche.Machine.Run(word)
 	fmt.Printf("  retried INITIAL (PN-space reset): google %s / quiche %s\n", og[1], oq[1])
 
 	// --- I2: mvfst nondeterminism ---
@@ -291,7 +291,7 @@ func sdbVerdict(target string, res *lab.Result, seed int64) (string, error) {
 		}
 		traces = append(traces, tr)
 	}
-	em, err := synth.Synthesize(lab.SDBProblem(res.Model, traces))
+	em, err := synth.Synthesize(lab.SDBProblem(res.Machine, traces))
 	if err != nil {
 		return "", err
 	}
@@ -340,7 +340,7 @@ func tcpRegisterVerdict(res *lab.Result, seed int64) (bool, error) {
 		traces = append(traces, tr)
 	}
 	p := &synth.Problem{
-		Machine:        res.Model,
+		Machine:        res.Machine,
 		NumRegisters:   1,
 		NumInputParams: 2,
 		OutputParams:   map[string]int{"SYN+ACK(?,?,0)": 1},

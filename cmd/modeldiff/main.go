@@ -1,24 +1,27 @@
-// Command modeldiff learns models of two protocol implementations and
-// reports whether they are behaviourally equivalent, printing witness
-// traces when they are not — the analysis behind the paper's Issue 1
-// (§6.2.3), where the model-size gap between Google QUIC and Quiche led to
-// an RFC clarification.
+// Command modeldiff is a thin alias for `prognosis diff` — the analysis
+// behind the paper's Issue 1 (§6.2.3), where the model-size gap between
+// Google QUIC and Quiche led to an RFC clarification. It learns models of
+// two protocol implementations, reports whether they are behaviourally
+// equivalent with witness traces and per-state divergence summaries, and
+// replays the first witness against both live targets.
 //
 // Usage:
 //
 //	modeldiff -a google -b quiche [-witnesses 5] [-seed N]
+//
+// Further `prognosis diff` flags (see `prognosis diff -h`) pass through
+// after a `--` terminator, e.g. `modeldiff -a google -b quiche -- -loss 0`.
+// The default 2% learning-link loss that surfaces loss-recovery
+// divergences such as lossy-retransmit's applies here too.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
+	"strconv"
 
-	"repro/internal/analysis"
-	"repro/internal/automata"
-	"repro/internal/lab"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -27,52 +30,14 @@ func main() {
 	witnesses := flag.Int("witnesses", 5, "maximum distinguishing traces to print")
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
 	flag.Parse()
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if err := run(ctx, *a, *b, *witnesses, *seed); err != nil {
+	args := []string{
+		"-witnesses", strconv.Itoa(*witnesses),
+		"-seed", strconv.FormatInt(*seed, 10),
+	}
+	args = append(args, flag.Args()...) // flags after `--` pass through to prognosis diff
+	args = append(args, *a, *b)
+	if err := cli.Diff(args); err != nil {
 		fmt.Fprintln(os.Stderr, "modeldiff:", err)
 		os.Exit(1)
 	}
-}
-
-func run(ctx context.Context, a, b string, witnesses int, seed int64) error {
-	// Both learns are independent: run them as a two-run campaign so the
-	// slower target does not serialise behind the faster one.
-	camp := &lab.Campaign{Runs: []lab.RunSpec{
-		{Name: "a", Target: a, Options: learnOptions(a, seed)},
-		{Name: "b", Target: b, Options: learnOptions(b, seed)},
-	}}
-	results, err := camp.Run(ctx)
-	if err != nil {
-		return err
-	}
-	models := make(map[string]*automata.Mealy, 2)
-	for _, r := range results {
-		if r.Err != nil {
-			return fmt.Errorf("target %s: %w", r.Target, r.Err)
-		}
-		if r.Result.Nondet != nil {
-			return fmt.Errorf("target %s is nondeterministic: %v", r.Target, r.Result.Nondet)
-		}
-		models[r.Name] = r.Result.Model
-	}
-	report := analysis.Diff(a, models["a"], b, models["b"], witnesses)
-	fmt.Print(report.String())
-	if !report.Equivalent {
-		fmt.Println("\nnote: a difference is not necessarily a bug — QUIC's specification")
-		fmt.Println("permits divergent design choices; inspect the witnesses (cf. §6.2.3).")
-	}
-	return nil
-}
-
-// learnOptions mirrors the original tool's behaviour: ground-truth
-// equivalence for the targets that have one, the heuristic random-words
-// search for the rest.
-func learnOptions(target string, seed int64) []lab.Option {
-	opts := []lab.Option{lab.WithSeed(seed)}
-	if target != lab.TargetTCP && target != lab.TargetMvfst {
-		opts = append(opts, lab.WithPerfectEquivalence())
-	}
-	return opts
 }

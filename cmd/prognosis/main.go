@@ -1,249 +1,40 @@
-// Command prognosis learns a Mealy-machine model of a protocol
-// implementation in a closed-box fashion and reports model statistics,
-// optionally writing the model as Graphviz dot.
+// Command prognosis is the closed-box protocol analysis tool: it learns
+// Mealy-machine models of protocol implementations and analyses them on
+// the unified analysis plane.
 //
-// Usage:
+// Subcommands:
 //
-//	prognosis -target google [-learner ttt|lstar] [-seed N] [-perfect]
-//	          [-dot model.dot] [-udp] [-no-cache] [-workers N] [-rtt D]
-//	          [-loss P] [-dup P] [-reorder P] [-impair-seed N]
-//	          [-v] [-events out.jsonl]
+//	prognosis learn  -target google [-learner ttt|lstar] [-seed N] [-perfect]
+//	                 [-conformance D] [-dot model.dot] [-save model.json]
+//	                 [-property '<LTLf>'] [-udp] [-no-cache] [-workers N]
+//	                 [-rtt D] [-loss P] [-dup P] [-reorder P] [-impair-seed N]
+//	                 [-v] [-events out.jsonl]
+//	prognosis diff   [options] <targetA> <targetB>
+//	prognosis check  -target <name> | -model <file> [options]
+//	prognosis export -target <name> | -model <file> [-dot F] [-json F] [-min]
+//
+// `learn` learns one target and reports model statistics. `diff` learns
+// two targets concurrently (by default through a mildly impaired link, so
+// loss-recovery divergences surface), prints witness traces plus
+// per-state divergence summaries, and replays the first witness against
+// both live targets. `check` verifies the builtin model-level property
+// set (and optional LTLf formulas), exiting nonzero on violation.
+// `export` writes models in the unified DOT/JSON codecs.
 //
 // Targets: every name in the lab registry (tcp, google, google-fixed,
 // quiche, mvfst, lossy-retransmit). Ctrl-C cancels a run cleanly
-// mid-round. -v streams live learning progress to stderr; -events appends
-// the typed event stream as JSON lines.
-//
-// -loss/-dup/-reorder impair every worker's link with the given
-// per-datagram fault probabilities (loss applies to each direction); the
-// guard then defaults to the adaptive §5 check, whose escalations -v
-// reports live. See docs/IMPAIRMENT.md.
+// mid-round. Invoking prognosis with learn-style flags and no subcommand
+// (e.g. `prognosis -target tcp`) behaves like `learn`, matching the
+// pre-subcommand interface; a bare `prognosis` prints usage. See
+// docs/ANALYSIS.md.
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"strings"
-	"time"
 
-	"repro/internal/analysis"
-	"repro/internal/automata"
-	"repro/internal/core"
-	"repro/internal/lab"
-	"repro/internal/learn"
-	"repro/internal/netem"
+	"repro/internal/cli"
 )
 
 func main() {
-	target := flag.String("target", "tcp", "target implementation: "+strings.Join(lab.Targets(), ", "))
-	learner := flag.String("learner", "ttt", "learning algorithm: ttt or lstar")
-	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
-	perfect := flag.Bool("perfect", false, "use the ground-truth equivalence oracle (QUIC targets only)")
-	dotFile := flag.String("dot", "", "write the learned model as Graphviz dot to this file")
-	saveFile := flag.String("save", "", "write the learned model as JSON to this file")
-	property := flag.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
-	depth := flag.Int("depth", 4, "exploration depth for -property")
-	udp := flag.Bool("udp", false, "run the session over UDP loopback socket pairs (one per worker)")
-	noCache := flag.Bool("no-cache", false, "disable the membership-query cache")
-	workers := flag.Int("workers", 1, "membership-query concurrency: fan queries across this many independent SUL instances")
-	rtt := flag.Duration("rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
-	loss := flag.Float64("loss", 0, "per-datagram loss probability injected in each direction of every worker's link")
-	dup := flag.Float64("dup", 0, "per-datagram probability of duplicating a response")
-	reorder := flag.Float64("reorder", 0, "per-exchange probability of reordering adjacent response datagrams")
-	impairSeed := flag.Int64("impair-seed", 0, "seed for the fault streams (defaults to -seed)")
-	verbose := flag.Bool("v", false, "stream live learning progress to stderr")
-	eventsFile := flag.String("events", "", "append the typed event stream as JSON lines to this file")
-	flag.Parse()
-
-	if err := run(runConfig{
-		target: *target, learner: *learner, seed: *seed, perfect: *perfect,
-		dotFile: *dotFile, saveFile: *saveFile, property: *property, depth: *depth,
-		udp: *udp, noCache: *noCache, workers: *workers, rtt: *rtt,
-		loss: *loss, dup: *dup, reorder: *reorder, impairSeed: *impairSeed,
-		verbose: *verbose, eventsFile: *eventsFile,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "prognosis:", err)
-		os.Exit(1)
-	}
-}
-
-type runConfig struct {
-	target, learner    string
-	seed               int64
-	perfect            bool
-	dotFile, saveFile  string
-	property           string
-	depth              int
-	udp, noCache       bool
-	workers            int
-	rtt                time.Duration
-	loss, dup, reorder float64
-	impairSeed         int64
-	verbose            bool
-	eventsFile         string
-}
-
-// impairment assembles the netem config of the run's flags (zero when no
-// fault flag is set).
-func (cfg runConfig) impairment() netem.Config {
-	seed := cfg.impairSeed
-	if seed == 0 {
-		seed = cfg.seed
-	}
-	return netem.Config{
-		LossClient: cfg.loss, LossServer: cfg.loss,
-		Duplicate: cfg.dup, Reorder: cfg.reorder,
-		Seed: seed,
-	}
-}
-
-// options assembles the lab functional options for one run.
-func (cfg runConfig) options() ([]lab.Option, func(), error) {
-	opts := []lab.Option{
-		lab.WithSeed(cfg.seed),
-		lab.WithLearner(core.LearnerKind(cfg.learner)),
-		lab.WithWorkers(cfg.workers),
-		lab.WithRTT(cfg.rtt),
-	}
-	if cfg.perfect {
-		opts = append(opts, lab.WithPerfectEquivalence())
-	}
-	if cfg.noCache {
-		opts = append(opts, lab.WithoutCache())
-	}
-	if cfg.udp {
-		// Unsupported combinations (e.g. tcp) are rejected by the target's
-		// builder with a clear error rather than silently ignored here.
-		opts = append(opts, lab.WithTransport(lab.TransportUDP))
-	}
-	if impair := cfg.impairment(); impair.Enabled() {
-		opts = append(opts, lab.WithImpairment(impair))
-	}
-	cleanup := func() {}
-	var observers []learn.Observer
-	if cfg.verbose {
-		observers = append(observers, progressObserver{})
-	}
-	if cfg.eventsFile != "" {
-		f, err := os.OpenFile(cfg.eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, nil, err
-		}
-		cleanup = func() { f.Close() }
-		observers = append(observers, learn.NewJSONLObserver(f))
-	}
-	if len(observers) > 0 {
-		opts = append(opts, lab.WithObserver(learn.MultiObserver(observers...)))
-	}
-	return opts, cleanup, nil
-}
-
-func run(cfg runConfig) error {
-	opts, cleanup, err := cfg.options()
-	if err != nil {
-		return err
-	}
-	defer cleanup()
-
-	exp, err := lab.NewExperiment(cfg.target, opts...)
-	if err != nil {
-		return err
-	}
-	defer exp.Close()
-
-	// Ctrl-C cancels the run mid-round; the context-first API unwinds the
-	// pool, cache, and equivalence goroutines before returning.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	res, err := exp.Learn(ctx)
-	if err != nil {
-		return err
-	}
-	if res.Nondet != nil {
-		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", cfg.target)
-		fmt.Printf("  witness query: %v\n", res.Nondet.Word)
-		fmt.Printf("  %d distinct responses over %d repetitions:\n", len(res.Nondet.Observed), res.Nondet.Votes)
-		for out, n := range res.Nondet.Observed {
-			fmt.Printf("    x%-3d %s\n", n, out)
-		}
-		return nil
-	}
-	m := res.Model
-	fmt.Printf("target %s: learned model with %d states, %d transitions\n",
-		cfg.target, m.NumStates(), m.NumTransitions())
-	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
-		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
-	fmt.Printf("  wall time: %v\n", res.Duration)
-	if cfg.impairment().Enabled() {
-		fmt.Printf("  impaired link (%s): dropped %d->/%d<- datagrams, %d duplicated, %d reordered\n",
-			cfg.impairment().Label(), res.Faults.DroppedClient, res.Faults.DroppedServer,
-			res.Faults.Duplicated, res.Faults.Reordered)
-		fmt.Printf("  guard: %d flaky queries, %d escalations, %d votes beyond the floor\n",
-			res.Guard.RetriedQueries, res.Guard.Escalations, res.Guard.WastedVotes)
-	}
-	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
-		m.CountTraces(10), automata.TotalWords(len(m.Inputs()), 10))
-	if cfg.saveFile != "" {
-		data, err := json.MarshalIndent(m, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(cfg.saveFile, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  model saved to %s\n", cfg.saveFile)
-	}
-	if cfg.property != "" {
-		f, err := analysis.ParseFormula(cfg.property)
-		if err != nil {
-			return err
-		}
-		if bad := analysis.CheckLTL(m, f, cfg.depth); bad != nil {
-			fmt.Printf("  property VIOLATED; witness trace:\n")
-			for i := range bad.Inputs {
-				fmt.Printf("    %s / %s\n", bad.Inputs[i], bad.Outputs[i])
-			}
-		} else {
-			fmt.Printf("  property holds on all traces of length %d\n", cfg.depth)
-		}
-	}
-	if cfg.dotFile != "" {
-		if err := os.WriteFile(cfg.dotFile, []byte(m.DOT(cfg.target)), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("  model written to %s\n", cfg.dotFile)
-	} else {
-		fmt.Println()
-		fmt.Print(m.String())
-	}
-	return nil
-}
-
-// progressObserver renders the event stream as -v live progress.
-type progressObserver struct{}
-
-func (progressObserver) OnEvent(e learn.Event) {
-	switch ev := e.(type) {
-	case learn.RoundStarted:
-		fmt.Fprintf(os.Stderr, "round %d: building hypothesis...\n", ev.Round)
-	case learn.HypothesisReady:
-		fmt.Fprintf(os.Stderr, "round %d: hypothesis with %d states / %d transitions\n",
-			ev.Round, ev.States, ev.Transitions)
-	case learn.CounterexampleFound:
-		fmt.Fprintf(os.Stderr, "round %d: counterexample %v\n", ev.Round, ev.Word)
-	case learn.CacheSnapshot:
-		fmt.Fprintf(os.Stderr, "round %d: %d live queries, %d cache hits, %d cached prefixes\n",
-			ev.Round, ev.LiveQueries, ev.Hits, ev.Entries)
-	case learn.NondeterminismDetected:
-		fmt.Fprintf(os.Stderr, "nondeterminism: %d alternatives after %d votes on %v\n",
-			ev.Alternatives, ev.Votes, ev.Word)
-	case learn.GuardEscalated:
-		fmt.Fprintf(os.Stderr, "guard: escalated to %d votes after %d (disagreement %.2f) on %v\n",
-			ev.Budget, ev.Votes, ev.EWMA, ev.Word)
-	}
+	os.Exit(cli.Main(os.Args[1:], os.Stderr))
 }

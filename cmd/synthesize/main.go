@@ -75,12 +75,12 @@ func runSDB(ctx context.Context, target string, seed int64) error {
 		}
 		traces = append(traces, tr)
 	}
-	em, err := synth.Synthesize(lab.SDBProblem(res.Model, traces))
+	em, err := synth.Synthesize(lab.SDBProblem(res.Machine, traces))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("synthesized extended machine for %s over the Maximum Stream Data field:\n\n", target)
-	printBlockedTerms(em, res.Model.NumStates())
+	printBlockedTerms(em, res.Machine.NumStates())
 	fmt.Println()
 	fmt.Print(em)
 	return nil
@@ -137,7 +137,7 @@ func runTCP(ctx context.Context, seed int64) error {
 		traces = append(traces, tr)
 	}
 	p := &synth.Problem{
-		Machine:        res.Model,
+		Machine:        res.Machine,
 		NumRegisters:   1,
 		NumInputParams: 2, // (seq, ack)
 		OutputParams:   map[string]int{"SYN+ACK(?,?,0)": 1},

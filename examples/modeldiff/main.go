@@ -28,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report := analysis.Diff("google", google, "quiche", quiche, 3)
+	report := analysis.Diff(analysis.NewModel("google", google), analysis.NewModel("quiche", quiche), 3)
 	fmt.Print(report.String())
 
 	// The specific divergence behind the RFC discussion: what happens when
@@ -59,5 +59,5 @@ func learnOverUDP(target string) (*automata.Mealy, error) {
 	if res.Nondet != nil {
 		return nil, fmt.Errorf("%s: unexpected nondeterminism: %v", target, res.Nondet)
 	}
-	return res.Model, nil
+	return res.Machine, nil
 }

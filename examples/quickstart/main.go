@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := res.Model
+	model := res.Machine
 
 	fmt.Printf("learned the TCP model: %d states, %d transitions\n",
 		model.NumStates(), model.NumTransitions())

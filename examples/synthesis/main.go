@@ -64,7 +64,7 @@ func analyze(target string) error {
 	}
 
 	// 3. Synthesize register update and output terms for the field.
-	em, err := synth.Synthesize(lab.SDBProblem(res.Model, traces))
+	em, err := synth.Synthesize(lab.SDBProblem(res.Machine, traces))
 	if err != nil {
 		return err
 	}

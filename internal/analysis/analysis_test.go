@@ -11,9 +11,9 @@ import (
 )
 
 func TestDiffGoogleQuiche(t *testing.T) {
-	g := quicsim.GroundTruth(quicsim.ProfileGoogle)
-	q := quicsim.GroundTruth(quicsim.ProfileQuiche)
-	r := Diff("google", g, "quiche", q, 5)
+	g := NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	q := NewModel("quiche", quicsim.GroundTruth(quicsim.ProfileQuiche))
+	r := Diff(g, q, 5)
 	if r.Equivalent {
 		t.Fatal("google and quiche must differ")
 	}
@@ -31,16 +31,38 @@ func TestDiffGoogleQuiche(t *testing.T) {
 			t.Fatalf("witness %v does not diverge at claimed step", w.Word)
 		}
 	}
+	// The first witness is a shortest one: no later witness may be shorter.
+	for _, w := range r.Witnesses[1:] {
+		if len(w.Word) < len(r.Witnesses[0].Word) {
+			t.Fatalf("witness %v shorter than first %v", w.Word, r.Witnesses[0].Word)
+		}
+	}
+	if len(r.Divergent) == 0 {
+		t.Fatal("no per-state divergence summaries")
+	}
+	for _, d := range r.Divergent {
+		if len(d.Inputs) == 0 {
+			t.Fatalf("joint state (%d,%d) summarised with no diverging inputs", d.StateA, d.StateB)
+		}
+		// The access word must actually reach the named joint state.
+		sa, okA := g.Mealy().StateAfter(d.Access)
+		sb, okB := q.Mealy().StateAfter(d.Access)
+		if !okA || !okB || sa != d.StateA || sb != d.StateB {
+			t.Fatalf("access %v does not reach (%d,%d)", d.Access, d.StateA, d.StateB)
+		}
+	}
 	text := r.String()
-	if !strings.Contains(text, "NOT equivalent") || !strings.Contains(text, "witness 1") {
-		t.Fatalf("report rendering broken:\n%s", text)
+	for _, want := range []string{"NOT equivalent", "witness 1", "diverging joint states"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, text)
+		}
 	}
 }
 
 func TestDiffEquivalentModels(t *testing.T) {
 	g := quicsim.GroundTruth(quicsim.ProfileGoogle)
-	r := Diff("a", g, "b", g.Clone(), 3)
-	if !r.Equivalent || len(r.Witnesses) != 0 {
+	r := Diff(NewModel("a", g), NewModel("b", g.Clone()), 3)
+	if !r.Equivalent || len(r.Witnesses) != 0 || len(r.Divergent) != 0 {
 		t.Fatalf("identical models reported different: %+v", r)
 	}
 	if !strings.Contains(r.String(), "equivalent") {

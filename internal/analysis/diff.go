@@ -1,8 +1,3 @@
-// Package analysis implements the Prognosis Analysis Module of §5: model
-// equivalence checking with counterexample traces (the Issue 1 workflow),
-// temporal-property checking over learned models (LTLf and safety
-// monitors), model-based test generation, and report rendering for
-// communicating findings — the paper's visualizations — in textual form.
 package analysis
 
 import (
@@ -12,15 +7,22 @@ import (
 	"repro/internal/automata"
 )
 
-// DiffReport describes how two learned models relate.
+// DiffReport describes how two models relate, computed by one product
+// construction: witnesses are the shortest distinguishing input words (the
+// "concrete example traces that show the difference" of §5), and Divergent
+// summarises, per reachable joint state, which inputs the models disagree
+// on — the "in which state do these two implementations diverge?" view.
 type DiffReport struct {
 	NameA, NameB     string
 	StatesA, StatesB int
 	TransA, TransB   int
 	Equivalent       bool
 	// Witnesses are distinguishing input words with both models' outputs,
-	// the "concrete example traces that show the difference" of §5.
+	// shortest first.
 	Witnesses []DiffWitness
+	// Divergent lists every reachable joint state at which at least one
+	// input produces different outputs, in BFS (shortest-access) order.
+	Divergent []JointDivergence
 }
 
 // DiffWitness is one distinguishing trace.
@@ -31,49 +33,82 @@ type DiffWitness struct {
 	FirstDivergence int
 }
 
-// Diff compares two models over the same alphabet, collecting up to
-// maxWitnesses distinguishing traces. The first witness is a shortest one;
-// further witnesses are gathered by locally mutating explored prefixes.
-func Diff(nameA string, a *automata.Mealy, nameB string, b *automata.Mealy, maxWitnesses int) *DiffReport {
+// JointDivergence is the per-state summary of one diverging joint state of
+// the product automaton.
+type JointDivergence struct {
+	StateA, StateB automata.State
+	// Access is a shortest input word reaching the joint state from the
+	// initial states.
+	Access []string
+	// Inputs are the input symbols on which the two models' outputs (or
+	// transition definedness) differ at this joint state.
+	Inputs []string
+}
+
+// Diff compares two models over the same alphabet by exploring the full
+// product automaton, collecting up to maxWitnesses distinguishing traces
+// (shortest first; 0 collects none) and a per-joint-state divergence
+// summary. Exploration continues through diverging transitions as long as
+// both sides stay defined, so divergences deeper than the first are
+// summarised too.
+func Diff(a, b *Model, maxWitnesses int) *DiffReport {
+	ma, mb := a.Mealy(), b.Mealy()
 	r := &DiffReport{
-		NameA: nameA, NameB: nameB,
-		StatesA: a.NumStates(), StatesB: b.NumStates(),
-		TransA: a.NumTransitions(), TransB: b.NumTransitions(),
+		NameA: a.Name, NameB: b.Name,
+		StatesA: ma.NumStates(), StatesB: mb.NumStates(),
+		TransA: ma.NumTransitions(), TransB: mb.NumTransitions(),
 	}
-	eq, ce := a.Equivalent(b)
-	r.Equivalent = eq
-	if eq {
-		return r
+	type pair struct{ a, b automata.State }
+	type node struct {
+		p    pair
+		word []string
 	}
-	seen := map[string]bool{}
-	add := func(word []string) {
+	addWitness := func(word []string) {
 		if len(r.Witnesses) >= maxWitnesses {
 			return
 		}
-		key := strings.Join(word, "\x1f")
-		if seen[key] {
-			return
-		}
-		oa, _ := a.Run(word)
-		ob, _ := b.Run(word)
+		oa, _ := ma.Run(word)
+		ob, _ := mb.Run(word)
 		div := firstDivergence(oa, ob)
 		if div < 0 {
-			return // not actually distinguishing
+			return
 		}
-		seen[key] = true
 		r.Witnesses = append(r.Witnesses, DiffWitness{
-			Word: append([]string(nil), word...), OutputsA: oa, OutputsB: ob, FirstDivergence: div,
+			Word: word, OutputsA: oa, OutputsB: ob, FirstDivergence: div,
 		})
 	}
-	add(ce)
-	// Derive further witnesses: extend each access word of A by each input
-	// and keep those on which the machines diverge.
-	access := a.AccessSequences()
-	for _, acc := range access {
-		for _, in := range a.Inputs() {
-			add(append(append([]string(nil), acc...), in))
+	start := pair{ma.Initial(), mb.Initial()}
+	seen := map[pair]bool{start: true}
+	queue := []node{{p: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var diverging []string
+		for _, in := range ma.Inputs() {
+			ta, oa, oka := ma.Step(cur.p.a, in)
+			tb, ob, okb := mb.Step(cur.p.b, in)
+			word := append(append([]string(nil), cur.word...), in)
+			if oka != okb || (oka && oa != ob) {
+				diverging = append(diverging, in)
+				addWitness(word)
+			}
+			if !oka || !okb {
+				continue
+			}
+			np := pair{ta, tb}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, node{p: np, word: word})
+			}
+		}
+		if len(diverging) > 0 {
+			r.Divergent = append(r.Divergent, JointDivergence{
+				StateA: cur.p.a, StateB: cur.p.b,
+				Access: cur.word, Inputs: diverging,
+			})
 		}
 	}
+	r.Equivalent = len(r.Divergent) == 0
 	return r
 }
 
@@ -103,7 +138,12 @@ func (r *DiffReport) String() string {
 		b.WriteString("  models are equivalent\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "  models are NOT equivalent (%d witness traces)\n", len(r.Witnesses))
+	fmt.Fprintf(&b, "  models are NOT equivalent (%d diverging joint states, %d witness traces)\n",
+		len(r.Divergent), len(r.Witnesses))
+	for _, d := range r.Divergent {
+		fmt.Fprintf(&b, "  at (%s s%d, %s s%d) after %v: diverges on %s\n",
+			r.NameA, d.StateA, r.NameB, d.StateB, d.Access, strings.Join(d.Inputs, ", "))
+	}
 	for i, w := range r.Witnesses {
 		fmt.Fprintf(&b, "  witness %d (diverges at step %d):\n", i+1, w.FirstDivergence+1)
 		for j, in := range w.Word {
@@ -127,7 +167,8 @@ func (r *DiffReport) String() string {
 // CheckSafety runs a safety monitor DFA over all reachable joint states of
 // the model and returns a shortest input word whose outputs drive the
 // monitor into a bad state, or nil if the model satisfies the property.
-// The monitor reads the model's output symbols.
+// The monitor reads the model's output symbols. The Property API
+// (property.go) is the higher-level interface over the same exploration.
 func CheckSafety(m *automata.Mealy, monitor *automata.DFA) []string {
 	type pair struct {
 		ms automata.State

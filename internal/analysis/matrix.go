@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a cross-run diff: every pair of models from a campaign (or any
+// model collection) compared by one product construction each. Pairs[i][j]
+// holds the report for Models[i] vs Models[j] with i < j; the matrix is
+// symmetric, so the lower triangle and diagonal are nil.
+type Matrix struct {
+	Models []*Model
+	Pairs  [][]*DiffReport
+}
+
+// NewMatrix cross-compares the models, collecting up to maxWitnesses
+// distinguishing traces per pair.
+func NewMatrix(models []*Model, maxWitnesses int) *Matrix {
+	x := &Matrix{Models: models, Pairs: make([][]*DiffReport, len(models))}
+	for i := range models {
+		x.Pairs[i] = make([]*DiffReport, len(models))
+		for j := i + 1; j < len(models); j++ {
+			x.Pairs[i][j] = Diff(models[i], models[j], maxWitnesses)
+		}
+	}
+	return x
+}
+
+// Report returns the diff for models i and j in either order (nil for
+// i == j).
+func (x *Matrix) Report(i, j int) *DiffReport {
+	if i == j {
+		return nil
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return x.Pairs[i][j]
+}
+
+// String renders the matrix as a grid: "=" for equivalent pairs, the
+// number of diverging joint states otherwise.
+func (x *Matrix) String() string {
+	var b strings.Builder
+	width := 8
+	for _, m := range x.Models {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, m := range x.Models {
+		fmt.Fprintf(&b, "%-*s", width+2, m.Name)
+	}
+	b.WriteString("\n")
+	for i, m := range x.Models {
+		fmt.Fprintf(&b, "%-*s", width+2, m.Name)
+		for j := range x.Models {
+			cell := "."
+			if r := x.Report(i, j); r != nil {
+				if r.Equivalent {
+					cell = "="
+				} else {
+					cell = fmt.Sprintf("%d!", len(r.Divergent))
+				}
+			}
+			fmt.Fprintf(&b, "%-*s", width+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

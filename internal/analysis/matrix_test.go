@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/quicsim"
+)
+
+func TestMatrixCrossDiff(t *testing.T) {
+	google := NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	fixed := NewModel("google-fixed", quicsim.GroundTruth(quicsim.ProfileGoogleFixed))
+	quiche := NewModel("quiche", quicsim.GroundTruth(quicsim.ProfileQuiche))
+	x := NewMatrix([]*Model{google, fixed, quiche}, 2)
+
+	if r := x.Report(0, 1); r == nil || !r.Equivalent {
+		// google-fixed differs only in the STREAM_DATA_BLOCKED limit field,
+		// which the abstract alphabet does not expose.
+		t.Fatalf("google vs google-fixed: %+v", r)
+	}
+	if r := x.Report(0, 2); r == nil || r.Equivalent {
+		t.Fatal("google vs quiche must differ")
+	}
+	if a, b := x.Report(2, 0), x.Report(0, 2); a != b {
+		t.Fatal("matrix not symmetric")
+	}
+	if x.Report(1, 1) != nil {
+		t.Fatal("diagonal must be nil")
+	}
+	text := x.String()
+	for _, want := range []string{"google", "quiche", "="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("matrix rendering missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/learn"
+)
+
+// Replay executes an input word against a live oracle votes times and
+// returns the per-position modal output word — the on-the-wire
+// confirmation step of the paper's workflow: a model-level finding (a diff
+// witness, a property violation) is replayed against the implementation to
+// check it is real. Voting makes replays trustworthy over impaired links:
+// a dropped datagram corrupts one execution, not the per-position mode.
+// votes < 1 is treated as 1.
+func Replay(ctx context.Context, o learn.Oracle, word []string, votes int) ([]string, error) {
+	if votes < 1 {
+		votes = 1
+	}
+	execs := make([][]string, 0, votes)
+	for i := 0; i < votes; i++ {
+		out, err := o.Query(ctx, word)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: replay %v: %w", word, err)
+		}
+		if len(out) < len(word) {
+			return nil, fmt.Errorf("analysis: replay %v: short output (%d of %d)", word, len(out), len(word))
+		}
+		execs = append(execs, out[:len(word)])
+	}
+	final := make([]string, len(word))
+	for pos := range word {
+		counts := map[string]int{}
+		for _, e := range execs {
+			counts[e[pos]]++
+		}
+		best, bestN := "", -1
+		for out, n := range counts {
+			// Ties break deterministically toward the smaller symbol.
+			if n > bestN || (n == bestN && out < best) {
+				best, bestN = out, n
+			}
+		}
+		final[pos] = best
+	}
+	return final, nil
+}
+
+// ReplayedWitness is the outcome of confirming one diff witness against
+// two live targets.
+type ReplayedWitness struct {
+	Witness DiffWitness
+	LiveA   []string
+	LiveB   []string
+	// Diverged reports whether the live targets produced different outputs
+	// on the witness word — the model-level divergence reproduced on the
+	// wire.
+	Diverged bool
+	// At is the first diverging position (-1 when the live runs agree).
+	At int
+	// MatchesModels reports whether each live run also agreed with its own
+	// model's prediction.
+	MatchesModels bool
+}
+
+// ConfirmWitness replays a diff witness against both live targets (votes
+// executions each, majority per position) and reports whether the
+// divergence the models predict shows up on the wire.
+func ConfirmWitness(ctx context.Context, w DiffWitness, oracleA, oracleB learn.Oracle, votes int) (*ReplayedWitness, error) {
+	liveA, err := Replay(ctx, oracleA, w.Word, votes)
+	if err != nil {
+		return nil, err
+	}
+	liveB, err := Replay(ctx, oracleB, w.Word, votes)
+	if err != nil {
+		return nil, err
+	}
+	at := firstDivergence(liveA, liveB)
+	return &ReplayedWitness{
+		Witness: w, LiveA: liveA, LiveB: liveB,
+		Diverged: at >= 0, At: at,
+		MatchesModels: join(liveA) == join(w.OutputsA) && join(liveB) == join(w.OutputsB),
+	}, nil
+}
+
+func join(w []string) string { return strings.Join(w, "\x1e") }

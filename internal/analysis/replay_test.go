@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/learn"
+	"repro/internal/quicsim"
+)
+
+// flakyOracle corrupts every third execution's outputs — a stand-in for a
+// lossy replay link.
+func flakyOracle(m learn.Oracle) learn.Oracle {
+	var calls int64
+	return learn.OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		out, err := m.Query(ctx, word)
+		if err != nil {
+			return nil, err
+		}
+		if atomic.AddInt64(&calls, 1)%3 == 0 {
+			corrupted := append([]string(nil), out...)
+			corrupted[len(corrupted)-1] = "{CORRUPTED}"
+			return corrupted, nil
+		}
+		return out, nil
+	})
+}
+
+func TestReplayMajorityOutvotesFlakiness(t *testing.T) {
+	g := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC}
+	want, _ := g.Run(word)
+	got, err := Replay(context.Background(), flakyOracle(learn.MealyOracle(g)), word, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("majority replay %v, want %v", got, want)
+	}
+}
+
+func TestReplayShortOutputRejected(t *testing.T) {
+	short := learn.OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+		return []string{"only-one"}, nil
+	})
+	if _, err := Replay(context.Background(), short, []string{"a", "b"}, 1); err == nil {
+		t.Fatal("short output accepted")
+	}
+}
+
+// TestConfirmWitnessOnGoldens replays the google-vs-lossy witness against
+// "live" oracles backed by the two golden models: the divergence must
+// reproduce and match both models' predictions.
+func TestConfirmWitnessOnGoldens(t *testing.T) {
+	google, err := LoadModel(filepath.Join("testdata", "google.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := LoadModel(filepath.Join("testdata", "lossy-retransmit.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := Diff(google, lossy, 1)
+	if report.Equivalent {
+		t.Fatal("goldens must differ")
+	}
+	w := report.Witnesses[0]
+	confirmed, err := ConfirmWitness(context.Background(), w,
+		flakyOracle(learn.MealyOracle(google.Mealy())),
+		flakyOracle(learn.MealyOracle(lossy.Mealy())), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !confirmed.Diverged {
+		t.Fatal("witness did not reproduce")
+	}
+	if confirmed.At != w.FirstDivergence {
+		t.Fatalf("diverged at %d, model predicted %d", confirmed.At, w.FirstDivergence)
+	}
+	if !confirmed.MatchesModels {
+		t.Fatalf("live outputs drifted from models: %v / %v", confirmed.LiveA, confirmed.LiveB)
+	}
+}
+
+func TestConfirmWitnessAgreement(t *testing.T) {
+	g := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	w := DiffWitness{Word: []string{quicsim.SymInitialCrypto}}
+	confirmed, err := ConfirmWitness(context.Background(), w,
+		learn.MealyOracle(g), learn.MealyOracle(g.Clone()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confirmed.Diverged || confirmed.At != -1 {
+		t.Fatalf("identical systems reported divergent: %+v", confirmed)
+	}
+}

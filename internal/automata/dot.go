@@ -1,24 +1,53 @@
 package automata
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 )
 
-// DOT renders the machine in Graphviz dot syntax, matching the visual style
-// of the models in the paper's appendix (states s0..sN, edges labelled
-// "input/output"). Parallel edges with identical endpoints are merged onto
-// one edge with a multi-line label to keep large models readable.
-func (m *Mealy) DOT(name string) string {
+// DOTStyle customises the shared Graphviz exporter. The zero value renders
+// the plain style of the models in the paper's appendix (states s0..sN,
+// edges labelled "input / output"). All escaping happens inside the
+// exporter, so style hooks return raw text.
+type DOTStyle struct {
+	// StateLabel overrides the node label for a state (default "sN").
+	StateLabel func(s State) string
+	// EdgeAnnotation returns extra label lines rendered under one
+	// transition's "input / output" line — synth uses it for the
+	// register-update and output-parameter terms of Appendix B.1.
+	// Annotation lines must not contain the " / " separator, which is
+	// reserved for transition lines (ParseDOT relies on it).
+	EdgeAnnotation func(from State, input, output string) []string
+}
+
+// DOT renders the machine in Graphviz dot syntax in the default style.
+// Parallel edges with identical endpoints are merged onto one edge with a
+// multi-line label to keep large models readable. The output is the
+// canonical model-interchange format of the analysis plane: ParseDOT reads
+// it back (round-trip guarantee, see dotparse.go).
+func (m *Mealy) DOT(name string) string { return m.DOTStyled(name, DOTStyle{}) }
+
+// DOTStyled is DOT with a styling hook.
+func (m *Mealy) DOTStyled(name string, style DOTStyle) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	b.WriteString("  rankdir=LR;\n")
 	b.WriteString("  node [shape=circle, fontname=\"Helvetica\"];\n")
+	// The alphabet comment makes the export self-describing: ParseDOT
+	// recovers the exact input order even for inputs no edge uses.
+	if alpha, err := json.Marshal(m.inputs); err == nil {
+		fmt.Fprintf(&b, "  /* alphabet: %s */\n", alpha)
+	}
 	fmt.Fprintf(&b, "  __start [shape=none, label=\"\"];\n")
 	fmt.Fprintf(&b, "  __start -> s%d;\n", m.initial)
 	for s := 0; s < m.NumStates(); s++ {
-		fmt.Fprintf(&b, "  s%d [label=\"s%d\"];\n", s, s)
+		label := fmt.Sprintf("s%d", s)
+		if style.StateLabel != nil {
+			label = style.StateLabel(State(s))
+		}
+		fmt.Fprintf(&b, "  s%d [label=\"%s\"];\n", s, escapeDOT(label))
 	}
 	type edge struct{ from, to State }
 	labels := make(map[edge][]string)
@@ -33,7 +62,11 @@ func (m *Mealy) DOT(name string) string {
 			if _, ok := labels[e]; !ok {
 				edges = append(edges, e)
 			}
-			labels[e] = append(labels[e], fmt.Sprintf("%s / %s", in, m.out[s][i]))
+			lines := []string{fmt.Sprintf("%s / %s", in, m.out[s][i])}
+			if style.EdgeAnnotation != nil {
+				lines = append(lines, style.EdgeAnnotation(State(s), in, m.out[s][i])...)
+			}
+			labels[e] = append(labels[e], lines...)
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -43,10 +76,37 @@ func (m *Mealy) DOT(name string) string {
 		return edges[i].to < edges[j].to
 	})
 	for _, e := range edges {
-		label := strings.Join(labels[e], "\\n")
-		label = strings.ReplaceAll(label, "\"", "\\\"")
+		label := escapeDOT(strings.Join(labels[e], "\n"))
 		fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s\"];\n", e.from, e.to, label)
 	}
 	b.WriteString("}\n")
+	return b.String()
+}
+
+// escapeDOT escapes a label for a double-quoted dot string: backslashes and
+// quotes are escaped, newlines become the dot line-break escape.
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// unescapeDOT inverts escapeDOT.
+func unescapeDOT(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
 	return b.String()
 }

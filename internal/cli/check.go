@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/lab"
+)
+
+// Check implements `prognosis check`: run the builtin model-level property
+// set (plus an optional LTLf formula) against a model — learned live from
+// a registry target, or loaded from a saved DOT/JSON file. It returns an
+// error (exit code 1) when any property is violated, so CI can gate on it.
+func Check(args []string) error {
+	fs := flag.NewFlagSet("prognosis check", flag.ContinueOnError)
+	target := fs.String("target", "", "learn this registry target and check the learned model: "+strings.Join(lab.Targets(), ", "))
+	modelFile := fs.String("model", "", "check a model loaded from this DOT or JSON file instead of learning")
+	property := fs.String("property", "", "additional LTLf property to check (see `prognosis learn -h`)")
+	depth := fs.Int("depth", 4, "exploration depth for -property")
+	var lf learnFlags
+	lf.register(fs, 2, 0, 1)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("check takes no positional arguments (got %v)", fs.Args())
+	}
+
+	model, err := resolveModel(*target, *modelFile, &lf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking %s (%d states, %d transitions) against %d builtin properties\n",
+		model.Name, model.States(), model.Transitions(), len(analysis.Builtins()))
+	results := analysis.CheckAll(model)
+	violations := 0
+	for _, r := range results {
+		if r.OK() {
+			fmt.Printf("  PASS %s — %s\n", r.Property.Name(), r.Property.Describe())
+			continue
+		}
+		violations++
+		fmt.Printf("  FAIL %s — %s\n", r.Property.Name(), r.Violation.Detail)
+		fmt.Print(indent(r.Violation.Witness.String()))
+	}
+	if *property != "" {
+		f, err := analysis.ParseFormula(*property)
+		if err != nil {
+			return err
+		}
+		if bad := analysis.CheckLTL(model.Mealy(), f, *depth); bad != nil {
+			violations++
+			fmt.Printf("  FAIL %s\n", *property)
+			w := analysis.Witness{Word: bad.Inputs, Outputs: bad.Outputs}
+			fmt.Print(indent(w.String()))
+		} else {
+			fmt.Printf("  PASS %s (all traces of length %d)\n", *property, *depth)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d propert%s violated", violations, pluralY(violations))
+	}
+	fmt.Println("all properties hold")
+	return nil
+}
+
+// resolveModel produces the model a subcommand analyses: loaded from a
+// file, or learned live from a registry target.
+func resolveModel(target, modelFile string, lf *learnFlags) (*analysis.Model, error) {
+	switch {
+	case target != "" && modelFile != "":
+		return nil, fmt.Errorf("pass -target or -model, not both")
+	case modelFile != "":
+		return analysis.LoadModel(modelFile)
+	case target != "":
+		ctx, stop := signalContext()
+		defer stop()
+		exp, res, err := learnModel(ctx, target, lf)
+		if err != nil {
+			return nil, err
+		}
+		defer exp.Close()
+		return res.Model(), nil
+	default:
+		return nil, fmt.Errorf("need -target <name> or -model <file>")
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.TrimSuffix(strings.ReplaceAll(s, "\n", "\n  "), "  ")
+}
+
+func pluralY(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,237 @@
+// Package cli implements the prognosis subcommands — learn, diff, check,
+// export — over the unified analysis plane. cmd/prognosis dispatches to
+// them; cmd/modeldiff is a thin alias for `prognosis diff`. Every
+// subcommand owns its flag set, installs Ctrl-C cancellation, and speaks
+// the same learning options, so `learn`'s flags work unchanged on `diff`,
+// `check`, and `export`.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/learn"
+	"repro/internal/netem"
+)
+
+// Main dispatches a prognosis invocation: the first argument selects the
+// subcommand, and — for compatibility with the pre-subcommand tool — an
+// invocation that starts with a flag runs `learn`. It returns the process
+// exit code.
+func Main(args []string, stderr io.Writer) int {
+	if len(args) == 0 {
+		Usage(stderr)
+		return 2
+	}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "learn":
+		err = Learn(args[1:])
+	case "diff":
+		err = Diff(args[1:])
+	case "check":
+		err = Check(args[1:])
+	case "export":
+		err = Export(args[1:])
+	case "help", "-h", "-help", "--help":
+		Usage(stderr)
+		return 0
+	default:
+		if len(cmd) > 0 && cmd[0] == '-' {
+			err = Learn(args) // legacy flag-form invocation
+			break
+		}
+		fmt.Fprintf(stderr, "prognosis: unknown subcommand %q\n\n", cmd)
+		Usage(stderr)
+		return 2
+	}
+	if err == flag.ErrHelp {
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "prognosis:", err)
+		return 1
+	}
+	return 0
+}
+
+// Usage prints the subcommand overview.
+func Usage(w io.Writer) {
+	fmt.Fprint(w, `prognosis — closed-box protocol analysis (learn, then analyse, the model)
+
+Usage:
+
+  prognosis learn  -target <name> [options]       learn a model, report statistics
+  prognosis diff   [options] <targetA> <targetB>  learn both, diff, replay the witness live
+  prognosis check  -target <name> | -model <file> check model-level properties
+  prognosis export -target <name> | -model <file> write the model in the unified codecs
+
+Run any subcommand with -h for its options. Invoking prognosis with
+learn-style flags and no subcommand (e.g. 'prognosis -target tcp')
+behaves like 'learn', matching the pre-subcommand interface; a bare
+'prognosis' prints this usage.
+`)
+}
+
+// signalContext returns a context cancelled by Ctrl-C.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// learnFlags is the shared learning configuration every subcommand
+// understands.
+type learnFlags struct {
+	learner            string
+	seed               int64
+	perfect            bool
+	conformance        int
+	udp                bool
+	noCache            bool
+	workers            int
+	rtt                time.Duration
+	loss, dup, reorder float64
+	impairSeed         int64
+	warmup             int
+	verbose            bool
+	eventsFile         string
+}
+
+// register declares the shared flags on fs. conformance and the fault
+// rates get per-subcommand defaults (diff mildly impairs its links by
+// default; learn does not).
+func (f *learnFlags) register(fs *flag.FlagSet, defaultConformance int, defaultLoss float64, defaultWorkers int) {
+	fs.StringVar(&f.learner, "learner", "ttt", "learning algorithm: ttt or lstar")
+	fs.Int64Var(&f.seed, "seed", 13, "seed for all pseudo-randomness")
+	fs.BoolVar(&f.perfect, "perfect", false, "use the ground-truth equivalence oracle (QUIC targets only)")
+	fs.IntVar(&f.conformance, "conformance", defaultConformance,
+		"strengthen the equivalence search with a Wp-method pass of this depth over the live target (0 disables)")
+	fs.BoolVar(&f.udp, "udp", false, "run the session over UDP loopback socket pairs (one per worker)")
+	fs.BoolVar(&f.noCache, "no-cache", false, "disable the membership-query cache")
+	fs.IntVar(&f.workers, "workers", defaultWorkers, "membership-query concurrency: fan queries across this many independent SUL instances")
+	fs.DurationVar(&f.rtt, "rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
+	fs.Float64Var(&f.loss, "loss", defaultLoss, "per-datagram loss probability injected in each direction of every worker's link")
+	fs.Float64Var(&f.dup, "dup", 0, "per-datagram probability of duplicating a response")
+	fs.Float64Var(&f.reorder, "reorder", 0, "per-exchange probability of reordering adjacent response datagrams")
+	fs.Int64Var(&f.impairSeed, "impair-seed", 0, "seed for the fault streams (defaults to -seed)")
+	fs.IntVar(&f.warmup, "warmup", 100,
+		"random words driven through each replica before an impaired learn, letting cross-connection state (loss statistics, degraded modes) settle; applied only when a fault flag is set")
+	fs.BoolVar(&f.verbose, "v", false, "stream live learning progress to stderr")
+	fs.StringVar(&f.eventsFile, "events", "", "append the typed event stream as JSON lines to this file")
+}
+
+// impairment assembles the netem config of the fault flags (zero when no
+// fault flag is set).
+func (f *learnFlags) impairment() netem.Config {
+	seed := f.impairSeed
+	if seed == 0 {
+		seed = f.seed
+	}
+	return netem.Config{
+		LossClient: f.loss, LossServer: f.loss,
+		Duplicate: f.dup, Reorder: f.reorder,
+		Seed: seed,
+	}
+}
+
+// options assembles the lab functional options; the returned cleanup
+// closes the events file, if any.
+func (f *learnFlags) options() ([]lab.Option, func(), error) {
+	opts := []lab.Option{
+		lab.WithSeed(f.seed),
+		lab.WithLearner(core.LearnerKind(f.learner)),
+		lab.WithWorkers(f.workers),
+		lab.WithRTT(f.rtt),
+		lab.WithConformance(f.conformance),
+	}
+	if f.perfect {
+		opts = append(opts, lab.WithPerfectEquivalence())
+	}
+	if f.noCache {
+		opts = append(opts, lab.WithoutCache())
+	}
+	if f.udp {
+		// Unsupported combinations (e.g. tcp) are rejected by the target's
+		// builder with a clear error rather than silently ignored here.
+		opts = append(opts, lab.WithTransport(lab.TransportUDP))
+	}
+	if impair := f.impairment(); impair.Enabled() {
+		opts = append(opts, lab.WithImpairment(impair))
+		if f.warmup > 0 {
+			opts = append(opts, lab.WithWarmup(f.warmup))
+		}
+	}
+	cleanup := func() {}
+	var observers []learn.Observer
+	if f.verbose {
+		observers = append(observers, progressObserver{})
+	}
+	if f.eventsFile != "" {
+		file, err := os.OpenFile(f.eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = func() { file.Close() }
+		observers = append(observers, learn.NewJSONLObserver(file))
+	}
+	if len(observers) > 0 {
+		opts = append(opts, lab.WithObserver(learn.MultiObserver(observers...)))
+	}
+	return opts, cleanup, nil
+}
+
+// learnModel builds and learns one experiment, keeping it open so callers
+// can replay witnesses against the live target. Callers must Close the
+// returned experiment. Nondeterminism halts are returned as errors here:
+// every subcommand that calls this needs a model to analyse.
+func learnModel(ctx context.Context, target string, f *learnFlags) (*lab.Experiment, *lab.Result, error) {
+	opts, cleanup, err := f.options()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
+	exp, err := lab.NewExperiment(target, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exp.Learn(ctx)
+	if err != nil {
+		exp.Close()
+		return nil, nil, err
+	}
+	if res.Nondet != nil {
+		exp.Close()
+		return nil, nil, fmt.Errorf("target %s is nondeterministic: %v", target, res.Nondet)
+	}
+	return exp, res, nil
+}
+
+// progressObserver renders the event stream as -v live progress.
+type progressObserver struct{}
+
+func (progressObserver) OnEvent(e learn.Event) {
+	switch ev := e.(type) {
+	case learn.RoundStarted:
+		fmt.Fprintf(os.Stderr, "round %d: building hypothesis...\n", ev.Round)
+	case learn.HypothesisReady:
+		fmt.Fprintf(os.Stderr, "round %d: hypothesis with %d states / %d transitions\n",
+			ev.Round, ev.States, ev.Transitions)
+	case learn.CounterexampleFound:
+		fmt.Fprintf(os.Stderr, "round %d: counterexample %v\n", ev.Round, ev.Word)
+	case learn.CacheSnapshot:
+		fmt.Fprintf(os.Stderr, "round %d: %d live queries, %d cache hits, %d cached prefixes\n",
+			ev.Round, ev.LiveQueries, ev.Hits, ev.Entries)
+	case learn.NondeterminismDetected:
+		fmt.Fprintf(os.Stderr, "nondeterminism: %d alternatives after %d votes on %v\n",
+			ev.Alternatives, ev.Votes, ev.Word)
+	case learn.GuardEscalated:
+		fmt.Fprintf(os.Stderr, "guard: escalated to %d votes after %d (disagreement %.2f) on %v\n",
+			ev.Budget, ev.Votes, ev.EWMA, ev.Word)
+	}
+}

@@ -1,0 +1,182 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+const (
+	goldenGoogle = "../analysis/testdata/google.json"
+	goldenLossy  = "../analysis/testdata/lossy-retransmit.json"
+)
+
+func TestCheckCleanModelFile(t *testing.T) {
+	out, err := capture(t, func() error {
+		return Check([]string{"-model", goldenGoogle})
+	})
+	if err != nil {
+		t.Fatalf("clean google flagged: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all properties hold") || strings.Contains(out, "FAIL") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCheckFlagsLossyModelFile(t *testing.T) {
+	out, err := capture(t, func() error {
+		return Check([]string{"-model", goldenLossy})
+	})
+	if err == nil {
+		t.Fatalf("violations not reported as an error:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "2 properties violated") {
+		t.Fatalf("err = %v", err)
+	}
+	for _, want := range []string{"FAIL close-is-terminal", "PASS", "CONNECTION_CLOSE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckExtraLTLProperty(t *testing.T) {
+	out, err := capture(t, func() error {
+		return Check([]string{"-model", goldenGoogle,
+			"-property", `G(!outHas("CONNECTION_CLOSE"))`, "-depth", "3"})
+	})
+	if err == nil || !strings.Contains(out, "FAIL G(") {
+		t.Fatalf("false LTL property not flagged (err=%v):\n%s", err, out)
+	}
+}
+
+func TestCheckArgumentValidation(t *testing.T) {
+	if _, err := capture(t, func() error { return Check(nil) }); err == nil {
+		t.Fatal("missing -target/-model accepted")
+	}
+	if _, err := capture(t, func() error {
+		return Check([]string{"-target", "google", "-model", goldenGoogle})
+	}); err == nil {
+		t.Fatal("both -target and -model accepted")
+	}
+}
+
+func TestExportMinimizedFromModelFile(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "m.dot")
+	jsonPath := filepath.Join(dir, "m.json")
+	out, err := capture(t, func() error {
+		return Export([]string{"-model", goldenGoogle, "-min", "-dot", dot, "-json", jsonPath})
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	orig, err := analysis.LoadModel(goldenGoogle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{dot, jsonPath} {
+		m, err := analysis.LoadModel(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, ce := m.Equivalent(orig); !eq {
+			t.Fatalf("%s: exported model diverged on %v", path, ce)
+		}
+	}
+}
+
+func TestExportDOTToStdout(t *testing.T) {
+	out, err := capture(t, func() error {
+		return Export([]string{"-model", goldenLossy})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "digraph") {
+		t.Fatalf("stdout export is not dot:\n%.80s", out)
+	}
+}
+
+// TestDiffEndToEnd is the acceptance workflow: `prognosis diff google
+// lossy-retransmit` learns both targets through the default lossy link,
+// emits a witness word, and replays it against both live targets,
+// reproducing the divergent outputs on the wire. (-conformance 0 keeps the
+// test fast; the divergence — doubled flights — shows on every state.)
+func TestDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return Diff([]string{"-conformance", "0", "-witnesses", "2", "-seed", "13",
+			"-export", dir, "google", "lossy-retransmit"})
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"NOT equivalent",
+		"witness 1",
+		"replaying witness",
+		"CONFIRMED: live outputs diverge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, file := range []string{"google.json", "google.dot", "lossy-retransmit.json", "lossy-retransmit.dot"} {
+		if _, err := analysis.LoadModel(filepath.Join(dir, file)); err != nil {
+			t.Fatalf("export %s: %v", file, err)
+		}
+	}
+}
+
+func TestDiffNeedsTwoTargets(t *testing.T) {
+	if _, err := capture(t, func() error { return Diff([]string{"google"}) }); err == nil {
+		t.Fatal("one target accepted")
+	}
+}
+
+func TestMainDispatch(t *testing.T) {
+	var errBuf bytes.Buffer
+	if code := Main([]string{"bogus-subcommand"}, &errBuf); code != 2 {
+		t.Fatalf("unknown subcommand exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown subcommand") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+	errBuf.Reset()
+	if code := Main([]string{"help"}, &errBuf); code != 0 {
+		t.Fatalf("help exit %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "prognosis learn") {
+		t.Fatalf("usage missing subcommands: %s", errBuf.String())
+	}
+	if code := Main(nil, &errBuf); code != 2 {
+		t.Fatal("empty invocation must fail with usage")
+	}
+}

@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/lab"
+)
+
+// Diff implements `prognosis diff A B`: learn both targets concurrently,
+// diff the models (witnesses + per-state divergence summaries), and replay
+// the first witness against both still-live targets to confirm the
+// divergence on the wire.
+//
+// By default each target is learned through a mildly impaired link (2%
+// symmetric datagram loss) with a Wp-method conformance pass: behavioural
+// differences between implementations often hide behind loss recovery —
+// the lossy-retransmit target is clean-link-identical to google — and the
+// adaptive §5 guard keeps honest targets' learned models exact under that
+// much loss (verified by the impairment campaign tests). Pass -loss 0 for
+// a strictly clean-link diff.
+func Diff(args []string) error {
+	fs := flag.NewFlagSet("prognosis diff", flag.ContinueOnError)
+	witnesses := fs.Int("witnesses", 5, "maximum distinguishing traces to print")
+	replay := fs.Bool("replay", true, "replay the first witness against both live targets")
+	votes := fs.Int("votes", 5, "replays per target when confirming a witness (majority per step)")
+	exportDir := fs.String("export", "", "directory to write both learned models as DOT + JSON")
+	var lf learnFlags
+	lf.register(fs, 2, 0.02, 4)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two targets, e.g. `prognosis diff google lossy-retransmit` (got %v)", fs.Args())
+	}
+	targetA, targetB := fs.Arg(0), fs.Arg(1)
+
+	ctx, stop := signalContext()
+	defer stop()
+
+	// Learn both sides concurrently; keep the experiments open so witness
+	// replay drives the same live replicas the models were learned from
+	// (the lossy-retransmit degradation, for example, lives in the replica
+	// state the learning run built up).
+	type side struct {
+		exp *lab.Experiment
+		res *lab.Result
+		err error
+	}
+	sides := make([]side, 2)
+	var wg sync.WaitGroup
+	for i, target := range []string{targetA, targetB} {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			flags := lf // per-goroutine copy; options build per-run observers
+			if flags.eventsFile != "" {
+				// The two learns run concurrently: give each its own event
+				// stream instead of interleaving unattributable JSON lines
+				// in one file.
+				flags.eventsFile = perTargetPath(flags.eventsFile, target)
+			}
+			exp, res, err := learnModel(ctx, target, &flags)
+			if err != nil {
+				err = fmt.Errorf("target %s: %w", target, err)
+			}
+			sides[i] = side{exp: exp, res: res, err: err}
+		}(i, target)
+	}
+	wg.Wait()
+	for _, s := range sides {
+		if s.exp != nil {
+			defer s.exp.Close()
+		}
+	}
+	for _, s := range sides {
+		if s.err != nil {
+			return s.err
+		}
+	}
+
+	modelA, modelB := sides[0].res.Model(), sides[1].res.Model()
+	if targetA == targetB {
+		// Same target twice: disambiguate the report names.
+		modelA.Name, modelB.Name = targetA+"#1", targetB+"#2"
+	}
+	report := analysis.Diff(modelA, modelB, *witnesses)
+	fmt.Print(report.String())
+
+	if *exportDir != "" {
+		for _, m := range []*analysis.Model{modelA, modelB} {
+			for _, ext := range []string{".json", ".dot"} {
+				path := filepath.Join(*exportDir, m.Name+ext)
+				if err := m.Save(path); err != nil {
+					return err
+				}
+				fmt.Printf("exported %s\n", path)
+			}
+		}
+	}
+
+	if report.Equivalent {
+		return nil
+	}
+	fmt.Println("\nnote: a difference is not necessarily a bug — QUIC's specification")
+	fmt.Println("permits divergent design choices; inspect the witnesses (cf. §6.2.3).")
+	if !*replay || len(report.Witnesses) == 0 {
+		return nil
+	}
+	return replayWitness(ctx, report, sides[0].exp, sides[1].exp, *votes)
+}
+
+// perTargetPath derives "events.google.jsonl" from "events.jsonl".
+func perTargetPath(path, target string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + target + ext
+}
+
+// replayWitness confirms the first (shortest) witness on the wire.
+func replayWitness(ctx context.Context, report *analysis.DiffReport, expA, expB *lab.Experiment, votes int) error {
+	w := report.Witnesses[0]
+	fmt.Printf("\nreplaying witness %v against both live targets (%d votes each):\n", w.Word, votes)
+	confirmed, err := analysis.ConfirmWitness(ctx, w, expA.Oracle(), expB.Oracle(), votes)
+	if err != nil {
+		return err
+	}
+	for i := range w.Word {
+		fmt.Printf("  step %d: %s\n    %s live: %s\n    %s live: %s\n",
+			i+1, w.Word[i], report.NameA, confirmed.LiveA[i], report.NameB, confirmed.LiveB[i])
+	}
+	switch {
+	case confirmed.Diverged && confirmed.MatchesModels:
+		fmt.Printf("  CONFIRMED: live outputs diverge at step %d, exactly as the models predict\n", confirmed.At+1)
+	case confirmed.Diverged:
+		fmt.Printf("  CONFIRMED: live outputs diverge at step %d (outputs differ from the models' predictions — flaky link?)\n", confirmed.At+1)
+	default:
+		fmt.Println("  NOT REPRODUCED: live outputs agree — the model-level divergence did not show on the wire")
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Export implements `prognosis export`: write a model — learned live or
+// loaded from a file — in the unified codecs. With no output flag the
+// Graphviz dot rendering goes to stdout. -min exports the minimized model
+// (language-equivalent, canonical state numbering).
+func Export(args []string) error {
+	fs := flag.NewFlagSet("prognosis export", flag.ContinueOnError)
+	target := fs.String("target", "", "learn this registry target and export the learned model")
+	modelFile := fs.String("model", "", "export a model loaded from this DOT or JSON file instead of learning")
+	dotFile := fs.String("dot", "", "write Graphviz dot to this file")
+	jsonFile := fs.String("json", "", "write JSON to this file")
+	minimize := fs.Bool("min", false, "minimize before exporting")
+	var lf learnFlags
+	lf.register(fs, 0, 0, 1)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("export takes no positional arguments (got %v)", fs.Args())
+	}
+
+	model, err := resolveModel(*target, *modelFile, &lf)
+	if err != nil {
+		return err
+	}
+	if *minimize {
+		model = model.Minimize()
+	}
+	if *dotFile == "" && *jsonFile == "" {
+		fmt.Print(model.DOT())
+		return nil
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(model.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotFile)
+	}
+	if *jsonFile != "" {
+		data, err := model.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonFile)
+	}
+	return nil
+}

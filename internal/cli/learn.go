@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/automata"
+	"repro/internal/lab"
+)
+
+// Learn implements `prognosis learn`: learn one target's model and report
+// statistics, optionally exporting the model and checking an LTLf
+// property. A nondeterminism halt is a reported outcome here, not an
+// error — detecting it is the §5 analysis.
+func Learn(args []string) error {
+	fs := flag.NewFlagSet("prognosis learn", flag.ContinueOnError)
+	target := fs.String("target", "tcp", "target implementation: "+strings.Join(lab.Targets(), ", "))
+	dotFile := fs.String("dot", "", "write the learned model as Graphviz dot to this file")
+	saveFile := fs.String("save", "", "write the learned model as JSON to this file")
+	property := fs.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
+	depth := fs.Int("depth", 4, "exploration depth for -property")
+	var lf learnFlags
+	lf.register(fs, 0, 0, 1)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("learn takes no positional arguments (got %v)", fs.Args())
+	}
+
+	opts, cleanup, err := lf.options()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	exp, err := lab.NewExperiment(*target, opts...)
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+
+	ctx, stop := signalContext()
+	defer stop()
+	res, err := exp.Learn(ctx)
+	if err != nil {
+		return err
+	}
+	if res.Nondet != nil {
+		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", *target)
+		fmt.Printf("  witness query: %v\n", res.Nondet.Word)
+		fmt.Printf("  %d distinct responses over %d repetitions:\n", len(res.Nondet.Observed), res.Nondet.Votes)
+		for out, n := range res.Nondet.Observed {
+			fmt.Printf("    x%-3d %s\n", n, out)
+		}
+		return nil
+	}
+	m := res.Machine
+	fmt.Printf("target %s: learned model with %d states, %d transitions\n",
+		*target, m.NumStates(), m.NumTransitions())
+	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
+		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
+	fmt.Printf("  wall time: %v\n", res.Duration)
+	if impair := lf.impairment(); impair.Enabled() {
+		fmt.Printf("  impaired link (%s): dropped %d->/%d<- datagrams, %d duplicated, %d reordered\n",
+			impair.Label(), res.Faults.DroppedClient, res.Faults.DroppedServer,
+			res.Faults.Duplicated, res.Faults.Reordered)
+		fmt.Printf("  guard: %d flaky queries, %d escalations, %d votes beyond the floor\n",
+			res.Guard.RetriedQueries, res.Guard.Escalations, res.Guard.WastedVotes)
+	}
+	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
+		m.CountTraces(10), automata.TotalWords(len(m.Inputs()), 10))
+	model := res.Model()
+	if *saveFile != "" {
+		if err := model.Save(*saveFile); err != nil {
+			return err
+		}
+		fmt.Printf("  model saved to %s\n", *saveFile)
+	}
+	if *property != "" {
+		f, err := analysis.ParseFormula(*property)
+		if err != nil {
+			return err
+		}
+		if bad := analysis.CheckLTL(m, f, *depth); bad != nil {
+			fmt.Printf("  property VIOLATED; witness trace:\n")
+			for i := range bad.Inputs {
+				fmt.Printf("    %s / %s\n", bad.Inputs[i], bad.Outputs[i])
+			}
+		} else {
+			fmt.Printf("  property holds on all traces of length %d\n", *depth)
+		}
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(model.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  model written to %s\n", *dotFile)
+	} else {
+		fmt.Println()
+		fmt.Print(m.String())
+	}
+	return nil
+}

@@ -561,6 +561,14 @@ type Experiment struct {
 	// oracle over the guarded SUL with the given seed is used (partitioned
 	// across Workers goroutines in concurrent mode).
 	Equivalence learn.EquivalenceOracle
+	// Conformance > 0 strengthens the default equivalence search (it is
+	// ignored when Equivalence is set): after the cheap random-words pass,
+	// a Wp-method suite of this depth runs against the guarded SUL, which
+	// is guaranteed to expose any residual fault adding at most Conformance
+	// extra states. Unlike a ground-truth oracle it needs no specification,
+	// so it works for closed-box targets and for targets whose behaviour
+	// only an impaired link reveals.
+	Conformance int
 	Guard       GuardConfig
 	Seed        int64
 	// DisableCache turns off the prefix-tree query cache (for ablation).
@@ -646,6 +654,11 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 			rw.Workers = workers
 		}
 		eq = rw
+		if e.Conformance > 0 {
+			eq = learn.ChainOracle{rw, &learn.WpMethodOracle{
+				Oracle: oracle, Inputs: e.Alphabet, Depth: e.Conformance, Workers: workers,
+			}}
+		}
 	}
 	if cached != nil {
 		// A counterexample the learner makes no progress on would loop the

@@ -99,10 +99,10 @@ func TestCampaignRunsAllTargets(t *testing.T) {
 	for _, r := range results {
 		byName[r.Name] = r
 	}
-	if r := byName["tcp"]; r.Err != nil || r.Result.Model.NumStates() != 6 {
+	if r := byName["tcp"]; r.Err != nil || r.Result.Machine.NumStates() != 6 {
 		t.Fatalf("tcp run: %+v (err=%v)", r.Result, r.Err)
 	}
-	if r := byName["quiche"]; r.Err != nil || r.Result.Model.NumStates() != 8 {
+	if r := byName["quiche"]; r.Err != nil || r.Result.Machine.NumStates() != 8 {
 		t.Fatalf("quiche run: %+v (err=%v)", r.Result, r.Err)
 	}
 	// mvfst halts on nondeterminism — an isolated, first-class outcome,
@@ -110,7 +110,7 @@ func TestCampaignRunsAllTargets(t *testing.T) {
 	if r := byName["mvfst"]; r.Err != nil || r.Result.Nondet == nil {
 		t.Fatalf("mvfst run: %+v (err=%v)", r.Result, r.Err)
 	}
-	if r := byName["custom"]; r.Err != nil || r.Result.Model.NumStates() != 1 {
+	if r := byName["custom"]; r.Err != nil || r.Result.Machine.NumStates() != 1 {
 		t.Fatalf("custom run: %+v (err=%v)", r.Result, r.Err)
 	}
 	s := Summarize(results)
@@ -136,7 +136,7 @@ func TestCampaignIsolatesFailures(t *testing.T) {
 	if results[0].Err == nil {
 		t.Fatal("unknown target did not error")
 	}
-	if results[1].Err != nil || results[1].Result.Model == nil {
+	if results[1].Err != nil || results[1].Result.Machine == nil {
 		t.Fatalf("sibling run damaged: %+v (err=%v)", results[1].Result, results[1].Err)
 	}
 	s := Summarize(results)

@@ -3,9 +3,11 @@ package lab
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/automata"
 	"repro/internal/core"
 	"repro/internal/learn"
@@ -15,8 +17,10 @@ import (
 
 // Result is the outcome of one learning run.
 type Result struct {
-	Target      string
-	Model       *automata.Mealy
+	Target string
+	// Machine is the learned Mealy machine (nil when the run halted on
+	// nondeterminism). Model() wraps it for the analysis plane.
+	Machine     *automata.Mealy
 	Stats       learn.Stats
 	Nondet      *core.NondeterminismError
 	Duration    time.Duration
@@ -28,6 +32,13 @@ type Result struct {
 	// Faults aggregates the netem fault counters across all worker links
 	// for this run (zero without WithImpairment).
 	Faults netem.Stats
+}
+
+// Model returns the learned model wrapped for the analysis plane — named
+// after the target, ready for Diff/Minimize/CheckAll/Save. It is nil when
+// the run produced no machine (nondeterminism halt).
+func (r *Result) Model() *analysis.Model {
+	return analysis.NewModel(r.Target, r.Machine)
 }
 
 // Experiment is one configured learning run against a registered target:
@@ -86,6 +97,12 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.warmup > 0 {
+		if err := warmup(sys, cfg.warmup, cfg.seed); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("lab: warmup: %w", err)
+		}
+	}
 	suls := sys.SULs
 	if cfg.rtt > 0 {
 		wrapped := make([]core.SUL, len(suls))
@@ -103,6 +120,7 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 		Seed:         cfg.seed,
 		DisableCache: cfg.disableCache,
 		Guard:        cfg.guard,
+		Conformance:  cfg.conformance,
 		Equivalence:  cfg.equivalence,
 		Observer:     cfg.observer,
 	}
@@ -114,6 +132,39 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 		exp.Equivalence = &learn.ModelOracle{Model: sys.Truth}
 	}
 	return &Experiment{target: target, cfg: cfg, sys: sys, exp: exp, links: links}, nil
+}
+
+// warmup runs the WithWarmup word sequence through every replica: words
+// seeded random input words of length 10, the same sequence for each
+// replica so identically-seeded replicas stay behaviourally aligned.
+func warmup(sys *System, words int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed*31 + 17))
+	seq := make([][]string, words)
+	for i := range seq {
+		w := make([]string, 10)
+		for j := range w {
+			w[j] = sys.Alphabet[rng.Intn(len(sys.Alphabet))]
+		}
+		seq[i] = w
+	}
+	for _, sul := range sys.SULs {
+		for _, w := range seq {
+			if err := sul.Reset(); err != nil {
+				return err
+			}
+			for _, in := range w {
+				if _, err := sul.Step(in); err != nil {
+					return err
+				}
+			}
+		}
+		// Leave the replica reset so the first learning query starts from
+		// a fresh connection.
+		if err := sul.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Target returns the experiment's registered target name.
@@ -200,8 +251,23 @@ func (e *Experiment) Learn(ctx context.Context) (*Result, error) {
 		}
 		return nil, err
 	}
-	res.Model = model
+	res.Machine = model
 	return res, nil
+}
+
+// Oracle returns a live membership oracle over the experiment's first
+// replica: every query resets the replica and replays the word over its
+// real transport — through any impairment link the experiment configured.
+// This is how witness words from the analysis plane replay against the
+// wire (analysis.Replay / analysis.ConfirmWitness). The oracle shares the
+// replica with Learn, so do not query it while a Learn is in flight.
+func (e *Experiment) Oracle() learn.Oracle { return core.Oracle(e.exp.SUL) }
+
+// Replay runs one input word against the live target votes times and
+// returns the per-position majority outputs (analysis.Replay over
+// Oracle()).
+func (e *Experiment) Replay(ctx context.Context, word []string, votes int) ([]string, error) {
+	return analysis.Replay(ctx, e.Oracle(), word, votes)
 }
 
 // Close releases the transport resources (UDP sockets, listeners) the
@@ -221,74 +287,6 @@ func Run(ctx context.Context, target string, opts ...Option) (*Result, error) {
 	return exp.Learn(ctx)
 }
 
-// ---------------------------------------------------------------------
-// Deprecated PR-1 entry points, kept as thin shims for one release.
-// ---------------------------------------------------------------------
-
-// Options is the PR-1 configuration struct.
-//
-// Deprecated: use NewExperiment with functional options (WithSeed,
-// WithWorkers, WithRTT, WithPerfectEquivalence, ...). Options remains as a
-// shim for one release.
-type Options struct {
-	Learner core.LearnerKind
-	Seed    int64
-	// Perfect uses the ground-truth specification as the equivalence
-	// oracle (exact recovery, used to validate state counts); otherwise
-	// the heuristic random-words oracle is used, as in the paper.
-	Perfect      bool
-	DisableCache bool
-	// Workers > 1 runs the concurrent query engine.
-	Workers int
-	// RTT emulates a remote target by adding one network round-trip of
-	// this duration to every reset and every symbol exchange.
-	RTT time.Duration
-}
-
-// options converts the legacy struct to the functional form.
-func (o Options) options() []Option {
-	opts := []Option{WithSeed(o.Seed), WithLearner(o.Learner), WithWorkers(o.Workers), WithRTT(o.RTT)}
-	if o.Perfect {
-		opts = append(opts, WithPerfectEquivalence())
-	}
-	if o.DisableCache {
-		opts = append(opts, WithoutCache())
-	}
-	return opts
-}
-
-// Learn runs the full Prognosis pipeline against a named target.
-//
-// Deprecated: use NewExperiment(target, opts...).Learn(ctx), which adds
-// cancellation, transports, observers, and resource cleanup. Learn remains
-// as a shim for one release.
-func Learn(target string, opts Options) (*Result, error) {
-	return Run(context.Background(), target, opts.options()...)
-}
-
-// NewSUL builds one system under learning for a named target, returning
-// the SUL, its input alphabet, and the ground-truth model when one exists
-// (QUIC targets only; nil for TCP).
-//
-// Deprecated: use the registry (NewExperiment, or Register for new
-// targets). NewSUL remains as a shim for one release.
-func NewSUL(target string, seed int64) (core.SUL, []string, *automata.Mealy, error) {
-	sys, err := build(BuildSpec{Target: target, Replicas: 1, Seed: seed, Transport: TransportInMemory})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return sys.SULs[0], sys.Alphabet, sys.Truth, nil
-}
-
-// NewSULPool builds n behaviourally identical replicas of a target, the
-// sharded pool the concurrent query engine fans membership batches across.
-//
-// Deprecated: NewExperiment(target, WithWorkers(n)) builds and wires the
-// pool in one step. NewSULPool remains as a shim for one release.
-func NewSULPool(target string, n int, seed int64) ([]core.SUL, error) {
-	sys, err := build(BuildSpec{Target: target, Replicas: n, Seed: seed, Transport: TransportInMemory})
-	if err != nil {
-		return nil, err
-	}
-	return sys.SULs, nil
-}
+// The PR-1 compatibility shims (Learn/Options/NewSUL/NewSULPool) lived
+// here for one release after the context-first redesign; they are gone.
+// See the migration table in README.md.

@@ -123,14 +123,14 @@ func SummarizeMatrix(cells []ImpairmentCell, results []RunResult) (*MatrixResult
 		v := CellVerdict{Cell: cells[i], Run: results[i]}
 		if res := results[i].Result; res != nil {
 			v.Nondet = res.Nondet != nil
-			v.Learned = res.Model != nil
+			v.Learned = res.Machine != nil
 			v.Escalations = res.Guard.Escalations
 			v.WastedVotes = res.Guard.WastedVotes
 			if baseline.Result != nil && baseline.Result.Stats.Queries > 0 {
 				v.QueryInflation = float64(res.Stats.Queries) / float64(baseline.Result.Stats.Queries)
 			}
-			if v.Learned && baseline.Result != nil && baseline.Result.Model != nil {
-				eq, _ := baseline.Result.Model.Equivalent(res.Model)
+			if v.Learned && baseline.Result != nil && baseline.Result.Machine != nil {
+				eq, _ := baseline.Result.Machine.Equivalent(res.Machine)
 				v.MatchesBaseline = eq
 			}
 		}

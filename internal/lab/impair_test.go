@@ -35,7 +35,7 @@ func TestCampaignLearnsGoogleUnderLoss(t *testing.T) {
 		t.Fatalf("guard gave up under 5%% loss: %v", res.Result.Nondet)
 	}
 	truth := quicsim.GroundTruth(quicsim.ProfileGoogle)
-	if eq, ce := truth.Equivalent(res.Result.Model); !eq {
+	if eq, ce := truth.Equivalent(res.Result.Machine); !eq {
 		t.Fatalf("lossy learn diverged from clean ground truth, witness %v", ce)
 	}
 	if res.Result.Faults.DroppedClient+res.Result.Faults.DroppedServer == 0 {
@@ -68,7 +68,7 @@ func TestImpairedLearnIsReproducible(t *testing.T) {
 		return res
 	}
 	a, b := run(1), run(1)
-	if eq, _ := a.Model.Equivalent(b.Model); !eq {
+	if eq, _ := a.Machine.Equivalent(b.Machine); !eq {
 		t.Fatal("same seeds learned different models")
 	}
 	if a.Faults != b.Faults {
@@ -78,7 +78,7 @@ func TestImpairedLearnIsReproducible(t *testing.T) {
 		t.Fatalf("same seeds, different costs: %+v/%+v vs %+v/%+v", a.Stats, a.Guard, b.Stats, b.Guard)
 	}
 	p, q := run(4), run(4)
-	if eq, _ := p.Model.Equivalent(q.Model); !eq {
+	if eq, _ := p.Machine.Equivalent(q.Machine); !eq {
 		t.Fatal("pooled runs with the same seeds learned different models")
 	}
 }
@@ -101,8 +101,8 @@ func TestWithLinkMiddleware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Model.NumStates() != 8 {
-		t.Fatalf("middleware perturbed learning: %d states", res.Model.NumStates())
+	if res.Machine.NumStates() != 8 {
+		t.Fatalf("middleware perturbed learning: %d states", res.Machine.NumStates())
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -124,8 +124,8 @@ func TestImpairmentAppliesToTCP(t *testing.T) {
 	if res.Nondet != nil {
 		t.Fatalf("nondet: %v", res.Nondet)
 	}
-	if res.Model.NumStates() != 6 {
-		t.Fatalf("lossy TCP learn: %d states, want 6", res.Model.NumStates())
+	if res.Machine.NumStates() != 6 {
+		t.Fatalf("lossy TCP learn: %d states, want 6", res.Machine.NumStates())
 	}
 	if res.Faults.SentClient == 0 {
 		t.Fatal("no segments flowed through the link")
@@ -162,7 +162,7 @@ func TestImpairmentMatrixSummarizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Baseline.Err != nil || m.Baseline.Result.Model == nil {
+	if m.Baseline.Err != nil || m.Baseline.Result.Machine == nil {
 		t.Fatalf("baseline broken: %+v", m.Baseline)
 	}
 	if len(m.Cells) != 1 {

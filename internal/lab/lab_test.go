@@ -38,8 +38,8 @@ func TestLearnAllDeterministicTargets(t *testing.T) {
 		if res.Nondet != nil {
 			t.Fatalf("%s: unexpected nondeterminism: %v", target, res.Nondet)
 		}
-		if res.Model.NumStates() != states {
-			t.Fatalf("%s: %d states, want %d", target, res.Model.NumStates(), states)
+		if res.Machine.NumStates() != states {
+			t.Fatalf("%s: %d states, want %d", target, res.Machine.NumStates(), states)
 		}
 		if res.Stats.Queries == 0 {
 			t.Fatalf("%s: no live queries recorded", target)
@@ -52,7 +52,7 @@ func TestLearnMvfstReportsNondeterminism(t *testing.T) {
 	if res.Nondet == nil {
 		t.Fatal("mvfst should be flagged nondeterministic")
 	}
-	if res.Model != nil {
+	if res.Machine != nil {
 		t.Fatal("no model should be produced")
 	}
 }
@@ -73,7 +73,7 @@ func TestLearnRepeatablePerRunStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eq, ce := r1.Model.Equivalent(r2.Model); !eq {
+	if eq, ce := r1.Machine.Equivalent(r2.Machine); !eq {
 		t.Fatalf("repeated Learn diverged on %v", ce)
 	}
 	if r1.Stats.Queries != r2.Stats.Queries {
@@ -90,29 +90,6 @@ func TestNewExperimentUnknownTarget(t *testing.T) {
 func TestNewExperimentPerfectNeedsTruth(t *testing.T) {
 	if _, err := NewExperiment(TargetTCP, WithPerfectEquivalence()); err == nil {
 		t.Fatal("perfect equivalence accepted for a target without ground truth")
-	}
-}
-
-// TestDeprecatedLearnShim keeps the PR-1 entry points working for one
-// release: the struct-options shim must produce the same result as the
-// functional API.
-func TestDeprecatedLearnShim(t *testing.T) {
-	old, err := Learn(TargetQuiche, Options{Seed: 13, Perfect: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res := learnT(t, TargetQuiche, WithSeed(13), WithPerfectEquivalence())
-	if eq, ce := old.Model.Equivalent(res.Model); !eq {
-		t.Fatalf("shim model differs from functional-API model on %v", ce)
-	}
-	if old.Stats.Queries != res.Stats.Queries {
-		t.Fatalf("shim live queries %d != %d", old.Stats.Queries, res.Stats.Queries)
-	}
-	if _, _, _, err := NewSUL(TargetTCP, 13); err != nil {
-		t.Fatal(err)
-	}
-	if suls, err := NewSULPool(TargetGoogle, 3, 13); err != nil || len(suls) != 3 {
-		t.Fatalf("NewSULPool: %d suls, err=%v", len(suls), err)
 	}
 }
 
@@ -147,7 +124,7 @@ func TestIssue4SynthesisEndToEnd(t *testing.T) {
 			}
 			traces = append(traces, tr)
 		}
-		em, err := synth.Synthesize(SDBProblem(res.Model, traces))
+		em, err := synth.Synthesize(SDBProblem(res.Machine, traces))
 		if err != nil {
 			t.Fatalf("%s: %v", tc.target, err)
 		}
@@ -199,7 +176,7 @@ func TestTCPSynthEndToEnd(t *testing.T) {
 		collect([]string{"ACK(?,?,0)", "SYN(?,?,0)"}),
 	}
 	p := &synth.Problem{
-		Machine:        res.Model,
+		Machine:        res.Machine,
 		NumRegisters:   1,
 		NumInputParams: 2,
 		OutputParams:   map[string]int{"SYN+ACK(?,?,0)": 1},

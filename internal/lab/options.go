@@ -23,6 +23,8 @@ type config struct {
 	rtt          time.Duration
 	transport    TransportKind
 	perfect      bool
+	conformance  int
+	warmup       int
 	disableCache bool
 	guard        core.GuardConfig
 	guardSet     bool
@@ -103,6 +105,32 @@ func WithLinkMiddleware(mw LinkMiddleware) Option {
 // random-words oracle is used, as in the paper.
 func WithPerfectEquivalence() Option {
 	return func(c *config) { c.perfect = true }
+}
+
+// WithConformance strengthens the default equivalence search with a
+// Wp-method conformance pass of the given depth over the live (guarded)
+// target: any residual fault adding at most depth extra states is found.
+// Unlike WithPerfectEquivalence it needs no ground truth, so it works for
+// closed-box targets and under impairment — `prognosis diff` relies on it
+// to recover full models of both sides. Ignored when WithEquivalence or
+// WithPerfectEquivalence installs an explicit oracle.
+func WithConformance(depth int) Option {
+	return func(c *config) { c.conformance = depth }
+}
+
+// WithWarmup drives every replica with this many seeded random input words
+// (through its full transport chain, impairment links included) while the
+// experiment is being built, before any learning query. Targets whose
+// behaviour depends on state that leaks across connections — the
+// lossy-retransmit profile's server-global loss statistics, for example —
+// settle into their steady state during warmup, so the learner observes
+// one consistent behaviour instead of the flip mid-run (which the §5 guard
+// would otherwise report as nondeterminism, honestly but unhelpfully, when
+// the goal is to learn the degraded mode itself). Warmup is deterministic
+// in the experiment seed, and every replica sees the same word sequence,
+// keeping pooled replicas behaviourally aligned.
+func WithWarmup(words int) Option {
+	return func(c *config) { c.warmup = words }
 }
 
 // WithEquivalence installs a custom equivalence oracle (overrides both the

@@ -16,7 +16,7 @@ func TestPooledLearnMatchesSequential(t *testing.T) {
 			}
 			seq := learnT(t, target, opts...)
 			pooled := learnT(t, target, append(opts, WithWorkers(4))...)
-			if eq, ce := seq.Model.Equivalent(pooled.Model); !eq {
+			if eq, ce := seq.Machine.Equivalent(pooled.Machine); !eq {
 				t.Fatalf("pooled model differs from sequential on %v", ce)
 			}
 			// With a deterministic equivalence oracle the pooled run asks
@@ -85,7 +85,7 @@ func TestUDPLearnMatchesInMemory(t *testing.T) {
 	opts := []Option{WithSeed(13), WithWorkers(4), WithPerfectEquivalence()}
 	mem := learnT(t, TargetGoogle, opts...)
 	udp := learnT(t, TargetGoogle, append(opts, WithTransport(TransportUDP))...)
-	if eq, ce := mem.Model.Equivalent(udp.Model); !eq {
+	if eq, ce := mem.Machine.Equivalent(udp.Machine); !eq {
 		t.Fatalf("UDP model differs from in-memory on %v", ce)
 	}
 	if mem.Stats.Queries != udp.Stats.Queries {

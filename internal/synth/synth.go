@@ -152,6 +152,29 @@ func (e *ExtendedMealy) OutputsFor(s automata.State, input string) []Term {
 	return e.Outputs[transKey{s, input}]
 }
 
+// DOT renders the extended machine through the shared automata exporter,
+// in the style of the paper's Appendix B.1: every edge carries the abstract
+// input/output pair plus its register-update and output-parameter
+// annotations as one extra label line, e.g. "r0=p0 | o0=r0".
+func (e *ExtendedMealy) DOT(name string) string {
+	return e.Machine.DOTStyled(name, automata.DOTStyle{
+		EdgeAnnotation: func(s automata.State, in, _ string) []string {
+			k := transKey{s, in}
+			var ann []string
+			for i, u := range e.Updates[k] {
+				ann = append(ann, fmt.Sprintf("r%d=%s", i, u))
+			}
+			for i, o := range e.Outputs[k] {
+				ann = append(ann, fmt.Sprintf("o%d=%s", i, o))
+			}
+			if len(ann) == 0 {
+				return nil
+			}
+			return []string{strings.Join(ann, " | ")}
+		},
+	})
+}
+
 // Run executes a trace's inputs through the extended machine and returns
 // the predicted output parameter vectors, one per step.
 func (e *ExtendedMealy) Run(tr Trace) ([][]int64, bool) {
