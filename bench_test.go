@@ -574,6 +574,54 @@ func BenchmarkConformance(b *testing.B) {
 	})
 }
 
+// BenchmarkWarmRelearn — incremental learning: a cold learn of the Google
+// profile (random-words + Wp-method conformance equivalence, no ground
+// truth — the `prognosis regress` configuration) versus relearning the
+// unchanged target warm from the persistent store. The warm run rebuilds
+// the whole hypothesis from the persisted query log and pays live queries
+// only for the equivalence pass, so it must issue at least 5× fewer live
+// queries — asserted here, and exercised end-to-end by the CI
+// model-regression job.
+func BenchmarkWarmRelearn(b *testing.B) {
+	run := func(b *testing.B, dir string) *lab.Result {
+		b.Helper()
+		res, err := lab.Run(context.Background(), lab.TargetGoogle,
+			lab.WithSeed(13), lab.WithConformance(2), lab.WithStore(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Machine.NumStates() != 12 {
+			b.Fatalf("states = %d, want 12", res.Machine.NumStates())
+		}
+		return res
+	}
+	var coldQ, warmQ int64
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coldQ = run(b, b.TempDir()).Stats.Queries // fresh store: fully cold
+		}
+		b.ReportMetric(float64(coldQ), "live-queries")
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		cold := run(b, dir) // populate and seal the store
+		b.ResetTimer()
+		var res *lab.Result
+		for i := 0; i < b.N; i++ {
+			res = run(b, dir)
+		}
+		warmQ = res.Stats.Queries
+		b.ReportMetric(float64(warmQ), "live-queries")
+		if eq, ce := cold.Machine.Equivalent(res.Machine); !eq {
+			b.Fatalf("warm relearn diverged on %v", ce)
+		}
+	})
+	if coldQ > 0 && warmQ*5 > coldQ {
+		b.Fatalf("warm relearn must issue >=5x fewer live queries than cold: cold %d, warm %d (%.1fx)",
+			coldQ, warmQ, float64(coldQ)/float64(warmQ))
+	}
+}
+
 // BenchmarkHybridPreload — §8 future work implemented: active learning
 // with a log-preloaded cache vs a cold cache (live queries reported).
 func BenchmarkHybridPreload(b *testing.B) {

@@ -12,6 +12,8 @@
 //	prognosis diff   [options] <targetA> <targetB>
 //	prognosis check  -target <name> | -model <file> [options]
 //	prognosis export -target <name> | -model <file> [-dot F] [-json F] [-min]
+//	prognosis regress [-manifest F] [-store dir] [-targets a,b]
+//	                 [-witness-dir dir] [-workers N]
 //
 // `learn` learns one target and reports model statistics. `diff` learns
 // two targets concurrently (by default through a mildly impaired link, so
@@ -19,7 +21,12 @@
 // per-state divergence summaries, and replays the first witness against
 // both live targets. `check` verifies the builtin model-level property
 // set (and optional LTLf formulas), exiting nonzero on violation.
-// `export` writes models in the unified DOT/JSON codecs.
+// `export` writes models in the unified DOT/JSON codecs. `regress` is the
+// CI model-regression gate: it relearns every target in a manifest —
+// warm-started from the persistent query store named by -store, so
+// unchanged targets cost a fraction of a cold learn — and diffs each
+// against its checked-in golden model, exiting nonzero with the shortest
+// distinguishing witness on any behavioural drift (docs/REGRESSION.md).
 //
 // Targets: every name in the lab registry (tcp, google, google-fixed,
 // quiche, mvfst, lossy-retransmit). Ctrl-C cancels a run cleanly

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the golden-model side of the regression workflow
+// (`prognosis regress`, docs/REGRESSION.md): a freshly learned model is
+// compared against a checked-in golden, and any behavioural drift is
+// reported with the shortest concrete witness — the trace a developer
+// replays to see the two implementations answer differently.
+
+// GoldenDrift reports that a learned model diverged from its golden: the
+// full diff and the shortest distinguishing witness, pre-extracted because
+// the regression gate's one job is to print it.
+type GoldenDrift struct {
+	Report  *DiffReport
+	Witness *DiffWitness // shortest distinguishing trace (nil only if maxWitnesses was 0)
+}
+
+// String renders the drift for a gate log: the headline and the shortest
+// witness.
+func (d *GoldenDrift) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s drifted from golden %s: %d diverging joint states\n",
+		d.Report.NameA, d.Report.NameB, len(d.Report.Divergent))
+	if w := d.Witness; w != nil {
+		fmt.Fprintf(&b, "shortest witness (diverges at step %d):\n", w.FirstDivergence+1)
+		for i, in := range w.Word {
+			marker := " "
+			if i == w.FirstDivergence {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, " %s step %d: %s\n     learned: %s\n     golden:  %s\n",
+				marker, i+1, in, w.OutputsA[i], w.OutputsB[i])
+		}
+	}
+	return b.String()
+}
+
+// CompareGolden diffs a learned model against its golden and returns nil
+// when they are behaviourally equivalent, or the drift (with up to
+// maxWitnesses shortest distinguishing traces) when they are not. Models
+// over different input alphabets cannot have drifted — they are different
+// experiments — so that is an error, not a drift.
+func CompareGolden(learned, golden *Model, maxWitnesses int) (*GoldenDrift, error) {
+	if learned == nil || golden == nil {
+		return nil, fmt.Errorf("analysis: CompareGolden needs two models")
+	}
+	if !sameInputs(learned.Inputs(), golden.Inputs()) {
+		return nil, fmt.Errorf("analysis: %s and golden %s speak different alphabets (%v vs %v)",
+			learned.Name, golden.Name, learned.Inputs(), golden.Inputs())
+	}
+	r := Diff(learned, golden, maxWitnesses)
+	if r.Equivalent {
+		return nil, nil
+	}
+	d := &GoldenDrift{Report: r}
+	if len(r.Witnesses) > 0 {
+		d.Witness = &r.Witnesses[0]
+	}
+	return d, nil
+}
+
+// sameInputs compares alphabets as sets (symbol order is local to each
+// machine).
+func sameInputs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

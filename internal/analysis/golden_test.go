@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/quicsim"
+)
+
+func TestCompareGoldenEquivalent(t *testing.T) {
+	g := NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	clone := NewModel("golden", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	drift, err := CompareGolden(g, clone, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift != nil {
+		t.Fatalf("equivalent models reported as drift: %v", drift)
+	}
+}
+
+func TestCompareGoldenDrift(t *testing.T) {
+	g := NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	q := NewModel("quiche", quicsim.GroundTruth(quicsim.ProfileQuiche))
+	drift, err := CompareGolden(g, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift == nil {
+		t.Fatal("google vs quiche must drift")
+	}
+	if drift.Witness == nil || len(drift.Witness.Word) == 0 {
+		t.Fatal("drift carries no witness")
+	}
+	// The pre-extracted witness is the report's shortest.
+	for _, w := range drift.Report.Witnesses {
+		if len(w.Word) < len(drift.Witness.Word) {
+			t.Fatalf("witness %v shorter than the extracted one %v", w.Word, drift.Witness.Word)
+		}
+	}
+	text := drift.String()
+	for _, want := range []string{"drifted from golden", "shortest witness", "learned:", "golden:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareGoldenAlphabetMismatch(t *testing.T) {
+	g := NewModel("google", quicsim.GroundTruth(quicsim.ProfileGoogle))
+	foreign := automata.NewMealy([]string{"X"})
+	foreign.SetTransition(foreign.Initial(), "X", foreign.Initial(), "Y")
+	if _, err := CompareGolden(g, NewModel("foreign", foreign), 1); err == nil {
+		t.Fatal("alphabet mismatch not rejected")
+	}
+}
+
+// TestGoldenModelsAllTargets pins what the extended golden set is: every
+// deterministic registry target has a golden, and the QUIC goldens match
+// their simulator ground truths (tcp has no ground-truth model; its shape
+// is pinned instead).
+func TestGoldenModelsAllTargets(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		profile quicsim.Profile
+	}{
+		{"google", quicsim.ProfileGoogle},
+		{"google-fixed", quicsim.ProfileGoogleFixed},
+		{"quiche", quicsim.ProfileQuiche},
+	} {
+		m, err := LoadModel(filepath.Join("testdata", tc.file+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		truth := NewModel("truth", quicsim.GroundTruth(tc.profile))
+		if eq, ce := m.Equivalent(truth); !eq {
+			t.Fatalf("golden %s differs from ground truth on %v", tc.file, ce)
+		}
+	}
+	tcp, err := LoadModel(filepath.Join("testdata", "tcp.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.States() != 6 || tcp.Transitions() != 42 {
+		t.Fatalf("golden tcp has %d states / %d transitions, want 6/42 (§6.1)",
+			tcp.States(), tcp.Transitions())
+	}
+	// lossy-retransmit's golden is pinned by TestGoldenModelsShape: it must
+	// differ from clean google by exactly the doubled-flight behaviour.
+}

@@ -59,6 +59,69 @@ func Parse(r io.Reader) (*File, error) {
 	return f, nil
 }
 
+// Regression is one benchmark metric that got worse beyond the allowed
+// ratio between two parsed runs.
+type Regression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Increase is the relative growth (New/Old - 1); 0.42 means +42%.
+	Increase float64 `json:"increase"`
+}
+
+// Compare matches benchmarks of two parsed runs by name and reports every
+// selected metric that increased by more than maxIncrease (0.30 = +30% —
+// all tracked metrics are costs, so bigger is always worse). Only
+// benchmarks whose name starts with one of the prefixes are compared (an
+// empty prefix list compares all), and only the named metrics (an empty
+// list compares ns/op). Benchmarks or metrics present on only one side
+// are skipped: a renamed or new benchmark has no baseline to regress
+// against.
+func Compare(base, cur *File, prefixes, metrics []string, maxIncrease float64) []Regression {
+	if len(metrics) == 0 {
+		metrics = []string{"ns/op"}
+	}
+	selected := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regs []Regression
+	for _, b := range cur.Benchmarks {
+		if !selected(b.Name) {
+			continue
+		}
+		prev, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		for _, metric := range metrics {
+			ov, ook := prev.Metrics[metric]
+			nv, nok := b.Metrics[metric]
+			if !ook || !nok || ov <= 0 {
+				continue
+			}
+			if inc := nv/ov - 1; inc > maxIncrease {
+				regs = append(regs, Regression{
+					Name: b.Name, Metric: metric, Old: ov, New: nv, Increase: inc,
+				})
+			}
+		}
+	}
+	return regs
+}
+
 // parseLine parses one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." line.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)

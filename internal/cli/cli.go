@@ -1,6 +1,7 @@
 // Package cli implements the prognosis subcommands — learn, diff, check,
-// export — over the unified analysis plane. cmd/prognosis dispatches to
-// them; cmd/modeldiff is a thin alias for `prognosis diff`. Every
+// export, regress — over the unified analysis plane. cmd/prognosis
+// dispatches to them; cmd/modeldiff is a thin alias for `prognosis diff`.
+// Every
 // subcommand owns its flag set, installs Ctrl-C cancellation, and speaks
 // the same learning options, so `learn`'s flags work unchanged on `diff`,
 // `check`, and `export`.
@@ -40,6 +41,8 @@ func Main(args []string, stderr io.Writer) int {
 		err = Check(args[1:])
 	case "export":
 		err = Export(args[1:])
+	case "regress":
+		err = Regress(args[1:])
 	case "help", "-h", "-help", "--help":
 		Usage(stderr)
 		return 0
@@ -72,6 +75,7 @@ Usage:
   prognosis diff   [options] <targetA> <targetB>  learn both, diff, replay the witness live
   prognosis check  -target <name> | -model <file> check model-level properties
   prognosis export -target <name> | -model <file> write the model in the unified codecs
+  prognosis regress [-manifest F] [-store dir]    relearn manifest targets (warm), gate on goldens
 
 Run any subcommand with -h for its options. Invoking prognosis with
 learn-style flags and no subcommand (e.g. 'prognosis -target tcp')

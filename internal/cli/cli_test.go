@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/lab"
 )
 
 // capture runs fn with os.Stdout redirected and returns what it printed.
@@ -158,6 +160,177 @@ func TestDiffEndToEnd(t *testing.T) {
 func TestDiffNeedsTwoTargets(t *testing.T) {
 	if _, err := capture(t, func() error { return Diff([]string{"google"}) }); err == nil {
 		t.Fatal("one target accepted")
+	}
+}
+
+// writeManifest writes a regress manifest with the given entries into dir.
+func writeManifest(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "regress.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegressUnchangedTargetPasses(t *testing.T) {
+	dir := t.TempDir()
+	golden, err := analysis.LoadModel("../analysis/testdata/tcp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Save(filepath.Join(dir, "tcp.json")); err != nil {
+		t.Fatal(err)
+	}
+	manifest := writeManifest(t, dir,
+		`{"version":1,"targets":[{"name":"tcp","golden":"tcp.json","seed":13,"conformance":2}]}`)
+	out, err := capture(t, func() error { return Regress([]string{"-manifest", manifest}) })
+	if err != nil {
+		t.Fatalf("unchanged target drifted: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "regress tcp: OK") || !strings.Contains(out, "0 drifted") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestRegressMutatedTargetFailsWithWitness is the gate's purpose: a target
+// whose behaviour no longer matches its golden must fail the run with a
+// non-empty shortest witness, written to -witness-dir for CI to upload.
+func TestRegressMutatedTargetFailsWithWitness(t *testing.T) {
+	dir := t.TempDir()
+	golden, err := analysis.LoadModel("../analysis/testdata/tcp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "old version" golden: same shape, one transition output mutated —
+	// as if the implementation changed behaviour since the golden was cut.
+	mutated := golden.Mealy().Clone()
+	s := mutated.Initial()
+	to, _, ok := mutated.Step(s, mutated.Inputs()[0])
+	if !ok {
+		t.Fatal("golden has no transition on first input")
+	}
+	mutated.SetTransition(s, mutated.Inputs()[0], to, "MUTATED-OUTPUT")
+	if err := analysis.NewModel("tcp", mutated).Save(filepath.Join(dir, "tcp.json")); err != nil {
+		t.Fatal(err)
+	}
+	manifest := writeManifest(t, dir,
+		`{"version":1,"targets":[{"name":"tcp","golden":"tcp.json","seed":13,"conformance":2}]}`)
+	witnessDir := filepath.Join(dir, "witnesses")
+	out, err := capture(t, func() error {
+		return Regress([]string{"-manifest", manifest, "-witness-dir", witnessDir})
+	})
+	if err == nil || !strings.Contains(err.Error(), "drifted from golden: tcp") {
+		t.Fatalf("mutated target passed the gate (err=%v):\n%s", err, out)
+	}
+	if !strings.Contains(out, "DRIFT") || !strings.Contains(out, "shortest witness") {
+		t.Fatalf("output:\n%s", out)
+	}
+	witness, err := os.ReadFile(filepath.Join(witnessDir, "tcp.witness.txt"))
+	if err != nil || len(witness) == 0 {
+		t.Fatalf("no witness artifact: %v", err)
+	}
+	if !strings.Contains(string(witness), "MUTATED-OUTPUT") {
+		t.Fatalf("witness does not show the divergence:\n%s", witness)
+	}
+	if _, err := analysis.LoadModel(filepath.Join(witnessDir, "tcp.learned.json")); err != nil {
+		t.Fatalf("learned-model artifact unreadable: %v", err)
+	}
+}
+
+func TestRegressExpectNondet(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir,
+		`{"version":1,"targets":[{"name":"mvfst","expect":"nondet","seed":13}]}`)
+	out, err := capture(t, func() error { return Regress([]string{"-manifest", manifest}) })
+	if err != nil {
+		t.Fatalf("mvfst nondeterminism not treated as the golden outcome: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "regress mvfst: OK") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestRegressWarmStoreCutsLiveQueries: a second regress run sharing the
+// -store directory must relearn warm and issue fewer live queries.
+func TestRegressWarmStoreCutsLiveQueries(t *testing.T) {
+	dir := t.TempDir()
+	golden, err := analysis.LoadModel("../analysis/testdata/tcp.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Save(filepath.Join(dir, "tcp.json")); err != nil {
+		t.Fatal(err)
+	}
+	manifest := writeManifest(t, dir,
+		`{"version":1,"targets":[{"name":"tcp","golden":"tcp.json","seed":13,"conformance":2}]}`)
+	store := filepath.Join(dir, "store")
+	queries := func(out string) int {
+		var n, targets, drifted int
+		if _, err := fmt.Sscanf(out[strings.LastIndex(out, "regress total:"):],
+			"regress total: %d live queries across %d targets, %d drifted", &n, &targets, &drifted); err != nil {
+			t.Fatalf("unparseable total (%v):\n%s", err, out)
+		}
+		return n
+	}
+	coldOut, err := capture(t, func() error { return Regress([]string{"-manifest", manifest, "-store", store}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut, err := capture(t, func() error { return Regress([]string{"-manifest", manifest, "-store", store}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm := queries(coldOut), queries(warmOut)
+	if warm >= cold {
+		t.Fatalf("warm regress (%d live queries) not cheaper than cold (%d)", warm, cold)
+	}
+}
+
+func TestRegressManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"no-targets":        `{"version":1,"targets":[]}`,
+		"bad-version":       `{"version":9,"targets":[{"name":"tcp","golden":"x.json"}]}`,
+		"nameless":          `{"version":1,"targets":[{"golden":"x.json"}]}`,
+		"goldenless":        `{"version":1,"targets":[{"name":"tcp"}]}`,
+		"nondet-and-golden": `{"version":1,"targets":[{"name":"mvfst","expect":"nondet","golden":"x.json"}]}`,
+		"bad-expect":        `{"version":1,"targets":[{"name":"tcp","expect":"maybe"}]}`,
+	} {
+		manifest := writeManifest(t, t.TempDir(), body)
+		if _, err := capture(t, func() error { return Regress([]string{"-manifest", manifest}) }); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// -targets must reject names outside the manifest.
+	manifest := writeManifest(t, dir,
+		`{"version":1,"targets":[{"name":"tcp","golden":"tcp.json"}]}`)
+	if _, err := capture(t, func() error {
+		return Regress([]string{"-manifest", manifest, "-targets", "nope"})
+	}); err == nil || !strings.Contains(err.Error(), "not in manifest") {
+		t.Errorf("unknown -targets selection accepted: %v", err)
+	}
+}
+
+// TestRegressManifestCoversAllRegistryTargets keeps the checked-in
+// manifest honest: every registered target must appear in it (a new target
+// without a regression entry would silently escape the CI gate).
+func TestRegressManifestCoversAllRegistryTargets(t *testing.T) {
+	m, err := loadManifest("../analysis/testdata/regress.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inManifest := map[string]bool{}
+	for _, rt := range m.Targets {
+		inManifest[rt.Name] = true
+	}
+	for _, target := range lab.Targets() {
+		if !inManifest[target] {
+			t.Errorf("registry target %q missing from the regression manifest", target)
+		}
+	}
+	if len(m.Targets) != len(lab.Targets()) {
+		t.Errorf("manifest names %d targets, registry has %d", len(m.Targets), len(lab.Targets()))
 	}
 }
 

@@ -1,0 +1,242 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/lab"
+)
+
+// Regress implements `prognosis regress`: relearn a manifest of targets —
+// warm-started from a persistent query store when -store is given — and
+// gate each against its checked-in golden model. Any behavioural drift
+// fails the gate (exit code 1) with the shortest distinguishing witness,
+// which is also written (alongside the freshly learned model) under
+// -witness-dir for CI to upload. A target whose golden outcome is the §5
+// nondeterminism halt (expect "nondet") drifts by *learning a model*
+// instead.
+func Regress(args []string) error {
+	fs := flag.NewFlagSet("prognosis regress", flag.ContinueOnError)
+	manifest := fs.String("manifest", "internal/analysis/testdata/regress.json",
+		"regression manifest: targets, goldens, and per-target learning configuration")
+	storeDir := fs.String("store", "",
+		"persistent query-store directory: warm-start every relearn from it and keep it fresh (empty = cold)")
+	targetsCSV := fs.String("targets", "", "comma-separated subset of manifest targets to check (default: all)")
+	witnessDir := fs.String("witness-dir", "", "write per-target drift witnesses and learned models here")
+	workers := fs.Int("workers", 1, "membership-query concurrency per relearn")
+	witnesses := fs.Int("witnesses", 3, "distinguishing traces to collect per drifted target")
+	verbose := fs.Bool("v", false, "stream live learning progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("regress takes no positional arguments (got %v)", fs.Args())
+	}
+
+	m, err := loadManifest(*manifest)
+	if err != nil {
+		return err
+	}
+	selected, err := m.filter(*targetsCSV)
+	if err != nil {
+		return err
+	}
+	if *witnessDir != "" {
+		if err := os.MkdirAll(*witnessDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+	var drifted []string
+	var totalLive int64
+	for _, rt := range selected {
+		live, drift, learned, err := regressOne(ctx, rt, m.dir, *storeDir, *workers, *witnesses, *verbose)
+		totalLive += live
+		if err != nil {
+			return fmt.Errorf("target %s: %w", rt.Name, err)
+		}
+		if drift == "" {
+			fmt.Printf("regress %s: OK — %d live queries\n", rt.Name, live)
+			continue
+		}
+		drifted = append(drifted, rt.Name)
+		fmt.Printf("regress %s: DRIFT — %d live queries\n%s", rt.Name, live, indent(drift))
+		if *witnessDir != "" {
+			path := filepath.Join(*witnessDir, rt.Name+".witness.txt")
+			if err := os.WriteFile(path, []byte(drift), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  witness written to %s\n", path)
+			if learned != nil {
+				// The drifted model itself, for offline diffing against the
+				// golden without relearning.
+				if err := learned.Save(filepath.Join(*witnessDir, rt.Name+".learned.json")); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("regress total: %d live queries across %d targets, %d drifted\n",
+		totalLive, len(selected), len(drifted))
+	if len(drifted) > 0 {
+		return fmt.Errorf("%d target(s) drifted from golden: %s", len(drifted), strings.Join(drifted, ", "))
+	}
+	return nil
+}
+
+// regressOne relearns one manifest target and compares it to its golden.
+// It returns the run's live query count, a non-empty drift rendering when
+// the gate must fail, and the learned model (nil when the run halted on
+// nondeterminism).
+func regressOne(ctx context.Context, rt regressTarget, manifestDir, storeDir string,
+	workers, witnesses int, verbose bool) (int64, string, *analysis.Model, error) {
+	lf := learnFlags{
+		learner: "ttt", seed: rt.Seed, conformance: rt.Conformance,
+		loss: rt.Loss, dup: rt.Duplicate, reorder: rt.Reorder,
+		warmup: rt.Warmup, workers: workers, verbose: verbose,
+	}
+	opts, cleanup, err := lf.options()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer cleanup()
+	if storeDir != "" {
+		opts = append(opts, lab.WithStore(storeDir))
+	}
+	exp, err := lab.NewExperiment(rt.Name, opts...)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer exp.Close()
+	res, err := exp.Learn(ctx)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	live := res.Stats.Queries
+
+	if rt.Expect == expectNondet {
+		if res.Nondet != nil {
+			return live, "", nil, nil // the golden outcome: §5 still detects it
+		}
+		return live, fmt.Sprintf(
+			"expected the §5 nondeterminism halt, but a deterministic %d-state model was learned\n",
+			res.Machine.NumStates()), res.Model(), nil
+	}
+	if res.Nondet != nil {
+		return live, fmt.Sprintf("target became nondeterministic: %v\n", res.Nondet), nil, nil
+	}
+	golden, err := analysis.LoadModel(filepath.Join(manifestDir, rt.Golden))
+	if err != nil {
+		return live, "", nil, err
+	}
+	learned := res.Model()
+	drift, err := analysis.CompareGolden(learned, golden, witnesses)
+	if err != nil {
+		return live, "", nil, err
+	}
+	if drift == nil {
+		return live, "", learned, nil
+	}
+	return live, drift.String(), learned, nil
+}
+
+// expectNondet is the manifest outcome for targets whose golden behaviour
+// is the §5 nondeterminism halt rather than a model.
+const expectNondet = "nondet"
+
+// regressTarget is one manifest entry: the registry target, its golden
+// (path relative to the manifest; empty when Expect is "nondet"), and the
+// learning configuration that reproduces the golden.
+type regressTarget struct {
+	Name        string  `json:"name"`
+	Golden      string  `json:"golden,omitempty"`
+	Expect      string  `json:"expect,omitempty"` // "" (model) or "nondet"
+	Seed        int64   `json:"seed,omitempty"`
+	Conformance int     `json:"conformance,omitempty"`
+	Loss        float64 `json:"loss,omitempty"`
+	Duplicate   float64 `json:"dup,omitempty"`
+	Reorder     float64 `json:"reorder,omitempty"`
+	Warmup      int     `json:"warmup,omitempty"`
+}
+
+type regressManifest struct {
+	Version int             `json:"version"`
+	Targets []regressTarget `json:"targets"`
+	dir     string          // directory the manifest was loaded from
+}
+
+// loadManifest reads and validates a regression manifest.
+func loadManifest(path string) (*regressManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m regressManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported manifest version %d", path, m.Version)
+	}
+	if len(m.Targets) == 0 {
+		return nil, fmt.Errorf("%s: manifest names no targets", path)
+	}
+	for _, rt := range m.Targets {
+		switch {
+		case rt.Name == "":
+			return nil, fmt.Errorf("%s: manifest entry without a target name", path)
+		case rt.Expect == expectNondet && rt.Golden != "":
+			return nil, fmt.Errorf("%s: %s expects nondeterminism and names a golden", path, rt.Name)
+		case rt.Expect != expectNondet && rt.Expect != "":
+			return nil, fmt.Errorf("%s: %s has unknown expectation %q", path, rt.Name, rt.Expect)
+		case rt.Expect == "" && rt.Golden == "":
+			return nil, fmt.Errorf("%s: %s names no golden model", path, rt.Name)
+		}
+	}
+	m.dir = filepath.Dir(path)
+	return &m, nil
+}
+
+// filter restricts the manifest to the requested comma-separated targets
+// (all of them for an empty filter).
+func (m *regressManifest) filter(csv string) ([]regressTarget, error) {
+	if csv == "" {
+		return m.Targets, nil
+	}
+	byName := make(map[string]regressTarget, len(m.Targets))
+	for _, rt := range m.Targets {
+		byName[rt.Name] = rt
+	}
+	var out []regressTarget
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		rt, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("target %q not in manifest (have: %s)", name, m.names())
+		}
+		out = append(out, rt)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets selected nothing")
+	}
+	return out, nil
+}
+
+func (m *regressManifest) names() string {
+	names := make([]string, len(m.Targets))
+	for i, rt := range m.Targets {
+		names[i] = rt.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -573,6 +573,22 @@ type Experiment struct {
 	Seed        int64
 	// DisableCache turns off the prefix-tree query cache (for ablation).
 	DisableCache bool
+	// Warm, when set, seeds the learner from this previously learned
+	// hypothesis (L* rebuilds its observation table from the old access
+	// words and characterizing set; the discrimination-tree learner starts
+	// from a tree rebuilt from the old model), so relearning re-derives
+	// the structure through the — typically store-warmed — cache instead
+	// of rediscovering it query by query. The warm structures carry only
+	// questions, never answers: a hypothesis that no longer matches the
+	// system merely biases which queries are asked first.
+	Warm *automata.Mealy
+	// Store, when set, persists the run's membership answers: the cache is
+	// pre-seeded from the store's query log before the first query, every
+	// accepted live answer is appended during the run, and a successful
+	// learn seals and snapshots the final model for the next run's warm
+	// start (learn.Store, learn.CachedOracle.UseStore). Ignored when
+	// DisableCache is set — the store is the cache's persistent half.
+	Store *learn.Store
 	// Observer, when set, receives the typed event stream of the run:
 	// RoundStarted / HypothesisReady / CounterexampleFound from the
 	// learner, CacheSnapshot once per hypothesis (only while the cache is
@@ -627,6 +643,9 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 	var cached *learn.CachedOracle
 	if !e.DisableCache {
 		cached = learn.NewCache(oracle, &e.Stats)
+		if e.Store != nil {
+			cached.UseStore(e.Store)
+		}
 		oracle = cached
 		if obs != nil {
 			// Every hypothesis is a natural synchronisation point: piggyback
@@ -672,10 +691,12 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 		case LearnerLStar:
 			l := learn.NewLStar(oracle, e.Alphabet)
 			l.Observer = obs
+			l.Warm = e.Warm
 			return l.Learn(ctx, eq)
 		case LearnerTTT, "":
 			d := learn.NewDTLearner(oracle, e.Alphabet)
 			d.Observer = obs
+			d.Warm = e.Warm
 			return d.Learn(ctx, eq)
 		default:
 			return nil, fmt.Errorf("core: unknown learner %q", e.Learner)
@@ -716,6 +737,21 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 			})
 		}
 		return nil, err
+	}
+	if e.Store != nil && cached != nil {
+		// Best-effort: the store is an accelerator, so neither a seal nor a
+		// snapshot failure may turn a successful learn into an error — the
+		// next run is merely colder. The seal logs every word a warm
+		// rebuild of this model will ask (answered from the cache, or from
+		// the model for the few combinations never asked live), which is
+		// what makes an unchanged target's relearn free of live membership
+		// queries.
+		_ = cached.SealWarm(ctx, model, e.Alphabet, e.Learner == LearnerLStar)
+		// Snapshot the canonical (minimized, BFS-numbered) form: equivalent
+		// machines share one canonical form, so the snapshot's bytes are
+		// stable across relearns of an unchanged target no matter which
+		// tree or table shape produced them.
+		_ = e.Store.SaveModel(model.Minimize())
 	}
 	return model, nil
 }

@@ -1,0 +1,124 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/core"
+	"repro/internal/jsonlog"
+	"repro/internal/learn"
+	"repro/internal/netem"
+)
+
+// checkpointFormat / checkpointVersion identify the campaign-checkpoint
+// file format (first line of every file). A checkpoint written by a future
+// version is ignored rather than half-understood.
+const (
+	checkpointFormat  = "prognosis-campaign-checkpoint"
+	checkpointVersion = 1
+)
+
+// checkpointRecord is one completed campaign run, with everything needed
+// to restore its RunResult without relearning. Machine is nil for runs
+// that halted on nondeterminism (Nondet carries the §5 verdict instead).
+type checkpointRecord struct {
+	Name     string                    `json:"name"`
+	Target   string                    `json:"target"`
+	Learner  core.LearnerKind          `json:"learner,omitempty"`
+	Machine  *automata.Mealy           `json:"machine,omitempty"`
+	Nondet   *core.NondeterminismError `json:"nondet,omitempty"`
+	Stats    learn.Stats               `json:"stats"`
+	Guard    core.GuardStats           `json:"guard"`
+	Faults   netem.Stats               `json:"faults"`
+	Duration time.Duration             `json:"duration"`
+}
+
+// result converts the record back into the Result the run produced.
+func (r *checkpointRecord) result() *Result {
+	return &Result{
+		Target:      r.Target,
+		Machine:     r.Machine,
+		Stats:       r.Stats,
+		Nondet:      r.Nondet,
+		Duration:    r.Duration,
+		LearnerKind: r.Learner,
+		Guard:       r.Guard,
+		Faults:      r.Faults,
+	}
+}
+
+// checkpointFile appends completed runs to a campaign checkpoint. Append
+// is safe for concurrent use (campaign runs finish on separate
+// goroutines); each record is one complete JSON line per Write, so a crash
+// loses at most the line in flight.
+type checkpointFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint loads the completed runs recorded in path (creating the
+// file if needed) and returns them keyed by run name alongside the
+// appender for this campaign's own completions. Like the query store
+// (both speak the jsonlog format), a corrupted, truncated, or
+// unterminated tail is discarded and overwritten by the next append; a
+// file with a foreign or future header is reset.
+func openCheckpoint(path string) (map[string]*Result, *checkpointFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lab: checkpoint: %w", err)
+	}
+	done := make(map[string]*Result)
+	ok, err := jsonlog.Recover(f, checkpointFormat, checkpointVersion, func(line []byte) bool {
+		var rec checkpointRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Name == "" {
+			return false
+		}
+		done[rec.Name] = rec.result()
+		return true
+	})
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("lab: recover checkpoint: %w", err)
+	}
+	if !ok {
+		if err := jsonlog.Reset(f, checkpointFormat, checkpointVersion); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return done, &checkpointFile{f: f}, nil
+}
+
+// append records one completed run. Failures are returned but the
+// campaign treats them as non-fatal: a checkpoint that cannot grow costs
+// resumability, not results.
+func (c *checkpointFile) append(name string, res *Result) error {
+	line, err := jsonlog.Marshal(checkpointRecord{
+		Name:     name,
+		Target:   res.Target,
+		Learner:  res.LearnerKind,
+		Machine:  res.Machine,
+		Nondet:   res.Nondet,
+		Stats:    res.Stats,
+		Guard:    res.Guard,
+		Faults:   res.Faults,
+		Duration: res.Duration,
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err = c.f.Write(line)
+	return err
+}
+
+func (c *checkpointFile) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

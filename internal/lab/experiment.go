@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,7 @@ type Experiment struct {
 	sys    *System
 	exp    *core.Experiment
 	links  []*netem.Link
+	store  *learn.Store
 }
 
 // NewExperiment resolves target in the registry, builds one SUL replica
@@ -131,7 +133,50 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 		}
 		exp.Equivalence = &learn.ModelOracle{Model: sys.Truth}
 	}
-	return &Experiment{target: target, cfg: cfg, sys: sys, exp: exp, links: links}, nil
+	e := &Experiment{target: target, cfg: cfg, sys: sys, exp: exp, links: links}
+	if cfg.storeDir != "" && !cfg.disableCache {
+		st, err := learn.OpenStore(cfg.storeDir, storeKey(target, cfg))
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		e.store = st
+		exp.Store = st
+		// A saved hypothesis warm-starts the learner. Load failures (or a
+		// snapshot over a different alphabet, rejected by the learner) just
+		// degrade to a cold start.
+		if warm, err := st.LoadModel(); err == nil {
+			exp.Warm = warm
+		}
+	}
+	return e, nil
+}
+
+// storeKey names the store file of one (target, configuration) pair. Only
+// parameters that can change the *answers* a target gives are part of the
+// key: the seed (drives the simulated implementations), the impairment
+// profile and warmup (targets with cross-connection state, such as
+// lossy-retransmit, answer differently once a link has bitten them).
+// Transport, workers, RTT, and learner choice are excluded — replicas are
+// behaviourally identical across all of them, so their answers are
+// interchangeable and sharing the log is the point.
+func storeKey(target string, cfg config) string {
+	key := fmt.Sprintf("%s_s%d", target, cfg.seed)
+	if cfg.impair.Enabled() {
+		key += "_" + cfg.impair.Label()
+		if cfg.warmup > 0 {
+			key += fmt.Sprintf("_w%d", cfg.warmup)
+		}
+	}
+	// Keep the key filename-safe across platforms.
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, key)
 }
 
 // warmup runs the WithWarmup word sequence through every replica: words
@@ -271,9 +316,19 @@ func (e *Experiment) Replay(ctx context.Context, word []string, votes int) ([]st
 }
 
 // Close releases the transport resources (UDP sockets, listeners) the
-// experiment's replicas hold. In-memory experiments hold none; calling
-// Close is still always safe.
-func (e *Experiment) Close() error { return e.sys.Close() }
+// experiment's replicas hold, and the persistent store when WithStore
+// opened one. In-memory experiments hold none; calling Close is still
+// always safe.
+func (e *Experiment) Close() error {
+	err := e.sys.Close()
+	if e.store != nil {
+		if serr := e.store.Close(); err == nil {
+			err = serr
+		}
+		e.store = nil
+	}
+	return err
+}
 
 // Run is the one-shot convenience: build the experiment, learn it, and
 // release its resources. Use NewExperiment directly to learn repeatedly

@@ -26,6 +26,7 @@ type config struct {
 	conformance  int
 	warmup       int
 	disableCache bool
+	storeDir     string
 	guard        core.GuardConfig
 	guardSet     bool
 	impair       netem.Config
@@ -143,6 +144,19 @@ func WithEquivalence(eq learn.EquivalenceOracle) Option {
 // ablation).
 func WithoutCache() Option {
 	return func(c *config) { c.disableCache = true }
+}
+
+// WithStore persists learning state under dir for incremental relearning:
+// the experiment opens (or creates) a learn.Store keyed by the target and
+// the answer-affecting parts of its configuration (seed, impairment,
+// warmup), pre-seeds the membership cache from the stored query log,
+// appends every new live answer during the run, and — after a successful
+// learn — snapshots the model so the next run with the same key warm-starts
+// from it. Relearning an unchanged target then costs only the equivalence
+// pass; see docs/REGRESSION.md for the exact semantics on changed targets.
+// Ignored when WithoutCache disables the cache the store feeds.
+func WithStore(dir string) Option {
+	return func(c *config) { c.storeDir = dir }
 }
 
 // WithObserver streams the run's typed events (RoundStarted,

@@ -65,6 +65,9 @@ func NewCache(o Oracle, st *Stats) *CachedOracle {
 type CachedOracle struct {
 	inner Oracle
 	cache *Cache
+	// store, when attached with UseStore, persists every accepted answer so
+	// the next run of the same experiment starts with this run's cache.
+	store *Store
 
 	mu       sync.Mutex
 	inflight map[string]*inflightQuery
@@ -127,6 +130,7 @@ func (c *CachedOracle) Query(ctx context.Context, word []string) ([]string, erro
 		out, err := query(ctx, c.inner, word)
 		if err == nil {
 			c.cache.store(word, out)
+			c.persist(word, out)
 		}
 		fl.out, fl.err = out, err
 		c.mu.Lock()
@@ -217,6 +221,7 @@ func (c *CachedOracle) QueryBatch(ctx context.Context, words [][]string) ([][]st
 		} else {
 			fl.out = innerOuts[i]
 			c.cache.store(m.word, innerOuts[i])
+			c.persist(m.word, innerOuts[i])
 			for j, at := range m.indices {
 				outs[at] = innerOuts[i]
 				if j > 0 {
@@ -270,7 +275,9 @@ func (c *CachedOracle) Size() int {
 // leaders publish into the emptied tree). It is the repair of last resort
 // when the target's observable behaviour has shifted mid-run — e.g. an
 // implementation whose state leaks across resets — and per-word refreshes
-// cannot catch every stale entry.
+// cannot catch every stale entry. An attached persistent store is reset
+// with the cache: entries that survived the drop would resurrect exactly
+// the answers the drop was repairing on the next warm run.
 func (c *CachedOracle) Clear() {
 	for i := range c.cache.shards {
 		sh := &c.cache.shards[i]
@@ -279,6 +286,9 @@ func (c *CachedOracle) Clear() {
 		sh.mu.Unlock()
 	}
 	atomic.StoreInt64(&c.cache.nodes, 0)
+	if c.store != nil {
+		_ = c.store.Reset()
+	}
 }
 
 // Refresh re-asks word of the inner oracle — bypassing any cached answer —
@@ -287,13 +297,17 @@ func (c *CachedOracle) Clear() {
 // unlikely, but a cache makes any such answer permanent; when the
 // experiment driver suspects one (a counterexample that stops making
 // progress), Refresh lets a fresh consensus repair the poisoned entries
-// instead of trusting them forever.
+// instead of trusting them forever. With a store attached the corrected
+// answer is appended to the log too — entries replay in order with
+// last-write-wins, so the repair shadows the poisoned entry on every
+// future warm start instead of dying with this process.
 func (c *CachedOracle) Refresh(ctx context.Context, word []string) ([]string, error) {
 	out, err := query(ctx, c.inner, word)
 	if err != nil {
 		return nil, err
 	}
 	c.cache.refresh(word, out)
+	c.persist(word, out)
 	return out, nil
 }
 

@@ -24,6 +24,12 @@ type DTLearner struct {
 	// CounterexampleFound events as the MAT loop progresses.
 	Observer Observer
 
+	// Warm, when set, starts the MAT loop from a discrimination tree
+	// rebuilt from this previously learned hypothesis instead of the
+	// single-leaf tree — see warm.go. Ignored when the hypothesis speaks a
+	// different alphabet.
+	Warm *automata.Mealy
+
 	// access maps each hypothesis state to the access sequence of its tree
 	// leaf. Counterexample analysis must use these canonical sequences (not
 	// arbitrary shortest paths in the hypothesis): transition targets and
@@ -53,6 +59,7 @@ func NewDTLearner(o Oracle, inputs []string) *DTLearner {
 // soon as the context is cancelled mid-round.
 func (d *DTLearner) Learn(ctx context.Context, eq EquivalenceOracle) (*automata.Mealy, error) {
 	d.root = &dtNode{access: []string{}} // single-leaf tree: one state
+	d.seedWarm(d.Warm)
 	for round := 1; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err

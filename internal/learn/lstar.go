@@ -20,6 +20,12 @@ type LStar struct {
 	// CounterexampleFound events as the MAT loop progresses.
 	Observer Observer
 
+	// Warm, when set, seeds the observation table from a previously
+	// learned hypothesis (access words as S, its characterizing set in E)
+	// instead of the one-row cold table — see warm.go. Ignored when the
+	// hypothesis speaks a different alphabet.
+	Warm *automata.Mealy
+
 	// prefixes S: prefix-closed set of access words; rows for S ∪ S·Σ.
 	prefixes [][]string
 	suffixes [][]string // distinguishing suffixes E, each non-empty
@@ -45,6 +51,7 @@ func (l *LStar) Learn(ctx context.Context, eq EquivalenceOracle) (*automata.Meal
 		l.suffixes = append(l.suffixes, []string{in})
 	}
 	l.rows = make(map[string][]string)
+	l.seedWarm(l.Warm)
 
 	for round := 1; ; round++ {
 		if err := ctx.Err(); err != nil {
