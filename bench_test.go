@@ -9,6 +9,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,7 +21,9 @@ import (
 	"repro/internal/learn"
 	"repro/internal/netem"
 	"repro/internal/quicsim"
+	"repro/internal/reference"
 	"repro/internal/synth"
+	"repro/internal/transport"
 )
 
 // BenchmarkLearnTCPHandshake — Fig. 3(b): learn the handshake fragment over
@@ -619,6 +623,145 @@ func BenchmarkWarmRelearn(b *testing.B) {
 	if coldQ > 0 && warmQ*5 > coldQ {
 		b.Fatalf("warm relearn must issue >=5x fewer live queries than cold: cold %d, warm %d (%.1fx)",
 			coldQ, warmQ, float64(coldQ)/float64(warmQ))
+	}
+}
+
+// BenchmarkUDPQueriesPerSec — the batched UDP hot path: fixed-count query
+// throughput over real loopback sockets, batched vs the per-packet legacy
+// path, across worker counts, on a clean link and at 5% loss. Every arm
+// drives the same 128 handshake queries (reported as the deterministic
+// `queries` metric the CI gate compares; `queries/s` is informational), so
+// ns/op is wall time for a fixed workload. The batched path must deliver
+// at least 1.5x the legacy baseline's throughput at 8 workers. The two
+// window=* arms then run a full learn over the impaired link: the adaptive
+// in-flight window (AIMD between 2 and 8) must beat an in-flight limit
+// fixed at its conservative floor on total wall time.
+func BenchmarkUDPQueriesPerSec(b *testing.B) {
+	word := []string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC, quicsim.SymShortStream}
+	const totalQueries = 128
+
+	run := func(b *testing.B, workers int, mode transport.PathMode, loss float64) float64 {
+		b.Helper()
+		setups := make([]*lab.QUICSetup, workers)
+		var closers []func() error
+		for i := range setups {
+			srv := quicsim.NewServer(quicsim.Config{Profile: quicsim.ProfileQuiche, Seed: 7})
+			hosted, err := transport.ListenQUICMode(transport.Loopback(), srv, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sock := transport.NewQUICClientTransportMode(hosted.Addr(), mode)
+			closers = append(closers, sock.Close, hosted.Close)
+			var tr reference.Transport = sock
+			if loss > 0 {
+				tr = netem.New(tr, netem.Config{LossClient: loss, LossServer: loss, Seed: int64(100 + i)})
+			}
+			cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, tr)
+			setups[i] = &lab.QUICSetup{Server: srv, Client: cli}
+		}
+		defer func() {
+			for _, c := range closers {
+				c()
+			}
+		}()
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			var issued int64
+			var wg sync.WaitGroup
+			for w := range setups {
+				wg.Add(1)
+				go func(s *lab.QUICSetup) {
+					defer wg.Done()
+					for atomic.AddInt64(&issued, 1) <= totalQueries {
+						if err := s.Reset(); err != nil {
+							b.Error(err)
+							return
+						}
+						for _, sym := range word {
+							if _, err := s.Step(sym); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}(setups[w])
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		qps := float64(totalQueries*b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(float64(totalQueries), "queries")
+		b.ReportMetric(qps, "queries/s")
+		return qps
+	}
+
+	qps := make(map[string]float64)
+	arms := []struct {
+		name    string
+		workers int
+		mode    transport.PathMode
+		loss    float64
+	}{
+		{"path=legacy/workers=8/loss=0%", 8, transport.PathLegacy, 0},
+		{"path=batched/workers=1/loss=0%", 1, transport.PathBatched, 0},
+		{"path=batched/workers=4/loss=0%", 4, transport.PathBatched, 0},
+		{"path=batched/workers=8/loss=0%", 8, transport.PathBatched, 0},
+		{"path=batched/workers=1/loss=5%", 1, transport.PathBatched, 0.05},
+		{"path=batched/workers=4/loss=5%", 4, transport.PathBatched, 0.05},
+		{"path=batched/workers=8/loss=5%", 8, transport.PathBatched, 0.05},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			qps[arm.name] = run(b, arm.workers, arm.mode, arm.loss)
+		})
+	}
+	legacy, batched := qps["path=legacy/workers=8/loss=0%"], qps["path=batched/workers=8/loss=0%"]
+	if legacy > 0 && batched > 0 && batched < 1.5*legacy {
+		b.Fatalf("batched path must deliver >=1.5x the unbatched baseline at 8 workers: legacy %.0f q/s, batched %.0f q/s (%.2fx)",
+			legacy, batched, batched/legacy)
+	}
+
+	// The comparison the adaptive window exists for: a fixed in-flight limit
+	// must be provisioned at its safe floor, while AIMD discovers the
+	// capacity above it and backs off only on guard escalations.
+	windows := []struct {
+		name string
+		cfg  learn.WindowConfig
+	}{
+		{"window=adaptive", learn.WindowConfig{Min: 2, Max: 8, Initial: 2}},
+		{"window=fixed-min", learn.WindowConfig{Min: 2, Max: 2}},
+	}
+	wall := make(map[string]time.Duration)
+	for _, arm := range windows {
+		b.Run(arm.name, func(b *testing.B) {
+			var res *lab.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = lab.Run(context.Background(), lab.TargetQuiche,
+					lab.WithSeed(13), lab.WithPerfectEquivalence(), lab.WithWorkers(8),
+					lab.WithTransport(lab.TransportUDP),
+					lab.WithImpairment(netem.Config{LossClient: 0.05, LossServer: 0.05, Seed: 99}),
+					lab.WithWindow(arm.cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Nondet != nil {
+					b.Fatalf("guard gave up: %v", res.Nondet)
+				}
+				if res.Machine.NumStates() != 8 {
+					b.Fatalf("states = %d, want 8", res.Machine.NumStates())
+				}
+			}
+			wall[arm.name] = res.Duration
+			b.ReportMetric(float64(res.Stats.Queries), "queries")
+			b.ReportMetric(res.Duration.Seconds()*1000, "wall-ms")
+			if res.Window != nil {
+				b.ReportMetric(float64(res.Window.Size), "window-size")
+			}
+		})
+	}
+	if a, f := wall["window=adaptive"], wall["window=fixed-min"]; a > 0 && f > 0 && a >= f {
+		b.Fatalf("adaptive window (%v) must beat the in-flight limit fixed at its floor (%v) on wall time under 5%% loss", a, f)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/automata"
 	"repro/internal/lab"
+	"repro/internal/learn"
 	"repro/internal/quicsim"
 	"repro/internal/synth"
 )
@@ -27,6 +28,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 13, "seed for all pseudo-randomness")
 	workers := flag.Int("workers", 1, "membership-query concurrency inside each learning run")
+	window := flag.Int("window", 0, "start the adaptive in-flight window at this size (AIMD up to -workers; 0 keeps the fixed limit)")
 	parallel := flag.Int("parallel", 0, "how many learning runs execute at once (0 = GOMAXPROCS)")
 	impair := flag.String("impair", "", "run the impairment matrix for this target (e.g. google, lossy-retransmit) instead of the paper report")
 	flag.Parse()
@@ -34,9 +36,9 @@ func main() {
 	defer stop()
 	var err error
 	if *impair != "" {
-		err = runImpairmentGrid(ctx, *impair, *seed, *workers, *parallel)
+		err = runImpairmentGrid(ctx, *impair, *seed, *workers, *window, *parallel)
 	} else {
-		err = run(ctx, *seed, *workers, *parallel)
+		err = run(ctx, *seed, *workers, *window, *parallel)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -47,13 +49,16 @@ func main() {
 // runImpairmentGrid fans one target across a loss × duplication × reorder
 // grid (per-cell isolation) and prints one verdict line per cell: model
 // identical to the clean baseline? query inflation? guard effort?
-func runImpairmentGrid(ctx context.Context, target string, seed int64, workers, parallel int) error {
+func runImpairmentGrid(ctx context.Context, target string, seed int64, workers, window, parallel int) error {
 	cells := lab.ImpairmentGrid(
 		[]float64{0, 0.01, 0.05},
 		[]float64{0, 0.01},
 		[]float64{0, 0.05},
 	)
 	base := []lab.Option{lab.WithSeed(seed), lab.WithWorkers(workers)}
+	if window > 0 {
+		base = append(base, lab.WithWindow(learn.WindowConfig{Initial: window}))
+	}
 	fmt.Printf("Impairment matrix — target %s (%d cells, workers=%d)\n", target, len(cells), workers)
 	fmt.Println(strings.Repeat("-", 78))
 	m, err := lab.RunImpairmentMatrix(ctx, target, base, cells, parallel, seed+101)
@@ -96,13 +101,17 @@ func row(label, paper, measured string) {
 	fmt.Printf("  %-38s paper: %-28s measured: %s\n", label, paper, measured)
 }
 
-func run(ctx context.Context, seed int64, workers, parallel int) error {
+func run(ctx context.Context, seed int64, workers, window, parallel int) error {
 	fmt.Println("Prognosis reproduction — experiment harness")
 	fmt.Println(strings.Repeat("-", 60))
 
 	// Every learning run of the evaluation, as one concurrent campaign.
 	std := func(extra ...lab.Option) []lab.Option {
-		return append([]lab.Option{lab.WithSeed(seed), lab.WithWorkers(workers)}, extra...)
+		opts := []lab.Option{lab.WithSeed(seed), lab.WithWorkers(workers)}
+		if window > 0 {
+			opts = append(opts, lab.WithWindow(learn.WindowConfig{Initial: window}))
+		}
+		return append(opts, extra...)
 	}
 	camp := &lab.Campaign{
 		Runs: []lab.RunSpec{

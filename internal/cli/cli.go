@@ -99,6 +99,7 @@ type learnFlags struct {
 	udp                bool
 	noCache            bool
 	workers            int
+	window             int
 	rtt                time.Duration
 	loss, dup, reorder float64
 	impairSeed         int64
@@ -119,6 +120,8 @@ func (f *learnFlags) register(fs *flag.FlagSet, defaultConformance int, defaultL
 	fs.BoolVar(&f.udp, "udp", false, "run the session over UDP loopback socket pairs (one per worker)")
 	fs.BoolVar(&f.noCache, "no-cache", false, "disable the membership-query cache")
 	fs.IntVar(&f.workers, "workers", defaultWorkers, "membership-query concurrency: fan queries across this many independent SUL instances")
+	fs.IntVar(&f.window, "window", 0,
+		"start the adaptive in-flight window at this size (AIMD between 1 and -workers; 0 keeps the fixed worker-count limit)")
 	fs.DurationVar(&f.rtt, "rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
 	fs.Float64Var(&f.loss, "loss", defaultLoss, "per-datagram loss probability injected in each direction of every worker's link")
 	fs.Float64Var(&f.dup, "dup", 0, "per-datagram probability of duplicating a response")
@@ -153,6 +156,9 @@ func (f *learnFlags) options() ([]lab.Option, func(), error) {
 		lab.WithWorkers(f.workers),
 		lab.WithRTT(f.rtt),
 		lab.WithConformance(f.conformance),
+	}
+	if f.window > 0 {
+		opts = append(opts, lab.WithWindow(learn.WindowConfig{Initial: f.window}))
 	}
 	if f.perfect {
 		opts = append(opts, lab.WithPerfectEquivalence())
@@ -237,5 +243,7 @@ func (progressObserver) OnEvent(e learn.Event) {
 	case learn.GuardEscalated:
 		fmt.Fprintf(os.Stderr, "guard: escalated to %d votes after %d (disagreement %.2f) on %v\n",
 			ev.Budget, ev.Votes, ev.EWMA, ev.Word)
+	case learn.WindowResized:
+		fmt.Fprintf(os.Stderr, "window: %d -> %d in flight (srtt %v)\n", ev.From, ev.To, ev.SRTT)
 	}
 }

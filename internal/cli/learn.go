@@ -63,6 +63,10 @@ func Learn(args []string) error {
 	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
 		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
 	fmt.Printf("  wall time: %v\n", res.Duration)
+	if w := res.Window; w != nil {
+		fmt.Printf("  window: %d in flight at finish (bounds %d..%d), %d acquisitions, %d cuts over %d losses, srtt %v\n",
+			w.Size, w.Min, w.Max, w.Acquired, w.Decreases, w.Losses, w.SRTT)
+	}
 	if impair := lf.impairment(); impair.Enabled() {
 		fmt.Printf("  impaired link (%s): dropped %d->/%d<- datagrams, %d duplicated, %d reordered\n",
 			impair.Label(), res.Faults.DroppedClient, res.Faults.DroppedServer,

@@ -589,6 +589,13 @@ type Experiment struct {
 	// start (learn.Store, learn.CachedOracle.UseStore). Ignored when
 	// DisableCache is set — the store is the cache's persistent half.
 	Store *learn.Store
+	// Window, when set, puts a congestion-window-style adaptive limit on
+	// the queries in flight across the pool (workers > 1 only): additive
+	// increase on clean completions, multiplicative decrease on guard
+	// escalations and timeouts. A zero Max defaults to the worker count.
+	// The fixed worker-count limit still caps it — the window can only
+	// tighten concurrency, never exceed the shards.
+	Window *learn.WindowConfig
 	// Observer, when set, receives the typed event stream of the run:
 	// RoundStarted / HypothesisReady / CounterexampleFound from the
 	// learner, CacheSnapshot once per hypothesis (only while the cache is
@@ -602,6 +609,9 @@ type Experiment struct {
 	// GuardStats is populated during Learn with the voting guard's
 	// cumulative cost counters (read with Snapshot while running).
 	GuardStats GuardStats
+	// WindowStats is populated during Learn with the adaptive window's
+	// counters when Window is set (zero value otherwise).
+	WindowStats learn.WindowStats
 }
 
 // Learn runs the full MAT loop and returns the learned model. Cancelling
@@ -621,10 +631,30 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 	if workers > 1+len(e.SULs) {
 		workers = 1 + len(e.SULs)
 	}
+	// The adaptive in-flight window, when configured, sits in front of the
+	// pool's free list and is fed by the guard: every GuardEscalated event
+	// is a loss signal that cuts the window multiplicatively. It only
+	// makes sense with a pool (workers > 1) — a single shard has nothing
+	// to throttle.
+	var win *learn.Window
+	guardObs := e.Observer
+	if e.Window != nil && workers > 1 {
+		wcfg := *e.Window
+		if wcfg.Max == 0 {
+			wcfg.Max = workers
+		}
+		win = learn.NewWindow(wcfg, e.Observer)
+		guardObs = learn.MultiObserver(e.Observer, learn.ObserverFunc(func(ev learn.Event) {
+			if _, ok := ev.(learn.GuardEscalated); ok {
+				win.OnLoss()
+			}
+		}))
+		defer func() { e.WindowStats = win.Stats() }()
+	}
 	// One Guardian serves every shard: the voting policy adapts to the
 	// link's observed quality, which is a property of the experiment, not
 	// of any single replica.
-	guardian := NewGuardian(guard, &e.GuardStats, e.Observer)
+	guardian := NewGuardian(guard, &e.GuardStats, guardObs)
 	var oracle learn.Oracle
 	if workers > 1 {
 		// Concurrent mode: one guarded, counted oracle chain per SUL
@@ -635,7 +665,11 @@ func (e *Experiment) Learn(ctx context.Context) (*automata.Mealy, error) {
 		for _, s := range append([]SUL{e.SUL}, e.SULs...)[:workers] {
 			shards = append(shards, guardian.Wrap(learn.Counting(Oracle(s), &e.Stats)))
 		}
-		oracle = learn.NewPool(shards...)
+		pool := learn.NewPool(shards...)
+		if win != nil {
+			pool.UseWindow(win)
+		}
+		oracle = pool
 	} else {
 		oracle = guardian.Wrap(learn.Counting(Oracle(e.SUL), &e.Stats))
 	}

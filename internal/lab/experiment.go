@@ -33,6 +33,10 @@ type Result struct {
 	// Faults aggregates the netem fault counters across all worker links
 	// for this run (zero without WithImpairment).
 	Faults netem.Stats
+	// Window reports the adaptive in-flight window's counters — final
+	// size, acquisitions, decreases, smoothed RTT — when WithWindow was
+	// configured (nil otherwise).
+	Window *learn.WindowStats
 }
 
 // Model returns the learned model wrapped for the analysis plane — named
@@ -125,6 +129,7 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 		Conformance:  cfg.conformance,
 		Equivalence:  cfg.equivalence,
 		Observer:     cfg.observer,
+		Window:       cfg.window,
 	}
 	if cfg.perfect && exp.Equivalence == nil {
 		if sys.Truth == nil {
@@ -289,6 +294,10 @@ func (e *Experiment) Learn(ctx context.Context) (*Result, error) {
 	res.Stats = statsSnapshot(&e.exp.Stats)
 	res.Guard = e.exp.GuardStats.Snapshot()
 	res.Faults = faultsDelta(faultsBefore, e.Faults())
+	if e.cfg.window != nil && e.cfg.workers > 1 {
+		ws := e.exp.WindowStats
+		res.Window = &ws
+	}
 	if err != nil {
 		if nd, ok := core.IsNondeterminism(err); ok {
 			res.Nondet = nd

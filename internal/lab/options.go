@@ -33,6 +33,7 @@ type config struct {
 	middleware   []LinkMiddleware
 	equivalence  learn.EquivalenceOracle
 	observer     learn.Observer
+	window       *learn.WindowConfig
 }
 
 func defaultConfig() config {
@@ -157,6 +158,18 @@ func WithoutCache() Option {
 // Ignored when WithoutCache disables the cache the store feeds.
 func WithStore(dir string) Option {
 	return func(c *config) { c.storeDir = dir }
+}
+
+// WithWindow replaces the pool's fixed in-flight limit with a congestion-
+// window-style adaptive one (learn.Window): additive increase on clean
+// completions, multiplicative decrease on guard escalations and timeouts,
+// RTT-tracked from per-query timing. The worker count remains the hard
+// cap — cfg.Max is clamped to it (zero means "the worker count"). Only
+// meaningful with WithWorkers > 1; resize events surface as
+// learn.WindowResized through WithObserver, and the final counters in
+// Result.Window.
+func WithWindow(cfg learn.WindowConfig) Option {
+	return func(c *config) { c.window = &cfg }
 }
 
 // WithObserver streams the run's typed events (RoundStarted,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"time"
 )
 
 // Event is one typed progress notification from a learning run. Events are
@@ -85,6 +86,19 @@ type GuardEscalated struct {
 
 // Kind implements Event.
 func (GuardEscalated) Kind() string { return "guard_escalated" }
+
+// WindowResized reports that the adaptive in-flight window changed size:
+// additive increase grew it past the next integer, or a loss signal cut it
+// multiplicatively. SRTT is the smoothed per-query round-trip estimate at
+// the moment of the resize (zero before the first timed completion).
+type WindowResized struct {
+	From int           `json:"from"`
+	To   int           `json:"to"`
+	SRTT time.Duration `json:"srtt"`
+}
+
+// Kind implements Event.
+func (WindowResized) Kind() string { return "window_resized" }
 
 // Observer receives learning events. OnEvent may be called from the
 // learner's goroutine while queries are in flight, and — in a campaign —

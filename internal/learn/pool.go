@@ -2,8 +2,10 @@ package learn
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/automata"
 )
@@ -62,6 +64,7 @@ func queryAll(ctx context.Context, o Oracle, words [][]string) ([][]string, erro
 type Pool struct {
 	shards []Oracle
 	free   chan Oracle
+	win    *Window
 }
 
 // NewPool builds a pool over the given shard oracles. Every shard must be a
@@ -81,10 +84,38 @@ func NewPool(shards ...Oracle) *Pool {
 // Size returns the number of shards (the maximum query concurrency).
 func (p *Pool) Size() int { return len(p.shards) }
 
+// UseWindow places an adaptive in-flight window in front of the free list:
+// every Query must be admitted by win before it may borrow a shard, so the
+// effective concurrency follows the window instead of the raw shard count.
+// Completion timing feeds the window's RTT estimate; loss signals (guard
+// escalations, timeouts) are reported to the window by its other feeders.
+// Must be called before the pool is shared across goroutines.
+func (p *Pool) UseWindow(win *Window) { p.win = win }
+
+// Window returns the installed adaptive window, or nil.
+func (p *Pool) Window() *Window { return p.win }
+
 // Query implements Oracle by borrowing a free shard. Waiting for a free
 // shard is interruptible: a cancelled caller stops queueing instead of
-// blocking behind other askers.
+// blocking behind other askers. With an adaptive window installed, the
+// query first acquires a window slot and reports its completion back.
 func (p *Pool) Query(ctx context.Context, word []string) ([]string, error) {
+	if p.win != nil {
+		if err := p.win.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		out, err := p.query(ctx, word)
+		p.win.Release(err == nil, time.Since(start))
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.win.OnLoss()
+		}
+		return out, err
+	}
+	return p.query(ctx, word)
+}
+
+func (p *Pool) query(ctx context.Context, word []string) ([]string, error) {
 	var shard Oracle
 	select {
 	case shard = <-p.free:

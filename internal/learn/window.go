@@ -1,0 +1,244 @@
+package learn
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// WindowConfig parameterises the adaptive in-flight window.
+type WindowConfig struct {
+	// Min is the floor: the window never admits fewer than Min queries,
+	// so progress is always possible. Values below 1 are raised to 1.
+	Min int
+	// Max is the cap, normally the number of pool shards — admitting
+	// more than that would only queue. Values below Min are raised to
+	// Min.
+	Max int
+	// Initial is the starting window. Zero means start at Min (slow
+	// start from the floor); otherwise it is clamped into [Min, Max].
+	Initial int
+	// Increase is the additive-increase step credited per clean
+	// completion, spread across one window's worth of completions
+	// (cwnd += Increase/cwnd, the classic AIMD shape). Zero means 1.
+	Increase float64
+	// Decrease is the multiplicative-decrease factor applied on a loss
+	// signal. Zero means 0.5; values are clamped into (0, 1).
+	Decrease float64
+}
+
+func (c WindowConfig) normalized() WindowConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Initial == 0 {
+		c.Initial = c.Min
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Increase == 0 {
+		c.Increase = 1
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		c.Decrease = 0.5
+	}
+	return c
+}
+
+// WindowStats is a snapshot of a window's lifetime counters, surfaced in
+// lab.Result.
+type WindowStats struct {
+	// Size is the current window size (admitted concurrency).
+	Size int `json:"size"`
+	// Min and Max echo the configured bounds.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Acquired counts queries admitted through the window.
+	Acquired int64 `json:"acquired"`
+	// Clean counts completions that fed additive increase.
+	Clean int64 `json:"clean"`
+	// Losses counts loss signals (guard escalations, timeouts) that fed
+	// multiplicative decrease, whether or not a decrease resulted.
+	Losses int64 `json:"losses"`
+	// Decreases counts the multiplicative decreases actually applied
+	// (loss signals inside an absorption epoch do not cut twice).
+	Decreases int64 `json:"decreases"`
+	// Resizes counts integer window-size changes in either direction.
+	Resizes int64 `json:"resizes"`
+	// SRTT is the smoothed per-query round-trip estimate.
+	SRTT time.Duration `json:"srtt"`
+}
+
+// Window is a congestion-window-style limiter on in-flight membership
+// queries: additive increase on clean completions, multiplicative decrease
+// on loss signals (guard escalations, timeouts). It replaces the pool's
+// fixed worker-count in-flight limit, so the in-flight budget follows the
+// observed health of the link instead of a static flag.
+//
+// Decreases are epoch-guarded the way TCP reacts per-RTT rather than
+// per-segment: after a cut, further loss signals are absorbed until a full
+// window's worth of completions has passed, so one burst of losses costs
+// one multiplicative step. The epoch is measured in completions — not wall
+// time — which keeps the window's trajectory a pure function of the
+// completion/loss sequence and makes property tests deterministic.
+type Window struct {
+	cfg WindowConfig
+
+	mu   sync.Mutex
+	cwnd float64 // fractional window; admitted size is floor(cwnd)
+	used int     // queries currently admitted
+
+	// completion-epoch guard for multiplicative decrease
+	sinceCut  int64 // completions since the last cut
+	epochSpan int64 // completions a cut absorbs (window size at cut time)
+
+	srtt  time.Duration
+	stats WindowStats
+
+	// wake is closed and replaced whenever capacity may have appeared,
+	// broadcasting to all blocked Acquire calls.
+	wake chan struct{}
+
+	obs Observer
+}
+
+// NewWindow builds a Window from cfg (see WindowConfig for defaulting).
+// The observer, if non-nil, receives a WindowResized event whenever the
+// integer window size changes.
+func NewWindow(cfg WindowConfig, obs Observer) *Window {
+	cfg = cfg.normalized()
+	return &Window{
+		cfg:  cfg,
+		cwnd: float64(cfg.Initial),
+		wake: make(chan struct{}),
+		obs:  obs,
+	}
+}
+
+// Size returns the current admitted window size.
+func (w *Window) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size()
+}
+
+func (w *Window) size() int {
+	s := int(w.cwnd)
+	if s < w.cfg.Min {
+		s = w.cfg.Min
+	}
+	if s > w.cfg.Max {
+		s = w.cfg.Max
+	}
+	return s
+}
+
+// Acquire blocks until the window admits another in-flight query or ctx is
+// done. Every successful Acquire must be paired with exactly one Release.
+func (w *Window) Acquire(ctx context.Context) error {
+	for {
+		w.mu.Lock()
+		if w.used < w.size() {
+			w.used++
+			w.stats.Acquired++
+			w.mu.Unlock()
+			return nil
+		}
+		wake := w.wake
+		w.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Release returns an in-flight slot. A clean completion (clean == true)
+// feeds additive increase and, with rtt > 0, the smoothed RTT estimate; a
+// dirty completion only frees the slot — the loss itself is reported
+// separately through OnLoss, typically by the guard observer.
+func (w *Window) Release(clean bool, rtt time.Duration) {
+	w.mu.Lock()
+	before := w.size()
+	if w.used > 0 {
+		w.used--
+	}
+	if clean {
+		w.stats.Clean++
+		w.sinceCut++
+		w.cwnd += w.cfg.Increase / math.Max(w.cwnd, 1)
+		if w.cwnd > float64(w.cfg.Max) {
+			w.cwnd = float64(w.cfg.Max)
+		}
+	}
+	if rtt > 0 {
+		if w.srtt == 0 {
+			w.srtt = rtt
+		} else {
+			w.srtt += (rtt - w.srtt) / 8
+		}
+		w.stats.SRTT = w.srtt
+	}
+	w.finishLocked(before)
+}
+
+// OnLoss reports a loss signal: a guard escalation, a query timeout, or
+// any other sign the link is struggling. Inside a decrease epoch the
+// signal is absorbed; otherwise the window is cut multiplicatively.
+func (w *Window) OnLoss() {
+	w.mu.Lock()
+	before := w.size()
+	w.stats.Losses++
+	if w.sinceCut >= w.epochSpan {
+		w.cwnd *= w.cfg.Decrease
+		if w.cwnd < float64(w.cfg.Min) {
+			w.cwnd = float64(w.cfg.Min)
+		}
+		w.stats.Decreases++
+		w.sinceCut = 0
+		w.epochSpan = int64(w.size())
+	}
+	w.finishLocked(before)
+}
+
+// finishLocked wakes waiters, emits a resize event when the integer size
+// moved, and unlocks. Events are delivered outside the lock so observers
+// may call back into the window.
+func (w *Window) finishLocked(before int) {
+	after := w.size()
+	var ev *WindowResized
+	if after != before {
+		w.stats.Resizes++
+		ev = &WindowResized{From: before, To: after, SRTT: w.srtt}
+	}
+	w.stats.Size = after
+	w.stats.Min, w.stats.Max = w.cfg.Min, w.cfg.Max
+	// Broadcast: capacity may have appeared (slot freed or window grown).
+	close(w.wake)
+	w.wake = make(chan struct{})
+	obs := w.obs
+	w.mu.Unlock()
+	if ev != nil && obs != nil {
+		obs.OnEvent(*ev)
+	}
+}
+
+// Stats returns a snapshot of the window counters.
+func (w *Window) Stats() WindowStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Size = w.size()
+	st.Min, st.Max = w.cfg.Min, w.cfg.Max
+	st.SRTT = w.srtt
+	return st
+}

@@ -1,0 +1,248 @@
+package learn
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drive applies a seeded clean/loss sequence to a fresh window and returns
+// the size trajectory (one entry per event).
+func drive(cfg WindowConfig, seed int64, events int, lossRate float64) []int {
+	w := NewWindow(cfg, nil)
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, 0, events)
+	for i := 0; i < events; i++ {
+		if rng.Float64() < lossRate {
+			w.OnLoss()
+		} else {
+			w.Release(true, 0)
+		}
+		sizes = append(sizes, w.Size())
+	}
+	return sizes
+}
+
+// TestWindowProperties is the table-driven property check of the AIMD
+// window: the cap and the floor are respected on every trajectory, clean
+// completions never shrink the window, and losses never grow it.
+func TestWindowProperties(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      WindowConfig
+		seed     int64
+		lossRate float64
+	}{
+		{"clean-link", WindowConfig{Min: 1, Max: 8}, 1, 0},
+		{"light-loss", WindowConfig{Min: 1, Max: 8}, 2, 0.05},
+		{"heavy-loss", WindowConfig{Min: 2, Max: 16, Initial: 16}, 3, 0.5},
+		{"loss-only", WindowConfig{Min: 1, Max: 4, Initial: 4}, 4, 1},
+		{"tight-bounds", WindowConfig{Min: 3, Max: 3}, 5, 0.2},
+		{"aggressive-cut", WindowConfig{Min: 1, Max: 32, Initial: 32, Decrease: 0.1}, 6, 0.1},
+		{"gentle-growth", WindowConfig{Min: 1, Max: 32, Increase: 0.25}, 7, 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg.normalized()
+			w := NewWindow(tc.cfg, nil)
+			rng := rand.New(rand.NewSource(tc.seed))
+			prev := w.Size()
+			if prev < cfg.Min || prev > cfg.Max {
+				t.Fatalf("initial size %d outside [%d, %d]", prev, cfg.Min, cfg.Max)
+			}
+			for i := 0; i < 5000; i++ {
+				loss := rng.Float64() < tc.lossRate
+				if loss {
+					w.OnLoss()
+				} else {
+					w.Release(true, 0)
+				}
+				s := w.Size()
+				if s < cfg.Min {
+					t.Fatalf("event %d: size %d below floor %d", i, s, cfg.Min)
+				}
+				if s > cfg.Max {
+					t.Fatalf("event %d: size %d above cap %d", i, s, cfg.Max)
+				}
+				// AIMD monotonicity per event kind.
+				if loss && s > prev {
+					t.Fatalf("event %d: loss grew the window %d -> %d", i, prev, s)
+				}
+				if !loss && s < prev {
+					t.Fatalf("event %d: clean completion shrank the window %d -> %d", i, prev, s)
+				}
+				prev = s
+			}
+		})
+	}
+}
+
+// TestWindowDeterministicUnderSeededLoss pins that the window trajectory
+// is a pure function of the completion/loss sequence: same seed, same
+// trajectory; different seeds, (almost surely) different ones.
+func TestWindowDeterministicUnderSeededLoss(t *testing.T) {
+	cfg := WindowConfig{Min: 1, Max: 12}
+	a := drive(cfg, 42, 2000, 0.07)
+	b := drive(cfg, 42, 2000, 0.07)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: same seed diverged, %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestWindowGrowsToCapWhenClean pins additive increase: a clean link
+// saturates the cap.
+func TestWindowGrowsToCapWhenClean(t *testing.T) {
+	w := NewWindow(WindowConfig{Min: 1, Max: 8}, nil)
+	for i := 0; i < 200; i++ {
+		w.Release(true, 0)
+	}
+	if got := w.Size(); got != 8 {
+		t.Fatalf("clean window stuck at %d, want cap 8", got)
+	}
+}
+
+// TestWindowDecreaseEpoch pins that a burst of losses costs one
+// multiplicative cut: further signals are absorbed until a window's worth
+// of completions has passed.
+func TestWindowDecreaseEpoch(t *testing.T) {
+	w := NewWindow(WindowConfig{Min: 1, Max: 16, Initial: 16}, nil)
+	for i := 0; i < 10; i++ {
+		w.OnLoss()
+	}
+	if got := w.Size(); got != 8 {
+		t.Fatalf("loss burst cut window to %d, want one halving to 8", got)
+	}
+	st := w.Stats()
+	if st.Decreases != 1 || st.Losses != 10 {
+		t.Fatalf("stats after burst = %d decreases / %d losses, want 1 / 10", st.Decreases, st.Losses)
+	}
+	// A window's worth of completions ends the epoch; the next loss cuts.
+	for i := 0; i < 8; i++ {
+		w.Release(true, 0)
+	}
+	w.OnLoss()
+	if got := w.Stats().Decreases; got != 2 {
+		t.Fatalf("post-epoch loss did not cut (decreases = %d)", got)
+	}
+}
+
+// TestWindowNeverDeadlocksAtMinimum floods a Min-sized window with more
+// concurrent askers than slots: every Acquire must eventually succeed.
+func TestWindowNeverDeadlocksAtMinimum(t *testing.T) {
+	w := NewWindow(WindowConfig{Min: 1, Max: 1}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := w.Acquire(ctx); err != nil {
+					errs <- err
+					return
+				}
+				w.OnLoss() // keep pressure on the floor
+				w.Release(i%3 != 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatalf("Acquire failed under pressure at the floor: %v", err)
+	}
+}
+
+// TestWindowConcurrentUpdates is the race test: window updates arriving
+// concurrently from many pool shards, with resize events observed, while
+// sizes stay inside bounds. Run under -race in CI.
+func TestWindowConcurrentUpdates(t *testing.T) {
+	var mu sync.Mutex
+	resizes := 0
+	obs := ObserverFunc(func(ev Event) {
+		if r, ok := ev.(WindowResized); ok {
+			mu.Lock()
+			resizes++
+			mu.Unlock()
+			if r.To < 2 || r.To > 8 {
+				t.Errorf("resize to %d outside [2, 8]", r.To)
+			}
+		}
+	})
+	w := NewWindow(WindowConfig{Min: 2, Max: 8}, obs)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				if err := w.Acquire(ctx); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if rng.Float64() < 0.1 {
+					w.OnLoss()
+				}
+				w.Release(true, time.Duration(rng.Intn(1000))*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Acquired != 8*300 {
+		t.Fatalf("acquired %d, want %d", st.Acquired, 8*300)
+	}
+	if st.Size < 2 || st.Size > 8 {
+		t.Fatalf("final size %d outside [2, 8]", st.Size)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(resizes) != st.Resizes {
+		t.Fatalf("observed %d resize events, stats say %d", resizes, st.Resizes)
+	}
+}
+
+// TestPoolWithWindowLimitsConcurrency checks the pool integration: with a
+// window pinned at 2, no more than 2 of the 4 shards are ever in flight.
+func TestPoolWithWindowLimitsConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	mk := func() Oracle {
+		return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
+			mu.Lock()
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			return make([]string, len(word)), nil
+		})
+	}
+	p := NewPool(mk(), mk(), mk(), mk())
+	p.UseWindow(NewWindow(WindowConfig{Min: 2, Max: 2}, nil))
+	words := make([][]string, 40)
+	for i := range words {
+		words[i] = []string{"a"}
+	}
+	if _, err := p.QueryBatch(context.Background(), words); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 2 {
+		t.Fatalf("peak in-flight %d exceeds pinned window 2", peak)
+	}
+	if st := p.Window().Stats(); st.Acquired != 40 {
+		t.Fatalf("window admitted %d queries, want 40", st.Acquired)
+	}
+}

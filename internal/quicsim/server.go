@@ -90,6 +90,11 @@ type Server struct {
 	// leakage, observable only on links that actually lose datagrams.
 	gapCount int
 	degraded bool
+
+	// frameScratch is the reused frame slice for the decode hot path. It
+	// is only touched under mu, and the parsed frames never outlive the
+	// packet being processed (applyFrameEffects copies what it keeps).
+	frameScratch []quicwire.Frame
 }
 
 // lossyRetransGapLimit is how many observed packet-number gaps flip the
@@ -225,7 +230,8 @@ func (s *Server) processPacket(src string, pkt []byte, hdr quicwire.Header) [][]
 	if err != nil {
 		return nil
 	}
-	frames, err := quicwire.ParseFrames(payload)
+	frames, err := quicwire.ParseFramesAppend(s.frameScratch[:0], payload)
+	s.frameScratch = frames[:0]
 	if err != nil {
 		return nil
 	}

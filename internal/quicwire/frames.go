@@ -117,10 +117,11 @@ var (
 	ErrUnknownFrame   = errors.New("quicwire: unknown frame type")
 )
 
-// AppendFrame serializes f onto b.
+// AppendFrame serializes f onto b. It appends in place (capacity in b is
+// reused), so steady-state encoding into a preallocated buffer performs no
+// allocations.
 func AppendFrame(b []byte, f Frame) []byte {
-	var w wire.Writer
-	w.Write(b)
+	w := wire.WriterFor(b)
 	switch f.Type {
 	case FramePadding, FramePing, FrameHandshakeDone:
 		w.Varint(uint64(f.Type))
@@ -207,12 +208,28 @@ func AppendFrame(b []byte, f Frame) []byte {
 	return w.Bytes()
 }
 
-// ParseFrames decodes all frames in a packet payload.
+// ParseFrames decodes all frames in a packet payload. Byte fields of the
+// returned frames (Data, Token, ConnectionID) are copies, safe to retain
+// after the payload buffer is reused.
 func ParseFrames(payload []byte) ([]Frame, error) {
+	return parseFrames(nil, payload, false)
+}
+
+// ParseFramesAppend is the zero-allocation decode path: parsed frames are
+// appended to dst (pass dst[:0] to reuse its capacity), and byte fields of
+// the returned frames alias payload instead of copying it. Callers that
+// retain a frame — or reuse the payload buffer — past the next decode must
+// copy; steady-state decoding with a reused dst and payload performs no
+// allocations.
+func ParseFramesAppend(dst []Frame, payload []byte) ([]Frame, error) {
+	return parseFrames(dst, payload, true)
+}
+
+func parseFrames(dst []Frame, payload []byte, alias bool) ([]Frame, error) {
 	r := wire.NewReader(payload)
-	var frames []Frame
+	frames := dst
 	for r.Len() > 0 {
-		f, err := parseFrame(r)
+		f, err := parseFrame(r, alias)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +242,19 @@ func ParseFrames(payload []byte) ([]Frame, error) {
 	return frames, nil
 }
 
-func parseFrame(r *wire.Reader) (Frame, error) {
+// keep returns b aliased or copied per the alias flag, preserving the
+// nil-for-empty convention of the copying path.
+func keep(b []byte, alias bool) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if alias {
+		return b
+	}
+	return append([]byte(nil), b...)
+}
+
+func parseFrame(r *wire.Reader, alias bool) (Frame, error) {
 	t := r.Varint()
 	if r.Err() != nil {
 		return Frame{}, ErrTruncatedFrame
@@ -240,7 +269,11 @@ func parseFrame(r *wire.Reader) (Frame, error) {
 		f.AckDelay = r.Varint()
 		count := r.Varint()
 		f.AckRange = r.Varint()
-		for i := uint64(0); i < count; i++ { // skip extra ranges
+		// Skip extra ranges, stopping at the first reader error: count is
+		// attacker-controlled and may be far larger than the payload could
+		// ever hold, so looping the declared count on an exhausted reader
+		// would spin for ~2^62 no-op iterations.
+		for i := uint64(0); i < count && r.Err() == nil; i++ {
 			r.Varint()
 			r.Varint()
 		}
@@ -262,11 +295,11 @@ func parseFrame(r *wire.Reader) (Frame, error) {
 		f.Type = FrameCrypto
 		f.Offset = r.Varint()
 		n := r.Varint()
-		f.Data = append([]byte(nil), r.Bytes(int(n))...)
+		f.Data = keep(r.Bytes(int(n)), alias)
 	case t == uint64(FrameNewToken):
 		f.Type = FrameNewToken
 		n := r.Varint()
-		f.Token = append([]byte(nil), r.Bytes(int(n))...)
+		f.Token = keep(r.Bytes(int(n)), alias)
 	case t >= 0x08 && t <= 0x0f: // STREAM with OFF/LEN/FIN bits
 		f.Type = FrameStream
 		f.Fin = t&0x01 != 0
@@ -276,9 +309,9 @@ func parseFrame(r *wire.Reader) (Frame, error) {
 		}
 		if t&0x02 != 0 {
 			n := r.Varint()
-			f.Data = append([]byte(nil), r.Bytes(int(n))...)
+			f.Data = keep(r.Bytes(int(n)), alias)
 		} else {
-			f.Data = append([]byte(nil), r.Rest()...)
+			f.Data = keep(r.Rest(), alias)
 		}
 	case t == uint64(FrameMaxData):
 		f.Type = FrameMaxData
@@ -305,7 +338,7 @@ func parseFrame(r *wire.Reader) (Frame, error) {
 		f.SeqNumber = r.Varint()
 		f.RetirePrior = r.Varint()
 		n := int(r.Byte())
-		f.ConnectionID = append([]byte(nil), r.Bytes(n)...)
+		f.ConnectionID = keep(r.Bytes(n), alias)
 		copy(f.ResetToken[:], r.Bytes(16))
 	case t == uint64(FrameRetireConnectionID):
 		f.Type = FrameRetireConnectionID

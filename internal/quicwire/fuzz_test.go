@@ -1,0 +1,116 @@
+package quicwire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// goldenPayloads builds frame payloads shaped like the golden model's
+// handshake traffic — the CRYPTO/ACK/STREAM mixes the learning queries
+// actually put on the wire — to seed the fuzz corpora.
+func goldenPayloads() [][]byte {
+	clientHello := bytes.Repeat([]byte{0xc1}, 32)
+	var payloads [][]byte
+
+	// Initial flight: CRYPTO carrying the client random, padded.
+	p := AppendFrame(nil, Frame{Type: FrameCrypto, Data: clientHello})
+	p = append(p, make([]byte, 16)...) // PADDING run
+	payloads = append(payloads, p)
+
+	// Handshake flight: ACK + CRYPTO at an offset.
+	p = AppendFrame(nil, Frame{Type: FrameAck, AckLargest: 3, AckDelay: 25, AckRange: 3})
+	p = AppendFrame(p, Frame{Type: FrameCrypto, Offset: 123, Data: []byte("finished")})
+	payloads = append(payloads, p)
+
+	// 1-RTT flight: STREAM with FIN, flow control, HANDSHAKE_DONE.
+	p = AppendFrame(nil, Frame{Type: FrameStream, StreamID: 0, Offset: 64, Data: []byte("GET /\r\n"), Fin: true})
+	p = AppendFrame(p, Frame{Type: FrameMaxStreamData, StreamID: 0, Limit: 1 << 20})
+	p = AppendFrame(p, Frame{Type: FrameMaxData, Limit: 1 << 21})
+	p = AppendFrame(p, Frame{Type: FrameHandshakeDone})
+	payloads = append(payloads, p)
+
+	// Migration / teardown shapes.
+	p = AppendFrame(nil, Frame{Type: FrameNewConnectionID, SeqNumber: 1, ConnectionID: []byte{1, 2, 3, 4, 5, 6, 7, 8}, ResetToken: [16]byte{9: 0xaa}})
+	p = AppendFrame(p, Frame{Type: FramePathChallenge, PathData: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	p = AppendFrame(p, Frame{Type: FrameConnectionClose, ErrorCode: 0x0a, CloseFrame: 0x06, ReasonPhrase: "tls"})
+	payloads = append(payloads, p)
+
+	p = AppendFrame(nil, Frame{Type: FrameNewToken, Token: bytes.Repeat([]byte{0x7f}, 24)})
+	p = AppendFrame(p, Frame{Type: FrameResetStream, StreamID: 4, ErrorCode: 1, FinalSize: 99})
+	p = AppendFrame(p, Frame{Type: FrameStopSending, StreamID: 4, ErrorCode: 1})
+	p = AppendFrame(p, Frame{Type: FrameRetireConnectionID, SeqNumber: 0})
+	payloads = append(payloads, p)
+	return payloads
+}
+
+// FuzzDecodeEncode: ParseFrames must never panic, and any payload it
+// accepts must survive a re-encode/re-parse round trip with identical
+// logical frames (byte identity is not expected — PADDING drops, ACK ECN
+// variants canonicalise).
+func FuzzDecodeEncode(f *testing.F) {
+	for _, p := range goldenPayloads() {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x00})                            // truncated ACK
+	f.Add([]byte{0x18, 0x00, 0x00, 0xff})                // NEW_CONNECTION_ID with absurd CID length
+	f.Add([]byte{0x06, 0x00, 0xc0, 0, 0, 0, 0, 0, 0, 0}) // CRYPTO with 2^56-scale length
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		frames, err := ParseFrames(payload)
+		if err != nil {
+			return
+		}
+		var enc []byte
+		for _, fr := range frames {
+			enc = AppendFrame(enc, fr)
+		}
+		again, err := ParseFrames(enc)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not parse: %v\nframes: %+v", err, frames)
+		}
+		if len(frames) == 0 {
+			frames = nil // payload of pure PADDING parses to an empty list
+		}
+		if !reflect.DeepEqual(frames, again) {
+			t.Fatalf("round trip changed frames:\n first: %+v\nsecond: %+v", frames, again)
+		}
+		// The aliasing path must agree with the copying path.
+		aliased, err := ParseFramesAppend(nil, payload)
+		if err != nil {
+			t.Fatalf("aliasing parse rejected what copying parse accepted: %v", err)
+		}
+		if !reflect.DeepEqual(frames, aliased) {
+			t.Fatalf("aliasing parse diverged:\n  copy: %+v\n alias: %+v", frames, aliased)
+		}
+	})
+}
+
+// FuzzParseHeader: header parsing must never panic and must return
+// internally consistent bounds on whatever it accepts.
+func FuzzParseHeader(f *testing.F) {
+	dcid := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	long, _ := AppendLongHeader(nil, PacketInitial, dcid, scid, nil, 0, 32)
+	f.Add(append(long, make([]byte, 36)...), 8)
+	short, _ := AppendShortHeader(nil, dcid, 7)
+	f.Add(append(short, make([]byte, 24)...), 8)
+	f.Add(AppendRetry(nil, dcid, scid, []byte("token")), 8)
+	f.Add(AppendVersionNegotiation(nil, dcid, scid, []uint32{Version1}), 8)
+	f.Add([]byte{0x80}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, cidLen int) {
+		if cidLen < 0 || cidLen > 20 {
+			cidLen = cidLen & 0xf
+		}
+		hdr, err := ParseHeader(data, cidLen)
+		if err != nil {
+			return
+		}
+		if hdr.PayloadEnd < 0 || hdr.PayloadEnd > len(data) {
+			t.Fatalf("PayloadEnd %d outside data of %d bytes", hdr.PayloadEnd, len(data))
+		}
+		if hdr.PNOffset < 0 || hdr.PNOffset > hdr.PayloadEnd {
+			t.Fatalf("PNOffset %d outside packet of %d bytes", hdr.PNOffset, hdr.PayloadEnd)
+		}
+	})
+}

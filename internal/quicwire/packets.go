@@ -89,8 +89,7 @@ func AppendLongHeader(b []byte, t PacketType, dcid, scid, token []byte, pn uint6
 	default:
 		panic(fmt.Sprintf("quicwire: %v is not a numbered long packet type", t))
 	}
-	var w wire.Writer
-	w.Write(b)
+	w := wire.WriterFor(b)
 	w.Byte(0xC0 | typeBits<<4 | (pnLen - 1))
 	w.Uint32(Version1)
 	w.Byte(byte(len(dcid)))
@@ -109,8 +108,7 @@ func AppendLongHeader(b []byte, t PacketType, dcid, scid, token []byte, pn uint6
 
 // AppendShortHeader appends a 1-RTT short header.
 func AppendShortHeader(b []byte, dcid []byte, pn uint64) (out []byte, pnOffset int) {
-	var w wire.Writer
-	w.Write(b)
+	w := wire.WriterFor(b)
 	w.Byte(0x40 | (pnLen - 1))
 	w.Write(dcid)
 	pnOffset = w.Len()
@@ -122,8 +120,7 @@ func AppendShortHeader(b []byte, dcid []byte, pn uint64) (out []byte, pnOffset i
 // protection; the integrity tag is the caller's responsibility and is
 // simply appended after the token by higher layers).
 func AppendRetry(b []byte, dcid, scid, token []byte) []byte {
-	var w wire.Writer
-	w.Write(b)
+	w := wire.WriterFor(b)
 	w.Byte(0xC0 | 3<<4)
 	w.Uint32(Version1)
 	w.Byte(byte(len(dcid)))
@@ -137,8 +134,7 @@ func AppendRetry(b []byte, dcid, scid, token []byte) []byte {
 // AppendVersionNegotiation appends a Version Negotiation packet advertising
 // the given versions.
 func AppendVersionNegotiation(b []byte, dcid, scid []byte, versions []uint32) []byte {
-	var w wire.Writer
-	w.Write(b)
+	w := wire.WriterFor(b)
 	w.Byte(0x80)
 	w.Uint32(0)
 	w.Byte(byte(len(dcid)))

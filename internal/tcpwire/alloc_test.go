@@ -1,0 +1,46 @@
+package tcpwire
+
+import "testing"
+
+var allocSrc = [4]byte{10, 0, 0, 1}
+var allocDst = [4]byte{10, 0, 0, 2}
+
+// TestEncodeAllocs pins the steady-state segment encode at zero
+// allocations: AppendEncode into a buffer with capacity reuses it,
+// including the in-place checksum patch.
+func TestEncodeAllocs(t *testing.T) {
+	seg := Segment{
+		SourcePort:      40000,
+		DestinationPort: 8080,
+		SeqNumber:       1000,
+		AckNumber:       2000,
+		Flags:           PSH | ACK,
+		Window:          8192,
+		Payload:         make([]byte, 512),
+	}
+	buf := make([]byte, 0, 1024)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = seg.AppendEncode(buf[:0], allocSrc, allocDst)
+	}); avg != 0 {
+		t.Fatalf("AppendEncode steady state allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestDecodeAllocs pins the steady-state segment decode at zero
+// allocations: DecodeInto aliases the payload and the checksum
+// verification materialises no pseudo-header buffer.
+func TestDecodeAllocs(t *testing.T) {
+	data := Segment{
+		SourcePort: 8080, DestinationPort: 40000,
+		SeqNumber: 7, AckNumber: 8, Flags: ACK, Window: 4096,
+		Payload: make([]byte, 512),
+	}.Encode(allocSrc, allocDst)
+	var seg Segment
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&seg, data, allocSrc, allocDst); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}); avg != 0 {
+		t.Fatalf("DecodeInto steady state allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -130,7 +130,15 @@ var (
 // Encode serializes the segment to wire format. src and dst are the IPv4
 // addresses used in the checksum pseudo-header.
 func (s Segment) Encode(src, dst [4]byte) []byte {
-	var w wire.Writer
+	return s.AppendEncode(nil, src, dst)
+}
+
+// AppendEncode serializes the segment onto b and returns the extended
+// slice. It appends in place (capacity in b is reused), so steady-state
+// encoding into a preallocated buffer performs no allocations.
+func (s Segment) AppendEncode(b []byte, src, dst [4]byte) []byte {
+	start := len(b)
+	w := wire.WriterFor(b)
 	w.Uint16(s.SourcePort)
 	w.Uint16(s.DestinationPort)
 	w.Uint32(s.SeqNumber)
@@ -142,20 +150,35 @@ func (s Segment) Encode(src, dst [4]byte) []byte {
 	w.Uint16(s.UrgentPointer)
 	w.Write(s.Payload)
 	buf := w.Bytes()
-	sum := checksum(buf, src, dst)
-	buf[16] = byte(sum >> 8)
-	buf[17] = byte(sum)
+	sum := checksum(buf[start:], src, dst)
+	buf[start+16] = byte(sum >> 8)
+	buf[start+17] = byte(sum)
 	return buf
 }
 
 // Decode parses a wire-format segment and verifies its checksum against the
-// pseudo-header for src and dst.
+// pseudo-header for src and dst. The returned segment's payload is a copy,
+// safe to retain after data is reused.
 func Decode(data []byte, src, dst [4]byte) (Segment, error) {
+	var s Segment
+	if err := DecodeInto(&s, data, src, dst); err != nil {
+		return Segment{}, err
+	}
+	if len(s.Payload) > 0 {
+		s.Payload = append([]byte(nil), s.Payload...)
+	}
+	return s, nil
+}
+
+// DecodeInto is the zero-allocation decode path: it parses into *s, whose
+// Payload aliases data instead of copying it. Callers that retain the
+// segment — or reuse data — must copy the payload themselves.
+func DecodeInto(s *Segment, data []byte, src, dst [4]byte) error {
 	if len(data) < headerLen {
-		return Segment{}, ErrTooShort
+		return ErrTooShort
 	}
 	r := wire.NewReader(data)
-	var s Segment
+	*s = Segment{}
 	s.SourcePort = r.Uint16()
 	s.DestinationPort = r.Uint16()
 	s.SeqNumber = r.Uint32()
@@ -167,27 +190,43 @@ func Decode(data []byte, src, dst [4]byte) (Segment, error) {
 	s.UrgentPointer = r.Uint16()
 	offset := int(offsetByte>>4) * 4
 	if offset < headerLen || offset > len(data) {
-		return Segment{}, ErrBadOffset
+		*s = Segment{}
+		return ErrBadOffset
 	}
 	if payload := data[offset:]; len(payload) > 0 {
-		s.Payload = append([]byte(nil), payload...)
+		s.Payload = payload
 	}
 	if checksum(data, src, dst) != 0 {
-		return Segment{}, ErrBadChecksum
+		*s = Segment{}
+		return ErrBadChecksum
 	}
-	return s, r.Err()
+	return r.Err()
 }
 
 // checksum computes the TCP checksum including the IPv4 pseudo-header.
 // When the segment's own checksum field is filled in, the result is zero
-// for a valid segment.
+// for a valid segment. The pseudo-header words are folded in directly
+// instead of materialising a concatenated buffer, keeping the hot path
+// allocation-free; the result is identical to wire.Checksum over
+// src ∥ dst ∥ {0, 6, len} ∥ segment (the pseudo-header is an even 12
+// bytes, so the odd-byte rule never straddles the boundary).
 func checksum(segment []byte, src, dst [4]byte) uint16 {
-	pseudo := make([]byte, 0, 12+len(segment))
-	pseudo = append(pseudo, src[:]...)
-	pseudo = append(pseudo, dst[:]...)
-	pseudo = append(pseudo, 0, 6 /* TCP protocol number */, byte(len(segment)>>8), byte(len(segment)))
-	pseudo = append(pseudo, segment...)
-	return wire.Checksum(pseudo)
+	sum := uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += 6 // zero byte + TCP protocol number
+	sum += uint32(uint16(len(segment)))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(segment[i])<<8 | uint32(segment[i+1])
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
 }
 
 // String renders the segment compactly for logs and diffs.

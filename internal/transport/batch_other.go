@@ -1,0 +1,11 @@
+//go:build !(linux && amd64)
+
+package transport
+
+import "net"
+
+// newBatchImpl falls back to one-datagram-per-syscall on platforms without
+// a wired-up recvmmsg/sendmmsg implementation.
+func newBatchImpl(conn *net.UDPConn, connected bool) BatchConn {
+	return &simpleConn{conn: conn, connected: connected}
+}

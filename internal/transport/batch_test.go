@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/quicsim"
+	"repro/internal/reference"
+	"repro/internal/tcpsim"
+)
+
+func udpPair(t *testing.T) (srv *net.UDPConn, cli *net.UDPConn) {
+	t.Helper()
+	srvConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliConn, err := net.DialUDP("udp", nil, srvConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		srvConn.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvConn.Close(); cliConn.Close() })
+	return srvConn, cliConn
+}
+
+func ring(n int) []Message {
+	ms := make([]Message, n)
+	for i := range ms {
+		ms[i].Buf = make([]byte, maxDatagram)
+	}
+	return ms
+}
+
+// TestBatchConnRoundTrip pushes a burst client→server and echoes it back,
+// exercising WriteBatch on both connected and unconnected sockets and the
+// address plumbing of ReadBatch.
+func TestBatchConnRoundTrip(t *testing.T) {
+	srvConn, cliConn := udpPair(t)
+	srv, cli := NewBatchConn(srvConn), NewBatchConn(cliConn)
+
+	const burst = 10
+	wms := make([]Message, burst)
+	for i := range wms {
+		wms[i].Buf = []byte(fmt.Sprintf("dgram-%02d", i))
+		wms[i].N = len(wms[i].Buf)
+	}
+	if n, err := cli.WriteBatch(wms); err != nil || n != burst {
+		t.Fatalf("client WriteBatch = %d, %v", n, err)
+	}
+
+	rms := ring(burst)
+	got := 0
+	srvConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for got < burst {
+		n, err := srv.ReadBatch(rms[got:])
+		if err != nil {
+			t.Fatalf("server ReadBatch after %d: %v", got, err)
+		}
+		for i := got; i < got+n; i++ {
+			if rms[i].Addr == nil {
+				t.Fatalf("message %d has no source address", i)
+			}
+			want := fmt.Sprintf("dgram-%02d", i)
+			if string(rms[i].Buf[:rms[i].N]) != want {
+				t.Fatalf("message %d = %q, want %q", i, rms[i].Buf[:rms[i].N], want)
+			}
+		}
+		got += n
+	}
+
+	// Echo back through the unconnected socket using the captured addrs.
+	for i := 0; i < burst; i++ {
+		rms[i].Buf = rms[i].Buf[:rms[i].N]
+	}
+	if n, err := srv.WriteBatch(rms[:burst]); err != nil || n != burst {
+		t.Fatalf("server WriteBatch = %d, %v", n, err)
+	}
+	back := ring(burst)
+	got = 0
+	cliConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for got < burst {
+		n, err := cli.ReadBatch(back[got:])
+		if err != nil {
+			t.Fatalf("client ReadBatch after %d: %v", got, err)
+		}
+		got += n
+	}
+	for i := 0; i < burst; i++ {
+		want := fmt.Sprintf("dgram-%02d", i)
+		if string(back[i].Buf[:back[i].N]) != want {
+			t.Fatalf("echo %d = %q, want %q", i, back[i].Buf[:back[i].N], want)
+		}
+	}
+}
+
+// TestBatchConnTryReadEmpty checks the drain path reports an empty queue
+// without blocking for long.
+func TestBatchConnTryReadEmpty(t *testing.T) {
+	srvConn, _ := udpPair(t)
+	srv := NewBatchConn(srvConn)
+	start := time.Now()
+	n, err := srv.TryReadBatch(ring(4))
+	if err != nil || n != 0 {
+		t.Fatalf("TryReadBatch on empty socket = %d, %v", n, err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("TryReadBatch blocked for %v", d)
+	}
+}
+
+// TestBatchConnDeadline checks a blocking ReadBatch honours the socket
+// read deadline.
+func TestBatchConnDeadline(t *testing.T) {
+	srvConn, _ := udpPair(t)
+	srv := NewBatchConn(srvConn)
+	srvConn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	_, err := srv.ReadBatch(ring(1))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("ReadBatch past deadline = %v, want timeout", err)
+	}
+}
+
+// TestQUICOverUDPLegacyPath runs the handshake over the preserved
+// per-packet path, which serves as the benchmark baseline.
+func TestQUICOverUDPLegacyPath(t *testing.T) {
+	srv := quicsim.NewServer(quicsim.Config{Profile: quicsim.ProfileGoogle, Seed: 7})
+	hosted, err := ListenQUICMode(Loopback(), srv, PathLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hosted.Close()
+	tr := NewQUICClientTransportMode(hosted.Addr(), PathLegacy)
+	defer tr.Close()
+	cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: 11}, tr)
+
+	srv.Reset()
+	if err := cli.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	out1, err := cli.Step(quicsim.SymInitialCrypto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := cli.Step(quicsim.SymHandshakeC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := quicsim.GroundTruth(quicsim.ProfileGoogle)
+	want, _ := truth.Run([]string{quicsim.SymInitialCrypto, quicsim.SymHandshakeC})
+	if out1 != want[0] || out2 != want[1] {
+		t.Fatalf("legacy UDP path diverges:\n got %q / %q\nwant %q / %q", out1, out2, want[0], want[1])
+	}
+}
+
+// TestTCPOverUDPLegacyPath exchanges segments over the per-packet path.
+func TestTCPOverUDPLegacyPath(t *testing.T) {
+	src := [4]byte{10, 0, 0, 2}
+	dst := [4]byte{10, 0, 0, 1}
+	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: 5})
+	hosted, err := ListenTCPMode(Loopback(), srv, src, dst, PathLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hosted.Close()
+	tr, closer, err := NewTCPClientTransportMode(hosted.Addr(), PathLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+	cli := reference.NewTCPClient(reference.TCPClientConfig{
+		Seed: 3, DstPort: 44344, SrcAddr: src, DstAddr: dst,
+	}, tr)
+
+	srv.Reset()
+	if err := cli.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli.Step("SYN(?,?,0)")
+	if err != nil || out != "SYN+ACK(?,?,0)" {
+		t.Fatalf("SYN over legacy UDP got %q, %v", out, err)
+	}
+}
+
+// TestSrttTrackerWaits pins the adaptive-wait clamps: cold start falls back
+// to the legacy quiet window, fast loopback samples hit the floors, and the
+// ceiling never exceeds quiet.
+func TestSrttTrackerWaits(t *testing.T) {
+	var s srttTracker
+	if s.firstWait() != quiet || s.quietWait() != quiet {
+		t.Fatalf("cold tracker waits = %v/%v, want %v", s.firstWait(), s.quietWait(), quiet)
+	}
+	s.observe(100 * time.Microsecond)
+	if got := s.firstWait(); got != 5*time.Millisecond {
+		t.Fatalf("firstWait after 100µs sample = %v, want 5ms floor", got)
+	}
+	if got := s.quietWait(); got != time.Millisecond {
+		t.Fatalf("quietWait after 100µs sample = %v, want 1ms floor", got)
+	}
+	for i := 0; i < 64; i++ {
+		s.observe(time.Second) // pathological samples must not exceed the ceiling
+	}
+	if s.firstWait() != quiet || s.quietWait() != quiet {
+		t.Fatalf("waits after huge samples = %v/%v, want %v ceiling", s.firstWait(), s.quietWait(), quiet)
+	}
+	s = srttTracker{}
+	s.observe(1 * time.Millisecond)
+	if got := s.firstWait(); got != 16*time.Millisecond {
+		t.Fatalf("firstWait after 1ms sample = %v, want 16ms", got)
+	}
+	if got := s.quietWait(); got != 8*time.Millisecond {
+		t.Fatalf("quietWait after 1ms sample = %v, want 8ms", got)
+	}
+}

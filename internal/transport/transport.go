@@ -3,10 +3,15 @@
 // over an actual network path (loopback or otherwise) instead of in-process
 // function calls. TCP segments are carried in UDP datagrams — the userspace
 // stack plays the role the kernel plays in the paper's testbed.
+//
+// Two path modes exist. PathBatched (the default) moves datagrams through a
+// BatchConn — recvmmsg/sendmmsg where available — with preallocated message
+// rings and RTT-adaptive response deadlines. PathLegacy preserves the
+// original one-syscall-per-datagram loops with the fixed 30ms quiet window,
+// and serves as the baseline arm for BenchmarkUDPQueriesPerSec.
 package transport
 
 import (
-	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -21,21 +26,80 @@ import (
 // simulators emit.
 const maxDatagram = 4096
 
-// quiet is how long client transports wait for further response datagrams
-// after the last one (the simulators answer synchronously, so loopback
-// responses arrive promptly or not at all).
+// quiet is how long legacy client transports wait for further response
+// datagrams after the last one (the simulators answer synchronously, so
+// loopback responses arrive promptly or not at all). The batched path uses
+// it as the ceiling — and the cold-start value — for its adaptive waits.
 const quiet = 30 * time.Millisecond
+
+// batchSize is the message-ring depth for batched reads and writes.
+const batchSize = 32
+
+// PathMode selects between the batched and the legacy UDP hot path.
+type PathMode int
+
+const (
+	// PathBatched moves datagrams in batches with adaptive deadlines.
+	PathBatched PathMode = iota
+	// PathLegacy is the original per-packet path with fixed waits.
+	PathLegacy
+)
+
+// srttTracker keeps a smoothed estimate of the time from sending a request
+// datagram to the first response datagram, and derives the two waits the
+// client path needs: how long to believe a response is still coming, and
+// how long a silence means the burst is over. Both are clamped so a cold
+// or noisy estimate degrades to the legacy 30ms behaviour, never below
+// floors that absorb scheduler jitter.
+type srttTracker struct {
+	srtt time.Duration
+}
+
+// observe folds a new time-to-first-response sample in (EWMA, gain 1/4).
+func (s *srttTracker) observe(d time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = d
+		return
+	}
+	s.srtt += (d - s.srtt) / 4
+}
+
+// firstWait is the deadline for the first response datagram of an exchange.
+func (s *srttTracker) firstWait() time.Duration {
+	return clampWait(16*s.srtt, 5*time.Millisecond)
+}
+
+// quietWait is the silence that ends an exchange once data has arrived.
+func (s *srttTracker) quietWait() time.Duration {
+	return clampWait(8*s.srtt, time.Millisecond)
+}
+
+func clampWait(d, floor time.Duration) time.Duration {
+	if d <= 0 || d > quiet {
+		return quiet
+	}
+	if d < floor {
+		return floor
+	}
+	return d
+}
 
 // QUICServer hosts a quicsim server on a UDP socket.
 type QUICServer struct {
 	conn *net.UDPConn
 	srv  *quicsim.Server
+	mode PathMode
 	wg   sync.WaitGroup
 }
 
 // ListenQUIC binds addr (e.g. "127.0.0.1:0") and serves the QUIC simulator
-// on it. Close stops the server.
+// on it over the batched path. Close stops the server.
 func ListenQUIC(addr string, srv *quicsim.Server) (*QUICServer, error) {
+	return ListenQUICMode(addr, srv, PathBatched)
+}
+
+// ListenQUICMode is ListenQUIC with an explicit path mode.
+func ListenQUICMode(addr string, srv *quicsim.Server, mode PathMode) (*QUICServer, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -44,9 +108,13 @@ func ListenQUIC(addr string, srv *quicsim.Server) (*QUICServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &QUICServer{conn: conn, srv: srv}
+	s := &QUICServer{conn: conn, srv: srv, mode: mode}
 	s.wg.Add(1)
-	go s.loop()
+	if mode == PathLegacy {
+		go s.loopLegacy()
+	} else {
+		go s.loopBatched()
+	}
 	return s, nil
 }
 
@@ -60,7 +128,7 @@ func (s *QUICServer) Close() error {
 	return err
 }
 
-func (s *QUICServer) loop() {
+func (s *QUICServer) loopLegacy() {
 	defer s.wg.Done()
 	buf := make([]byte, maxDatagram)
 	for {
@@ -77,41 +145,108 @@ func (s *QUICServer) loop() {
 	}
 }
 
+func (s *QUICServer) loopBatched() {
+	defer s.wg.Done()
+	bconn := NewBatchConn(s.conn)
+	rms := make([]Message, batchSize)
+	for i := range rms {
+		rms[i].Buf = make([]byte, maxDatagram)
+	}
+	wms := make([]Message, 0, batchSize)
+	for {
+		n, err := bconn.ReadBatch(rms)
+		if err != nil {
+			return
+		}
+		wms = wms[:0]
+		for i := 0; i < n; i++ {
+			// HandleDatagram copies anything it retains, so the ring
+			// buffer goes in uncopied; its response buffers are fresh
+			// and stay valid through the write batch.
+			for _, out := range s.srv.HandleDatagram(rms[i].Addr.String(), rms[i].Buf[:rms[i].N]) {
+				wms = append(wms, Message{Buf: out, N: len(out), Addr: rms[i].Addr})
+			}
+		}
+		if len(wms) > 0 {
+			if _, err := bconn.WriteBatch(wms); err != nil {
+				return
+			}
+		}
+	}
+}
+
 // QUICClientTransport is a reference.Transport over UDP. It honours the
 // client's source-address changes (the Issue 3 bug) by rebinding its local
 // socket whenever the src string changes.
 type QUICClientTransport struct {
 	server  string
+	mode    PathMode
 	mu      sync.Mutex
 	conn    *net.UDPConn
+	bconn   BatchConn
 	lastSrc string
+	rtt     srttTracker
+	rms     []Message
 }
 
-// NewQUICClientTransport returns a transport that dials the given server
-// address per datagram exchange.
+// NewQUICClientTransport returns a batched-path transport that dials the
+// given server address per datagram exchange.
 func NewQUICClientTransport(server string) *QUICClientTransport {
-	return &QUICClientTransport{server: server}
+	return NewQUICClientTransportMode(server, PathBatched)
+}
+
+// NewQUICClientTransportMode is NewQUICClientTransport with an explicit
+// path mode.
+func NewQUICClientTransportMode(server string, mode PathMode) *QUICClientTransport {
+	return &QUICClientTransport{server: server, mode: mode}
+}
+
+// rebind ensures a socket bound for src, dialling a fresh ephemeral port
+// when the claimed source changes. Callers hold t.mu.
+func (t *QUICClientTransport) rebind(src string) bool {
+	if t.conn != nil && src == t.lastSrc {
+		return true
+	}
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	t.conn, t.bconn = nil, nil
+	ra, err := net.ResolveUDPAddr("udp", t.server)
+	if err != nil {
+		return false
+	}
+	conn, err := net.DialUDP("udp", nil, ra) // fresh ephemeral port
+	if err != nil {
+		return false
+	}
+	t.conn = conn
+	if t.mode == PathBatched {
+		t.bconn = NewBatchConn(conn)
+		if t.rms == nil {
+			t.rms = make([]Message, batchSize)
+			for i := range t.rms {
+				t.rms[i].Buf = make([]byte, maxDatagram)
+			}
+		}
+	}
+	t.lastSrc = src
+	return true
 }
 
 // Send implements reference.Transport.
 func (t *QUICClientTransport) Send(src string, datagram []byte) [][]byte {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.conn == nil || src != t.lastSrc {
-		if t.conn != nil {
-			t.conn.Close()
-		}
-		ra, err := net.ResolveUDPAddr("udp", t.server)
-		if err != nil {
-			return nil
-		}
-		conn, err := net.DialUDP("udp", nil, ra) // fresh ephemeral port
-		if err != nil {
-			return nil
-		}
-		t.conn = conn
-		t.lastSrc = src
+	if !t.rebind(src) {
+		return nil
 	}
+	if t.mode == PathLegacy {
+		return t.sendLegacy(datagram)
+	}
+	return t.sendBatched(datagram)
+}
+
+func (t *QUICClientTransport) sendLegacy(datagram []byte) [][]byte {
 	if _, err := t.conn.Write(datagram); err != nil {
 		return nil
 	}
@@ -124,6 +259,31 @@ func (t *QUICClientTransport) Send(src string, datagram []byte) [][]byte {
 			break
 		}
 		out = append(out, append([]byte(nil), buf[:n]...))
+	}
+	return out
+}
+
+func (t *QUICClientTransport) sendBatched(datagram []byte) [][]byte {
+	t.bconn.TryReadBatch(t.rms) // drop stale datagrams from a prior exchange
+	start := time.Now()
+	if _, err := t.conn.Write(datagram); err != nil {
+		return nil
+	}
+	var out [][]byte
+	wait := t.rtt.firstWait()
+	for {
+		t.conn.SetReadDeadline(time.Now().Add(wait))
+		n, err := t.bconn.ReadBatch(t.rms)
+		if err != nil {
+			break
+		}
+		if out == nil {
+			t.rtt.observe(time.Since(start))
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, append([]byte(nil), t.rms[i].Buf[:t.rms[i].N]...))
+		}
+		wait = t.rtt.quietWait()
 	}
 	return out
 }
@@ -144,12 +304,19 @@ type TCPServer struct {
 	conn     *net.UDPConn
 	srv      *tcpsim.Server
 	src, dst [4]byte
+	mode     PathMode
 	wg       sync.WaitGroup
 }
 
-// ListenTCP binds addr and serves the TCP simulator. src and dst are the
-// pseudo-header addresses used for checksums (client's and server's).
+// ListenTCP binds addr and serves the TCP simulator over the batched path.
+// src and dst are the pseudo-header addresses used for checksums (client's
+// and server's).
 func ListenTCP(addr string, srv *tcpsim.Server, src, dst [4]byte) (*TCPServer, error) {
+	return ListenTCPMode(addr, srv, src, dst, PathBatched)
+}
+
+// ListenTCPMode is ListenTCP with an explicit path mode.
+func ListenTCPMode(addr string, srv *tcpsim.Server, src, dst [4]byte, mode PathMode) (*TCPServer, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -158,9 +325,13 @@ func ListenTCP(addr string, srv *tcpsim.Server, src, dst [4]byte) (*TCPServer, e
 	if err != nil {
 		return nil, err
 	}
-	s := &TCPServer{conn: conn, srv: srv, src: src, dst: dst}
+	s := &TCPServer{conn: conn, srv: srv, src: src, dst: dst, mode: mode}
 	s.wg.Add(1)
-	go s.loop()
+	if mode == PathLegacy {
+		go s.loopLegacy()
+	} else {
+		go s.loopBatched()
+	}
 	return s, nil
 }
 
@@ -174,7 +345,7 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-func (s *TCPServer) loop() {
+func (s *TCPServer) loopLegacy() {
 	defer s.wg.Done()
 	buf := make([]byte, maxDatagram)
 	for {
@@ -194,8 +365,59 @@ func (s *TCPServer) loop() {
 	}
 }
 
-// NewTCPClientTransport returns a reference.TCPTransport over UDP.
+func (s *TCPServer) loopBatched() {
+	defer s.wg.Done()
+	bconn := NewBatchConn(s.conn)
+	rms := make([]Message, batchSize)
+	for i := range rms {
+		rms[i].Buf = make([]byte, maxDatagram)
+	}
+	// Responses are encoded into stable per-slot buffers: each slot is
+	// appended into at its own fixed backing, so earlier messages never
+	// move when later ones encode (a shared arena would invalidate them
+	// on growth).
+	var wslots [][]byte
+	wms := make([]Message, 0, batchSize)
+	var seg tcpwire.Segment
+	for {
+		n, err := bconn.ReadBatch(rms)
+		if err != nil {
+			return
+		}
+		wms = wms[:0]
+		used := 0
+		for i := 0; i < n; i++ {
+			// The aliasing decode is safe here: tcpsim.Handle receives
+			// the segment by value and never retains the payload slice.
+			if err := tcpwire.DecodeInto(&seg, rms[i].Buf[:rms[i].N], s.src, s.dst); err != nil {
+				continue // corrupt segment: drop, like a NIC would
+			}
+			for _, resp := range s.srv.Handle(seg) {
+				if used == len(wslots) {
+					wslots = append(wslots, make([]byte, 0, maxDatagram))
+				}
+				wslots[used] = resp.AppendEncode(wslots[used][:0], s.dst, s.src)
+				wms = append(wms, Message{Buf: wslots[used], N: len(wslots[used]), Addr: rms[i].Addr})
+				used++
+			}
+		}
+		if len(wms) > 0 {
+			if _, err := bconn.WriteBatch(wms); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// NewTCPClientTransport returns a batched-path reference.TCPTransport over
+// UDP.
 func NewTCPClientTransport(server string) (reference.TCPTransport, func() error, error) {
+	return NewTCPClientTransportMode(server, PathBatched)
+}
+
+// NewTCPClientTransportMode is NewTCPClientTransport with an explicit path
+// mode.
+func NewTCPClientTransportMode(server string, mode PathMode) (reference.TCPTransport, func() error, error) {
 	ra, err := net.ResolveUDPAddr("udp", server)
 	if err != nil {
 		return nil, nil, err
@@ -204,19 +426,57 @@ func NewTCPClientTransport(server string) (reference.TCPTransport, func() error,
 	if err != nil {
 		return nil, nil, err
 	}
+	if mode == PathLegacy {
+		tr := reference.TCPTransportFunc(func(segment []byte) [][]byte {
+			if _, err := conn.Write(segment); err != nil {
+				return nil
+			}
+			var out [][]byte
+			buf := make([]byte, maxDatagram)
+			for {
+				conn.SetReadDeadline(time.Now().Add(quiet))
+				n, err := conn.Read(buf)
+				if err != nil {
+					break
+				}
+				out = append(out, append([]byte(nil), buf[:n]...))
+			}
+			return out
+		})
+		return tr, conn.Close, nil
+	}
+	var (
+		mu    sync.Mutex
+		rtt   srttTracker
+		bconn = NewBatchConn(conn)
+		rms   = make([]Message, batchSize)
+	)
+	for i := range rms {
+		rms[i].Buf = make([]byte, maxDatagram)
+	}
 	tr := reference.TCPTransportFunc(func(segment []byte) [][]byte {
+		mu.Lock()
+		defer mu.Unlock()
+		bconn.TryReadBatch(rms) // drop stale datagrams from a prior exchange
+		start := time.Now()
 		if _, err := conn.Write(segment); err != nil {
 			return nil
 		}
 		var out [][]byte
-		buf := make([]byte, maxDatagram)
+		wait := rtt.firstWait()
 		for {
-			conn.SetReadDeadline(time.Now().Add(quiet))
-			n, err := conn.Read(buf)
+			conn.SetReadDeadline(time.Now().Add(wait))
+			n, err := bconn.ReadBatch(rms)
 			if err != nil {
 				break
 			}
-			out = append(out, append([]byte(nil), buf[:n]...))
+			if out == nil {
+				rtt.observe(time.Since(start))
+			}
+			for i := 0; i < n; i++ {
+				out = append(out, append([]byte(nil), rms[i].Buf[:rms[i].N]...))
+			}
+			wait = rtt.quietWait()
 		}
 		return out
 	})
@@ -224,4 +484,4 @@ func NewTCPClientTransport(server string) (reference.TCPTransport, func() error,
 }
 
 // Loopback returns a loopback listen address with an ephemeral port.
-func Loopback() string { return fmt.Sprintf("127.0.0.1:0") }
+func Loopback() string { return "127.0.0.1:0" }

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVarintRoundTrip: every in-range value must encode and decode back to
+// itself with a canonical length.
+func FuzzVarintRoundTrip(f *testing.F) {
+	for _, v := range []uint64{0, 1, 63, 64, 16383, 16384, 1<<30 - 1, 1 << 30, MaxVarint} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		v &= MaxVarint
+		enc := AppendVarint(nil, v)
+		if got := VarintLen(v); got != len(enc) {
+			t.Fatalf("VarintLen(%d) = %d, encoded %d bytes", v, got, len(enc))
+		}
+		dec, n, err := ReadVarint(enc)
+		if err != nil {
+			t.Fatalf("ReadVarint rejected own encoding of %d: %v", v, err)
+		}
+		if dec != v || n != len(enc) {
+			t.Fatalf("round trip of %d: got %d over %d of %d bytes", v, dec, n, len(enc))
+		}
+	})
+}
+
+// FuzzReaderWalk: a Reader over arbitrary bytes must never panic, never
+// read past the end, keep Offset+Len an invariant, and — once the sticky
+// error is set — stop advancing and return only zero values.
+func FuzzReaderWalk(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(AppendVarint(AppendVarint(nil, 300), MaxVarint))
+	f.Add(bytes.Repeat([]byte{0xee}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		if r.Len() != len(data) {
+			t.Fatalf("fresh reader Len = %d, want %d", r.Len(), len(data))
+		}
+		for step := 0; step < len(data)+8; step++ {
+			before := r.Offset()
+			erred := r.Err() != nil
+			var zero bool
+			switch step % 5 {
+			case 0:
+				zero = r.Byte() == 0
+			case 1:
+				zero = r.Uint16() == 0
+			case 2:
+				zero = r.Uint32() == 0
+			case 3:
+				zero = r.Varint() == 0
+			case 4:
+				zero = r.Bytes(step%3) == nil || step%3 == 0
+			}
+			after := r.Offset()
+			if after < before || after > len(data) {
+				t.Fatalf("step %d: offset moved %d -> %d over %d bytes", step, before, after, len(data))
+			}
+			if r.Offset()+r.Len() != len(data) {
+				t.Fatalf("step %d: Offset %d + Len %d != %d", step, r.Offset(), r.Len(), len(data))
+			}
+			if erred {
+				if after != before {
+					t.Fatalf("step %d: errored reader advanced %d -> %d", step, before, after)
+				}
+				if !zero {
+					t.Fatalf("step %d: errored reader returned a non-zero value", step)
+				}
+			}
+		}
+		// A negative count is always rejected without moving the cursor.
+		off := r.Offset()
+		if b := r.Bytes(-1); b != nil || r.Err() == nil || r.Offset() != off {
+			t.Fatalf("Bytes(-1) = %v, err %v, offset %d -> %d", b, r.Err(), off, r.Offset())
+		}
+	})
+}

@@ -170,6 +170,12 @@ type Writer struct {
 	buf []byte
 }
 
+// WriterFor returns a Writer that appends to b in place, following Go's
+// append semantics: existing capacity in b is reused, so encode paths that
+// pass a preallocated buffer run without per-call allocations. The zero
+// Writer plus Write(b) copies b instead — hot paths should use WriterFor.
+func WriterFor(b []byte) Writer { return Writer{buf: b} }
+
 // Bytes returns the accumulated buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
