@@ -1,0 +1,88 @@
+// Command prognosisd is the learning-as-a-service daemon: the prognosis
+// subcommands (learn, diff, check, regress) exposed as async jobs over an
+// HTTP/JSON API, with a persistent on-disk queue, SSE progress streams,
+// and artifact downloads. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	prognosisd -addr :8047 -data /var/lib/prognosisd -parallel 2
+//
+// On SIGTERM/SIGINT the daemon drains: new submissions are refused,
+// running jobs get the drain timeout to finish, and whatever is still
+// running is journaled back to pending — the next start resumes it from
+// the persistent query store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "prognosisd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8047", "listen address")
+	data := flag.String("data", "prognosisd-data", "data directory: job queue journal, query store, artifacts")
+	parallel := flag.Int("parallel", 1, "jobs run concurrently")
+	drain := flag.Duration("drain", 30*time.Second, "how long running jobs get to finish on shutdown before being re-queued")
+	flag.Parse()
+	logger := log.New(os.Stderr, "prognosisd: ", log.LstdFlags)
+
+	mgr, err := server.NewManager(server.ManagerConfig{
+		Dir:          *data,
+		Parallel:     *parallel,
+		DrainTimeout: *drain,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr)}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (data %s, parallel %d)", *addr, *data, *parallel)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		mgr.Shutdown(context.Background())
+		return err
+	case sig := <-sigc:
+		logger.Printf("%s: draining (timeout %v)", sig, *drain)
+	}
+
+	// Drain the manager first — while it runs, /v1/healthz reports 503 and
+	// Submit refuses — then stop the HTTP listener so in-flight status and
+	// SSE requests finish cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+10*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	logger.Printf("clean exit")
+	return nil
+}

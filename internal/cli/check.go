@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/lab"
+	"repro/internal/learncfg"
 )
 
 // Check implements `prognosis check`: run the builtin model-level property
@@ -20,7 +21,7 @@ func Check(args []string) error {
 	property := fs.String("property", "", "additional LTLf property to check (see `prognosis learn -h`)")
 	depth := fs.Int("depth", 4, "exploration depth for -property")
 	var lf learnFlags
-	lf.register(fs, 2, 0, 1)
+	lf.register(fs, learncfg.Defaults{Conformance: 2})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

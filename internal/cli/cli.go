@@ -1,10 +1,9 @@
 // Package cli implements the prognosis subcommands — learn, diff, check,
 // export, regress — over the unified analysis plane. cmd/prognosis
-// dispatches to them; cmd/modeldiff is a thin alias for `prognosis diff`.
-// Every
-// subcommand owns its flag set, installs Ctrl-C cancellation, and speaks
-// the same learning options, so `learn`'s flags work unchanged on `diff`,
-// `check`, and `export`.
+// dispatches to them. Every subcommand owns its flag set, installs
+// Ctrl-C cancellation, and speaks the same learning options (the shared
+// learncfg.Config, which prognosisd job bodies also resolve through), so
+// `learn`'s flags work unchanged on `diff`, `check`, and `export`.
 package cli
 
 import (
@@ -14,11 +13,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"time"
 
-	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/learn"
+	"repro/internal/learncfg"
 	"repro/internal/netem"
 )
 
@@ -90,92 +88,37 @@ func signalContext() (context.Context, context.CancelFunc) {
 }
 
 // learnFlags is the shared learning configuration every subcommand
-// understands.
+// understands: the declarative learncfg.Config (the same struct a
+// prognosisd job body unmarshals into, so CLI and API resolve through
+// one code path) plus the CLI-only output knobs.
 type learnFlags struct {
-	learner            string
-	seed               int64
-	perfect            bool
-	conformance        int
-	udp                bool
-	noCache            bool
-	workers            int
-	window             int
-	rtt                time.Duration
-	loss, dup, reorder float64
-	impairSeed         int64
-	warmup             int
-	verbose            bool
-	eventsFile         string
+	learncfg.Config
+	verbose    bool
+	eventsFile string
 }
 
-// register declares the shared flags on fs. conformance and the fault
-// rates get per-subcommand defaults (diff mildly impairs its links by
-// default; learn does not).
-func (f *learnFlags) register(fs *flag.FlagSet, defaultConformance int, defaultLoss float64, defaultWorkers int) {
-	fs.StringVar(&f.learner, "learner", "ttt", "learning algorithm: ttt or lstar")
-	fs.Int64Var(&f.seed, "seed", 13, "seed for all pseudo-randomness")
-	fs.BoolVar(&f.perfect, "perfect", false, "use the ground-truth equivalence oracle (QUIC targets only)")
-	fs.IntVar(&f.conformance, "conformance", defaultConformance,
-		"strengthen the equivalence search with a Wp-method pass of this depth over the live target (0 disables)")
-	fs.BoolVar(&f.udp, "udp", false, "run the session over UDP loopback socket pairs (one per worker)")
-	fs.BoolVar(&f.noCache, "no-cache", false, "disable the membership-query cache")
-	fs.IntVar(&f.workers, "workers", defaultWorkers, "membership-query concurrency: fan queries across this many independent SUL instances")
-	fs.IntVar(&f.window, "window", 0,
-		"start the adaptive in-flight window at this size (AIMD between 1 and -workers; 0 keeps the fixed worker-count limit)")
-	fs.DurationVar(&f.rtt, "rtt", 0, "emulate a remote target by adding this round-trip to every exchange (e.g. 200us)")
-	fs.Float64Var(&f.loss, "loss", defaultLoss, "per-datagram loss probability injected in each direction of every worker's link")
-	fs.Float64Var(&f.dup, "dup", 0, "per-datagram probability of duplicating a response")
-	fs.Float64Var(&f.reorder, "reorder", 0, "per-exchange probability of reordering adjacent response datagrams")
-	fs.Int64Var(&f.impairSeed, "impair-seed", 0, "seed for the fault streams (defaults to -seed)")
-	fs.IntVar(&f.warmup, "warmup", 100,
-		"random words driven through each replica before an impaired learn, letting cross-connection state (loss statistics, degraded modes) settle; applied only when a fault flag is set")
+// register declares the shared flags on fs. The defaults are
+// per-subcommand (diff mildly impairs its links by default; learn does
+// not) and flow through learncfg.Default, the same baseline the daemon
+// applies to job bodies.
+func (f *learnFlags) register(fs *flag.FlagSet, d learncfg.Defaults) {
+	f.Config = learncfg.Default(d)
+	f.Config.Register(fs)
 	fs.BoolVar(&f.verbose, "v", false, "stream live learning progress to stderr")
 	fs.StringVar(&f.eventsFile, "events", "", "append the typed event stream as JSON lines to this file")
 }
 
 // impairment assembles the netem config of the fault flags (zero when no
 // fault flag is set).
-func (f *learnFlags) impairment() netem.Config {
-	seed := f.impairSeed
-	if seed == 0 {
-		seed = f.seed
-	}
-	return netem.Config{
-		LossClient: f.loss, LossServer: f.loss,
-		Duplicate: f.dup, Reorder: f.reorder,
-		Seed: seed,
-	}
-}
+func (f *learnFlags) impairment() netem.Config { return f.Config.Impairment() }
 
-// options assembles the lab functional options; the returned cleanup
-// closes the events file, if any.
+// options assembles the lab functional options through the shared
+// learncfg builder and appends the CLI-only observers; the returned
+// cleanup closes the events file, if any.
 func (f *learnFlags) options() ([]lab.Option, func(), error) {
-	opts := []lab.Option{
-		lab.WithSeed(f.seed),
-		lab.WithLearner(core.LearnerKind(f.learner)),
-		lab.WithWorkers(f.workers),
-		lab.WithRTT(f.rtt),
-		lab.WithConformance(f.conformance),
-	}
-	if f.window > 0 {
-		opts = append(opts, lab.WithWindow(learn.WindowConfig{Initial: f.window}))
-	}
-	if f.perfect {
-		opts = append(opts, lab.WithPerfectEquivalence())
-	}
-	if f.noCache {
-		opts = append(opts, lab.WithoutCache())
-	}
-	if f.udp {
-		// Unsupported combinations (e.g. tcp) are rejected by the target's
-		// builder with a clear error rather than silently ignored here.
-		opts = append(opts, lab.WithTransport(lab.TransportUDP))
-	}
-	if impair := f.impairment(); impair.Enabled() {
-		opts = append(opts, lab.WithImpairment(impair))
-		if f.warmup > 0 {
-			opts = append(opts, lab.WithWarmup(f.warmup))
-		}
+	opts, err := f.Config.Options()
+	if err != nil {
+		return nil, nil, err
 	}
 	cleanup := func() {}
 	var observers []learn.Observer

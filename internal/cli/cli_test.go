@@ -316,7 +316,7 @@ func TestRegressManifestValidation(t *testing.T) {
 // manifest honest: every registered target must appear in it (a new target
 // without a regression entry would silently escape the CI gate).
 func TestRegressManifestCoversAllRegistryTargets(t *testing.T) {
-	m, err := loadManifest("../analysis/testdata/regress.json")
+	m, err := LoadRegressManifest("../analysis/testdata/regress.json")
 	if err != nil {
 		t.Fatal(err)
 	}

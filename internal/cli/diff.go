@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/lab"
+	"repro/internal/learncfg"
 )
 
 // Diff implements `prognosis diff A B`: learn both targets concurrently,
@@ -31,7 +32,7 @@ func Diff(args []string) error {
 	votes := fs.Int("votes", 5, "replays per target when confirming a witness (majority per step)")
 	exportDir := fs.String("export", "", "directory to write both learned models as DOT + JSON")
 	var lf learnFlags
-	lf.register(fs, 2, 0.02, 4)
+	lf.register(fs, learncfg.Defaults{Conformance: 2, Loss: 0.02, Workers: 4})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

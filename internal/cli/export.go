@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/learncfg"
 )
 
 // Export implements `prognosis export`: write a model — learned live or
@@ -18,7 +20,7 @@ func Export(args []string) error {
 	jsonFile := fs.String("json", "", "write JSON to this file")
 	minimize := fs.Bool("min", false, "minimize before exporting")
 	var lf learnFlags
-	lf.register(fs, 0, 0, 1)
+	lf.register(fs, learncfg.Defaults{})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

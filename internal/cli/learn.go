@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/automata"
 	"repro/internal/lab"
+	"repro/internal/learncfg"
 )
 
 // Learn implements `prognosis learn`: learn one target's model and report
@@ -23,7 +24,7 @@ func Learn(args []string) error {
 	property := fs.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
 	depth := fs.Int("depth", 4, "exploration depth for -property")
 	var lf learnFlags
-	lf.register(fs, 0, 0, 1)
+	lf.register(fs, learncfg.Defaults{})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/lab"
+	"repro/internal/learn"
+	"repro/internal/learncfg"
 )
 
 // Regress implements `prognosis regress`: relearn a manifest of targets —
@@ -39,11 +41,11 @@ func Regress(args []string) error {
 		return fmt.Errorf("regress takes no positional arguments (got %v)", fs.Args())
 	}
 
-	m, err := loadManifest(*manifest)
+	m, err := LoadRegressManifest(*manifest)
 	if err != nil {
 		return err
 	}
-	selected, err := m.filter(*targetsCSV)
+	selected, err := m.Filter(*targetsCSV)
 	if err != nil {
 		return err
 	}
@@ -52,33 +54,37 @@ func Regress(args []string) error {
 			return err
 		}
 	}
+	var obs learn.Observer
+	if *verbose {
+		obs = progressObserver{}
+	}
 
 	ctx, stop := signalContext()
 	defer stop()
 	var drifted []string
 	var totalLive int64
 	for _, rt := range selected {
-		live, drift, learned, err := regressOne(ctx, rt, m.dir, *storeDir, *workers, *witnesses, *verbose)
-		totalLive += live
+		out, err := RegressOne(ctx, rt, m.Dir, *storeDir, *workers, *witnesses, obs)
+		totalLive += out.LiveQueries
 		if err != nil {
 			return fmt.Errorf("target %s: %w", rt.Name, err)
 		}
-		if drift == "" {
-			fmt.Printf("regress %s: OK — %d live queries\n", rt.Name, live)
+		if out.Drift == "" {
+			fmt.Printf("regress %s: OK — %d live queries\n", rt.Name, out.LiveQueries)
 			continue
 		}
 		drifted = append(drifted, rt.Name)
-		fmt.Printf("regress %s: DRIFT — %d live queries\n%s", rt.Name, live, indent(drift))
+		fmt.Printf("regress %s: DRIFT — %d live queries\n%s", rt.Name, out.LiveQueries, indent(out.Drift))
 		if *witnessDir != "" {
 			path := filepath.Join(*witnessDir, rt.Name+".witness.txt")
-			if err := os.WriteFile(path, []byte(drift), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(out.Drift), 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("  witness written to %s\n", path)
-			if learned != nil {
+			if out.Learned != nil {
 				// The drifted model itself, for offline diffing against the
 				// golden without relearning.
-				if err := learned.Save(filepath.Join(*witnessDir, rt.Name+".learned.json")); err != nil {
+				if err := out.Learned.Save(filepath.Join(*witnessDir, rt.Name+".learned.json")); err != nil {
 					return err
 				}
 			}
@@ -92,70 +98,83 @@ func Regress(args []string) error {
 	return nil
 }
 
-// regressOne relearns one manifest target and compares it to its golden.
-// It returns the run's live query count, a non-empty drift rendering when
-// the gate must fail, and the learned model (nil when the run halted on
-// nondeterminism).
-func regressOne(ctx context.Context, rt regressTarget, manifestDir, storeDir string,
-	workers, witnesses int, verbose bool) (int64, string, *analysis.Model, error) {
-	lf := learnFlags{
-		learner: "ttt", seed: rt.Seed, conformance: rt.Conformance,
-		loss: rt.Loss, dup: rt.Duplicate, reorder: rt.Reorder,
-		warmup: rt.Warmup, workers: workers, verbose: verbose,
+// RegressOutcome is the structured result of one manifest-target
+// regression: how much live traffic the relearn cost, a non-empty drift
+// rendering when the gate must fail, and the freshly learned model (nil
+// when the run halted on nondeterminism). The prognosisd regress jobs
+// consume it directly; the CLI renders it.
+type RegressOutcome struct {
+	LiveQueries int64
+	Drift       string
+	Learned     *analysis.Model
+}
+
+// RegressOne relearns one manifest target — through the shared learncfg
+// option path, warm-started from storeDir when non-empty — and compares
+// the outcome to its golden. obs, when non-nil, receives the relearn's
+// typed event stream.
+func RegressOne(ctx context.Context, rt RegressTarget, manifestDir, storeDir string,
+	workers, witnesses int, obs learn.Observer) (RegressOutcome, error) {
+	cfg := learncfg.Config{
+		Learner: "ttt", Seed: rt.Seed, Conformance: rt.Conformance,
+		Loss: rt.Loss, Duplicate: rt.Duplicate, Reorder: rt.Reorder,
+		Warmup: rt.Warmup, Workers: workers, Store: storeDir,
 	}
-	opts, cleanup, err := lf.options()
+	opts, err := cfg.Options()
 	if err != nil {
-		return 0, "", nil, err
+		return RegressOutcome{}, err
 	}
-	defer cleanup()
-	if storeDir != "" {
-		opts = append(opts, lab.WithStore(storeDir))
+	if obs != nil {
+		opts = append(opts, lab.WithObserver(obs))
 	}
 	exp, err := lab.NewExperiment(rt.Name, opts...)
 	if err != nil {
-		return 0, "", nil, err
+		return RegressOutcome{}, err
 	}
 	defer exp.Close()
 	res, err := exp.Learn(ctx)
 	if err != nil {
-		return 0, "", nil, err
+		return RegressOutcome{}, err
 	}
-	live := res.Stats.Queries
+	out := RegressOutcome{LiveQueries: res.Stats.Queries}
 
 	if rt.Expect == expectNondet {
 		if res.Nondet != nil {
-			return live, "", nil, nil // the golden outcome: §5 still detects it
+			return out, nil // the golden outcome: §5 still detects it
 		}
-		return live, fmt.Sprintf(
+		out.Drift = fmt.Sprintf(
 			"expected the §5 nondeterminism halt, but a deterministic %d-state model was learned\n",
-			res.Machine.NumStates()), res.Model(), nil
+			res.Machine.NumStates())
+		out.Learned = res.Model()
+		return out, nil
 	}
 	if res.Nondet != nil {
-		return live, fmt.Sprintf("target became nondeterministic: %v\n", res.Nondet), nil, nil
+		out.Drift = fmt.Sprintf("target became nondeterministic: %v\n", res.Nondet)
+		return out, nil
 	}
 	golden, err := analysis.LoadModel(filepath.Join(manifestDir, rt.Golden))
 	if err != nil {
-		return live, "", nil, err
+		return out, err
 	}
-	learned := res.Model()
-	drift, err := analysis.CompareGolden(learned, golden, witnesses)
+	out.Learned = res.Model()
+	drift, err := analysis.CompareGolden(out.Learned, golden, witnesses)
 	if err != nil {
-		return live, "", nil, err
+		return out, err
 	}
-	if drift == nil {
-		return live, "", learned, nil
+	if drift != nil {
+		out.Drift = drift.String()
 	}
-	return live, drift.String(), learned, nil
+	return out, nil
 }
 
 // expectNondet is the manifest outcome for targets whose golden behaviour
 // is the §5 nondeterminism halt rather than a model.
 const expectNondet = "nondet"
 
-// regressTarget is one manifest entry: the registry target, its golden
+// RegressTarget is one manifest entry: the registry target, its golden
 // (path relative to the manifest; empty when Expect is "nondet"), and the
 // learning configuration that reproduces the golden.
-type regressTarget struct {
+type RegressTarget struct {
 	Name        string  `json:"name"`
 	Golden      string  `json:"golden,omitempty"`
 	Expect      string  `json:"expect,omitempty"` // "" (model) or "nondet"
@@ -167,19 +186,21 @@ type regressTarget struct {
 	Warmup      int     `json:"warmup,omitempty"`
 }
 
-type regressManifest struct {
+// RegressManifest is a loaded regression manifest. Dir is the directory
+// the manifest was read from; golden paths resolve relative to it.
+type RegressManifest struct {
 	Version int             `json:"version"`
-	Targets []regressTarget `json:"targets"`
-	dir     string          // directory the manifest was loaded from
+	Targets []RegressTarget `json:"targets"`
+	Dir     string          `json:"-"`
 }
 
-// loadManifest reads and validates a regression manifest.
-func loadManifest(path string) (*regressManifest, error) {
+// LoadRegressManifest reads and validates a regression manifest.
+func LoadRegressManifest(path string) (*RegressManifest, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var m regressManifest
+	var m RegressManifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -201,21 +222,21 @@ func loadManifest(path string) (*regressManifest, error) {
 			return nil, fmt.Errorf("%s: %s names no golden model", path, rt.Name)
 		}
 	}
-	m.dir = filepath.Dir(path)
+	m.Dir = filepath.Dir(path)
 	return &m, nil
 }
 
-// filter restricts the manifest to the requested comma-separated targets
+// Filter restricts the manifest to the requested comma-separated targets
 // (all of them for an empty filter).
-func (m *regressManifest) filter(csv string) ([]regressTarget, error) {
+func (m *RegressManifest) Filter(csv string) ([]RegressTarget, error) {
 	if csv == "" {
 		return m.Targets, nil
 	}
-	byName := make(map[string]regressTarget, len(m.Targets))
+	byName := make(map[string]RegressTarget, len(m.Targets))
 	for _, rt := range m.Targets {
 		byName[rt.Name] = rt
 	}
-	var out []regressTarget
+	var out []RegressTarget
 	for _, name := range strings.Split(csv, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -233,7 +254,7 @@ func (m *regressManifest) filter(csv string) ([]regressTarget, error) {
 	return out, nil
 }
 
-func (m *regressManifest) names() string {
+func (m *RegressManifest) names() string {
 	names := make([]string, len(m.Targets))
 	for i, rt := range m.Targets {
 		names[i] = rt.Name

@@ -1,0 +1,223 @@
+package learncfg
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDefaultReproducesClassicFlagDefaults: Default + Register + parsing
+// no arguments must yield exactly the config the pre-extraction flag set
+// produced (learner ttt, seed 13, warmup 100, per-surface knobs applied).
+func TestDefaultReproducesClassicFlagDefaults(t *testing.T) {
+	cfg := Default(Defaults{Conformance: 2, Loss: 0.02, Workers: 4})
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	cfg.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Learner: "ttt", Seed: 13, Conformance: 2, Loss: 0.02,
+		Workers: 4, Warmup: 100,
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("defaults drifted:\n got  %+v\n want %+v", cfg, want)
+	}
+}
+
+// TestFlagAndJSONAgree is the no-drift guarantee: the same configuration
+// expressed as CLI flags and as a prognosisd job body must resolve to an
+// identical Config — one struct, one builder.
+func TestFlagAndJSONAgree(t *testing.T) {
+	fromFlags := Default(Defaults{})
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fromFlags.Register(fs)
+	err := fs.Parse([]string{
+		"-learner", "lstar", "-seed", "7", "-workers", "4", "-window", "2",
+		"-rtt", "200us", "-loss", "0.05", "-dup", "0.01", "-reorder", "0.02",
+		"-impair-seed", "99", "-warmup", "50", "-conformance", "3",
+		"-udp", "-no-cache", "-perfect", "-store", "/tmp/q",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromJSON := Default(Defaults{})
+	body := `{
+		"learner": "lstar", "seed": 7, "workers": 4, "window": 2,
+		"rtt": "200us", "loss": 0.05, "dup": 0.01, "reorder": 0.02,
+		"impair_seed": 99, "warmup": 50, "conformance": 3,
+		"udp": true, "no_cache": true, "perfect": true, "store": "/tmp/q"
+	}`
+	if err := json.Unmarshal([]byte(body), &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFlags, fromJSON) {
+		t.Fatalf("flag and JSON surfaces diverged:\n flags %+v\n json  %+v", fromFlags, fromJSON)
+	}
+}
+
+// TestJSONOverDefaultKeepsAbsentFields: unmarshalling a sparse job body
+// over the default config overrides only the named fields.
+func TestJSONOverDefaultKeepsAbsentFields(t *testing.T) {
+	cfg := Default(Defaults{Conformance: 2})
+	if err := json.Unmarshal([]byte(`{"workers": 8}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", cfg.Workers)
+	}
+	if cfg.Seed != 13 || cfg.Learner != "ttt" || cfg.Conformance != 2 || cfg.Warmup != 100 {
+		t.Fatalf("absent fields lost their defaults: %+v", cfg)
+	}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		`"200us"`: 200 * time.Microsecond,
+		`"1.5ms"`: 1500 * time.Microsecond,
+		`250000`:  250 * time.Microsecond, // plain nanosecond count
+	} {
+		var d Duration
+		if err := json.Unmarshal([]byte(in), &d); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if time.Duration(d) != want {
+			t.Fatalf("%s = %v, want %v", in, time.Duration(d), want)
+		}
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Duration
+		if err := json.Unmarshal(b, &back); err != nil || back != d {
+			t.Fatalf("round trip %s -> %s -> %v (err %v)", in, b, back, err)
+		}
+	}
+	var d Duration
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &d); err == nil {
+		t.Fatal("garbage duration accepted")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"unknown-learner":   func(c *Config) { c.Learner = "magic" },
+		"loss-over-one":     func(c *Config) { c.Loss = 1.5 },
+		"negative-dup":      func(c *Config) { c.Duplicate = -0.1 },
+		"reorder-over-one":  func(c *Config) { c.Reorder = 2 },
+		"zero-workers":      func(c *Config) { c.Workers = 0 },
+		"negative-window":   func(c *Config) { c.Window = -1 },
+		"window-gt-workers": func(c *Config) { c.Workers = 2; c.Window = 4 },
+		"negative-conf":     func(c *Config) { c.Conformance = -1 },
+		"negative-warmup":   func(c *Config) { c.Warmup = -1 },
+		"negative-rtt":      func(c *Config) { c.RTT = Duration(-time.Second) },
+	} {
+		cfg := Default(Defaults{})
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := cfg.Options(); err == nil {
+			t.Errorf("%s: Options did not validate", name)
+		}
+	}
+	cfg := Default(Defaults{})
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cfg.Learner = "" // empty learner falls through to core's default
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("empty learner rejected: %v", err)
+	}
+}
+
+// TestImpairmentSeedDefaultsToSeed: the fault streams key off the
+// experiment seed unless -impair-seed overrides it.
+func TestImpairmentSeedDefaultsToSeed(t *testing.T) {
+	cfg := Default(Defaults{})
+	cfg.Seed = 42
+	cfg.Loss = 0.05
+	if im := cfg.Impairment(); im.Seed != 42 || im.LossClient != 0.05 || im.LossServer != 0.05 {
+		t.Fatalf("impairment = %+v", im)
+	}
+	cfg.ImpairSeed = 7
+	if im := cfg.Impairment(); im.Seed != 7 {
+		t.Fatalf("impair seed override lost: %+v", cfg.Impairment())
+	}
+	clean := Default(Defaults{})
+	if clean.Impairment().Enabled() {
+		t.Fatal("clean config reports an enabled impairment")
+	}
+}
+
+// TestOptionsConditionalKnobs: option construction adds the conditional
+// options (window, impairment+warmup, store, udp, no-cache, perfect)
+// exactly when their fields are set.
+func TestOptionsConditionalKnobs(t *testing.T) {
+	base := Default(Defaults{})
+	baseOpts, err := base.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := Default(Defaults{})
+	full.Workers = 4
+	full.Window = 2
+	full.Loss = 0.05
+	full.Perfect = true
+	full.NoCache = true
+	full.UDP = true
+	full.Store = t.TempDir()
+	fullOpts, err := full.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base: seed+learner+workers+rtt+conformance. full adds window,
+	// perfect, no-cache, udp, impairment, warmup, store = +7.
+	if len(fullOpts) != len(baseOpts)+7 {
+		t.Fatalf("conditional options: base %d, full %d (want +7)", len(baseOpts), len(fullOpts))
+	}
+
+	noWarm := full
+	noWarm.Warmup = 0
+	opts, err := noWarm.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != len(fullOpts)-1 {
+		t.Fatalf("warmup option emitted without warmup words (%d vs %d)", len(opts), len(fullOpts))
+	}
+
+	// Warmup rides only with impairment: a clean-link config keeps the
+	// default 100 words but must not emit the option.
+	clean := Default(Defaults{})
+	clean.Warmup = 500
+	opts, err = clean.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != len(baseOpts) {
+		t.Fatalf("clean config grew options: %d vs %d", len(opts), len(baseOpts))
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	got, err := ParseTargets(" google , tcp ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"google", "tcp"}) {
+		t.Fatalf("targets = %v", got)
+	}
+	if _, err := ParseTargets("google,unknown-impl"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if got, err := ParseTargets(""); err != nil || got != nil {
+		t.Fatalf("empty csv: %v %v", got, err)
+	}
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/lab"
+	"repro/internal/learn"
+)
+
+// defaultManifest mirrors `prognosis regress -manifest`'s default,
+// resolved against the daemon's working directory.
+const defaultManifest = "internal/analysis/testdata/regress.json"
+
+// NewRunner builds the production Runner: jobs execute through the same
+// learncfg option path as the CLI, write artifacts into the job's
+// directory, and — unless the spec names its own store — share a
+// persistent query store under dataDir, which is what lets a re-queued
+// job resume: the interrupted attempt's answered queries are already
+// journaled there, so the retry replays them from disk instead of the
+// wire.
+func NewRunner(dataDir string) Runner {
+	sharedStore := filepath.Join(dataDir, "store")
+	return func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
+		spec := job.Spec
+		if spec.Config.Store == "" && spec.Kind != KindRegress {
+			spec.Config.Store = sharedStore
+		}
+		switch spec.Kind {
+		case KindLearn:
+			return runLearn(ctx, &spec, job.Dir, obs)
+		case KindDiff:
+			return runDiff(ctx, &spec, job.Dir, obs)
+		case KindCheck:
+			return runCheck(ctx, &spec, job.Dir, obs)
+		case KindRegress:
+			return runRegress(ctx, &spec, job.Dir, sharedStore, obs)
+		default:
+			return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+		}
+	}
+}
+
+// learnOne is the shared learn step: experiment from the spec's config,
+// observer installed, summary counters filled from the result.
+func learnOne(ctx context.Context, spec *Spec, target string, obs learn.Observer) (*lab.Experiment, *lab.Result, error) {
+	opts, err := spec.Config.Options()
+	if err != nil {
+		return nil, nil, err
+	}
+	if obs != nil {
+		opts = append(opts, lab.WithObserver(obs))
+	}
+	exp, err := lab.NewExperiment(target, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := exp.Learn(ctx)
+	if err != nil {
+		exp.Close()
+		return nil, nil, err
+	}
+	return exp, res, nil
+}
+
+func (s *Summary) addResult(res *lab.Result) {
+	s.Queries += res.Stats.Queries
+	s.Symbols += res.Stats.Symbols
+	s.Hits += res.Stats.Hits
+	s.GuardEscalations += res.Guard.Escalations
+	s.Duration += res.Duration
+}
+
+func runLearn(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*Summary, error) {
+	exp, res, err := learnOne(ctx, spec, spec.Target, obs)
+	if err != nil {
+		return nil, err
+	}
+	defer exp.Close()
+	sum := &Summary{}
+	sum.addResult(res)
+	if res.Nondet != nil {
+		// The §5 halt is a reported outcome, exactly as in the CLI.
+		sum.Nondet = true
+		sum.NondetWord = res.Nondet.Word
+		return sum, nil
+	}
+	sum.States = res.Machine.NumStates()
+	sum.Transitions = res.Machine.NumTransitions()
+	if err := res.Model().Save(filepath.Join(dir, "model.json")); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+func runDiff(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*Summary, error) {
+	// Learn both sides concurrently into one event stream (events carry
+	// no target attribution at the stream level, like `prognosis diff`'s
+	// interleaved progress), keeping both experiments open so witness
+	// replay drives the live replicas the models were learned from.
+	type side struct {
+		exp *lab.Experiment
+		res *lab.Result
+		err error
+	}
+	targets := []string{spec.TargetA, spec.TargetB}
+	sides := make([]side, 2)
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			exp, res, err := learnOne(ctx, spec, target, obs)
+			if err != nil {
+				err = fmt.Errorf("target %s: %w", target, err)
+			}
+			sides[i] = side{exp: exp, res: res, err: err}
+		}(i, target)
+	}
+	wg.Wait()
+	for _, s := range sides {
+		if s.exp != nil {
+			defer s.exp.Close()
+		}
+	}
+	sum := &Summary{}
+	for _, s := range sides {
+		if s.err != nil {
+			return sum, s.err
+		}
+		sum.addResult(s.res)
+	}
+	for i, s := range sides {
+		if s.res.Nondet != nil {
+			sum.Nondet = true
+			sum.NondetWord = s.res.Nondet.Word
+			return sum, fmt.Errorf("target %s: nondeterministic — nothing to diff", targets[i])
+		}
+	}
+
+	modelA, modelB := sides[0].res.Model(), sides[1].res.Model()
+	if spec.TargetA == spec.TargetB {
+		modelA.Name, modelB.Name = spec.TargetA+"#1", spec.TargetB+"#2"
+	}
+	witnesses := spec.Witnesses
+	if witnesses == 0 {
+		witnesses = 5
+	}
+	report := analysis.Diff(modelA, modelB, witnesses)
+	eq := report.Equivalent
+	sum.Equivalent = &eq
+	sum.Witnesses = len(report.Witnesses)
+	sum.States = modelA.States()
+	sum.Transitions = modelA.Transitions()
+	if err := modelA.Save(filepath.Join(dir, "model_a.json")); err != nil {
+		return sum, err
+	}
+	if err := modelB.Save(filepath.Join(dir, "model_b.json")); err != nil {
+		return sum, err
+	}
+
+	var buf strings.Builder
+	buf.WriteString(report.String())
+	if !report.Equivalent && spec.replayWitness() && len(report.Witnesses) > 0 {
+		confirmed, err := analysis.ConfirmWitness(ctx, report.Witnesses[0],
+			sides[0].exp.Oracle(), sides[1].exp.Oracle(), 5)
+		if err != nil {
+			return sum, err
+		}
+		diverged := confirmed.Diverged
+		sum.Confirmed = &diverged
+		fmt.Fprintf(&buf, "\nwitness %v replayed live: diverged=%v (models predicted=%v)\n",
+			report.Witnesses[0].Word, confirmed.Diverged, confirmed.MatchesModels)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "witness.txt"), []byte(buf.String()), 0o644); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+func runCheck(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*Summary, error) {
+	exp, res, err := learnOne(ctx, spec, spec.Target, obs)
+	if err != nil {
+		return nil, err
+	}
+	defer exp.Close()
+	sum := &Summary{}
+	sum.addResult(res)
+	if res.Nondet != nil {
+		sum.Nondet = true
+		sum.NondetWord = res.Nondet.Word
+		return sum, fmt.Errorf("target %s: nondeterministic — nothing to check", spec.Target)
+	}
+	model := res.Model()
+	sum.States = model.States()
+	sum.Transitions = model.Transitions()
+	if err := model.Save(filepath.Join(dir, "model.json")); err != nil {
+		return sum, err
+	}
+
+	var buf strings.Builder
+	for _, r := range analysis.CheckAll(model) {
+		if r.OK() {
+			fmt.Fprintf(&buf, "PASS %s — %s\n", r.Property.Name(), r.Property.Describe())
+			continue
+		}
+		sum.Violations++
+		fmt.Fprintf(&buf, "FAIL %s — %s\n%s", r.Property.Name(), r.Violation.Detail, r.Violation.Witness.String())
+	}
+	if spec.Property != "" {
+		f, err := analysis.ParseFormula(spec.Property)
+		if err != nil {
+			return sum, err
+		}
+		depth := spec.Depth
+		if depth == 0 {
+			depth = 4
+		}
+		if bad := analysis.CheckLTL(model.Mealy(), f, depth); bad != nil {
+			sum.Violations++
+			w := analysis.Witness{Word: bad.Inputs, Outputs: bad.Outputs}
+			fmt.Fprintf(&buf, "FAIL %s\n%s", spec.Property, w.String())
+		} else {
+			fmt.Fprintf(&buf, "PASS %s (all traces of length %d)\n", spec.Property, depth)
+		}
+	}
+	// Violations are the job's *result*, not a job failure: the job is
+	// done, the report is the artifact, and the summary carries the count.
+	return sum, os.WriteFile(filepath.Join(dir, "witness.txt"), []byte(buf.String()), 0o644)
+}
+
+func runRegress(ctx context.Context, spec *Spec, dir, storeDir string, obs learn.Observer) (*Summary, error) {
+	path := spec.Manifest
+	if path == "" {
+		path = defaultManifest
+	}
+	m, err := cli.LoadRegressManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := m.Filter(spec.Targets)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Config.Store != "" {
+		storeDir = spec.Config.Store
+	}
+	witnesses := spec.Witnesses
+	if witnesses == 0 {
+		witnesses = 3
+	}
+	sum := &Summary{RegressTargets: len(selected)}
+	var buf strings.Builder
+	for _, rt := range selected {
+		out, err := cli.RegressOne(ctx, rt, m.Dir, storeDir, spec.Config.Workers, witnesses, obs)
+		sum.Queries += out.LiveQueries
+		if err != nil {
+			return sum, fmt.Errorf("target %s: %w", rt.Name, err)
+		}
+		if out.Drift == "" {
+			fmt.Fprintf(&buf, "regress %s: OK — %d live queries\n", rt.Name, out.LiveQueries)
+			continue
+		}
+		sum.Drifted = append(sum.Drifted, rt.Name)
+		fmt.Fprintf(&buf, "regress %s: DRIFT — %d live queries\n%s", rt.Name, out.LiveQueries, out.Drift)
+		if out.Learned != nil {
+			if err := out.Learned.Save(filepath.Join(dir, rt.Name+".learned.json")); err != nil {
+				return sum, err
+			}
+		}
+	}
+	// Like check: drift is the reported result, served as the witness
+	// artifact; the job itself completed.
+	return sum, os.WriteFile(filepath.Join(dir, "witness.txt"), []byte(buf.String()), 0o644)
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/learn"
+)
+
+// JobStateChanged is the hub's own meta event, published whenever a job
+// changes lifecycle state so SSE subscribers see submission, start,
+// resume, and completion inline with the learning events.
+type JobStateChanged struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Error carries the failure message on a failed transition.
+	Error string `json:"error,omitempty"`
+}
+
+// Kind implements learn.Event.
+func (JobStateChanged) Kind() string { return "job_state" }
+
+// hubHistory bounds the per-job event history replayed to late
+// subscribers. A full learn emits a few hundred events (rounds, cache
+// snapshots, guard escalations); keeping the most recent 1024 means a
+// subscriber attaching after completion still sees the whole story for
+// typical jobs, and a bounded tail for pathological ones.
+const hubHistory = 1024
+
+// Hub fans each job's typed event stream (learn.Observer) out to any
+// number of SSE subscribers. Publishing never blocks: a subscriber whose
+// buffer is full has the event dropped and the drop counted — a slow
+// client costs itself fidelity, never the learning run or its sibling
+// subscribers. Every topic keeps a bounded history so subscribers that
+// attach late (or re-attach after a disconnect) replay what they missed.
+type Hub struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+
+	published atomic.Int64 // events accepted into the hub
+	dropped   atomic.Int64 // events lost to slow subscribers
+	subs      atomic.Int64 // currently attached subscribers
+}
+
+type topic struct {
+	history []learn.Event // bounded; oldest dropped first
+	closed  bool          // job reached a terminal state
+	final   *JobStateChanged
+	subs    map[*Subscriber]struct{}
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{topics: map[string]*topic{}}
+}
+
+func (h *Hub) topicLocked(jobID string) *topic {
+	t, ok := h.topics[jobID]
+	if !ok {
+		t = &topic{subs: map[*Subscriber]struct{}{}}
+		h.topics[jobID] = t
+	}
+	return t
+}
+
+// Observer returns the learn.Observer that publishes a job's events into
+// the hub; the manager installs it on every run via lab.WithObserver. It
+// is safe for concurrent use (pool workers emit events from many
+// goroutines).
+func (h *Hub) Observer(jobID string) learn.Observer {
+	return learn.ObserverFunc(func(e learn.Event) { h.Publish(jobID, e) })
+}
+
+// Publish appends e to the job's history and offers it to every
+// subscriber without blocking.
+func (h *Hub) Publish(jobID string, e learn.Event) {
+	h.published.Add(1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topicLocked(jobID)
+	if len(t.history) >= hubHistory {
+		copy(t.history, t.history[1:])
+		t.history[len(t.history)-1] = e
+	} else {
+		t.history = append(t.history, e)
+	}
+	for s := range t.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// Finish publishes the terminal state event and closes the topic: every
+// subscriber's channel is closed after the events already queued, and
+// future subscribers get the history (ending in the terminal event)
+// followed immediately by a closed channel — an SSE client attaching
+// after completion replays the run and returns.
+func (h *Hub) Finish(jobID string, final JobStateChanged) {
+	h.Publish(jobID, final)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topicLocked(jobID)
+	t.closed = true
+	t.final = &final
+	for s := range t.subs {
+		delete(t.subs, s)
+		close(s.ch)
+		h.subs.Add(-1)
+	}
+}
+
+// Subscriber is one attached event consumer. Receive from C until it is
+// closed (job finished or hub shut down), then check Dropped for how
+// many events the subscription lost to its own backpressure.
+type Subscriber struct {
+	hub     *Hub
+	jobID   string
+	ch      chan learn.Event
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// Subscribe attaches to a job's event stream with the given channel
+// buffer. The returned backlog is the event history at attach time —
+// deliver it first, then range over C; the two never overlap and no
+// event between them is lost (history snapshot and registration are one
+// atomic step). Close the subscriber when done.
+func (h *Hub) Subscribe(jobID string, buffer int) (backlog []learn.Event, s *Subscriber) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s = &Subscriber{hub: h, jobID: jobID, ch: make(chan learn.Event, buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := h.topicLocked(jobID)
+	backlog = append([]learn.Event(nil), t.history...)
+	if t.closed {
+		close(s.ch) // replay the backlog, then the stream ends immediately
+		return backlog, s
+	}
+	t.subs[s] = struct{}{}
+	h.subs.Add(1)
+	return backlog, s
+}
+
+// C is the live event channel; it is closed when the job finishes.
+func (s *Subscriber) C() <-chan learn.Event { return s.ch }
+
+// Dropped counts events this subscriber lost by not draining C fast
+// enough.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscriber; its channel is closed. Safe to call
+// multiple times, and after Finish already detached it.
+func (s *Subscriber) Close() {
+	s.once.Do(func() {
+		s.hub.mu.Lock()
+		defer s.hub.mu.Unlock()
+		t, ok := s.hub.topics[s.jobID]
+		if !ok {
+			return
+		}
+		if _, attached := t.subs[s]; attached {
+			delete(t.subs, s)
+			close(s.ch)
+			s.hub.subs.Add(-1)
+		}
+	})
+}
+
+// HubStats is the hub's observability snapshot, served under /v1/stats.
+type HubStats struct {
+	Subscribers int64 `json:"subscribers"`
+	Published   int64 `json:"events_published"`
+	Dropped     int64 `json:"events_dropped"`
+}
+
+// Stats snapshots the hub counters.
+func (h *Hub) Stats() HubStats {
+	return HubStats{
+		Subscribers: h.subs.Load(),
+		Published:   h.published.Load(),
+		Dropped:     h.dropped.Load(),
+	}
+}

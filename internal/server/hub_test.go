@@ -1,0 +1,106 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/learn"
+)
+
+// TestHubSlowSubscriberDrops: a subscriber that never drains loses
+// events — counted, never blocking the publisher — while a fast sibling
+// on the same topic sees everything.
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := NewHub()
+	_, slow := h.Subscribe("j1", 1) // buffer of one, never drained
+	defer slow.Close()
+	_, fast := h.Subscribe("j1", 256)
+	defer fast.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		h.Publish("j1", learn.RoundStarted{Round: i})
+	}
+
+	if got := slow.Dropped(); got != n-1 {
+		t.Fatalf("slow subscriber dropped %d, want %d (buffer of 1)", got, n-1)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", got)
+	}
+	for i := 0; i < n; i++ {
+		e := <-fast.C()
+		if e.(learn.RoundStarted).Round != i {
+			t.Fatalf("fast subscriber saw %v at position %d", e, i)
+		}
+	}
+	st := h.Stats()
+	if st.Published != n || st.Dropped != n-1 {
+		t.Fatalf("hub stats = %+v", st)
+	}
+}
+
+// TestHubFinishClosesAndReplays: Finish delivers the terminal event to
+// live subscribers and closes them; a subscriber attaching afterwards
+// replays the bounded history and gets an immediately closed channel.
+func TestHubFinishClosesAndReplays(t *testing.T) {
+	h := NewHub()
+	_, live := h.Subscribe("j1", 16)
+	defer live.Close()
+
+	h.Publish("j1", learn.HypothesisReady{Round: 1, States: 3})
+	h.Finish("j1", JobStateChanged{ID: "j1", State: StateDone})
+
+	var got []learn.Event
+	for e := range live.C() {
+		got = append(got, e)
+	}
+	if len(got) != 2 || got[0].Kind() != "hypothesis_ready" || got[1].Kind() != "job_state" {
+		t.Fatalf("live subscriber saw %v", got)
+	}
+
+	backlog, late := h.Subscribe("j1", 16)
+	defer late.Close()
+	if len(backlog) != 2 || backlog[1].Kind() != "job_state" {
+		t.Fatalf("late backlog = %v", backlog)
+	}
+	if _, open := <-late.C(); open {
+		t.Fatal("late subscriber's channel not closed")
+	}
+}
+
+// TestHubHistoryBounded: the replay buffer keeps the most recent
+// hubHistory events, dropping the oldest.
+func TestHubHistoryBounded(t *testing.T) {
+	h := NewHub()
+	for i := 0; i < hubHistory+10; i++ {
+		h.Publish("j1", learn.RoundStarted{Round: i})
+	}
+	backlog, s := h.Subscribe("j1", 1)
+	defer s.Close()
+	if len(backlog) != hubHistory {
+		t.Fatalf("history length %d, want %d", len(backlog), hubHistory)
+	}
+	if first := backlog[0].(learn.RoundStarted).Round; first != 10 {
+		t.Fatalf("oldest retained event is round %d, want 10", first)
+	}
+}
+
+// TestHubCloseDetaches: closing a subscriber stops deliveries and is
+// idempotent, also after Finish already detached it.
+func TestHubCloseDetaches(t *testing.T) {
+	h := NewHub()
+	_, s := h.Subscribe("j1", 1)
+	s.Close()
+	s.Close()
+	h.Publish("j1", learn.RoundStarted{Round: 1})
+	if s.Dropped() != 0 {
+		t.Fatal("closed subscriber still receiving")
+	}
+	if h.Stats().Subscribers != 0 {
+		t.Fatalf("subscriber count = %d", h.Stats().Subscribers)
+	}
+
+	_, s2 := h.Subscribe("j1", 1)
+	h.Finish("j1", JobStateChanged{ID: "j1", State: StateDone})
+	s2.Close() // already detached by Finish; must not double-close
+}

@@ -1,0 +1,563 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/learn"
+)
+
+// Runner executes one job to completion. It is the seam between the
+// manager (lifecycle, persistence, parallelism) and the learning stack:
+// the production runner builds a lab experiment from the job's spec and
+// writes artifacts into job.Dir, while tests substitute fakes. The
+// observer must receive the run's typed event stream (wire it through
+// lab.WithObserver). Returning ctx.Err() after cancellation marks the
+// job cancelled (or re-queued, if the cancellation came from shutdown);
+// any other error marks it failed.
+type Runner func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error)
+
+// ManagerConfig configures a Manager.
+type ManagerConfig struct {
+	// Dir is the daemon data directory: the queue journal, the shared
+	// query store, and per-job artifact directories all live under it.
+	Dir string
+	// Parallel bounds concurrently running jobs (default 1).
+	Parallel int
+	// Backend overrides the queue backend (default: FS journal under Dir).
+	Backend Backend
+	// Runner overrides job execution (default: NewRunner(Dir)).
+	Runner Runner
+	// DrainTimeout bounds how long Shutdown waits for running jobs before
+	// cancelling and re-queueing them (default 30s).
+	DrainTimeout time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Manager owns the job queue: it journals every lifecycle transition
+// through the Backend, runs jobs with bounded parallelism, and
+// reconstructs its state from the journal on startup — jobs that were
+// pending or running when the previous process died re-enter the queue
+// and run again, resuming from the shared query store.
+type Manager struct {
+	dir     string
+	backend Backend
+	runner  Runner
+	hub     *Hub
+	logf    func(string, ...any)
+
+	drainTimeout time.Duration
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	pending  []string // FIFO of jobs awaiting a worker
+	seq      int
+	draining bool
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	started  time.Time
+	resumed  int // jobs re-queued from the journal at startup
+	finished atomic.Int64
+}
+
+// NewManager loads the journal, re-queues unfinished jobs, and starts
+// the worker pool.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("server: manager needs a data dir")
+	}
+	if cfg.Parallel < 1 {
+		cfg.Parallel = 1
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	backend := cfg.Backend
+	if backend == nil {
+		var err error
+		if backend, err = OpenFSBackend(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = NewRunner(cfg.Dir)
+	}
+	m := &Manager{
+		dir:          cfg.Dir,
+		backend:      backend,
+		runner:       runner,
+		hub:          NewHub(),
+		logf:         cfg.Logf,
+		drainTimeout: cfg.DrainTimeout,
+		jobs:         map[string]*Job{},
+		wake:         make(chan struct{}, 4096),
+		stop:         make(chan struct{}),
+		started:      time.Now(),
+	}
+	if err := m.replay(); err != nil {
+		if cfg.Backend == nil {
+			backend.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < cfg.Parallel; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Hub exposes the SSE fan-out hub.
+func (m *Manager) Hub() *Hub { return m.hub }
+
+// replay folds the journal into the job map and re-queues every job
+// whose last transition was not terminal: those were in flight when the
+// previous daemon died. The re-queue is itself journaled (as a pending
+// transition) so attempts survive further crashes.
+func (m *Manager) replay() error {
+	recs, err := m.backend.Load()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		j, ok := m.jobs[rec.ID]
+		if !ok {
+			if rec.Spec == nil {
+				continue // lost its birth record to a journal reset; unrecoverable
+			}
+			j = &Job{ID: rec.ID, Spec: *rec.Spec, Created: rec.At, Dir: m.jobDir(rec.ID)}
+			m.jobs[rec.ID] = j
+			m.order = append(m.order, rec.ID)
+		}
+		j.State = rec.State
+		switch rec.State {
+		case StateRunning:
+			j.Attempts++
+			j.Started = rec.At
+		case StateDone, StateFailed, StateCancelled:
+			j.Finished = rec.At
+			j.Error = rec.Error
+			j.Summary = rec.Summary
+		}
+		if n := seqOf(rec.ID); n > m.seq {
+			m.seq = n
+		}
+	}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j.State.Terminal() {
+			m.finished.Add(1)
+			continue
+		}
+		if j.State == StateRunning {
+			// The previous process died mid-job. Journal the demotion so the
+			// record reflects reality even if we crash again before it runs.
+			if err := m.backend.Append(Record{ID: id, State: StatePending, At: time.Now()}); err != nil {
+				return err
+			}
+			j.State = StatePending
+			m.resumed++
+			m.logf("resume: re-queued %s (%s, attempt %d interrupted)", id, j.Spec.Kind, j.Attempts)
+		}
+		m.pending = append(m.pending, id)
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func seqOf(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+func (m *Manager) jobDir(id string) string {
+	return filepath.Join(m.dir, "jobs", id)
+}
+
+// Submit validates, journals, and queues a new job, returning its ID.
+// The birth record hits the journal before the job becomes visible to
+// workers, so the journal can never show a job running before it
+// existed. Submissions are refused while the manager is draining.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.seq++
+	id := fmt.Sprintf("j%04d", m.seq)
+	m.mu.Unlock()
+
+	j := &Job{ID: id, Spec: spec, State: StatePending, Created: time.Now(), Dir: m.jobDir(id)}
+	if err := m.backend.Append(Record{ID: id, State: StatePending, Spec: &spec, At: j.Created}); err != nil {
+		return nil, fmt.Errorf("server: journal submission: %w", err)
+	}
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.pending = append(m.pending, id)
+	m.mu.Unlock()
+	m.hub.Publish(id, JobStateChanged{ID: id, State: StatePending})
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return j, nil
+}
+
+// ErrDraining is returned by Submit during graceful shutdown.
+var ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = fmt.Errorf("server: no such job")
+
+// Get returns a consistent status snapshot of one job.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns status snapshots of every job in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+func (m *Manager) statusLocked(j *Job) Status {
+	st := Status{
+		ID:      j.ID,
+		Kind:    j.Spec.Kind,
+		State:   j.State,
+		Spec:    j.Spec,
+		Error:   j.Error,
+		Summary: j.Summary,
+		Created: j.Created,
+
+		Attempts: j.Attempts,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		st.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		st.Finished = &t
+	}
+	if entries, err := os.ReadDir(j.Dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() {
+				st.Artifacts = append(st.Artifacts, e.Name())
+			}
+		}
+		sort.Strings(st.Artifacts)
+	}
+	return st
+}
+
+// Artifact resolves a job artifact filename to its path, confirming it
+// exists. Only base filenames are accepted.
+func (m *Manager) Artifact(id, name string) (string, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return "", ErrNotFound
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return "", fmt.Errorf("server: bad artifact name %q", name)
+	}
+	p := filepath.Join(j.Dir, name)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("server: artifact %s/%s: %w", id, name, err)
+	}
+	return p, nil
+}
+
+// Cancel cancels a job: a pending job goes terminal immediately, a
+// running job has its context cancelled and goes terminal when the
+// runner observes it. Cancelling a terminal job is a no-op reporting
+// its state.
+func (m *Manager) Cancel(id string) (State, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return "", ErrNotFound
+	}
+	switch j.State {
+	case StatePending:
+		j.cancelled = true
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		for i, pid := range m.pending {
+			if pid == id {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.finished.Add(1)
+		if err := m.backend.Append(Record{ID: id, State: StateCancelled, At: time.Now()}); err != nil {
+			return StateCancelled, err
+		}
+		m.hub.Finish(id, JobStateChanged{ID: id, State: StateCancelled})
+		return StateCancelled, nil
+	case StateRunning:
+		j.cancelled = true
+		cancel := j.cancel
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return StateRunning, nil
+	default:
+		st := j.State
+		m.mu.Unlock()
+		return st, nil
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		}
+		for {
+			m.mu.Lock()
+			if m.draining || len(m.pending) == 0 {
+				m.mu.Unlock()
+				break
+			}
+			id := m.pending[0]
+			m.pending = m.pending[1:]
+			j := m.jobs[id]
+			ctx, cancel := context.WithCancel(context.Background())
+			j.State = StateRunning
+			j.Started = time.Now()
+			j.Attempts++
+			j.cancel = cancel
+			m.mu.Unlock()
+			m.runJob(ctx, cancel, j)
+		}
+	}
+}
+
+// runJob executes one job and journals its outcome. A run that ends in
+// ctx.Err() is either a user cancellation (terminal) or a shutdown
+// drain — in the latter case the job is journaled back to pending so
+// the next daemon resumes it.
+func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *Job) {
+	defer cancel()
+	if err := m.backend.Append(Record{ID: j.ID, State: StateRunning, At: j.Started}); err != nil {
+		m.logf("journal %s running: %v", j.ID, err)
+	}
+	m.hub.Publish(j.ID, JobStateChanged{ID: j.ID, State: StateRunning})
+	if err := os.MkdirAll(j.Dir, 0o755); err != nil {
+		m.finish(j, nil, fmt.Errorf("artifact dir: %w", err))
+		return
+	}
+	m.logf("run %s: %s (attempt %d)", j.ID, j.Spec.Kind, j.Attempts)
+
+	summary, err := m.runner(ctx, j, m.hub.Observer(j.ID))
+
+	if err != nil && ctx.Err() != nil {
+		m.mu.Lock()
+		userCancel := j.cancelled
+		m.mu.Unlock()
+		if !userCancel {
+			// Shutdown drain: hand the job back to the queue for the next
+			// process. The pending record makes the interruption durable.
+			m.mu.Lock()
+			j.State = StatePending
+			j.cancel = nil
+			m.mu.Unlock()
+			if err := m.backend.Append(Record{ID: j.ID, State: StatePending, At: time.Now()}); err != nil {
+				m.logf("journal %s requeue: %v", j.ID, err)
+			}
+			m.hub.Publish(j.ID, JobStateChanged{ID: j.ID, State: StatePending})
+			m.logf("drain: re-queued %s mid-run", j.ID)
+			return
+		}
+		m.finishAs(j, StateCancelled, summary, nil)
+		return
+	}
+	m.finish(j, summary, err)
+}
+
+func (m *Manager) finish(j *Job, summary *Summary, err error) {
+	if err != nil {
+		m.finishAs(j, StateFailed, summary, err)
+		return
+	}
+	m.finishAs(j, StateDone, summary, nil)
+}
+
+func (m *Manager) finishAs(j *Job, state State, summary *Summary, err error) {
+	now := time.Now()
+	m.mu.Lock()
+	j.State = state
+	j.Finished = now
+	j.Summary = summary
+	j.cancel = nil
+	if err != nil {
+		j.Error = err.Error()
+	}
+	m.mu.Unlock()
+	m.finished.Add(1)
+	rec := Record{ID: j.ID, State: state, Summary: summary, At: now}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if aerr := m.backend.Append(rec); aerr != nil {
+		m.logf("journal %s %s: %v", j.ID, state, aerr)
+	}
+	m.hub.Finish(j.ID, JobStateChanged{ID: j.ID, State: state, Error: rec.Error})
+	m.logf("done %s: %s", j.ID, state)
+}
+
+// Draining reports whether Shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Shutdown drains the manager: new submissions are refused, running
+// jobs get up to the drain timeout (bounded further by ctx) to finish,
+// and whatever is still running is then cancelled and journaled back to
+// pending so the next daemon resumes it. The backend is closed last.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+	close(m.stop)
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+
+	timer := time.NewTimer(m.drainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		m.cancelRunning()
+		<-done
+	case <-ctx.Done():
+		m.cancelRunning()
+		<-done
+	}
+	return m.backend.Close()
+}
+
+// cancelRunning cancels every running job's context; runJob observes
+// the cancellation and (absent a user cancel flag) re-queues the job.
+func (m *Manager) cancelRunning() {
+	m.mu.Lock()
+	var cancels []func()
+	for _, j := range m.jobs {
+		if j.State == StateRunning && j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Stats is the /v1/stats payload: queue shape, throughput, and the
+// event hub's drop accounting.
+type Stats struct {
+	Uptime   string        `json:"uptime"`
+	Jobs     map[State]int `json:"jobs"`
+	Resumed  int           `json:"resumed,omitempty"`
+	Finished int64         `json:"finished"`
+	Draining bool          `json:"draining,omitempty"`
+	Totals   SummaryTotals `json:"totals"`
+	Hub      HubStats      `json:"events"`
+}
+
+// SummaryTotals aggregates the learning counters across finished jobs.
+type SummaryTotals struct {
+	Queries          int64   `json:"queries"`
+	Symbols          int64   `json:"symbols"`
+	Hits             int64   `json:"cache_hits"`
+	HitRate          float64 `json:"cache_hit_rate"`
+	GuardEscalations int64   `json:"guard_escalations"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{
+		Uptime:   time.Since(m.started).Round(time.Millisecond).String(),
+		Jobs:     map[State]int{},
+		Resumed:  m.resumed,
+		Draining: m.draining,
+	}
+	var totals SummaryTotals
+	var busy time.Duration
+	for _, j := range m.jobs {
+		st.Jobs[j.State]++
+		if s := j.Summary; s != nil {
+			totals.Queries += s.Queries
+			totals.Symbols += s.Symbols
+			totals.Hits += s.Hits
+			totals.GuardEscalations += s.GuardEscalations
+			busy += s.Duration
+		}
+	}
+	m.mu.Unlock()
+	st.Finished = m.finished.Load()
+	if denom := totals.Queries + totals.Hits; denom > 0 {
+		totals.HitRate = float64(totals.Hits) / float64(denom)
+	}
+	if busy > 0 {
+		totals.QueriesPerSec = float64(totals.Queries) / busy.Seconds()
+	}
+	st.Totals = totals
+	st.Hub = m.hub.Stats()
+	return st
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/learn"
+	"repro/internal/testutil"
+)
+
+// instantRunner completes every job immediately with a canned summary.
+func instantRunner(states int) Runner {
+	return func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
+		obs.OnEvent(learn.HypothesisReady{Round: 1, States: states})
+		return &Summary{States: states, Queries: 7}, nil
+	}
+}
+
+// blockingRunner blocks until its context is cancelled, signalling
+// started on entry.
+func blockingRunner(started chan<- string) Runner {
+	return func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
+		started <- job.ID
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+}
+
+func newTestManager(t *testing.T, dir string, r Runner) *Manager {
+	t.Helper()
+	m, err := NewManager(ManagerConfig{Dir: dir, Runner: r, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitState(t *testing.T, m *Manager, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+// TestManagerRunsJob: submit → done, with the summary journaled so a
+// restarted manager still serves it.
+func TestManagerRunsJob(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	m := newTestManager(t, dir, instantRunner(5))
+	j, err := m.Submit(learnSpec("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, j.ID, StateDone)
+	if st.Summary == nil || st.Summary.States != 5 {
+		t.Fatalf("summary = %+v", st.Summary)
+	}
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d", st.Attempts)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+
+	// The journal alone reconstructs the finished job.
+	m2 := newTestManager(t, dir, instantRunner(5))
+	st, err = m2.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Summary == nil || st.Summary.States != 5 {
+		t.Fatalf("restarted manager lost the job: %+v", st)
+	}
+	if err := m2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestManagerValidatesOnSubmit: a bad spec is refused before anything is
+// journaled.
+func TestManagerValidatesOnSubmit(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), instantRunner(1))
+	defer m.Shutdown(context.Background())
+	for _, spec := range []Spec{
+		{},
+		{Kind: "explode"},
+		{Kind: KindLearn},
+		{Kind: KindLearn, Target: "no-such-target"},
+		{Kind: KindDiff, TargetA: "tcp"},
+	} {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	if n := len(m.List()); n != 0 {
+		t.Fatalf("%d jobs created by invalid submissions", n)
+	}
+}
+
+// TestManagerCancelPending: cancelling a queued job goes terminal
+// without ever running.
+func TestManagerCancelPending(t *testing.T) {
+	base := runtime.NumGoroutine()
+	started := make(chan string)
+	m := newTestManager(t, t.TempDir(), blockingRunner(started))
+
+	// The single worker is busy with j1; j2 stays pending.
+	j1, err := m.Submit(learnSpec("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := m.Submit(learnSpec("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Get(j2.ID)
+	if st.State != StateCancelled || st.Attempts != 0 {
+		t.Fatalf("pending cancel: %+v", st)
+	}
+	if _, err := m.Cancel(j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j1.ID, StateCancelled)
+	if _, err := m.Cancel("j9999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestManagerCrashResume is the crash-recovery contract: a daemon killed
+// mid-job leaves a journal whose last record for that job is "running";
+// the next manager re-queues and completes it. The kill is simulated by
+// writing the journal a crashed process would have left.
+func TestManagerCrashResume(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	b, err := OpenFSBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := learnSpec("tcp")
+	must := func(rec Record) {
+		t.Helper()
+		if err := b.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{ID: "j0001", State: StatePending, Spec: &spec, At: time.Now()})
+	must(Record{ID: "j0001", State: StateRunning, At: time.Now()})
+	// A second job that never started.
+	must(Record{ID: "j0002", State: StatePending, Spec: &spec, At: time.Now()})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newTestManager(t, dir, instantRunner(3))
+	st1 := waitState(t, m, "j0001", StateDone)
+	st2 := waitState(t, m, "j0002", StateDone)
+	// j0001 ran once before the crash and once after.
+	if st1.Attempts != 2 {
+		t.Fatalf("resumed job attempts = %d, want 2", st1.Attempts)
+	}
+	if st2.Attempts != 1 {
+		t.Fatalf("fresh job attempts = %d, want 1", st2.Attempts)
+	}
+	// New submissions continue the ID sequence past the recovered jobs.
+	j3, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID != "j0003" {
+		t.Fatalf("post-resume ID = %s, want j0003", j3.ID)
+	}
+	waitState(t, m, j3.ID, StateDone)
+	if got := m.Stats().Resumed; got != 1 {
+		t.Fatalf("stats resumed = %d, want 1", got)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestManagerDrainRequeuesRunning: graceful shutdown gives running jobs
+// the drain timeout, then cancels and journals them back to pending —
+// the next manager picks them up.
+func TestManagerDrainRequeuesRunning(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	started := make(chan string, 1)
+	m, err := NewManager(ManagerConfig{Dir: dir, Runner: blockingRunner(started), DrainTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(learnSpec("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+	if _, err := m.Submit(learnSpec("tcp")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+
+	m2 := newTestManager(t, dir, instantRunner(4))
+	st := waitState(t, m2, j.ID, StateDone)
+	if st.Attempts != 2 {
+		t.Fatalf("requeued job attempts = %d, want 2", st.Attempts)
+	}
+	if err := m2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestManagerParallelBound: at most Parallel jobs run concurrently.
+func TestManagerParallelBound(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var running, peak atomic.Int64
+	runner := func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		running.Add(-1)
+		return &Summary{}, nil
+	}
+	m, err := NewManager(ManagerConfig{Dir: t.TempDir(), Runner: runner, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 6)
+	for i := range ids {
+		j, err := m.Submit(learnSpec("tcp"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d, want <= 2", p)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestManagerFailedJob: a runner error marks the job failed and keeps
+// the message.
+func TestManagerFailedJob(t *testing.T) {
+	base := runtime.NumGoroutine()
+	runner := func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	m, err := NewManager(ManagerConfig{Dir: t.TempDir(), Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(learnSpec("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := m.Get(j.ID)
+		if st.State == StateFailed {
+			if st.Error != "boom" {
+				t.Fatalf("error = %q", st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}

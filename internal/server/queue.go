@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/jsonlog"
+)
+
+// queueFormat / queueVersion identify the job-queue journal format (the
+// header line of every journal). A journal written by a future version
+// is reset rather than half-understood.
+const (
+	queueFormat  = "prognosisd-job-queue"
+	queueVersion = 1
+)
+
+// Record is one journaled job-lifecycle transition. The first record of
+// a job carries its Spec; every later record carries only the new state
+// (plus the error or summary a terminal transition produced). Folding a
+// job's records in journal order yields its current state, which is how
+// a restarted daemon reconstructs the queue: jobs whose last record is
+// pending or running were in flight when the previous process died and
+// are re-queued.
+type Record struct {
+	ID      string    `json:"id"`
+	State   State     `json:"state"`
+	Spec    *Spec     `json:"spec,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Summary *Summary  `json:"summary,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// Backend journals job lifecycle transitions durably. Implementations
+// must make Append atomic per record (a crash mid-append loses at most
+// the record in flight, never corrupts the prefix) and are safe for
+// concurrent use. The FS backend is the default; a KV twin can slot in
+// behind the same interface.
+type Backend interface {
+	// Load replays every journaled transition in append order.
+	Load() ([]Record, error)
+	// Append durably records one transition.
+	Append(Record) error
+	Close() error
+}
+
+// FSBackend is the filesystem queue backend: one crash-tolerant jsonlog
+// journal (queue.log) holding every transition as a JSON line. Appends
+// are single complete-line writes; a truncated or corrupted tail — a
+// daemon killed mid-append — is discarded on the next Load, costing at
+// most the transition in flight (whose job then simply replays from its
+// previous state).
+type FSBackend struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFSBackend opens (creating if needed) the queue journal under dir.
+func OpenFSBackend(dir string) (*FSBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: queue dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "queue.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: queue journal: %w", err)
+	}
+	// A fresh journal needs its header before the first append lands;
+	// anything else is validated (and reset if foreign) by Load.
+	if st, err := f.Stat(); err == nil && st.Size() == 0 {
+		if err := jsonlog.Reset(f, queueFormat, queueVersion); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &FSBackend{f: f}, nil
+}
+
+// Load implements Backend: the longest valid journal prefix, in order.
+// A foreign or future-versioned journal is reset to empty rather than
+// misread.
+func (b *FSBackend) Load() ([]Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var recs []Record
+	ok, err := jsonlog.Recover(b.f, queueFormat, queueVersion, func(line []byte) bool {
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.ID == "" || !rec.State.valid() {
+			return false
+		}
+		recs = append(recs, rec)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: recover queue journal: %w", err)
+	}
+	if !ok {
+		recs = nil
+		if err := jsonlog.Reset(b.f, queueFormat, queueVersion); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+// Append implements Backend: one complete line per record.
+func (b *FSBackend) Append(rec Record) error {
+	line, err := jsonlog.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err = b.f.Write(line)
+	return err
+}
+
+// Close implements Backend.
+func (b *FSBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.Close()
+}

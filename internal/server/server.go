@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/analysis"
+	"repro/internal/learn"
+	"repro/internal/learncfg"
+)
+
+// Server is the HTTP face of the daemon: a Go 1.24 pattern-routed mux
+// over the job manager. All endpoints speak JSON except the SSE event
+// stream and the raw artifact downloads.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the API routes over mgr.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/model", s.model)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/witness", s.witness)
+	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submit decodes a job spec in two passes: the first probes the kind so
+// the config can start from that kind's CLI defaults (a sparse body
+// overrides only what it names, exactly like passing a few flags), the
+// second is strict — unknown fields are rejected rather than silently
+// ignored, since a typoed knob that falls back to its default is the
+// worst failure mode a learning service can have.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job body: %w", err))
+		return
+	}
+	spec := Spec{Config: learncfg.Default(defaultsFor(probe.Kind))}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job body: %w", err))
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	st, _ := s.mgr.Get(job.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	prev, err := s.mgr.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "was": prev})
+}
+
+// events streams a job's typed event stream as SSE: first the buffered
+// history (so a subscriber attaching after completion still replays the
+// run), then live events until the job finishes or the client leaves. A
+// subscriber that cannot keep up has events dropped, never buffered
+// unboundedly — the terminal job_state event closes the stream either
+// way, and /v1/stats accounts the drops.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.mgr.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	backlog, sub := s.mgr.Hub().Subscribe(id, 256)
+	defer sub.Close()
+	for _, e := range backlog {
+		writeSSE(w, e)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			writeSSE(w, e)
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event in SSE framing: the kind as the event name,
+// the payload as one JSON data line.
+func writeSSE(w http.ResponseWriter, e learn.Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind(), data)
+}
+
+// model serves a learn job's learned model (or a diff's side A/B via
+// ?side=b). ?format=dot re-renders the stored JSON through the DOT
+// codec; the default is the raw stored JSON, byte-identical to what
+// `prognosis learn -save` writes for the same configuration.
+func (s *Server) model(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name := "model.json"
+	switch side := r.URL.Query().Get("side"); side {
+	case "":
+		// Learn/check jobs write model.json; diff jobs write model_a/_b.
+		if _, err := s.mgr.Artifact(id, name); err != nil {
+			name = "model_a.json"
+		}
+	case "a":
+		name = "model_a.json"
+	case "b":
+		name = "model_b.json"
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("side %q (want a or b)", side))
+		return
+	}
+	path, err := s.mgr.Artifact(id, name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		http.ServeFile(w, r, path)
+	case "dot":
+		model, err := analysis.LoadModel(path)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, model.DOT())
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("format %q (want json or dot)", format))
+	}
+}
+
+// witness serves the job's witness/report artifact as plain text.
+func (s *Server) witness(w http.ResponseWriter, r *http.Request) {
+	path, err := s.mgr.Artifact(r.PathValue("id"), "witness.txt")
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	http.ServeFile(w, r, path)
+}
+
+// healthz is the liveness/readiness probe: 200 while accepting jobs,
+// 503 once draining.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/learncfg"
+	"repro/internal/testutil"
+)
+
+// postJob submits a job body and decodes the accepted status.
+func postJob(t *testing.T, ts *httptest.Server, body string) Status {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit %s: %d %s", body, resp.StatusCode, e["error"])
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitHTTP(t *testing.T, ts *httptest.Server, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Status{}
+}
+
+// collectSSE reads the job's SSE stream until the terminal job_state
+// event (or timeout), returning event-kind counts.
+func collectSSE(t *testing.T, ts *httptest.Server, id string) map[string]int {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	var last string
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			kinds[name]++
+			last = name
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok && last == "job_state" {
+			var ev JobStateChanged
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("job_state payload %q: %v", data, err)
+			}
+			if ev.State.Terminal() {
+				return kinds
+			}
+		}
+	}
+	t.Fatalf("SSE stream ended without a terminal job_state (saw %v)", kinds)
+	return nil
+}
+
+// TestServerEndToEnd is the acceptance path: submit a learn job over
+// HTTP, follow its SSE stream to completion, verify the served model is
+// byte-identical to what the same configuration learns through the lab
+// API directly, cancel a second (RTT-slowed) job mid-run, and check
+// stats/healthz along the way.
+func TestServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full service round trip")
+	}
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	mgr, err := NewManager(ManagerConfig{Dir: dir, Parallel: 2, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	// Health before anything else.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// A learn job and, in parallel, a deliberately slow victim for the
+	// cancellation path (every query pays 10ms of emulated RTT).
+	learnJob := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"conformance": 2}}`)
+	if learnJob.State != StatePending && learnJob.State != StateRunning {
+		t.Fatalf("accepted job state = %s", learnJob.State)
+	}
+	slowJob := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"rtt": "10ms"}}`)
+
+	// Cancel the slow job while it is demonstrably mid-run.
+	waitHTTP(t, ts, slowJob.ID, StateRunning)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+slowJob.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// The learn job's event stream must replay the run (history + live)
+	// and end with the terminal state; at least one hypothesis_ready is
+	// the tentpole's observability contract.
+	kinds := collectSSE(t, ts, learnJob.ID)
+	if kinds["hypothesis_ready"] == 0 {
+		t.Fatalf("no hypothesis_ready on the stream: %v", kinds)
+	}
+	if kinds["job_state"] == 0 {
+		t.Fatalf("no job_state events: %v", kinds)
+	}
+
+	st := waitHTTP(t, ts, learnJob.ID, StateDone)
+	if st.Summary == nil || st.Summary.States == 0 || st.Summary.Queries == 0 {
+		t.Fatalf("learn summary = %+v", st.Summary)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := getStatus(t, ts, slowJob.ID); st.State == StateCancelled {
+			break
+		} else if st.State.Terminal() {
+			t.Fatalf("slow job reached %s, want cancelled", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled job never went terminal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The served model must be byte-identical to a direct lab learn of
+	// the same configuration — the daemon adds a transport, never a
+	// different answer.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + learnJob.ID + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := os.ReadFile(filepath.Join(dir, "jobs", learnJob.ID, "model.json"))
+	var viaHTTP bytes.Buffer
+	if _, err := viaHTTP.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !bytes.Equal(served, viaHTTP.Bytes()) {
+		t.Fatal("served model differs from the stored artifact")
+	}
+	cfg := learncfg.Default(learncfg.Defaults{})
+	cfg.Conformance = 2
+	opts, err := cfg.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := lab.NewExperiment("google", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Learn(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Close()
+	direct := filepath.Join(t.TempDir(), "model.json")
+	if err := res.Model().Save(direct); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("daemon model (%d bytes) != direct lab model (%d bytes)", len(served), len(want))
+	}
+
+	// DOT rendering of the same artifact.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + learnJob.ID + "/model?format=dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot bytes.Buffer
+	dot.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Fatalf("dot artifact: %.80s", dot.String())
+	}
+
+	// Stats reflect the finished work.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.Jobs[StateDone] != 1 || stats.Jobs[StateCancelled] != 1 {
+		t.Fatalf("stats jobs = %v", stats.Jobs)
+	}
+	if stats.Totals.Queries == 0 {
+		t.Fatalf("stats totals = %+v", stats.Totals)
+	}
+
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestServerResumeAcrossRestart: a daemon stopped mid-job re-queues it
+// durably; the next daemon completes it warm from the shared query
+// store — the service-level crash-resume contract (the manager-level
+// twin simulates the journal a hard kill leaves).
+func TestServerResumeAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full service round trip")
+	}
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	mgr, err := NewManager(ManagerConfig{Dir: dir, DrainTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr))
+
+	// Slow enough (1ms RTT per exchange ≈ seconds per learn) that the
+	// drain timeout fires mid-learn and the job is re-queued rather than
+	// finished, yet quick enough for the resumed attempt to complete.
+	job := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"rtt": "1ms"}}`)
+	waitHTTP(t, ts, job.ID, StateRunning)
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Draining daemons refuse new work.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d", resp.StatusCode)
+	}
+	ts.Close()
+	testutil.WaitForGoroutines(t, base)
+
+	// Restart over the same data dir: the job resumes — warm-started
+	// from the store the first attempt populated, so no RTT penalty —
+	// and completes.
+	mgr2, err := NewManager(ManagerConfig{Dir: dir, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewServer(mgr2))
+	st := waitHTTP(t, ts2, job.ID, StateDone)
+	if st.Attempts != 2 {
+		t.Fatalf("resumed job attempts = %d, want 2", st.Attempts)
+	}
+	if len(st.Artifacts) == 0 {
+		t.Fatalf("resumed job has no artifacts: %+v", st)
+	}
+	ts2.Close()
+	if err := mgr2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestServerRejectsBadSubmissions: malformed bodies, unknown fields, and
+// invalid specs are 400s; unknown jobs are 404s.
+func TestServerRejectsBadSubmissions(t *testing.T) {
+	base := runtime.NumGoroutine()
+	mgr, err := NewManager(ManagerConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{`,
+		`{"kind": "learn"}`,
+		`{"kind": "learn", "target": "no-such-target"}`,
+		`{"kind": "learn", "target": "tcp", "tarlet": "oops"}`,
+		`{"kind": "learn", "target": "tcp", "config": {"workers": 0}}`,
+		`{"kind": "diff", "target": "tcp"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: %d, want 400", body, resp.StatusCode)
+		}
+	}
+	for _, url := range []string{"/v1/jobs/j9999", "/v1/jobs/j9999/events", "/v1/jobs/j9999/model", "/v1/jobs/j9999/witness"} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", url, resp.StatusCode)
+		}
+	}
+
+	// A sparse diff body inherits the diff CLI defaults.
+	var st Status
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind": "diff", "target_a": "google", "target_b": "google-fixed", "config": {"loss": 0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Spec.Config.Workers != 4 || st.Spec.Config.Conformance != 2 {
+		t.Fatalf("diff defaults not applied: %+v", st.Spec.Config)
+	}
+	if st.Spec.Config.Loss != 0 {
+		t.Fatalf("explicit loss=0 overridden: %+v", st.Spec.Config)
+	}
+	if _, err := mgr.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestServerDiffJob drives a full diff through the service: google vs
+// quiche on a clean link, witnesses confirmed by live replay, both
+// models served.
+func TestServerDiffJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full service round trip")
+	}
+	base := runtime.NumGoroutine()
+	mgr, err := NewManager(ManagerConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	job := postJob(t, ts, `{"kind": "diff", "target_a": "google", "target_b": "quiche", "config": {"loss": 0, "workers": 1}}`)
+	st := waitHTTP(t, ts, job.ID, StateDone)
+	if st.Summary == nil || st.Summary.Equivalent == nil {
+		t.Fatalf("diff summary = %+v", st.Summary)
+	}
+	if *st.Summary.Equivalent {
+		t.Fatal("google vs quiche reported equivalent")
+	}
+	if st.Summary.Confirmed == nil || !*st.Summary.Confirmed {
+		t.Fatalf("witness not confirmed live: %+v", st.Summary)
+	}
+	for _, side := range []string{"a", "b"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/model?side=%s", ts.URL, job.ID, side))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("model side %s: %d", side, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/witness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	report.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(report.String(), "replayed live: diverged=true") {
+		t.Fatalf("witness report missing live confirmation:\n%s", report.String())
+	}
+
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	testutil.WaitForGoroutines(t, base)
+}
