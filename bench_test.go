@@ -213,10 +213,11 @@ func BenchmarkLearnUnderLoss(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					res = learn(b, workers, loss)
 				}
-				b.ReportMetric(float64(res.Stats.Queries), "queries")
-				b.ReportMetric(float64(res.Guard.Votes), "votes")
-				b.ReportMetric(float64(res.Guard.WastedVotes), "wasted-votes")
-				b.ReportMetric(float64(res.Guard.Escalations), "escalations")
+				rm := res.Metrics()
+				b.ReportMetric(float64(rm.Learner.Queries), "queries")
+				b.ReportMetric(float64(rm.Guard.Votes), "votes")
+				b.ReportMetric(float64(rm.Guard.WastedVotes), "wasted-votes")
+				b.ReportMetric(float64(rm.Guard.Escalations), "escalations")
 			})
 		}
 	}
@@ -241,9 +242,10 @@ func BenchmarkLearnUnderLoss(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res = learn(b, 4, 0.05, lab.WithGuard(g.cfg))
 			}
-			queries[g.name] = res.Stats.Queries
-			b.ReportMetric(float64(res.Stats.Queries), "queries")
-			b.ReportMetric(float64(res.Guard.WastedVotes), "wasted-votes")
+			rm := res.Metrics()
+			queries[g.name] = rm.Learner.Queries
+			b.ReportMetric(float64(rm.Learner.Queries), "queries")
+			b.ReportMetric(float64(rm.Guard.WastedVotes), "wasted-votes")
 		})
 	}
 	if a, f := queries["guard=adaptive"], queries["guard=fixed-max"]; a > 0 && f > 0 && a >= f {
@@ -752,11 +754,12 @@ func BenchmarkUDPQueriesPerSec(b *testing.B) {
 					b.Fatalf("states = %d, want 8", res.Machine.NumStates())
 				}
 			}
-			wall[arm.name] = res.Duration
-			b.ReportMetric(float64(res.Stats.Queries), "queries")
-			b.ReportMetric(res.Duration.Seconds()*1000, "wall-ms")
-			if res.Window != nil {
-				b.ReportMetric(float64(res.Window.Size), "window-size")
+			rm := res.Metrics()
+			wall[arm.name] = rm.Duration
+			b.ReportMetric(float64(rm.Learner.Queries), "queries")
+			b.ReportMetric(rm.Duration.Seconds()*1000, "wall-ms")
+			if rm.Window != nil {
+				b.ReportMetric(float64(rm.Window.Size), "window-size")
 			}
 		})
 	}

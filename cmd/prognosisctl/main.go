@@ -1,0 +1,225 @@
+// Command prognosisctl is the thin operator CLI for a running prognosisd:
+// every subcommand is a direct call through the typed pkg/client API, so
+// scripting against the daemon (CI's daemon-smoke choreography included)
+// never hand-rolls the wire format.
+//
+// Usage:
+//
+//	prognosisctl [-addr URL] submit <learn|diff|check|regress|monitor> [flags]
+//	prognosisctl [-addr URL] status <job-id>
+//	prognosisctl [-addr URL] wait <job-id>
+//	prognosisctl [-addr URL] cancel <job-id>
+//	prognosisctl [-addr URL] events <job-id>
+//	prognosisctl [-addr URL] model <job-id> [-side a|b] [-format json|dot]
+//	prognosisctl [-addr URL] witness <job-id>
+//	prognosisctl [-addr URL] stats | metrics | health
+//
+// `submit` prints the accepted job's status JSON (its ID on the first
+// line for easy capture: `id=$(prognosisctl submit learn -target tcp |
+// head -1)`). `wait` polls to a terminal state, prints the final status
+// JSON, and exits nonzero unless the job is done. `events` streams the
+// job's SSE events one per line as "<kind>\t<payload>". The artifact and
+// introspection verbs write the raw bytes to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/pkg/client"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "prognosisctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: prognosisctl [-addr URL] <submit|status|wait|cancel|events|model|witness|stats|metrics|health> ...")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prognosisctl", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8047", "prognosisd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return usage()
+	}
+	c := client.New(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	verb, rest := fs.Arg(0), fs.Args()[1:]
+	switch verb {
+	case "submit":
+		return submit(ctx, c, rest)
+	case "status", "wait", "cancel", "events", "model", "witness":
+		if len(rest) == 0 {
+			return fmt.Errorf("%s needs a job ID", verb)
+		}
+		id, rest := rest[0], rest[1:]
+		switch verb {
+		case "status":
+			st, err := c.Job(ctx, id)
+			if err != nil {
+				return err
+			}
+			return printJSON(st)
+		case "wait":
+			st, err := c.Wait(ctx, id, 500*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if err := printJSON(st); err != nil {
+				return err
+			}
+			if st.State != client.StateDone {
+				return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+			}
+			return nil
+		case "cancel":
+			was, err := c.Cancel(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cancelled (was %s)\n", was)
+			return nil
+		case "events":
+			return streamEvents(ctx, c, id)
+		case "model":
+			mf := flag.NewFlagSet("prognosisctl model", flag.ContinueOnError)
+			side := mf.String("side", "", "diff job side: a or b")
+			format := mf.String("format", "", "artifact format: json (default) or dot")
+			if err := mf.Parse(rest); err != nil {
+				return err
+			}
+			raw, err := c.Model(ctx, id, *side, *format)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(raw)
+			return err
+		case "witness":
+			raw, err := c.Witness(ctx, id)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(raw)
+			return err
+		}
+		return nil
+	case "stats":
+		st, err := c.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "metrics":
+		raw, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(raw)
+		return err
+	case "health":
+		if err := c.Healthz(ctx); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+	default:
+		return usage()
+	}
+}
+
+// submit builds a Spec from the kind's constructor plus the shared
+// learncfg flag set — the exact flags `prognosis <kind>` takes — and
+// posts it.
+func submit(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("submit needs a kind: learn, diff, check, regress, or monitor")
+	}
+	kind, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("prognosisctl submit "+kind, flag.ContinueOnError)
+	var spec client.Spec
+	switch kind {
+	case client.KindLearn:
+		spec = client.NewLearnSpec("")
+	case client.KindCheck:
+		spec = client.NewCheckSpec("")
+	case client.KindDiff:
+		spec = client.NewDiffSpec("", "")
+	case client.KindRegress:
+		spec = client.NewRegressSpec("")
+	case client.KindMonitor:
+		spec = client.NewMonitorSpec("")
+	default:
+		return fmt.Errorf("unknown kind %q (want learn, diff, check, regress, or monitor)", kind)
+	}
+	switch kind {
+	case client.KindLearn, client.KindCheck:
+		fs.StringVar(&spec.Target, "target", "", "registry target to learn")
+	case client.KindDiff:
+		fs.StringVar(&spec.TargetA, "target-a", "", "first target")
+		fs.StringVar(&spec.TargetB, "target-b", "", "second target")
+	case client.KindRegress, client.KindMonitor:
+		fs.StringVar(&spec.Manifest, "manifest", "", "regression manifest path on the daemon host (empty = daemon default)")
+		fs.StringVar(&spec.Targets, "targets", "", "comma-separated subset of manifest cells")
+	}
+	if kind == client.KindCheck {
+		fs.StringVar(&spec.Property, "property", "", "extra LTLf property to check")
+		fs.IntVar(&spec.Depth, "depth", 0, "LTLf exploration depth (0 = default)")
+	}
+	fs.IntVar(&spec.Witnesses, "witnesses", 0, "distinguishing traces to collect (0 = default)")
+	spec.Config.Register(fs)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("submit takes no positional arguments after the kind (got %v)", fs.Args())
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st.ID)
+	return printJSON(st)
+}
+
+func streamEvents(ctx context.Context, c *client.Client, id string) error {
+	es, err := c.Events(ctx, id)
+	if err != nil {
+		return err
+	}
+	defer es.Close()
+	for {
+		ev, err := es.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\t%s\n", ev.Kind, strings.TrimSpace(string(ev.Data)))
+	}
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

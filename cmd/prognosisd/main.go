@@ -1,11 +1,20 @@
 // Command prognosisd is the learning-as-a-service daemon: the prognosis
-// subcommands (learn, diff, check, regress) exposed as async jobs over an
-// HTTP/JSON API, with a persistent on-disk queue, SSE progress streams,
-// and artifact downloads. See docs/SERVICE.md for the API.
+// subcommands (learn, diff, check, regress, monitor) exposed as async
+// jobs over an HTTP/JSON API, with a persistent on-disk queue, SSE
+// progress streams, artifact downloads, and a Prometheus /metrics
+// endpoint. See docs/SERVICE.md for the API and docs/MONITORING.md for
+// the metrics plane and drift monitor.
 //
 // Usage:
 //
 //	prognosisd -addr :8047 -data /var/lib/prognosisd -parallel 2
+//	           [-monitor 10m] [-monitor-manifest F] [-monitor-targets a,b]
+//
+// With -monitor set, the daemon runs in scheduled monitor mode: it
+// submits a monitor job at that interval, warm-relearning every manifest
+// cell, appending model snapshots with query-log lineage, and raising
+// live-confirmed drift alarms as SSE "drift_alarm" events and
+// prognosisd_monitor_* metrics.
 //
 // On SIGTERM/SIGINT the daemon drains: new submissions are refused,
 // running jobs get the drain timeout to finish, and whatever is still
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -37,9 +47,12 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8047", "listen address")
-	data := flag.String("data", "prognosisd-data", "data directory: job queue journal, query store, artifacts")
+	data := flag.String("data", "prognosisd-data", "data directory: job queue journal, query store, artifacts, monitor lineage")
 	parallel := flag.Int("parallel", 1, "jobs run concurrently")
 	drain := flag.Duration("drain", 30*time.Second, "how long running jobs get to finish on shutdown before being re-queued")
+	monitorEvery := flag.Duration("monitor", 0, "scheduled monitor mode: submit a monitor cycle at this interval (0 = off)")
+	monitorManifest := flag.String("monitor-manifest", "", "manifest the scheduled monitor cycles over (default: the regress manifest)")
+	monitorTargets := flag.String("monitor-targets", "", "comma-separated subset of manifest cells to monitor (default: all)")
 	flag.Parse()
 	logger := log.New(os.Stderr, "prognosisd: ", log.LstdFlags)
 
@@ -51,6 +64,38 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// Scheduled monitor mode: one cycle now, then one per tick. Cycles
+	// ride the ordinary job queue, so they serialize with submitted work,
+	// journal like any job, and stream their events (including
+	// drift_alarm) over SSE.
+	stopMonitor := make(chan struct{})
+	if *monitorEvery > 0 {
+		submit := func() {
+			spec := client.NewMonitorSpec(*monitorManifest)
+			spec.Targets = *monitorTargets
+			job, err := mgr.Submit(spec)
+			if err != nil {
+				logger.Printf("monitor: submit: %v", err)
+				return
+			}
+			logger.Printf("monitor: submitted cycle %s", job.ID)
+		}
+		go func() {
+			t := time.NewTicker(*monitorEvery)
+			defer t.Stop()
+			submit()
+			for {
+				select {
+				case <-stopMonitor:
+					return
+				case <-t.C:
+					submit()
+				}
+			}
+		}()
+		logger.Printf("monitor: scheduled every %v", *monitorEvery)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr)}
@@ -66,11 +111,13 @@ func run() error {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errc:
+		close(stopMonitor)
 		mgr.Shutdown(context.Background())
 		return err
 	case sig := <-sigc:
 		logger.Printf("%s: draining (timeout %v)", sig, *drain)
 	}
+	close(stopMonitor)
 
 	// Drain the manager first — while it runs, /v1/healthz reports 503 and
 	// Submit refuses — then stop the HTTP listener so in-flight status and

@@ -61,19 +61,20 @@ func Learn(args []string) error {
 	m := res.Machine
 	fmt.Printf("target %s: learned model with %d states, %d transitions\n",
 		*target, m.NumStates(), m.NumTransitions())
+	rm := res.Metrics()
 	fmt.Printf("  live membership queries: %d (%d input symbols, %d cache hits)\n",
-		res.Stats.Queries, res.Stats.Symbols, res.Stats.Hits)
-	fmt.Printf("  wall time: %v\n", res.Duration)
-	if w := res.Window; w != nil {
+		rm.Learner.Queries, rm.Learner.Symbols, rm.Learner.Hits)
+	fmt.Printf("  wall time: %v\n", rm.Duration)
+	if w := rm.Window; w != nil {
 		fmt.Printf("  window: %d in flight at finish (bounds %d..%d), %d acquisitions, %d cuts over %d losses, srtt %v\n",
 			w.Size, w.Min, w.Max, w.Acquired, w.Decreases, w.Losses, w.SRTT)
 	}
 	if impair := lf.impairment(); impair.Enabled() {
 		fmt.Printf("  impaired link (%s): dropped %d->/%d<- datagrams, %d duplicated, %d reordered\n",
-			impair.Label(), res.Faults.DroppedClient, res.Faults.DroppedServer,
-			res.Faults.Duplicated, res.Faults.Reordered)
+			impair.Label(), rm.Faults.DroppedClient, rm.Faults.DroppedServer,
+			rm.Faults.Duplicated, rm.Faults.Reordered)
 		fmt.Printf("  guard: %d flaky queries, %d escalations, %d votes beyond the floor\n",
-			res.Guard.RetriedQueries, res.Guard.Escalations, res.Guard.WastedVotes)
+			rm.Guard.RetriedQueries, rm.Guard.Escalations, rm.Guard.WastedVotes)
 	}
 	fmt.Printf("  traces of length <=10 in model: %d (of %d possible over the alphabet)\n",
 		m.CountTraces(10), automata.TotalWords(len(m.Inputs()), 10))

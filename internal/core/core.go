@@ -319,7 +319,7 @@ func (g *Guardian) fixedQuery(ctx context.Context, o learn.Oracle, word []string
 			return fmt.Errorf("core: guard query %v after %d votes: %w", word, votes, err)
 		}
 		votes++
-		atomic.AddInt64(&g.stats.Votes, 1)
+		g.stats.addVotes(1)
 		key := strings.Join(out, "\x1e")
 		counts[key]++
 		if _, ok := first[key]; !ok {
@@ -328,7 +328,7 @@ func (g *Guardian) fixedQuery(ctx context.Context, o learn.Oracle, word []string
 		return nil
 	}
 	accept := func(key string) []string {
-		atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+		g.stats.addWasted(int64(votes - cfg.MinVotes))
 		return first[key]
 	}
 	for i := 0; i < cfg.MinVotes; i++ {
@@ -342,7 +342,7 @@ func (g *Guardian) fixedQuery(ctx context.Context, o learn.Oracle, word []string
 			return accept(k), nil
 		}
 	}
-	atomic.AddInt64(&g.stats.RetriedQueries, 1)
+	g.stats.addRetried(1)
 	g.observe(true)
 	for votes < cfg.MaxVotes {
 		if err := ctx.Err(); err != nil {
@@ -357,7 +357,7 @@ func (g *Guardian) fixedQuery(ctx context.Context, o learn.Oracle, word []string
 			}
 		}
 	}
-	atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+	g.stats.addWasted(int64(votes - cfg.MinVotes))
 	return nil, &NondeterminismError{Word: word, Observed: counts, Votes: votes}
 }
 
@@ -381,7 +381,7 @@ func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []str
 			return fmt.Errorf("core: guard query %v after %d votes: %w", word, votes, err)
 		}
 		votes++
-		atomic.AddInt64(&g.stats.Votes, 1)
+		g.stats.addVotes(1)
 		execs = append(execs, out)
 		return nil
 	}
@@ -400,10 +400,10 @@ func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []str
 	}
 	if unanimous {
 		g.observe(false)
-		atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+		g.stats.addWasted(int64(votes - cfg.MinVotes))
 		return execs[0], nil
 	}
-	atomic.AddInt64(&g.stats.RetriedQueries, 1)
+	g.stats.addRetried(1)
 	g.observe(true)
 	budget := g.StartBudget()
 	// alive[j]: execs[j] agrees with every accepted position so far, and
@@ -443,7 +443,7 @@ func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []str
 			}
 			if votes >= budget {
 				if budget >= cfg.MaxVotes {
-					atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+					g.stats.addWasted(int64(votes - cfg.MinVotes))
 					whole := make(map[string]int, len(execs))
 					for _, e := range execs {
 						whole[strings.Join(e, "\x1e")]++
@@ -459,7 +459,7 @@ func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []str
 				if budget > cfg.MaxVotes {
 					budget = cfg.MaxVotes
 				}
-				atomic.AddInt64(&g.stats.Escalations, 1)
+				g.stats.addEscalations(1)
 				if g.obs != nil {
 					g.obs.OnEvent(learn.GuardEscalated{
 						Word: word, Votes: votes, Budget: budget, EWMA: g.Disagreement(),
@@ -477,7 +477,7 @@ func (g *Guardian) adaptiveQuery(ctx context.Context, o learn.Oracle, word []str
 			alive = append(alive, slices.Equal(execs[len(execs)-1][:pos], accepted[:pos]))
 		}
 	}
-	atomic.AddInt64(&g.stats.WastedVotes, int64(votes-cfg.MinVotes))
+	g.stats.addWasted(int64(votes - cfg.MinVotes))
 	return accepted, nil
 }
 

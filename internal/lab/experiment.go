@@ -26,17 +26,73 @@ type Result struct {
 	Nondet      *core.NondeterminismError
 	Duration    time.Duration
 	LearnerKind core.LearnerKind
-	// Guard reports the voting guard's cost counters for this run —
-	// escalations and wasted votes quantify how hard the link fought the
-	// learner.
+	// Guard reports the voting guard's cost counters for this run.
+	//
+	// Deprecated: read Metrics().Guard — the per-field stats accessors
+	// are shims kept for one release; the unified Metrics snapshot is
+	// the supported view.
 	Guard core.GuardStats
 	// Faults aggregates the netem fault counters across all worker links
 	// for this run (zero without WithImpairment).
+	//
+	// Deprecated: read Metrics().Faults.
 	Faults netem.Stats
-	// Window reports the adaptive in-flight window's counters — final
-	// size, acquisitions, decreases, smoothed RTT — when WithWindow was
-	// configured (nil otherwise).
+	// Window reports the adaptive in-flight window's counters when
+	// WithWindow was configured (nil otherwise).
+	//
+	// Deprecated: read Metrics().Window.
 	Window *learn.WindowStats
+}
+
+// Metrics is the unified observability snapshot of one learning run: the
+// live-traffic counters, the §5 guard's voting cost, the fault-injection
+// totals, the adaptive window's trajectory, and the wall time — one view
+// over what used to be five scattered per-field structs. The same
+// subsystems also publish process-wide scrapeable totals into
+// metrics.Default() (served by prognosisd's GET /metrics); this snapshot
+// is the per-run slice of that story.
+type Metrics struct {
+	// Learner counts live oracle traffic: queries, symbols, cache hits.
+	Learner learn.Stats `json:"learner"`
+	// Guard is the voting guard's cost — escalations and wasted votes
+	// quantify how hard the link fought the learner.
+	Guard core.GuardStats `json:"guard"`
+	// Faults aggregates netem fault counters across all worker links
+	// (zero without WithImpairment).
+	Faults netem.Stats `json:"faults"`
+	// Window is the adaptive in-flight window's counters, nil unless
+	// WithWindow was configured.
+	Window *learn.WindowStats `json:"window,omitempty"`
+	// Duration is the run's wall time.
+	Duration time.Duration `json:"duration"`
+}
+
+// CacheHitRate returns the fraction of membership queries answered from
+// cache, 0 when nothing was asked.
+func (m Metrics) CacheHitRate() float64 {
+	if denom := m.Learner.Queries + m.Learner.Hits; denom > 0 {
+		return float64(m.Learner.Hits) / float64(denom)
+	}
+	return 0
+}
+
+// QueriesPerSec returns the live-query rate over the run's wall time.
+func (m Metrics) QueriesPerSec() float64 {
+	if m.Duration > 0 {
+		return float64(m.Learner.Queries) / m.Duration.Seconds()
+	}
+	return 0
+}
+
+// Metrics returns the run's unified observability snapshot.
+func (r *Result) Metrics() Metrics {
+	return Metrics{
+		Learner:  r.Stats,
+		Guard:    r.Guard,
+		Faults:   r.Faults,
+		Window:   r.Window,
+		Duration: r.Duration,
+	}
 }
 
 // Model returns the learned model wrapped for the analysis plane — named
@@ -316,6 +372,16 @@ func (e *Experiment) Learn(ctx context.Context) (*Result, error) {
 // wire (analysis.Replay / analysis.ConfirmWitness). The oracle shares the
 // replica with Learn, so do not query it while a Learn is in flight.
 func (e *Experiment) Oracle() learn.Oracle { return core.Oracle(e.exp.SUL) }
+
+// StoreEntries returns the persistent query store's logged-query count
+// — the query-log version the monitor's lineage records tie model
+// snapshots to. Zero without WithStore.
+func (e *Experiment) StoreEntries() int {
+	if e.store == nil {
+		return 0
+	}
+	return e.store.Entries()
+}
 
 // Replay runs one input word against the live target votes times and
 // returns the per-position majority outputs (analysis.Replay over

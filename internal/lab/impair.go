@@ -124,8 +124,9 @@ func SummarizeMatrix(cells []ImpairmentCell, results []RunResult) (*MatrixResult
 		if res := results[i].Result; res != nil {
 			v.Nondet = res.Nondet != nil
 			v.Learned = res.Machine != nil
-			v.Escalations = res.Guard.Escalations
-			v.WastedVotes = res.Guard.WastedVotes
+			rm := res.Metrics()
+			v.Escalations = rm.Guard.Escalations
+			v.WastedVotes = rm.Guard.WastedVotes
 			if baseline.Result != nil && baseline.Result.Stats.Queries > 0 {
 				v.QueryInflation = float64(res.Stats.Queries) / float64(baseline.Result.Stats.Queries)
 			}

@@ -84,6 +84,7 @@ func (c *CachedOracle) hit() {
 	if c.cache.stats != nil {
 		atomic.AddInt64(&c.cache.stats.Hits, 1)
 	}
+	metricCacheHits.Inc()
 }
 
 // isCtxErr reports whether err is a context cancellation or deadline —

@@ -2,6 +2,8 @@ package learn
 
 import (
 	"context"
+	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 
@@ -13,19 +15,25 @@ import (
 // notes, a returned counterexample is always genuine, but finding none only
 // gives probabilistic confidence.
 type RandomWordsOracle struct {
-	Oracle   Oracle
-	Inputs   []string
-	Words    int // number of random words to try per call
-	MinLen   int
-	MaxLen   int
-	Rand     *rand.Rand
+	Oracle Oracle
+	Inputs []string
+	Words  int // number of random words to try per call
+	MinLen int
+	MaxLen int
+	// Seed is the base of the per-hypothesis word streams: each
+	// FindCounterexample call draws its suite from a fresh RNG seeded by
+	// Seed ⊕ fingerprint(hypothesis), so the words that vet a given
+	// hypothesis are identical across calls, rounds, and processes. That
+	// determinism is what lets a store-backed relearn of an unchanged
+	// target reach zero live queries: its final hypothesis is re-verified
+	// with exactly the words the previous run already asked and logged.
+	Seed     int64
 	Attempts int64 // cumulative words tested, for statistics
 	// Workers > 1 partitions the word suite across that many goroutines,
 	// cancelling the rest once a counterexample is found. The result is
 	// deterministic and identical to the sequential search: each call
-	// draws the full round of Words words up front (in both modes, so the
-	// shared Rand advances identically regardless of Workers) and the
-	// earliest failing word of the round wins.
+	// draws the full round of Words words up front and the earliest
+	// failing word of the round wins.
 	Workers int
 }
 
@@ -38,28 +46,58 @@ func NewRandomWordsOracle(o Oracle, inputs []string, seed int64) *RandomWordsOra
 		Words:  300,
 		MinLen: 3,
 		MaxLen: 12,
-		Rand:   rand.New(rand.NewSource(seed)),
+		Seed:   seed,
 	}
 }
 
-// draw generates the next random test word.
-func (r *RandomWordsOracle) draw() []string {
+// draw generates the next random test word from rng.
+func (r *RandomWordsOracle) draw(rng *rand.Rand) []string {
 	n := r.MinLen
 	if r.MaxLen > r.MinLen {
-		n += r.Rand.Intn(r.MaxLen - r.MinLen + 1)
+		n += rng.Intn(r.MaxLen - r.MinLen + 1)
 	}
 	word := make([]string, n)
 	for j := range word {
-		word[j] = r.Inputs[r.Rand.Intn(len(r.Inputs))]
+		word[j] = r.Inputs[rng.Intn(len(r.Inputs))]
 	}
 	return word
 }
 
+// fingerprint hashes a hypothesis up to isomorphism: states are
+// renumbered in BFS order over the sorted alphabet, so the same machine
+// fingerprints identically regardless of construction order or process —
+// a freshly learned hypothesis and its reloaded snapshot agree.
+func fingerprint(m *automata.Mealy) int64 {
+	h := fnv.New64a()
+	inputs := append([]string(nil), m.Inputs()...)
+	sort.Strings(inputs)
+	idx := map[automata.State]int{m.Initial(): 0}
+	queue := []automata.State{m.Initial()}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		for _, in := range inputs {
+			to, out, ok := m.Step(s, in)
+			if !ok {
+				continue
+			}
+			j, seen := idx[to]
+			if !seen {
+				j = len(idx)
+				idx[to] = j
+				queue = append(queue, to)
+			}
+			fmt.Fprintf(h, "%d,%s,%d,%s;", idx[s], in, j, out)
+		}
+	}
+	return int64(h.Sum64())
+}
+
 // FindCounterexample implements EquivalenceOracle.
 func (r *RandomWordsOracle) FindCounterexample(ctx context.Context, hyp *automata.Mealy) ([]string, error) {
+	rng := rand.New(rand.NewSource(r.Seed ^ fingerprint(hyp)))
 	words := make([][]string, r.Words)
 	for i := range words {
-		words[i] = r.draw()
+		words[i] = r.draw(rng)
 	}
 	if r.Workers > 1 {
 		return findFirstCE(ctx, r.Oracle, hyp, words, r.Workers, &r.Attempts)

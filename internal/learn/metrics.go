@@ -1,0 +1,21 @@
+package learn
+
+import "repro/internal/metrics"
+
+// Process-wide learn-pool metric families (see docs/MONITORING.md). The
+// per-run Stats/WindowStats snapshots stay the per-experiment view;
+// these counters aggregate across every experiment in the process, which
+// is what a scrape of a long-running prognosisd wants: fleet totals,
+// rates derived server-side by Prometheus.
+var (
+	metricQueries = metrics.Default().Counter("prognosis_learn_queries_total",
+		"Live membership queries issued to systems under learning.")
+	metricSymbols = metrics.Default().Counter("prognosis_learn_symbols_total",
+		"Input symbols across live membership queries.")
+	metricCacheHits = metrics.Default().Counter("prognosis_learn_cache_hits_total",
+		"Membership queries answered from the prefix-tree cache without touching the wire.")
+	metricWindowSize = metrics.Default().Gauge("prognosis_learn_window_size",
+		"Current adaptive in-flight window size (last window to resize).")
+	metricWindowDecreases = metrics.Default().Counter("prognosis_learn_window_decreases_total",
+		"Multiplicative decreases applied by adaptive in-flight windows.")
+)

@@ -57,11 +57,14 @@ type Stats struct {
 	Hits    int64 // queries answered from cache without touching the oracle
 }
 
-// Counting wraps an oracle and counts queries and symbols in st.
+// Counting wraps an oracle and counts queries and symbols in st (and in
+// the process-wide metrics plane).
 func Counting(o Oracle, st *Stats) Oracle {
 	return OracleFunc(func(ctx context.Context, word []string) ([]string, error) {
 		atomic.AddInt64(&st.Queries, 1)
 		atomic.AddInt64(&st.Symbols, int64(len(word)))
+		metricQueries.Inc()
+		metricSymbols.Add(int64(len(word)))
 		return o.Query(ctx, word)
 	})
 }

@@ -115,6 +115,7 @@ type Window struct {
 // integer window size changes.
 func NewWindow(cfg WindowConfig, obs Observer) *Window {
 	cfg = cfg.normalized()
+	metricWindowSize.Set(float64(cfg.Initial))
 	return &Window{
 		cfg:  cfg,
 		cwnd: float64(cfg.Initial),
@@ -204,6 +205,7 @@ func (w *Window) OnLoss() {
 			w.cwnd = float64(w.cfg.Min)
 		}
 		w.stats.Decreases++
+		metricWindowDecreases.Inc()
 		w.sinceCut = 0
 		w.epochSpan = int64(w.size())
 	}
@@ -218,6 +220,7 @@ func (w *Window) finishLocked(before int) {
 	var ev *WindowResized
 	if after != before {
 		w.stats.Resizes++
+		metricWindowSize.Set(float64(after))
 		ev = &WindowResized{From: before, To: after, SRTT: w.srtt}
 	}
 	w.stats.Size = after

@@ -66,23 +66,26 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // default — build one with Default (per-surface defaults differ only in
 // the Defaults knobs) and override fields from flags (Register) or a
 // JSON body (json.Unmarshal over the default, so absent fields keep
-// their defaults).
+// their defaults). Marshalling is deliberately explicit (no omitempty):
+// a Config rendered by the typed client carries every field, so an
+// explicit zero — loss 0 on a diff job whose default impairs the link —
+// survives the wire instead of collapsing into "absent, apply default".
 type Config struct {
-	Learner     string   `json:"learner,omitempty"`
-	Seed        int64    `json:"seed,omitempty"`
-	Perfect     bool     `json:"perfect,omitempty"`
-	Conformance int      `json:"conformance,omitempty"`
-	UDP         bool     `json:"udp,omitempty"`
-	NoCache     bool     `json:"no_cache,omitempty"`
-	Workers     int      `json:"workers,omitempty"`
-	Window      int      `json:"window,omitempty"`
-	RTT         Duration `json:"rtt,omitempty"`
-	Loss        float64  `json:"loss,omitempty"`
-	Duplicate   float64  `json:"dup,omitempty"`
-	Reorder     float64  `json:"reorder,omitempty"`
-	ImpairSeed  int64    `json:"impair_seed,omitempty"`
-	Warmup      int      `json:"warmup,omitempty"`
-	Store       string   `json:"store,omitempty"`
+	Learner     string   `json:"learner"`
+	Seed        int64    `json:"seed"`
+	Perfect     bool     `json:"perfect"`
+	Conformance int      `json:"conformance"`
+	UDP         bool     `json:"udp"`
+	NoCache     bool     `json:"no_cache"`
+	Workers     int      `json:"workers"`
+	Window      int      `json:"window"`
+	RTT         Duration `json:"rtt"`
+	Loss        float64  `json:"loss"`
+	Duplicate   float64  `json:"dup"`
+	Reorder     float64  `json:"reorder"`
+	ImpairSeed  int64    `json:"impair_seed"`
+	Warmup      int      `json:"warmup"`
+	Store       string   `json:"store"`
 }
 
 // Defaults are the per-surface default knobs: `prognosis diff` mildly

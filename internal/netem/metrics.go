@@ -1,0 +1,21 @@
+package netem
+
+import "repro/internal/metrics"
+
+// Process-wide fault-injection metric families, labelled by direction
+// (client = request datagrams, server = response datagrams). Per-link
+// totals stay available through Link.Stats / lab.Result.Metrics.
+var (
+	metricSentClient = metrics.Default().CounterWith("prognosis_netem_datagrams_total",
+		"Datagrams offered to impaired links.", []string{"dir"}, []string{"client"})
+	metricSentServer = metrics.Default().CounterWith("prognosis_netem_datagrams_total",
+		"Datagrams offered to impaired links.", []string{"dir"}, []string{"server"})
+	metricDroppedClient = metrics.Default().CounterWith("prognosis_netem_dropped_total",
+		"Datagrams dropped by impaired links.", []string{"dir"}, []string{"client"})
+	metricDroppedServer = metrics.Default().CounterWith("prognosis_netem_dropped_total",
+		"Datagrams dropped by impaired links.", []string{"dir"}, []string{"server"})
+	metricDuplicated = metrics.Default().Counter("prognosis_netem_duplicated_total",
+		"Response datagrams duplicated by impaired links.")
+	metricReordered = metrics.Default().Counter("prognosis_netem_reordered_total",
+		"Response-pair reorders performed by impaired links.")
+)

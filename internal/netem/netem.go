@@ -124,21 +124,26 @@ func (l *Link) Send(src string, datagram []byte) [][]byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.stats.SentClient++
+	metricSentClient.Inc()
 	if l.clientRNG.Float64() < l.cfg.LossClient {
 		l.stats.DroppedClient++
+		metricDroppedClient.Inc()
 		return nil // the request never arrives; no response can exist
 	}
 	responses := l.inner.Send(src, datagram)
 	var out [][]byte
 	for _, r := range responses {
 		l.stats.SentServer++
+		metricSentServer.Inc()
 		if l.serverRNG.Float64() < l.cfg.LossServer {
 			l.stats.DroppedServer++
+			metricDroppedServer.Inc()
 			continue
 		}
 		out = append(out, r)
 		if l.serverRNG.Float64() < l.cfg.Duplicate {
 			l.stats.Duplicated++
+			metricDuplicated.Inc()
 			out = append(out, append([]byte(nil), r...))
 		}
 	}
@@ -146,6 +151,7 @@ func (l *Link) Send(src string, datagram []byte) [][]byte {
 		i := l.serverRNG.Intn(len(out) - 1)
 		out[i], out[i+1] = out[i+1], out[i]
 		l.stats.Reordered++
+		metricReordered.Inc()
 	}
 	return out
 }

@@ -29,7 +29,7 @@ func NewRunner(dataDir string) Runner {
 	sharedStore := filepath.Join(dataDir, "store")
 	return func(ctx context.Context, job *Job, obs learn.Observer) (*Summary, error) {
 		spec := job.Spec
-		if spec.Config.Store == "" && spec.Kind != KindRegress {
+		if spec.Config.Store == "" && spec.Kind != KindRegress && spec.Kind != KindMonitor {
 			spec.Config.Store = sharedStore
 		}
 		switch spec.Kind {
@@ -41,6 +41,8 @@ func NewRunner(dataDir string) Runner {
 			return runCheck(ctx, &spec, job.Dir, obs)
 		case KindRegress:
 			return runRegress(ctx, &spec, job.Dir, sharedStore, obs)
+		case KindMonitor:
+			return runMonitor(ctx, &spec, job.Dir, dataDir, obs)
 		default:
 			return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
 		}
@@ -69,12 +71,15 @@ func learnOne(ctx context.Context, spec *Spec, target string, obs learn.Observer
 	return exp, res, nil
 }
 
-func (s *Summary) addResult(res *lab.Result) {
-	s.Queries += res.Stats.Queries
-	s.Symbols += res.Stats.Symbols
-	s.Hits += res.Stats.Hits
-	s.GuardEscalations += res.Guard.Escalations
-	s.Duration += res.Duration
+// addResult folds one run's unified metrics snapshot into the summary.
+// (Summary is an alias of client.Summary, so this cannot be a method.)
+func addResult(s *Summary, res *lab.Result) {
+	rm := res.Metrics()
+	s.Queries += rm.Learner.Queries
+	s.Symbols += rm.Learner.Symbols
+	s.Hits += rm.Learner.Hits
+	s.GuardEscalations += rm.Guard.Escalations
+	s.Duration += rm.Duration
 }
 
 func runLearn(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*Summary, error) {
@@ -84,7 +89,7 @@ func runLearn(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (
 	}
 	defer exp.Close()
 	sum := &Summary{}
-	sum.addResult(res)
+	addResult(sum, res)
 	if res.Nondet != nil {
 		// The §5 halt is a reported outcome, exactly as in the CLI.
 		sum.Nondet = true
@@ -134,7 +139,7 @@ func runDiff(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*
 		if s.err != nil {
 			return sum, s.err
 		}
-		sum.addResult(s.res)
+		addResult(sum, s.res)
 	}
 	for i, s := range sides {
 		if s.res.Nondet != nil {
@@ -167,7 +172,7 @@ func runDiff(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (*
 
 	var buf strings.Builder
 	buf.WriteString(report.String())
-	if !report.Equivalent && spec.replayWitness() && len(report.Witnesses) > 0 {
+	if !report.Equivalent && spec.ReplayWitness() && len(report.Witnesses) > 0 {
 		confirmed, err := analysis.ConfirmWitness(ctx, report.Witnesses[0],
 			sides[0].exp.Oracle(), sides[1].exp.Oracle(), 5)
 		if err != nil {
@@ -191,7 +196,7 @@ func runCheck(ctx context.Context, spec *Spec, dir string, obs learn.Observer) (
 	}
 	defer exp.Close()
 	sum := &Summary{}
-	sum.addResult(res)
+	addResult(sum, res)
 	if res.Nondet != nil {
 		sum.Nondet = true
 		sum.NondetWord = res.Nondet.Word
@@ -278,4 +283,24 @@ func runRegress(ctx context.Context, spec *Spec, dir, storeDir string, obs learn
 	// Like check: drift is the reported result, served as the witness
 	// artifact; the job itself completed.
 	return sum, os.WriteFile(filepath.Join(dir, "witness.txt"), []byte(buf.String()), 0o644)
+}
+
+// runMonitor executes one monitor cycle as a job. Monitor state —
+// lineage journal and model snapshots — lives under the daemon data
+// directory (not the job's artifact directory), so consecutive monitor
+// jobs share baselines; the cycle report is the job's witness artifact.
+func runMonitor(ctx context.Context, spec *Spec, dir, dataDir string, obs learn.Observer) (*Summary, error) {
+	sum, report, err := RunMonitorCycle(ctx, MonitorOptions{
+		Manifest:  spec.Manifest,
+		Targets:   spec.Targets,
+		DataDir:   dataDir,
+		Workers:   spec.Config.Workers,
+		Witnesses: spec.Witnesses,
+	}, obs)
+	if report != "" {
+		if werr := os.WriteFile(filepath.Join(dir, "witness.txt"), []byte(report), 0o644); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return sum, err
 }

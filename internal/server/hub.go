@@ -5,20 +5,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/learn"
+	"repro/pkg/client"
 )
-
-// JobStateChanged is the hub's own meta event, published whenever a job
-// changes lifecycle state so SSE subscribers see submission, start,
-// resume, and completion inline with the learning events.
-type JobStateChanged struct {
-	ID    string `json:"id"`
-	State State  `json:"state"`
-	// Error carries the failure message on a failed transition.
-	Error string `json:"error,omitempty"`
-}
-
-// Kind implements learn.Event.
-func (JobStateChanged) Kind() string { return "job_state" }
 
 // hubHistory bounds the per-job event history replayed to late
 // subscribers. A full learn emits a few hundred events (rounds, cache
@@ -75,6 +63,7 @@ func (h *Hub) Observer(jobID string) learn.Observer {
 // subscriber without blocking.
 func (h *Hub) Publish(jobID string, e learn.Event) {
 	h.published.Add(1)
+	metricSSEPublished.Inc()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	t := h.topicLocked(jobID)
@@ -90,6 +79,7 @@ func (h *Hub) Publish(jobID string, e learn.Event) {
 		default:
 			s.dropped.Add(1)
 			h.dropped.Add(1)
+			metricSSEDropped.Inc()
 		}
 	}
 }
@@ -110,6 +100,7 @@ func (h *Hub) Finish(jobID string, final JobStateChanged) {
 		delete(t.subs, s)
 		close(s.ch)
 		h.subs.Add(-1)
+		metricSSESubscribers.Dec()
 	}
 }
 
@@ -144,6 +135,7 @@ func (h *Hub) Subscribe(jobID string, buffer int) (backlog []learn.Event, s *Sub
 	}
 	t.subs[s] = struct{}{}
 	h.subs.Add(1)
+	metricSSESubscribers.Inc()
 	return backlog, s
 }
 
@@ -168,16 +160,14 @@ func (s *Subscriber) Close() {
 			delete(t.subs, s)
 			close(s.ch)
 			s.hub.subs.Add(-1)
+			metricSSESubscribers.Dec()
 		}
 	})
 }
 
 // HubStats is the hub's observability snapshot, served under /v1/stats.
-type HubStats struct {
-	Subscribers int64 `json:"subscribers"`
-	Published   int64 `json:"events_published"`
-	Dropped     int64 `json:"events_dropped"`
-}
+// See client.HubStats.
+type HubStats = client.HubStats
 
 // Stats snapshots the hub counters.
 func (h *Hub) Stats() HubStats {

@@ -7,88 +7,62 @@
 // re-queues in-flight jobs on restart), stream the typed learning event
 // stream over SSE through a fan-out hub with slow-subscriber drop
 // accounting, and serve learned-model and witness artifacts from the
-// job's artifact directory. See docs/SERVICE.md.
+// job's artifact directory. The monitor subsystem (monitor.go)
+// additionally warm-relearns every manifest cell on a schedule and
+// raises drift alarms with live-confirmed witnesses. See
+// docs/SERVICE.md and docs/MONITORING.md.
+//
+// The wire types — Spec, State, Status, Summary, Stats, and the SSE
+// meta events — are defined once in pkg/client and aliased here, so the
+// daemon and its typed Go client cannot drift.
 package server
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/learncfg"
+	"repro/pkg/client"
 )
 
-// Kind names a job's verb — the four prognosis subcommands the service
-// exposes.
+// Kind names a job's verb. Aliased from pkg/client.
 const (
-	KindLearn   = "learn"
-	KindDiff    = "diff"
-	KindCheck   = "check"
-	KindRegress = "regress"
+	KindLearn   = client.KindLearn
+	KindDiff    = client.KindDiff
+	KindCheck   = client.KindCheck
+	KindRegress = client.KindRegress
+	KindMonitor = client.KindMonitor
 )
 
-// State is one stop of the job lifecycle state machine:
-//
-//	pending → running → done
-//	                  ↘ failed
-//	pending/running → cancelled        (DELETE /v1/jobs/{id})
-//	running → pending                  (daemon shutdown/crash: re-queued)
-type State string
+// State is one stop of the job lifecycle state machine; see
+// client.State.
+type State = client.State
 
 const (
-	StatePending   State = "pending"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StatePending   = client.StatePending
+	StateRunning   = client.StateRunning
+	StateDone      = client.StateDone
+	StateFailed    = client.StateFailed
+	StateCancelled = client.StateCancelled
 )
 
-// Terminal reports whether the state ends the lifecycle.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
+// Spec is a job submission: the POST /v1/jobs body. See client.Spec.
+type Spec = client.Spec
 
-func (s State) valid() bool {
-	switch s {
-	case StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
-		return true
-	}
-	return false
-}
+// Summary is the kind-specific result a finished job reports. See
+// client.Summary.
+type Summary = client.Summary
 
-// Spec is a job submission: the POST /v1/jobs body. Config carries the
-// same knobs as the CLI flags and resolves through the same
-// learncfg.Config builder, so a job body and a `prognosis` invocation
-// cannot drift. Absent Config fields keep the per-kind defaults (diff
-// jobs default to the mildly impaired 4-worker link, exactly like
-// `prognosis diff`).
-type Spec struct {
-	Kind string `json:"kind"`
-	// Target names the registry target of learn and check jobs.
-	Target string `json:"target,omitempty"`
-	// TargetA/TargetB name the two sides of a diff job.
-	TargetA string          `json:"target_a,omitempty"`
-	TargetB string          `json:"target_b,omitempty"`
-	Config  learncfg.Config `json:"config"`
-	// Witnesses bounds the distinguishing traces a diff collects (and a
-	// regress writes per drifted target). Default 5.
-	Witnesses int `json:"witnesses,omitempty"`
-	// Replay confirms a diff's first witness against both live targets
-	// (majority vote per step), like `prognosis diff`. Default true.
-	Replay *bool `json:"replay,omitempty"`
-	// Property is an extra LTLf property for check jobs; Depth bounds its
-	// exploration (default 4).
-	Property string `json:"property,omitempty"`
-	Depth    int    `json:"depth,omitempty"`
-	// Manifest is the regression manifest path of regress jobs (resolved
-	// on the daemon host; default internal/analysis/testdata/regress.json).
-	// Targets optionally restricts it to a comma-separated subset.
-	Manifest string `json:"manifest,omitempty"`
-	Targets  string `json:"targets,omitempty"`
-}
+// Status is the JSON view of a job served by GET /v1/jobs/{id}. See
+// client.Status.
+type Status = client.Status
 
-// replayWitness reports whether a diff job should replay its first
-// witness (the Replay default is true).
-func (s *Spec) replayWitness() bool { return s.Replay == nil || *s.Replay }
+// JobStateChanged is the hub's job-lifecycle meta event. See
+// client.JobStateChanged.
+type JobStateChanged = client.JobStateChanged
+
+// DriftAlarm is the monitor's live-confirmed drift event. See
+// client.DriftAlarm.
+type DriftAlarm = client.DriftAlarm
 
 // defaultsFor returns the per-kind learncfg defaults, mirroring the CLI
 // subcommands exactly.
@@ -101,73 +75,6 @@ func defaultsFor(kind string) learncfg.Defaults {
 	default:
 		return learncfg.Defaults{}
 	}
-}
-
-// Validate rejects specs no job can run, before anything is journaled.
-func (s *Spec) Validate() error {
-	switch s.Kind {
-	case KindLearn, KindCheck:
-		if s.Target == "" {
-			return fmt.Errorf("%s job needs a target", s.Kind)
-		}
-		if _, err := learncfg.ParseTargets(s.Target); err != nil {
-			return err
-		}
-		if s.TargetA != "" || s.TargetB != "" {
-			return fmt.Errorf("%s job takes target, not target_a/target_b", s.Kind)
-		}
-	case KindDiff:
-		if s.TargetA == "" || s.TargetB == "" {
-			return fmt.Errorf("diff job needs target_a and target_b")
-		}
-		if _, err := learncfg.ParseTargets(s.TargetA + "," + s.TargetB); err != nil {
-			return err
-		}
-	case KindRegress:
-		if s.Target != "" || s.TargetA != "" || s.TargetB != "" {
-			return fmt.Errorf("regress job selects targets with the targets field, not target/target_a/target_b")
-		}
-	case "":
-		return fmt.Errorf("job needs a kind: learn, diff, check, or regress")
-	default:
-		return fmt.Errorf("unknown job kind %q (want learn, diff, check, or regress)", s.Kind)
-	}
-	if s.Witnesses < 0 {
-		return fmt.Errorf("witnesses %d < 0", s.Witnesses)
-	}
-	if s.Depth < 0 {
-		return fmt.Errorf("depth %d < 0", s.Depth)
-	}
-	return s.Config.Validate()
-}
-
-// Summary is the kind-specific result a finished job reports in its
-// status (and journals, so a restarted daemon still serves it).
-type Summary struct {
-	// Learn / check / diff side A.
-	States      int   `json:"states,omitempty"`
-	Transitions int   `json:"transitions,omitempty"`
-	Queries     int64 `json:"queries,omitempty"`
-	Symbols     int64 `json:"symbols,omitempty"`
-	Hits        int64 `json:"hits,omitempty"`
-	// GuardEscalations counts the §5 adaptive guard's vote-budget raises
-	// across the job's learns.
-	GuardEscalations int64         `json:"guard_escalations,omitempty"`
-	Duration         time.Duration `json:"duration,omitempty"`
-	// Nondet marks a learn that halted on the §5 nondeterminism analysis
-	// (a reported outcome, not a failure); NondetWord is its witness query.
-	Nondet     bool     `json:"nondet,omitempty"`
-	NondetWord []string `json:"nondet_word,omitempty"`
-	// Diff.
-	Equivalent *bool `json:"equivalent,omitempty"`
-	Witnesses  int   `json:"witnesses,omitempty"`
-	// Confirmed reports whether the replayed witness diverged on the wire.
-	Confirmed *bool `json:"confirmed,omitempty"`
-	// Check.
-	Violations int `json:"violations,omitempty"`
-	// Regress.
-	RegressTargets int      `json:"regress_targets,omitempty"`
-	Drifted        []string `json:"drifted,omitempty"`
 }
 
 // Job is one submitted job's full runtime record. Fields are guarded by
@@ -191,19 +98,4 @@ type Job struct {
 
 	cancel    func() // cancels the running job's context
 	cancelled bool   // the user asked for cancellation
-}
-
-// Status is the JSON view of a job served by GET /v1/jobs/{id}.
-type Status struct {
-	ID        string     `json:"id"`
-	Kind      string     `json:"kind"`
-	State     State      `json:"state"`
-	Spec      Spec       `json:"spec"`
-	Error     string     `json:"error,omitempty"`
-	Summary   *Summary   `json:"summary,omitempty"`
-	Created   time.Time  `json:"created"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Attempts  int        `json:"attempts,omitempty"`
-	Artifacts []string   `json:"artifacts,omitempty"`
 }

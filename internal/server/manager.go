@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/learn"
+	"repro/pkg/client"
 )
 
 // Runner executes one job to completion. It is the seam between the
@@ -69,6 +70,30 @@ type Manager struct {
 	started  time.Time
 	resumed  int // jobs re-queued from the journal at startup
 	finished atomic.Int64
+
+	// Monotonic aggregate counters, bumped exactly once per finished job
+	// (and rebuilt from the journal on restart). /v1/stats derives its
+	// totals — including queries-per-second — from these instead of
+	// re-summing mutable job summaries, so two concurrent scrapes always
+	// agree and rates never drift with in-flight jobs.
+	totQueries     atomic.Int64
+	totSymbols     atomic.Int64
+	totHits        atomic.Int64
+	totEscalations atomic.Int64
+	totBusyNanos   atomic.Int64
+}
+
+// recordTotals folds a finished job's summary into the monotonic
+// aggregates.
+func (m *Manager) recordTotals(s *Summary) {
+	if s == nil {
+		return
+	}
+	m.totQueries.Add(s.Queries)
+	m.totSymbols.Add(s.Symbols)
+	m.totHits.Add(s.Hits)
+	m.totEscalations.Add(s.GuardEscalations)
+	m.totBusyNanos.Add(int64(s.Duration))
 }
 
 // NewManager loads the journal, re-queues unfinished jobs, and starts
@@ -162,6 +187,7 @@ func (m *Manager) replay() error {
 		j := m.jobs[id]
 		if j.State.Terminal() {
 			m.finished.Add(1)
+			m.recordTotals(j.Summary)
 			continue
 		}
 		if j.State == StateRunning {
@@ -180,6 +206,7 @@ func (m *Manager) replay() error {
 		default:
 		}
 	}
+	m.syncStateGauges()
 	return nil
 }
 
@@ -221,6 +248,8 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	m.order = append(m.order, id)
 	m.pending = append(m.pending, id)
 	m.mu.Unlock()
+	metricJobsSubmitted.Inc()
+	m.syncStateGauges()
 	m.hub.Publish(id, JobStateChanged{ID: id, State: StatePending})
 	select {
 	case m.wake <- struct{}{}:
@@ -331,6 +360,8 @@ func (m *Manager) Cancel(id string) (State, error) {
 		}
 		m.mu.Unlock()
 		m.finished.Add(1)
+		metricJobsFinished(StateCancelled).Inc()
+		m.syncStateGauges()
 		if err := m.backend.Append(Record{ID: id, State: StateCancelled, At: time.Now()}); err != nil {
 			return StateCancelled, err
 		}
@@ -374,6 +405,7 @@ func (m *Manager) worker() {
 			j.Attempts++
 			j.cancel = cancel
 			m.mu.Unlock()
+			m.syncStateGauges()
 			m.runJob(ctx, cancel, j)
 		}
 	}
@@ -411,6 +443,7 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *Job)
 			if err := m.backend.Append(Record{ID: j.ID, State: StatePending, At: time.Now()}); err != nil {
 				m.logf("journal %s requeue: %v", j.ID, err)
 			}
+			m.syncStateGauges()
 			m.hub.Publish(j.ID, JobStateChanged{ID: j.ID, State: StatePending})
 			m.logf("drain: re-queued %s mid-run", j.ID)
 			return
@@ -441,6 +474,9 @@ func (m *Manager) finishAs(j *Job, state State, summary *Summary, err error) {
 	}
 	m.mu.Unlock()
 	m.finished.Add(1)
+	m.recordTotals(summary)
+	metricJobsFinished(state).Inc()
+	m.syncStateGauges()
 	rec := Record{ID: j.ID, State: state, Summary: summary, At: now}
 	if err != nil {
 		rec.Error = err.Error()
@@ -506,29 +542,17 @@ func (m *Manager) cancelRunning() {
 	}
 }
 
-// Stats is the /v1/stats payload: queue shape, throughput, and the
-// event hub's drop accounting.
-type Stats struct {
-	Uptime   string        `json:"uptime"`
-	Jobs     map[State]int `json:"jobs"`
-	Resumed  int           `json:"resumed,omitempty"`
-	Finished int64         `json:"finished"`
-	Draining bool          `json:"draining,omitempty"`
-	Totals   SummaryTotals `json:"totals"`
-	Hub      HubStats      `json:"events"`
-}
+// Stats is the /v1/stats payload. See client.Stats.
+type Stats = client.Stats
 
 // SummaryTotals aggregates the learning counters across finished jobs.
-type SummaryTotals struct {
-	Queries          int64   `json:"queries"`
-	Symbols          int64   `json:"symbols"`
-	Hits             int64   `json:"cache_hits"`
-	HitRate          float64 `json:"cache_hit_rate"`
-	GuardEscalations int64   `json:"guard_escalations"`
-	QueriesPerSec    float64 `json:"queries_per_sec"`
-}
+// See client.SummaryTotals.
+type SummaryTotals = client.SummaryTotals
 
-// Stats snapshots the manager.
+// Stats snapshots the manager. The totals (and the q/s rate derived
+// from them) come from the monotonic finish-time counters, so they only
+// ever grow and concurrent scrapes agree; the queue-shape map is the
+// one instantaneous part.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	st := Stats{
@@ -537,20 +561,19 @@ func (m *Manager) Stats() Stats {
 		Resumed:  m.resumed,
 		Draining: m.draining,
 	}
-	var totals SummaryTotals
-	var busy time.Duration
 	for _, j := range m.jobs {
 		st.Jobs[j.State]++
-		if s := j.Summary; s != nil {
-			totals.Queries += s.Queries
-			totals.Symbols += s.Symbols
-			totals.Hits += s.Hits
-			totals.GuardEscalations += s.GuardEscalations
-			busy += s.Duration
-		}
 	}
 	m.mu.Unlock()
 	st.Finished = m.finished.Load()
+	totals := SummaryTotals{
+		Queries:          m.totQueries.Load(),
+		Symbols:          m.totSymbols.Load(),
+		Hits:             m.totHits.Load(),
+		GuardEscalations: m.totEscalations.Load(),
+	}
+	busy := time.Duration(m.totBusyNanos.Load())
+	totals.BusySeconds = busy.Seconds()
 	if denom := totals.Queries + totals.Hits; denom > 0 {
 		totals.HitRate = float64(totals.Hits) / float64(denom)
 	}

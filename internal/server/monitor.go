@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/lab"
+	"repro/internal/learn"
+	"repro/internal/learncfg"
+)
+
+// This file is the continuous drift monitor: a scheduled (or one-shot)
+// cycle that warm-relearns every (target × config) cell of a regression
+// manifest, records time-versioned model snapshots with lineage — which
+// query-log version produced which model version, appended to a
+// crash-tolerant JSONL journal — and raises drift alarms carrying the
+// shortest distinguishing witness. An alarm only fires after the witness
+// is replayed against the live target and the divergence reproduces;
+// unconfirmed drift (a transient flaky learn) is journaled but does not
+// advance the baseline or alarm. Alarms reach subscribers as
+// "drift_alarm" SSE events and the prognosisd_monitor_* metric
+// families. See docs/MONITORING.md.
+
+// MonitorOptions configures one monitor cycle.
+type MonitorOptions struct {
+	// Manifest is the regression manifest naming the monitored cells
+	// ("" = the daemon default). Targets optionally restricts it to a
+	// comma-separated subset.
+	Manifest string
+	Targets  string
+	// DataDir is the monitor's state root: lineage and model snapshots
+	// live under DataDir/monitor, and relearns warm-start from the shared
+	// query store under DataDir/store — the same store daemon jobs use,
+	// which is what makes an unchanged cell's cycle cost zero live
+	// queries.
+	DataDir string
+	// Workers is the membership-query concurrency per relearn (default 1).
+	Workers int
+	// Witnesses bounds the distinguishing traces collected per drifted
+	// cell (default 3).
+	Witnesses int
+	// Votes is the witness replay's per-position majority vote count
+	// (default 5).
+	Votes int
+}
+
+func (o *MonitorOptions) defaults() {
+	if o.Manifest == "" {
+		o.Manifest = defaultManifest
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Witnesses < 1 {
+		o.Witnesses = 3
+	}
+	if o.Votes < 1 {
+		o.Votes = 5
+	}
+}
+
+// cellOutcome is what one cell's cycle concluded, for the report.
+type cellOutcome struct {
+	rec   LineageRecord
+	alarm *DriftAlarm
+	note  string
+}
+
+// RunMonitorCycle executes one monitor cycle: every selected manifest
+// cell is warm-relearned, snapshotted into the lineage journal, and
+// compared against its previous snapshot. It returns the job summary
+// and the human-readable cycle report (the witness artifact). obs, when
+// non-nil, receives the relearns' typed event streams plus a DriftAlarm
+// event per confirmed drift.
+func RunMonitorCycle(ctx context.Context, opt MonitorOptions, obs learn.Observer) (*Summary, string, error) {
+	opt.defaults()
+	m, err := cli.LoadRegressManifest(opt.Manifest)
+	if err != nil {
+		return nil, "", err
+	}
+	selected, err := m.Filter(opt.Targets)
+	if err != nil {
+		return nil, "", err
+	}
+	monDir := filepath.Join(opt.DataDir, "monitor")
+	snapDir := filepath.Join(monDir, "snapshots")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		return nil, "", err
+	}
+	lin, err := OpenLineage(filepath.Join(monDir, "lineage.jsonl"))
+	if err != nil {
+		return nil, "", err
+	}
+	defer lin.Close()
+	storeDir := filepath.Join(opt.DataDir, "store")
+
+	sum := &Summary{RegressTargets: len(selected)}
+	var buf strings.Builder
+	for _, rt := range selected {
+		out, err := monitorCell(ctx, rt, lin, snapDir, storeDir, opt, obs)
+		if out.rec.Cell != "" {
+			sum.Queries += out.rec.LiveQueries
+		}
+		if err != nil {
+			return sum, buf.String(), fmt.Errorf("cell %s: %w", rt.Name, err)
+		}
+		fmt.Fprintf(&buf, "monitor %s: %s — model v%d, log v%d, %d live queries\n",
+			rt.Name, out.note, out.rec.ModelVersion, out.rec.LogVersion, out.rec.LiveQueries)
+		if out.alarm != nil {
+			sum.Alarms++
+			sum.Drifted = append(sum.Drifted, rt.Name)
+			metricMonitorDrift.Inc()
+			if obs != nil {
+				obs.OnEvent(*out.alarm)
+			}
+			fmt.Fprintf(&buf, "  DRIFT ALARM: witness %v confirmed live\n  %s\n",
+				out.alarm.Witness, strings.ReplaceAll(strings.TrimSpace(out.alarm.Diff), "\n", "\n  "))
+		} else if out.rec.Drift {
+			fmt.Fprintf(&buf, "  drift observed but NOT confirmed live (transient) — baseline kept\n")
+		}
+	}
+	metricMonitorCycles.Inc()
+	return sum, buf.String(), nil
+}
+
+// monitorCell runs one cell's cycle: warm relearn, lineage snapshot,
+// drift comparison, and — when the models diverge — live witness
+// confirmation.
+func monitorCell(ctx context.Context, rt cli.RegressTarget, lin *Lineage,
+	snapDir, storeDir string, opt MonitorOptions, obs learn.Observer) (cellOutcome, error) {
+	cfg := learncfg.Config{
+		Learner: "ttt", Seed: rt.Seed, Conformance: rt.Conformance,
+		Loss: rt.Loss, Duplicate: rt.Duplicate, Reorder: rt.Reorder,
+		Warmup: rt.Warmup, Workers: opt.Workers, Store: storeDir,
+	}
+	opts, err := cfg.Options()
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	if obs != nil {
+		opts = append(opts, lab.WithObserver(obs))
+	}
+	exp, err := lab.NewExperiment(rt.Name, opts...)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	defer exp.Close()
+	res, err := exp.Learn(ctx)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+
+	rec := LineageRecord{
+		Cell:        rt.Name,
+		LogVersion:  int64(exp.StoreEntries()),
+		LiveQueries: res.Metrics().Learner.Queries,
+		At:          time.Now(),
+	}
+	prev, havePrev := lin.Latest(rt.Name)
+
+	// Nondeterministic outcome: the §5 halt is itself a live observation,
+	// so a model→nondet (or nondet→model) transition is confirmed drift
+	// by construction — no replay needed.
+	if res.Nondet != nil {
+		rec.Nondet = true
+		switch {
+		case !havePrev:
+			rec.ModelVersion = 1
+			return cellOutcome{rec: rec, note: "baseline recorded (nondet)"}, lin.Append(rec)
+		case prev.Nondet:
+			rec.ModelVersion = prev.ModelVersion
+			return cellOutcome{rec: rec, note: "OK (still nondet)"}, lin.Append(rec)
+		default:
+			rec.ModelVersion = prev.ModelVersion + 1
+			rec.Drift, rec.Confirmed = true, true
+			rec.Witness = res.Nondet.Word
+			alarm := &DriftAlarm{
+				Cell: rt.Name, Witness: rec.Witness, Confirmed: true,
+				Diff:         fmt.Sprintf("target became nondeterministic: %v", res.Nondet),
+				ModelVersion: rec.ModelVersion, LogVersion: rec.LogVersion,
+			}
+			return cellOutcome{rec: rec, alarm: alarm, note: "DRIFT (became nondet)"}, lin.Append(rec)
+		}
+	}
+
+	learned := res.Model()
+	learned.Name = rt.Name
+
+	// First sight of a model for this cell: either a fresh baseline or a
+	// nondet→model transition.
+	if !havePrev || prev.Model == "" {
+		version := 1
+		note := "baseline recorded"
+		var alarm *DriftAlarm
+		if havePrev {
+			version = prev.ModelVersion + 1
+			rec.Drift, rec.Confirmed = true, true
+			note = "DRIFT (was nondet, learned a model)"
+			alarm = &DriftAlarm{
+				Cell: rt.Name, Confirmed: true,
+				Diff:         fmt.Sprintf("previously nondeterministic; now a deterministic %d-state model", learned.States()),
+				ModelVersion: version, LogVersion: rec.LogVersion,
+			}
+		}
+		rec.ModelVersion = version
+		rec.Model, err = saveSnapshot(learned, snapDir, rt.Name, version)
+		if err != nil {
+			return cellOutcome{}, err
+		}
+		return cellOutcome{rec: rec, alarm: alarm, note: note}, lin.Append(rec)
+	}
+
+	baseline, err := analysis.LoadModel(filepath.Join(snapDir, prev.Model))
+	if err != nil {
+		return cellOutcome{}, fmt.Errorf("load baseline snapshot: %w", err)
+	}
+	baseline.Name = fmt.Sprintf("%s@v%d", rt.Name, prev.ModelVersion)
+	drift, err := analysis.CompareGolden(learned, baseline, opt.Witnesses)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	if drift == nil {
+		rec.ModelVersion = prev.ModelVersion
+		rec.Model = prev.Model
+		return cellOutcome{rec: rec, note: "OK (unchanged)"}, lin.Append(rec)
+	}
+
+	// The models diverge. Before alarming, replay the shortest witness
+	// against the live target (per-position majority over opt.Votes
+	// runs): only a reproduced divergence is real drift — a flaky learn
+	// that cannot be reproduced keeps the baseline and alarms nobody.
+	w := drift.Witness
+	rec.Drift = true
+	rec.Witness = w.Word
+	live, err := exp.Replay(ctx, w.Word, opt.Votes)
+	if err != nil {
+		return cellOutcome{}, fmt.Errorf("replay witness: %w", err)
+	}
+	if sameOutputs(live, w.OutputsB) {
+		// The live target still answers like the baseline: transient.
+		rec.ModelVersion = prev.ModelVersion
+		rec.Model = prev.Model
+		return cellOutcome{rec: rec, note: "drift NOT confirmed"}, lin.Append(rec)
+	}
+	rec.Confirmed = true
+	rec.ModelVersion = prev.ModelVersion + 1
+	rec.Model, err = saveSnapshot(learned, snapDir, rt.Name, rec.ModelVersion)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	alarm := &DriftAlarm{
+		Cell: rt.Name, Witness: w.Word,
+		Expected: w.OutputsB, Got: live, Confirmed: true,
+		Diff:         drift.String(),
+		ModelVersion: rec.ModelVersion, LogVersion: rec.LogVersion,
+	}
+	return cellOutcome{rec: rec, alarm: alarm, note: "DRIFT confirmed"}, lin.Append(rec)
+}
+
+// saveSnapshot writes one time-versioned model snapshot and returns its
+// filename (relative to snapDir, as lineage records reference it).
+func saveSnapshot(m *analysis.Model, snapDir, cell string, version int) (string, error) {
+	name := fmt.Sprintf("%s.v%d.json", cell, version)
+	if err := m.Save(filepath.Join(snapDir, name)); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func sameOutputs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -88,7 +88,7 @@ func (b *FSBackend) Load() ([]Record, error) {
 	var recs []Record
 	ok, err := jsonlog.Recover(b.f, queueFormat, queueVersion, func(line []byte) bool {
 		var rec Record
-		if json.Unmarshal(line, &rec) != nil || rec.ID == "" || !rec.State.valid() {
+		if json.Unmarshal(line, &rec) != nil || rec.ID == "" || !rec.State.Valid() {
 			return false
 		}
 		recs = append(recs, rec)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/learn"
 	"repro/internal/learncfg"
+	"repro/internal/metrics"
 )
 
 // Server is the HTTP face of the daemon: a Go 1.24 pattern-routed mux
@@ -33,6 +34,10 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/witness", s.witness)
 	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	// The unified metrics plane: every subsystem's process-wide counters
+	// (learn pool, guard, transport, netem, job manager, SSE hub,
+	// monitor) in Prometheus text exposition.
+	s.mux.Handle("GET /metrics", metrics.Default().Handler())
 	return s
 }
 

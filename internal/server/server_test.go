@@ -1,11 +1,10 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -18,47 +17,26 @@ import (
 	"repro/internal/lab"
 	"repro/internal/learncfg"
 	"repro/internal/testutil"
+	"repro/pkg/client"
 )
 
-// postJob submits a job body and decodes the accepted status.
-func postJob(t *testing.T, ts *httptest.Server, body string) Status {
-	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var e map[string]string
-		json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("submit %s: %d %s", body, resp.StatusCode, e["error"])
-	}
-	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	return st
-}
+// The E2E tests drive the daemon exclusively through pkg/client — the
+// same typed client prognosisctl and CI's daemon-smoke use — so the wire
+// API is exercised through its one Go-side definition. Only the
+// malformed-body cases below speak raw HTTP, because the typed client
+// cannot produce bodies the parser must reject.
 
-func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+// waitClientState polls until the job reaches want, failing fast if it goes
+// terminal elsewhere.
+func waitClientState(t *testing.T, c *client.Client, id string, want State) client.Status {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	return st
-}
-
-func waitHTTP(t *testing.T, ts *httptest.Server, id string, want State) Status {
-	t.Helper()
+	ctx := context.Background()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
-		st := getStatus(t, ts, id)
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if st.State == want {
 			return st
 		}
@@ -68,58 +46,47 @@ func waitHTTP(t *testing.T, ts *httptest.Server, id string, want State) Status {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("job %s never reached %s", id, want)
-	return Status{}
+	return client.Status{}
 }
 
-// collectSSE reads the job's SSE stream until the terminal job_state
+// collectSSE follows the job's event stream until the terminal job_state
 // event (or timeout), returning event-kind counts.
-func collectSSE(t *testing.T, ts *httptest.Server, id string) map[string]int {
+func collectSSE(t *testing.T, c *client.Client, id string) map[string]int {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
-	resp, err := http.DefaultClient.Do(req)
+	es, err := c.Events(ctx, id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
-		t.Fatalf("events content-type = %q", ct)
-	}
+	defer es.Close()
 	kinds := map[string]int{}
-	sc := bufio.NewScanner(resp.Body)
-	var last string
-	for sc.Scan() {
-		line := sc.Text()
-		if name, ok := strings.CutPrefix(line, "event: "); ok {
-			kinds[name]++
-			last = name
-			continue
+	for {
+		ev, err := es.Next()
+		if err == io.EOF {
+			t.Fatalf("SSE stream ended without a terminal job_state (saw %v)", kinds)
 		}
-		if data, ok := strings.CutPrefix(line, "data: "); ok && last == "job_state" {
-			var ev JobStateChanged
-			if err := json.Unmarshal([]byte(data), &ev); err != nil {
-				t.Fatalf("job_state payload %q: %v", data, err)
-			}
-			if ev.State.Terminal() {
-				return kinds
-			}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds[ev.Kind]++
+		if js, ok := ev.JobState(); ok && js.State.Terminal() {
+			return kinds
 		}
 	}
-	t.Fatalf("SSE stream ended without a terminal job_state (saw %v)", kinds)
-	return nil
 }
 
-// TestServerEndToEnd is the acceptance path: submit a learn job over
-// HTTP, follow its SSE stream to completion, verify the served model is
-// byte-identical to what the same configuration learns through the lab
-// API directly, cancel a second (RTT-slowed) job mid-run, and check
-// stats/healthz along the way.
+// TestServerEndToEnd is the acceptance path: submit a learn job through
+// the typed client, follow its SSE stream to completion, verify the
+// served model is byte-identical to what the same configuration learns
+// through the lab API directly, cancel a second (RTT-slowed) job
+// mid-run, and check stats/healthz/metrics along the way.
 func TestServerEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full service round trip")
 	}
 	base := runtime.NumGoroutine()
+	ctx := context.Background()
 	dir := t.TempDir()
 	mgr, err := NewManager(ManagerConfig{Dir: dir, Parallel: 2, DrainTimeout: 5 * time.Second})
 	if err != nil {
@@ -127,38 +94,43 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	ts := httptest.NewServer(NewServer(mgr))
 	defer ts.Close()
+	c := client.New(ts.URL)
 
 	// Health before anything else.
-	resp, err := http.Get(ts.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", resp.StatusCode)
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
 	}
 
 	// A learn job and, in parallel, a deliberately slow victim for the
 	// cancellation path (every query pays 10ms of emulated RTT).
-	learnJob := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"conformance": 2}}`)
+	learnSpec := client.NewLearnSpec("google")
+	learnSpec.Config.Conformance = 2
+	learnJob, err := c.Submit(ctx, learnSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if learnJob.State != StatePending && learnJob.State != StateRunning {
 		t.Fatalf("accepted job state = %s", learnJob.State)
 	}
-	slowJob := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"rtt": "10ms"}}`)
+	slowSpec := client.NewLearnSpec("google")
+	slowSpec.Config.RTT = learncfg.Duration(10 * time.Millisecond)
+	slowJob, err := c.Submit(ctx, slowSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Cancel the slow job while it is demonstrably mid-run.
-	waitHTTP(t, ts, slowJob.ID, StateRunning)
-	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+slowJob.ID, nil)
-	if resp, err := http.DefaultClient.Do(req); err != nil {
+	waitClientState(t, c, slowJob.ID, StateRunning)
+	if was, err := c.Cancel(ctx, slowJob.ID); err != nil {
 		t.Fatal(err)
-	} else {
-		resp.Body.Close()
+	} else if was != StateRunning {
+		t.Fatalf("cancel hit state %s, want running", was)
 	}
 
 	// The learn job's event stream must replay the run (history + live)
 	// and end with the terminal state; at least one hypothesis_ready is
-	// the tentpole's observability contract.
-	kinds := collectSSE(t, ts, learnJob.ID)
+	// the observability contract.
+	kinds := collectSSE(t, c, learnJob.ID)
 	if kinds["hypothesis_ready"] == 0 {
 		t.Fatalf("no hypothesis_ready on the stream: %v", kinds)
 	}
@@ -166,37 +138,31 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("no job_state events: %v", kinds)
 	}
 
-	st := waitHTTP(t, ts, learnJob.ID, StateDone)
+	st, err := c.Wait(ctx, learnJob.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("learn job = %s (%s)", st.State, st.Error)
+	}
 	if st.Summary == nil || st.Summary.States == 0 || st.Summary.Queries == 0 {
 		t.Fatalf("learn summary = %+v", st.Summary)
 	}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if st := getStatus(t, ts, slowJob.ID); st.State == StateCancelled {
-			break
-		} else if st.State.Terminal() {
-			t.Fatalf("slow job reached %s, want cancelled", st.State)
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("cancelled job never went terminal")
-		}
-		time.Sleep(10 * time.Millisecond)
+	if st, err := c.Wait(ctx, slowJob.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if st.State != StateCancelled {
+		t.Fatalf("slow job reached %s, want cancelled", st.State)
 	}
 
 	// The served model must be byte-identical to a direct lab learn of
 	// the same configuration — the daemon adds a transport, never a
 	// different answer.
-	resp, err = http.Get(ts.URL + "/v1/jobs/" + learnJob.ID + "/model")
+	served, err := c.Model(ctx, learnJob.ID, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	served, _ := os.ReadFile(filepath.Join(dir, "jobs", learnJob.ID, "model.json"))
-	var viaHTTP bytes.Buffer
-	if _, err := viaHTTP.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !bytes.Equal(served, viaHTTP.Bytes()) {
+	stored, _ := os.ReadFile(filepath.Join(dir, "jobs", learnJob.ID, "model.json"))
+	if !bytes.Equal(served, stored) {
 		t.Fatal("served model differs from the stored artifact")
 	}
 	cfg := learncfg.Default(learncfg.Defaults{})
@@ -209,7 +175,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exp.Learn(context.Background())
+	res, err := exp.Learn(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,33 +193,53 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// DOT rendering of the same artifact.
-	resp, err = http.Get(ts.URL + "/v1/jobs/" + learnJob.ID + "/model?format=dot")
+	dot, err := c.Model(ctx, learnJob.ID, "", "dot")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var dot bytes.Buffer
-	dot.ReadFrom(resp.Body)
-	resp.Body.Close()
-	if !strings.Contains(dot.String(), "digraph") {
-		t.Fatalf("dot artifact: %.80s", dot.String())
+	if !strings.Contains(string(dot), "digraph") {
+		t.Fatalf("dot artifact: %.80s", dot)
 	}
 
-	// Stats reflect the finished work.
-	resp, err = http.Get(ts.URL + "/v1/stats")
+	// Stats reflect the finished work, and the aggregate throughput rate
+	// derives from the monotonic totals (busy seconds of finished jobs).
+	stats, err := c.ServerStats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats Stats
-	json.NewDecoder(resp.Body).Decode(&stats)
-	resp.Body.Close()
 	if stats.Jobs[StateDone] != 1 || stats.Jobs[StateCancelled] != 1 {
 		t.Fatalf("stats jobs = %v", stats.Jobs)
 	}
-	if stats.Totals.Queries == 0 {
+	if stats.Totals.Queries == 0 || stats.Totals.BusySeconds <= 0 {
 		t.Fatalf("stats totals = %+v", stats.Totals)
 	}
+	if stats.Totals.QueriesPerSec <= 0 {
+		t.Fatalf("queries_per_sec = %v, want > 0", stats.Totals.QueriesPerSec)
+	}
 
-	if err := mgr.Shutdown(context.Background()); err != nil {
+	// The unified metrics plane: /metrics serves Prometheus text
+	// exposition spanning the learner, guard, daemon, and SSE families.
+	raw, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, family := range []string{
+		"# TYPE prognosis_learn_queries_total counter",
+		"# TYPE prognosis_guard_votes_total counter",
+		"# TYPE prognosisd_jobs_submitted_total counter",
+		"# TYPE prognosisd_jobs gauge",
+		"# TYPE prognosisd_sse_events_published_total counter",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+	if !strings.Contains(text, `prognosisd_jobs_finished_total{state="done"}`) {
+		t.Errorf("/metrics missing finished-by-state counter:\n%.400s", text)
+	}
+
+	if err := mgr.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close()
@@ -269,29 +255,32 @@ func TestServerResumeAcrossRestart(t *testing.T) {
 		t.Skip("full service round trip")
 	}
 	base := runtime.NumGoroutine()
+	ctx := context.Background()
 	dir := t.TempDir()
 	mgr, err := NewManager(ManagerConfig{Dir: dir, DrainTimeout: 100 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(NewServer(mgr))
+	c := client.New(ts.URL)
 
 	// Slow enough (1ms RTT per exchange ≈ seconds per learn) that the
 	// drain timeout fires mid-learn and the job is re-queued rather than
 	// finished, yet quick enough for the resumed attempt to complete.
-	job := postJob(t, ts, `{"kind": "learn", "target": "google", "config": {"rtt": "1ms"}}`)
-	waitHTTP(t, ts, job.ID, StateRunning)
-	if err := mgr.Shutdown(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	// Draining daemons refuse new work.
-	resp, err := http.Get(ts.URL + "/v1/healthz")
+	spec := client.NewLearnSpec("google")
+	spec.Config.RTT = learncfg.Duration(time.Millisecond)
+	job, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz = %d", resp.StatusCode)
+	waitClientState(t, c, job.ID, StateRunning)
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Draining daemons refuse new work: Healthz surfaces the 503.
+	var apiErr *client.APIError
+	if err := c.Healthz(ctx); !errors.As(err, &apiErr) || apiErr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %v, want 503", err)
 	}
 	ts.Close()
 	testutil.WaitForGoroutines(t, base)
@@ -304,7 +293,14 @@ func TestServerResumeAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	ts2 := httptest.NewServer(NewServer(mgr2))
-	st := waitHTTP(t, ts2, job.ID, StateDone)
+	c2 := client.New(ts2.URL)
+	st, err := c2.Wait(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("resumed job = %s (%s)", st.State, st.Error)
+	}
 	if st.Attempts != 2 {
 		t.Fatalf("resumed job attempts = %d, want 2", st.Attempts)
 	}
@@ -312,30 +308,31 @@ func TestServerResumeAcrossRestart(t *testing.T) {
 		t.Fatalf("resumed job has no artifacts: %+v", st)
 	}
 	ts2.Close()
-	if err := mgr2.Shutdown(context.Background()); err != nil {
+	if err := mgr2.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
 	testutil.WaitForGoroutines(t, base)
 }
 
 // TestServerRejectsBadSubmissions: malformed bodies, unknown fields, and
-// invalid specs are 400s; unknown jobs are 404s.
+// invalid specs are 400s; unknown jobs are 404s — all surfaced as typed
+// APIErrors through the client.
 func TestServerRejectsBadSubmissions(t *testing.T) {
 	base := runtime.NumGoroutine()
+	ctx := context.Background()
 	mgr, err := NewManager(ManagerConfig{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(NewServer(mgr))
 	defer ts.Close()
+	c := client.New(ts.URL)
 
+	// Bodies the typed client cannot construct — a truncated object and an
+	// unknown field — must still be 400s: raw HTTP exercises the parser.
 	for _, body := range []string{
 		`{`,
-		`{"kind": "learn"}`,
-		`{"kind": "learn", "target": "no-such-target"}`,
 		`{"kind": "learn", "target": "tcp", "tarlet": "oops"}`,
-		`{"kind": "learn", "target": "tcp", "config": {"workers": 0}}`,
-		`{"kind": "diff", "target": "tcp"}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -346,42 +343,64 @@ func TestServerRejectsBadSubmissions(t *testing.T) {
 			t.Errorf("submit %s: %d, want 400", body, resp.StatusCode)
 		}
 	}
-	for _, url := range []string{"/v1/jobs/j9999", "/v1/jobs/j9999/events", "/v1/jobs/j9999/model", "/v1/jobs/j9999/witness"} {
-		resp, err := http.Get(ts.URL + url)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Errorf("GET %s: %d, want 404", url, resp.StatusCode)
+
+	// Invalid specs through the client: every rejection is an APIError 400.
+	badLearn := client.NewLearnSpec("")
+	badTarget := client.NewLearnSpec("no-such-target")
+	badWorkers := client.NewLearnSpec("tcp")
+	badWorkers.Config.Workers = -1
+	halfDiff := client.NewDiffSpec("tcp", "")
+	monWithTarget := client.NewMonitorSpec("")
+	monWithTarget.Target = "tcp"
+	for _, spec := range []client.Spec{badLearn, badTarget, badWorkers, halfDiff, monWithTarget} {
+		_, err := c.Submit(ctx, spec)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+			t.Errorf("submit %+v: %v, want APIError 400", spec, err)
 		}
 	}
 
-	// A sparse diff body inherits the diff CLI defaults.
-	var st Status
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
-		strings.NewReader(`{"kind": "diff", "target_a": "google", "target_b": "google-fixed", "config": {"loss": 0}}`))
+	// Unknown jobs are 404s on every per-job surface.
+	if _, err := c.Job(ctx, "j9999"); !is404(err) {
+		t.Errorf("Job(j9999) = %v, want 404", err)
+	}
+	if _, err := c.Events(ctx, "j9999"); !is404(err) {
+		t.Errorf("Events(j9999) = %v, want 404", err)
+	}
+	if _, err := c.Model(ctx, "j9999", "", ""); !is404(err) {
+		t.Errorf("Model(j9999) = %v, want 404", err)
+	}
+	if _, err := c.Witness(ctx, "j9999"); !is404(err) {
+		t.Errorf("Witness(j9999) = %v, want 404", err)
+	}
+
+	// A diff spec built by the constructor carries the diff CLI defaults,
+	// and explicit zero overrides survive the round trip.
+	spec := client.NewDiffSpec("google", "google-fixed")
+	spec.Config.Loss = 0
+	st, err := c.Submit(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
 	if st.Spec.Config.Workers != 4 || st.Spec.Config.Conformance != 2 {
 		t.Fatalf("diff defaults not applied: %+v", st.Spec.Config)
 	}
 	if st.Spec.Config.Loss != 0 {
 		t.Fatalf("explicit loss=0 overridden: %+v", st.Spec.Config)
 	}
-	if _, err := mgr.Cancel(st.ID); err != nil {
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := mgr.Shutdown(context.Background()); err != nil {
+	if err := mgr.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close()
 	testutil.WaitForGoroutines(t, base)
+}
+
+func is404(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == http.StatusNotFound
 }
 
 // TestServerDiffJob drives a full diff through the service: google vs
@@ -392,15 +411,29 @@ func TestServerDiffJob(t *testing.T) {
 		t.Skip("full service round trip")
 	}
 	base := runtime.NumGoroutine()
+	ctx := context.Background()
 	mgr, err := NewManager(ManagerConfig{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(NewServer(mgr))
 	defer ts.Close()
+	c := client.New(ts.URL)
 
-	job := postJob(t, ts, `{"kind": "diff", "target_a": "google", "target_b": "quiche", "config": {"loss": 0, "workers": 1}}`)
-	st := waitHTTP(t, ts, job.ID, StateDone)
+	spec := client.NewDiffSpec("google", "quiche")
+	spec.Config.Loss = 0
+	spec.Config.Workers = 1
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("diff job = %s (%s)", st.State, st.Error)
+	}
 	if st.Summary == nil || st.Summary.Equivalent == nil {
 		t.Fatalf("diff summary = %+v", st.Summary)
 	}
@@ -411,27 +444,19 @@ func TestServerDiffJob(t *testing.T) {
 		t.Fatalf("witness not confirmed live: %+v", st.Summary)
 	}
 	for _, side := range []string{"a", "b"} {
-		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/model?side=%s", ts.URL, job.ID, side))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("model side %s: %d", side, resp.StatusCode)
+		if _, err := c.Model(ctx, job.ID, side, ""); err != nil {
+			t.Fatalf("model side %s: %v", side, err)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/witness")
+	report, err := c.Witness(ctx, job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var report bytes.Buffer
-	report.ReadFrom(resp.Body)
-	resp.Body.Close()
-	if !strings.Contains(report.String(), "replayed live: diverged=true") {
-		t.Fatalf("witness report missing live confirmation:\n%s", report.String())
+	if !strings.Contains(string(report), "replayed live: diverged=true") {
+		t.Fatalf("witness report missing live confirmation:\n%s", report)
 	}
 
-	if err := mgr.Shutdown(context.Background()); err != nil {
+	if err := mgr.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
 	ts.Close()

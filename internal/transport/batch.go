@@ -43,7 +43,7 @@ type BatchConn interface {
 // platform. Connected sockets (DialUDP) send without addresses; unconnected
 // ones (ListenUDP) use Message.Addr.
 func NewBatchConn(conn *net.UDPConn) BatchConn {
-	return newBatchImpl(conn, conn.RemoteAddr() != nil)
+	return &measuredConn{inner: newBatchImpl(conn, conn.RemoteAddr() != nil)}
 }
 
 // tryPoll is how long the fallback's TryReadBatch waits for queued data.

@@ -1,0 +1,294 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one prognosisd instance. The zero value is not usable;
+// construct with New. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test servers). The default client has no timeout — SSE
+// subscriptions and long polls are expected to outlive any fixed one;
+// bound calls with the context instead.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7077").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon response, carrying the decoded error body.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("prognosisd: %s (HTTP %d)", e.Message, e.Code)
+}
+
+// do issues the request and decodes a JSON success body into out (when
+// non-nil). Error responses decode the {"error": ...} envelope.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &APIError{Code: resp.StatusCode, Message: msg}
+}
+
+// Submit posts a job and returns its accepted status (state pending,
+// ID assigned).
+func (c *Client) Submit(ctx context.Context, spec Spec) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches one job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]Status, error) {
+	var out struct {
+		Jobs []Status `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel cancels a job, returning the state it was in when the request
+// landed (a pending job goes terminal immediately; a running one when
+// its runner observes the cancellation).
+func (c *Client) Cancel(ctx context.Context, id string) (State, error) {
+	var out struct {
+		Was State `json:"was"`
+	}
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out.Was, err
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx ends),
+// returning the final status. Poll <= 0 defaults to 200ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Model downloads a job's learned model artifact. Side selects a diff
+// job's side ("a" or "b", "" for a learn/check job's single model);
+// format is "json" (default) or "dot".
+func (c *Client) Model(ctx context.Context, id, side, format string) ([]byte, error) {
+	q := ""
+	if side != "" {
+		q = "?side=" + side
+	}
+	if format != "" {
+		if q == "" {
+			q = "?"
+		} else {
+			q += "&"
+		}
+		q += "format=" + format
+	}
+	return c.raw(ctx, "/v1/jobs/"+id+"/model"+q)
+}
+
+// Witness downloads the job's witness/report artifact.
+func (c *Client) Witness(ctx context.Context, id string) ([]byte, error) {
+	return c.raw(ctx, "/v1/jobs/"+id+"/witness")
+}
+
+// Metrics scrapes the daemon's Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics")
+}
+
+func (c *Client) raw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Healthz probes liveness: nil while the daemon accepts jobs, an
+// APIError (503) once draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// ServerStats fetches /v1/stats.
+func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Event is one SSE frame from a job's event stream: the typed kind
+// (round_started, cache_snapshot, guard_escalated, job_state,
+// drift_alarm, ...) and the raw JSON payload.
+type Event struct {
+	Kind string
+	Data json.RawMessage
+}
+
+// JobState decodes a "job_state" event's payload.
+func (e Event) JobState() (JobStateChanged, bool) {
+	var js JobStateChanged
+	if e.Kind != js.Kind() || json.Unmarshal(e.Data, &js) != nil {
+		return JobStateChanged{}, false
+	}
+	return js, true
+}
+
+// Drift decodes a "drift_alarm" event's payload.
+func (e Event) Drift() (DriftAlarm, bool) {
+	var d DriftAlarm
+	if e.Kind != d.Kind() || json.Unmarshal(e.Data, &d) != nil {
+		return DriftAlarm{}, false
+	}
+	return d, true
+}
+
+// EventStream is a live SSE subscription to one job's event stream.
+// Call Next until it returns io.EOF (the job finished and the daemon
+// closed the stream), then Close.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Events subscribes to a job's SSE stream. The daemon replays the
+// buffered history first (so subscribing after completion still yields
+// the whole run), then streams live events until the job finishes.
+func (c *Client) Events(ctx context.Context, id string) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event, or io.EOF when the daemon ends the
+// stream.
+func (s *EventStream) Next() (Event, error) {
+	var e Event
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			e.Kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			e.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if e.Kind != "" || len(e.Data) > 0 {
+				return e, nil
+			}
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return e, err
+	}
+	return e, io.EOF
+}
+
+// Close releases the subscription's connection.
+func (s *EventStream) Close() error { return s.body.Close() }
