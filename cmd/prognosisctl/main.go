@@ -13,6 +13,15 @@
 //	prognosisctl [-addr URL] model <job-id> [-side a|b] [-format json|dot]
 //	prognosisctl [-addr URL] witness <job-id>
 //	prognosisctl [-addr URL] stats | metrics | health
+//	prognosisctl [-addr URL] fleet status
+//	prognosisctl [-addr URL] fleet campaign -targets a,b [-losses 0,0.02] [-seeds 13,17] [-wait] [flags]
+//	prognosisctl [-addr URL] fleet wait <campaign-id>
+//
+// The fleet verbs talk to a coordinator-mode prognosisd: `fleet status`
+// prints the worker table (state, heartbeat age, per-worker cell counts,
+// re-queue totals) and the campaign table; `fleet campaign` expands an
+// impairment grid across the fleet and prints the accepted campaign
+// (with -wait it polls to a terminal state like `wait` does for jobs).
 //
 // `submit` prints the accepted job's status JSON (its ID on the first
 // line for easy capture: `id=$(prognosisctl submit learn -target tcp |
@@ -30,9 +39,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
+	"repro/internal/learncfg"
 	"repro/pkg/client"
 )
 
@@ -47,7 +59,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: prognosisctl [-addr URL] <submit|status|wait|cancel|events|model|witness|stats|metrics|health> ...")
+	return fmt.Errorf("usage: prognosisctl [-addr URL] <submit|status|wait|cancel|events|model|witness|stats|metrics|health|fleet> ...")
 }
 
 func run(args []string) error {
@@ -141,9 +153,163 @@ func run(args []string) error {
 		}
 		fmt.Println("ok")
 		return nil
+	case "fleet":
+		return fleetVerb(ctx, c, rest)
 	default:
 		return usage()
 	}
+}
+
+// fleetVerb dispatches the coordinator-facing subcommands.
+func fleetVerb(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fleet needs a verb: status, campaign, or wait")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "status":
+		st, err := c.FleetStatus(ctx)
+		if err != nil {
+			return err
+		}
+		printFleetStatus(st)
+		return nil
+	case "campaign":
+		return fleetCampaign(ctx, c, rest)
+	case "wait":
+		if len(rest) == 0 {
+			return fmt.Errorf("fleet wait needs a campaign ID")
+		}
+		st, err := c.WaitFleetCampaign(ctx, rest[0], 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if err := printJSON(st); err != nil {
+			return err
+		}
+		if st.State != client.CampaignDone {
+			return fmt.Errorf("campaign %s %s: %s", st.ID, st.State, st.Error)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown fleet verb %q (want status, campaign, or wait)", verb)
+	}
+}
+
+// fleetCampaign builds a FleetCampaignSpec from grid flags plus the
+// shared learncfg flag set and submits it.
+func fleetCampaign(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("prognosisctl fleet campaign", flag.ContinueOnError)
+	name := fs.String("name", "", "campaign label (empty = derived from the ID)")
+	targets := fs.String("targets", "", "comma-separated registry targets to learn")
+	losses := fs.String("losses", "", "comma-separated loss rates spanning the impairment grid")
+	dups := fs.String("dups", "", "comma-separated duplication rates")
+	reorders := fs.String("reorders", "", "comma-separated reorder rates")
+	seeds := fs.String("seeds", "", "comma-separated seeds replicating the grid (empty = the -seed flag)")
+	wait := fs.Bool("wait", false, "poll the campaign to a terminal state before exiting")
+	spec := client.FleetCampaignSpec{Config: learncfg.Default(learncfg.Defaults{})}
+	spec.Config.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fleet campaign takes no positional arguments (got %v)", fs.Args())
+	}
+	spec.Name = *name
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			spec.Targets = append(spec.Targets, t)
+		}
+	}
+	var err error
+	if spec.Losses, err = parseFloats(*losses); err != nil {
+		return fmt.Errorf("-losses: %w", err)
+	}
+	if spec.Dups, err = parseFloats(*dups); err != nil {
+		return fmt.Errorf("-dups: %w", err)
+	}
+	if spec.Reorders, err = parseFloats(*reorders); err != nil {
+		return fmt.Errorf("-reorders: %w", err)
+	}
+	if spec.Seeds, err = parseInts(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	st, err := c.SubmitFleetCampaign(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st.ID)
+	if !*wait {
+		return printJSON(st)
+	}
+	if st, err = c.WaitFleetCampaign(ctx, st.ID, 500*time.Millisecond); err != nil {
+		return err
+	}
+	if err := printJSON(st); err != nil {
+		return err
+	}
+	if st.State != client.CampaignDone {
+		return fmt.Errorf("campaign %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+// printFleetStatus renders the worker and campaign tables.
+func printFleetStatus(st client.FleetStatus) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tSTATE\tWEIGHT\tBEAT-AGE\tASSIGNED\tDONE\tREQUEUED")
+	for _, w := range st.Workers {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1fs\t%d\t%d\t%d\n",
+			w.Name, w.State, w.Weight, w.HeartbeatAge, w.CellsAssigned, w.CellsDone, w.Requeued)
+	}
+	tw.Flush()
+	if len(st.Campaigns) > 0 {
+		fmt.Println()
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "CAMPAIGN\tNAME\tSTATE\tCELLS\tDONE\tFAILED\tREQUEUED\tPER-WORKER")
+		for _, c := range st.Campaigns {
+			var per []string
+			for _, w := range st.Workers {
+				if n, ok := c.PerWorker[w.Name]; ok {
+					per = append(per, fmt.Sprintf("%s=%d", w.Name, n))
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				c.ID, c.Name, c.State, c.Cells, c.Done, c.Failed, c.Requeued, strings.Join(per, " "))
+		}
+		tw.Flush()
+	}
+	fmt.Printf("\nre-queued cells total: %d\n", st.Requeued)
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(csv string) ([]int64, error) {
+	var out []int64
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // submit builds a Spec from the kind's constructor plus the shared

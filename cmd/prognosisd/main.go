@@ -20,6 +20,16 @@
 // running jobs get the drain timeout to finish, and whatever is still
 // running is journaled back to pending — the next start resumes it from
 // the persistent query store.
+//
+// Fleet mode (docs/FLEET.md): with -coordinator the daemon additionally
+// runs the fleet coordinator — workers register via POST /v1/fleet/join,
+// sharded campaigns scatter over the consistent-hash ring, and results
+// merge back into one store and checkpoint. With -join URL the daemon
+// registers itself as a worker of that coordinator and keeps its lease
+// fresh with heartbeats:
+//
+//	prognosisd -addr :8150 -coordinator -lease 10s
+//	prognosisd -addr :8151 -join http://127.0.0.1:8150 -advertise http://127.0.0.1:8151
 package main
 
 import (
@@ -31,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/pkg/client"
 )
@@ -53,6 +65,13 @@ func run() error {
 	monitorEvery := flag.Duration("monitor", 0, "scheduled monitor mode: submit a monitor cycle at this interval (0 = off)")
 	monitorManifest := flag.String("monitor-manifest", "", "manifest the scheduled monitor cycles over (default: the regress manifest)")
 	monitorTargets := flag.String("monitor-targets", "", "comma-separated subset of manifest cells to monitor (default: all)")
+	coordinator := flag.Bool("coordinator", false, "run the fleet coordinator: accept worker registrations and sharded campaigns")
+	lease := flag.Duration("lease", 10*time.Second, "coordinator mode: how long a worker stays live without a heartbeat")
+	joinURL := flag.String("join", "", "worker mode: register with the fleet coordinator at this URL and heartbeat")
+	workerName := flag.String("worker-name", "", "worker mode: stable fleet name (default: the hostname plus listen address)")
+	advertise := flag.String("advertise", "", "worker mode: base URL the coordinator reaches this daemon on (default http://<addr>)")
+	weight := flag.Int("weight", 1, "worker mode: ring placement weight (share of cells, relative to other workers)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker mode: heartbeat interval (keep well under the coordinator's -lease)")
 	flag.Parse()
 	logger := log.New(os.Stderr, "prognosisd: ", log.LstdFlags)
 
@@ -64,6 +83,40 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+
+	var srvOpts []server.ServerOption
+	var co *fleet.Coordinator
+	if *coordinator {
+		co, err = fleet.NewCoordinator(fleet.Config{
+			Dir:   filepath.Join(*data, "fleet"),
+			Lease: *lease,
+			Logf:  logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, server.WithCoordinator(co))
+		logger.Printf("fleet: coordinator mode (lease %v)", *lease)
+	}
+
+	// Worker mode: join the coordinator and keep the lease fresh until
+	// shutdown. The join loop retries, so worker/coordinator start order
+	// does not matter.
+	joinCtx, stopJoin := context.WithCancel(context.Background())
+	defer stopJoin()
+	if *joinURL != "" {
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s-%s", host, *addr)
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		info := client.WorkerInfo{Name: name, URL: adv, Weight: *weight}
+		go fleet.JoinLoop(joinCtx, *joinURL, info, *heartbeat, logger.Printf)
 	}
 
 	// Scheduled monitor mode: one cycle now, then one per tick. Cycles
@@ -98,7 +151,7 @@ func run() error {
 		logger.Printf("monitor: scheduled every %v", *monitorEvery)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr)}
+	httpSrv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr, srvOpts...)}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (data %s, parallel %d)", *addr, *data, *parallel)
@@ -112,12 +165,19 @@ func run() error {
 	select {
 	case err := <-errc:
 		close(stopMonitor)
+		if co != nil {
+			co.Close()
+		}
 		mgr.Shutdown(context.Background())
 		return err
 	case sig := <-sigc:
 		logger.Printf("%s: draining (timeout %v)", sig, *drain)
 	}
 	close(stopMonitor)
+	stopJoin()
+	if co != nil {
+		co.Close()
+	}
 
 	// Drain the manager first — while it runs, /v1/healthz reports 503 and
 	// Submit refuses — then stop the HTTP listener so in-flight status and

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/lab"
+	"repro/internal/learncfg"
+	"repro/pkg/client"
+)
+
+// Cell is one expanded unit of a sharded campaign: a (target × seed ×
+// impairment) learning run, named by its run key. The key is
+// lab.RunKey — the same identity the experiment uses for its query-store
+// log — so the cell's name, its ring placement, its store log on
+// whichever worker runs it, and its record in the merged checkpoint are
+// all one string. That identity is what makes re-execution idempotent:
+// a cell re-run after a worker death appends to the same logical store
+// entry set and overwrites the same checkpoint record.
+type Cell struct {
+	// Key is the cell's run key (checkpoint record name, store log key,
+	// and consistent-hash placement key).
+	Key string
+	// Target is the registry target the cell learns.
+	Target string
+	// Config is the fully resolved per-cell configuration (seed and
+	// impairment burned in, Store cleared so the worker daemon uses its
+	// own shared store).
+	Config learncfg.Config
+}
+
+// ExpandCampaign expands a campaign spec into its cells: the impairment
+// grid of the spec's Losses/Dups/Reorders axes (clean baseline first,
+// exactly as `prognosis learn` builds it), crossed with every target and
+// seed. Cells sharing a run key (e.g. two seeds that differ only in
+// fields the key ignores) collapse into one — learning them twice would
+// produce the same answer set.
+func ExpandCampaign(spec client.FleetCampaignSpec) ([]Cell, error) {
+	if len(spec.Targets) == 0 {
+		return nil, fmt.Errorf("fleet: campaign needs at least one target")
+	}
+	for _, t := range spec.Targets {
+		if _, err := learncfg.ParseTargets(t); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seed := spec.Config.Seed
+		if seed == 0 {
+			seed = learncfg.Default(learncfg.Defaults{}).Seed
+		}
+		seeds = []int64{seed}
+	}
+	grid := lab.ImpairmentGrid(spec.Losses, spec.Dups, spec.Reorders)
+	var cells []Cell
+	seen := map[string]bool{}
+	for _, target := range spec.Targets {
+		for _, seed := range seeds {
+			for _, gc := range grid {
+				cfg := spec.Config
+				cfg.Seed = seed
+				cfg.ImpairSeed = 0 // per-cell faults reseed from the cell's seed
+				cfg.Loss = gc.Loss
+				cfg.Duplicate = gc.Duplicate
+				cfg.Reorder = gc.Reorder
+				// The worker daemon supplies its own shared store; a
+				// coordinator-local path would be meaningless there.
+				cfg.Store = ""
+				if cfg.Workers == 0 {
+					cfg.Workers = 1
+				}
+				if cfg.Learner == "" {
+					cfg.Learner = "ttt"
+				}
+				opts, err := cfg.Options()
+				if err != nil {
+					return nil, fmt.Errorf("fleet: cell %s/%s: %w", target, gc.Name(), err)
+				}
+				key := lab.RunKey(target, opts...)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cells = append(cells, Cell{Key: key, Target: target, Config: cfg})
+			}
+		}
+	}
+	return cells, nil
+}

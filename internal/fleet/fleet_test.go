@@ -1,0 +1,364 @@
+// Package fleet_test holds the fleet plane's integration tests: a real
+// coordinator and real worker daemons wired over httptest, driven
+// exclusively through pkg/client — the same path prognosisctl and CI's
+// fleet-smoke job use.
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/lab"
+	"repro/internal/learncfg"
+	"repro/internal/server"
+	"repro/pkg/client"
+)
+
+// testWorker is one worker daemon: a job manager with its own data dir
+// behind an httptest server, heartbeating to the coordinator.
+type testWorker struct {
+	name string
+	mgr  *server.Manager
+	ts   *httptest.Server
+	stop context.CancelFunc
+}
+
+// kill simulates a crash: the HTTP listener dies and heartbeats stop.
+// The manager keeps running (an abruptly killed process's in-flight work
+// simply never surfaces; here it just becomes unreachable), and is shut
+// down at test cleanup.
+func (w *testWorker) kill() {
+	w.stop()
+	w.ts.Close()
+}
+
+// startFleet brings up a coordinator (with its own manager) and n
+// workers named w1..wn, all joined and heartbeating.
+func startFleet(t *testing.T, n int, lease time.Duration) (*client.Client, []*testWorker) {
+	t.Helper()
+	coMgr, err := server.NewManager(server.ManagerConfig{Dir: t.TempDir(), DrainTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coMgr.Shutdown(context.Background()) })
+	co, err := fleet.NewCoordinator(fleet.Config{
+		Dir:   t.TempDir(),
+		Lease: lease,
+		Poll:  50 * time.Millisecond,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	coTS := httptest.NewServer(server.NewServer(coMgr, server.WithCoordinator(co)))
+	t.Cleanup(coTS.Close)
+
+	var workers []*testWorker
+	for i := 0; i < n; i++ {
+		name := "w" + string(rune('1'+i))
+		mgr, err := server.NewManager(server.ManagerConfig{Dir: t.TempDir(), Parallel: 2, DrainTimeout: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mgr.Shutdown(context.Background()) })
+		ts := httptest.NewServer(server.NewServer(mgr))
+		t.Cleanup(ts.Close)
+		ctx, cancel := context.WithCancel(context.Background())
+		t.Cleanup(cancel)
+		go fleet.JoinLoop(ctx, coTS.URL, client.WorkerInfo{Name: name, URL: ts.URL, Weight: 1}, 100*time.Millisecond, t.Logf)
+		workers = append(workers, &testWorker{name: name, mgr: mgr, ts: ts, stop: cancel})
+	}
+
+	// Wait until every worker is registered and live.
+	c := client.New(coTS.URL)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := c.FleetStatus(context.Background())
+		if err == nil {
+			live := 0
+			for _, w := range st.Workers {
+				if w.State == client.WorkerLive {
+					live++
+				}
+			}
+			if live == n {
+				return c, workers
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never assembled %d live workers", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetCampaignMatchesSingleProcess is the acceptance path: a
+// campaign sharded across two workers produces a merged checkpoint whose
+// per-cell models are byte-identical to learning the same cells in this
+// process, and a merged store answering from every worker's log.
+func TestFleetCampaignMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet round trip")
+	}
+	ctx := context.Background()
+	c, _ := startFleet(t, 2, 5*time.Second)
+
+	spec := client.FleetCampaignSpec{
+		Name:    "grid",
+		Targets: []string{"google", "tcp"},
+		Losses:  []float64{0.02},
+		Seeds:   []int64{13},
+		Config:  learncfg.Default(learncfg.Defaults{}),
+	}
+	// One lab worker per cell keeps the query schedule deterministic, so
+	// the byte-identical comparison below is exact, not probabilistic.
+	spec.Config.Workers = 1
+
+	cells, err := fleet.ExpandCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 2 targets × (clean + loss 0.02)
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+
+	st, err := c.SubmitFleetCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 180*time.Second)
+	defer cancel()
+	if st, err = c.WaitFleetCampaign(wctx, st.ID, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.CampaignDone || st.Failed != 0 || st.Done != len(cells) {
+		t.Fatalf("campaign finished %s (done %d, failed %d): %s", st.State, st.Done, st.Failed, st.Error)
+	}
+
+	// Both workers carried cells: the ring spread the campaign.
+	if len(st.PerWorker) < 2 {
+		t.Fatalf("campaign not sharded: per-worker %v", st.PerWorker)
+	}
+
+	merged, err := lab.ReadCheckpoint(st.MergedCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		res, ok := merged[cell.Key]
+		if !ok {
+			t.Fatalf("cell %s missing from merged checkpoint (have %d records)", cell.Key, len(merged))
+		}
+		opts, err := cell.Config.Options()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := lab.NewExperiment(cell.Target, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := exp.Learn(ctx)
+		exp.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local.Nondet != nil || res.Nondet != nil {
+			t.Fatalf("cell %s: unexpected nondeterminism verdict (local %v, fleet %v)", cell.Key, local.Nondet, res.Nondet)
+		}
+		want, err := json.Marshal(local.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(res.Machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Fatalf("cell %s: fleet-merged model differs from single-process model\nfleet: %s\nlocal: %s", cell.Key, got, want)
+		}
+	}
+
+	// The fleet metric families are on the coordinator's scrape surface.
+	raw, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"prognosis_fleet_workers_live",
+		"prognosis_fleet_cells_assigned_total",
+		"prognosis_fleet_cells_merged_total",
+		"prognosis_fleet_heartbeat_age_seconds_bucket",
+	} {
+		if !strings.Contains(string(raw), family) {
+			t.Errorf("coordinator /metrics missing %s", family)
+		}
+	}
+}
+
+// TestFleetSurvivesWorkerDeath kills a worker mid-campaign and checks
+// the coordinator re-queues its cells onto the survivor: the campaign
+// completes with every cell present and at least one re-queue.
+func TestFleetSurvivesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet failure drill")
+	}
+	ctx := context.Background()
+	c, workers := startFleet(t, 2, time.Second)
+
+	spec := client.FleetCampaignSpec{
+		Name:    "drill",
+		Targets: []string{"google"},
+		Losses:  []float64{0.01, 0.02},
+		Seeds:   []int64{13, 17},
+		Config:  learncfg.Default(learncfg.Defaults{}),
+	}
+	spec.Config.Workers = 1
+	spec.Config.Warmup = 20
+	// Slow every query down so no cell can finish before the kill lands.
+	spec.Config.RTT = learncfg.Duration(time.Millisecond)
+
+	cells, err := fleet.ExpandCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 2 seeds × (clean + 2 loss levels)
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+
+	st, err := c.SubmitFleetCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for a worker with in-flight cells, then crash it. Picking the
+	// busier worker guarantees a requeue.
+	var victim *testWorker
+	deadline := time.Now().Add(30 * time.Second)
+	for victim == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever had cells in flight")
+		}
+		fs, err := c.FleetStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestN := "", 0
+		for _, w := range fs.Workers {
+			if w.CellsAssigned > bestN {
+				best, bestN = w.Name, w.CellsAssigned
+			}
+		}
+		for _, w := range workers {
+			if w.name == best {
+				victim = w
+			}
+		}
+		if victim == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	t.Logf("killing worker %s", victim.name)
+	victim.kill()
+
+	wctx, cancel := context.WithTimeout(ctx, 300*time.Second)
+	defer cancel()
+	if st, err = c.WaitFleetCampaign(wctx, st.ID, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.CampaignDone {
+		t.Fatalf("campaign finished %s: %s", st.State, st.Error)
+	}
+	if st.Done != len(cells) || st.Failed != 0 {
+		t.Fatalf("lost cells: done %d failed %d of %d", st.Done, st.Failed, len(cells))
+	}
+	if st.Requeued < 1 {
+		t.Fatalf("worker death caused no re-queues (requeued %d)", st.Requeued)
+	}
+
+	// Every cell made it into the merged checkpoint despite the crash.
+	merged, err := lab.ReadCheckpoint(st.MergedCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		if _, ok := merged[cell.Key]; !ok {
+			t.Fatalf("cell %s lost in the crash", cell.Key)
+		}
+	}
+
+	// The fleet saw the death: one worker dead, and the survivor did
+	// work. (The victim may have completed cells before dying, so only
+	// the survivor's count is asserted.)
+	fs, err := c.FleetStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadSeen := false
+	for _, w := range fs.Workers {
+		if w.Name == victim.name && w.State == client.WorkerDead {
+			deadSeen = true
+			if w.Requeued < 1 {
+				t.Errorf("dead worker %s shows no requeued cells", w.Name)
+			}
+		}
+	}
+	if !deadSeen {
+		t.Fatalf("victim %s never marked dead: %+v", victim.name, fs.Workers)
+	}
+}
+
+// TestExpandCampaign covers the expansion invariants the coordinator
+// relies on: key = lab.RunKey, dedup of colliding cells, validation.
+func TestExpandCampaign(t *testing.T) {
+	spec := client.FleetCampaignSpec{
+		Targets: []string{"google"},
+		Losses:  []float64{0.02},
+		Config:  learncfg.Default(learncfg.Defaults{}),
+	}
+	cells, err := fleet.ExpandCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2 (clean + loss)", len(cells))
+	}
+	for _, cell := range cells {
+		opts, err := cell.Config.Options()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key := lab.RunKey(cell.Target, opts...); key != cell.Key {
+			t.Fatalf("cell key %q is not its RunKey %q", cell.Key, key)
+		}
+		if cell.Config.Store != "" {
+			t.Fatalf("cell config leaked a store path %q", cell.Config.Store)
+		}
+	}
+
+	// Cells whose configs collapse to one run key deduplicate: the run
+	// key ignores workers, so two worker counts are one cell.
+	a := spec
+	a.Seeds = []int64{13, 13}
+	cells, err = fleet.ExpandCampaign(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("duplicate seeds expanded to %d cells, want 2", len(cells))
+	}
+
+	if _, err := fleet.ExpandCampaign(client.FleetCampaignSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := spec
+	bad.Targets = []string{"no-such-target"}
+	if _, err := fleet.ExpandCampaign(bad); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}

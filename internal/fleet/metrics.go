@@ -1,0 +1,28 @@
+package fleet
+
+import "repro/internal/metrics"
+
+// The fleet plane's scrapeable counters, published into the unified
+// metrics registry and served by the coordinator's GET /metrics
+// (docs/MONITORING.md conventions: prognosis_<subsystem>_<name>).
+var (
+	mWorkersLive = metrics.Default().Gauge("prognosis_fleet_workers_live",
+		"registered workers with a fresh heartbeat lease")
+	mWorkersDead = metrics.Default().Gauge("prognosis_fleet_workers_dead",
+		"registered workers whose lease expired or whose job API stopped answering")
+	mCellsAssigned = metrics.Default().Counter("prognosis_fleet_cells_assigned_total",
+		"campaign cells submitted to workers (re-submissions after a requeue count again)")
+	mCellsRequeued = metrics.Default().Counter("prognosis_fleet_cells_requeued_total",
+		"campaign cells taken back from dead or drained workers and re-assigned")
+	mCellsMerged = metrics.Default().Counter("prognosis_fleet_cells_merged_total",
+		"campaign cells folded into a merged checkpoint")
+)
+
+// heartbeatAge returns the per-worker heartbeat-age histogram child.
+// Buckets are sized for sub-second to tens-of-seconds leases.
+func heartbeatAge(worker string) *metrics.Histogram {
+	return metrics.Default().HistogramWith("prognosis_fleet_heartbeat_age_seconds",
+		"seconds between consecutive heartbeats of one worker",
+		[]string{"worker"}, []string{worker},
+		[]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("google_s%d_l0.0%d", i, i%7)
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// member set — two rings built by different join/leave histories that end
+// with the same members agree on every key, and repeated lookups agree
+// with themselves.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(0)
+	a.Add("w1", 1)
+	a.Add("w2", 2)
+	a.Add("w3", 1)
+
+	b := NewRing(0)
+	b.Add("w3", 1)
+	b.Add("ghost", 5)
+	b.Add("w2", 2)
+	b.Add("w1", 1)
+	b.Remove("ghost")
+
+	for _, key := range ringKeys(500) {
+		oa, ob := a.Owner(key), b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q: ring a placed on %q, ring b on %q", key, oa, ob)
+		}
+		if again := a.Owner(key); again != oa {
+			t.Fatalf("key %q: repeated lookup moved %q -> %q", key, oa, again)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if owner := r.Owner("anything"); owner != "" {
+		t.Fatalf("empty ring owned %q", owner)
+	}
+	r.Add("solo", 3)
+	for _, key := range ringKeys(50) {
+		if owner := r.Owner(key); owner != "solo" {
+			t.Fatalf("single-member ring placed %q on %q", key, owner)
+		}
+	}
+	r.Remove("solo")
+	if owner := r.Owner("anything"); owner != "" {
+		t.Fatalf("emptied ring owned %q", owner)
+	}
+}
+
+// TestRingWeightedDistribution: a member with twice the weight owns
+// roughly twice the keys.
+func TestRingWeightedDistribution(t *testing.T) {
+	r := NewRing(0)
+	r.Add("light", 1)
+	r.Add("heavy", 2)
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("heavy/light ownership ratio %.2f (counts %v), want ~2", ratio, counts)
+	}
+}
+
+// TestRingRebalanceBound: adding or removing one member moves at most
+// cells/members + slack cells — the minimal-movement property that makes
+// re-queues on churn cheap. The slack absorbs virtual-node variance.
+func TestRingRebalanceBound(t *testing.T) {
+	const members = 4
+	keys := ringKeys(2000)
+	slack := len(keys) / 10
+
+	r := NewRing(0)
+	for i := 1; i <= members; i++ {
+		r.Add(fmt.Sprintf("w%d", i), 1)
+	}
+	before := map[string]string{}
+	for _, key := range keys {
+		before[key] = r.Owner(key)
+	}
+
+	// One join: only keys that now belong to the newcomer may move.
+	r.Add("w-new", 1)
+	moved := 0
+	for _, key := range keys {
+		owner := r.Owner(key)
+		if owner != before[key] {
+			moved++
+			if owner != "w-new" {
+				t.Fatalf("join moved key %q to survivor %q (was %q)", key, owner, before[key])
+			}
+		}
+	}
+	if bound := len(keys)/members + slack; moved > bound {
+		t.Fatalf("join moved %d keys, bound %d", moved, bound)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys — newcomer owns nothing")
+	}
+
+	// One leave: exactly the leaver's keys move, nothing else.
+	after := map[string]string{}
+	for _, key := range keys {
+		after[key] = r.Owner(key)
+	}
+	r.Remove("w-new")
+	moved = 0
+	for _, key := range keys {
+		owner := r.Owner(key)
+		if owner != after[key] {
+			moved++
+			if after[key] != "w-new" {
+				t.Fatalf("leave moved key %q owned by survivor %q", key, after[key])
+			}
+		}
+		// Removing the newcomer must restore the original placement.
+		if owner != before[key] {
+			t.Fatalf("leave did not restore key %q to %q (got %q)", key, before[key], owner)
+		}
+	}
+	if bound := len(keys)/(members+1) + slack; moved > bound {
+		t.Fatalf("leave moved %d keys, bound %d", moved, bound)
+	}
+}

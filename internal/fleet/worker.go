@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/pkg/client"
+)
+
+// JoinLoop registers a worker daemon with the coordinator at
+// coordinatorURL and keeps its lease fresh with periodic heartbeats
+// until ctx ends. It is the worker side of the fleet lifecycle
+// (docs/FLEET.md): join is retried until it lands (the coordinator may
+// start after the workers), and a heartbeat answered with 404 — a
+// coordinator that restarted and lost its membership — triggers an
+// immediate rejoin under the same name, which also revives a worker the
+// coordinator had declared dead. Every transition is reported through
+// logf.
+func JoinLoop(ctx context.Context, coordinatorURL string, info client.WorkerInfo, every time.Duration, logf func(string, ...any)) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	co := client.New(coordinatorURL, client.WithHTTPClient(&http.Client{Timeout: 10 * time.Second}))
+
+	join := func() bool {
+		for {
+			err := co.FleetJoin(ctx, info)
+			if err == nil {
+				logf("fleet: joined coordinator %s as %q (weight %d)", coordinatorURL, info.Name, info.Weight)
+				return true
+			}
+			if ctx.Err() != nil {
+				return false
+			}
+			logf("fleet: join %s: %v (retrying)", coordinatorURL, err)
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(every):
+			}
+		}
+	}
+	if !join() {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		err := co.FleetHeartbeat(ctx, info.Name)
+		if err == nil {
+			continue
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == http.StatusNotFound {
+			// The coordinator does not know us (restart, or it declared us
+			// dead and a rejoin is the revival path).
+			logf("fleet: coordinator lost our registration, rejoining")
+			if !join() {
+				return
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		logf("fleet: heartbeat: %v", err)
+	}
+}

@@ -122,3 +122,54 @@ func (c *checkpointFile) close() error {
 	defer c.mu.Unlock()
 	return c.f.Close()
 }
+
+// WriteCheckpoint writes a fresh campaign checkpoint at path holding the
+// given results, keyed by RunResult.Name (results without a Result —
+// errored or never-started runs — are skipped, exactly as Campaign.Run
+// skips journaling them). Any existing file at path is replaced. This is
+// the export half of the fleet merge stage: a coordinator reconstructs
+// per-cell Results from worker artifacts and files them under the same
+// checkpoint format a single-process campaign writes, so `Campaign`
+// resume, `SummarizeMatrix`, and every other checkpoint consumer read
+// fleet-merged campaigns unchanged.
+func WriteCheckpoint(path string, results []RunResult) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("lab: checkpoint: %w", err)
+	}
+	if err := jsonlog.Reset(f, checkpointFormat, checkpointVersion); err != nil {
+		f.Close()
+		return err
+	}
+	ckpt := &checkpointFile{f: f}
+	for _, r := range results {
+		if r.Result == nil {
+			continue
+		}
+		name := r.Name
+		if name == "" {
+			name = r.Target
+		}
+		if err := ckpt.append(name, r.Result); err != nil {
+			ckpt.close()
+			return err
+		}
+	}
+	return ckpt.close()
+}
+
+// ReadCheckpoint loads the completed runs recorded in a campaign
+// checkpoint, keyed by run name — the import half of WriteCheckpoint.
+// Corrupt or truncated tails are tolerated exactly as on campaign
+// resume: the valid prefix is returned. The file is not modified beyond
+// that recovery truncation.
+func ReadCheckpoint(path string) (map[string]*Result, error) {
+	done, ckpt, err := openCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := ckpt.close(); err != nil {
+		return nil, err
+	}
+	return done, nil
+}

@@ -196,7 +196,7 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 	}
 	e := &Experiment{target: target, cfg: cfg, sys: sys, exp: exp, links: links}
 	if cfg.storeDir != "" && !cfg.disableCache {
-		st, err := learn.OpenStore(cfg.storeDir, storeKey(target, cfg))
+		st, err := learn.OpenStore(cfg.storeDir, runKey(target, cfg))
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -213,7 +213,24 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 	return e, nil
 }
 
-// storeKey names the store file of one (target, configuration) pair. Only
+// RunKey derives the canonical cell key of one (target, options) pair —
+// the single identity under which every persistence plane files the run:
+// the learn.Store query log and model snapshot (WithStore), the fleet
+// coordinator's cell assignment and merged campaign checkpoint, and the
+// per-worker logs the merge stage pulls. Deriving the key in exactly one
+// place is what guarantees a fleet-merged checkpoint and store can never
+// disagree about which cell an entry belongs to (regression-tested in
+// store_test.go). Two option sets that cannot change a target's answers
+// (workers, RTT, transport, learner) produce the same key by design.
+func RunKey(target string, opts ...Option) string {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return runKey(target, cfg)
+}
+
+// runKey names the store file of one (target, configuration) pair. Only
 // parameters that can change the *answers* a target gives are part of the
 // key: the seed (drives the simulated implementations), the impairment
 // profile and warmup (targets with cross-connection state, such as
@@ -221,7 +238,7 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 // Transport, workers, RTT, and learner choice are excluded — replicas are
 // behaviourally identical across all of them, so their answers are
 // interchangeable and sharing the log is the point.
-func storeKey(target string, cfg config) string {
+func runKey(target string, cfg config) string {
 	key := fmt.Sprintf("%s_s%d", target, cfg.seed)
 	if cfg.impair.Enabled() {
 		key += "_" + cfg.impair.Label()

@@ -84,12 +84,25 @@ func TestUDPLearnMatchesInMemory(t *testing.T) {
 	}
 	opts := []Option{WithSeed(13), WithWorkers(4), WithPerfectEquivalence()}
 	mem := learnT(t, TargetGoogle, opts...)
-	udp := learnT(t, TargetGoogle, append(opts, WithTransport(TransportUDP))...)
-	if eq, ce := mem.Machine.Equivalent(udp.Machine); !eq {
-		t.Fatalf("UDP model differs from in-memory on %v", ce)
-	}
-	if mem.Stats.Queries != udp.Stats.Queries {
-		t.Fatalf("live queries: udp %d vs in-memory %d", udp.Stats.Queries, mem.Stats.Queries)
+	// The model must match on every attempt. The query counts match only
+	// when no datagram times out: on a starved machine scheduling jitter
+	// can push responses past the quiet wait, and each such timeout adds
+	// a retry query. Give the count equality a few runs so one noisy
+	// scheduling window doesn't fail the deterministic-batching guarantee.
+	for attempt := 1; ; attempt++ {
+		udp := learnT(t, TargetGoogle, append(opts, WithTransport(TransportUDP))...)
+		if eq, ce := mem.Machine.Equivalent(udp.Machine); !eq {
+			t.Fatalf("UDP model differs from in-memory on %v", ce)
+		}
+		if mem.Stats.Queries == udp.Stats.Queries {
+			return
+		}
+		if attempt == 3 {
+			t.Fatalf("live queries: udp %d vs in-memory %d (after %d attempts)",
+				udp.Stats.Queries, mem.Stats.Queries, attempt)
+		}
+		t.Logf("live queries: udp %d vs in-memory %d (scheduling jitter, retrying)",
+			udp.Stats.Queries, mem.Stats.Queries)
 	}
 }
 

@@ -66,18 +66,18 @@ func TestWithStoreWarmRelearn(t *testing.T) {
 // must split store files — a lossy-link run of a state-leaking target and
 // a clean run of the same target must not share a log.
 func TestWithStoreKeysSeparateConfigurations(t *testing.T) {
-	clean := storeKey(TargetLossyRetransmit, config{seed: 13})
-	impaired := storeKey(TargetLossyRetransmit, config{seed: 13,
+	clean := runKey(TargetLossyRetransmit, config{seed: 13})
+	impaired := runKey(TargetLossyRetransmit, config{seed: 13,
 		impair: ImpairmentCell{Loss: 0.02}.Config(13), warmup: 100})
 	if clean == impaired {
 		t.Fatalf("clean and impaired runs share store key %q", clean)
 	}
-	otherSeed := storeKey(TargetLossyRetransmit, config{seed: 14})
+	otherSeed := runKey(TargetLossyRetransmit, config{seed: 14})
 	if clean == otherSeed {
 		t.Fatal("different seeds share a store key")
 	}
 	// Workers/RTT/transport do not change answers; they must share the log.
-	if storeKey(TargetGoogle, config{seed: 13, workers: 4}) != storeKey(TargetGoogle, config{seed: 13}) {
+	if runKey(TargetGoogle, config{seed: 13, workers: 4}) != runKey(TargetGoogle, config{seed: 13}) {
 		t.Fatal("worker count split the store key")
 	}
 	for _, r := range impaired {
@@ -87,6 +87,40 @@ func TestWithStoreKeysSeparateConfigurations(t *testing.T) {
 		default:
 			t.Fatalf("store key %q contains unsafe rune %q", impaired, r)
 		}
+	}
+}
+
+// TestRunKeyIsTheStoreKey is the fleet-identity regression test: the
+// exported RunKey — the name the coordinator assigns a cell, files its
+// merged checkpoint record under, and asks workers for store logs by —
+// must be exactly the key WithStore files the query log under. If the two
+// derivations ever diverged, a fleet-merged checkpoint and store could
+// disagree about a cell's identity.
+func TestRunKeyIsTheStoreKey(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{
+		WithSeed(17),
+		WithImpairment(ImpairmentCell{Loss: 0.05, Duplicate: 0.01}.Config(17)),
+		WithWarmup(50),
+		WithWorkers(2), // must NOT affect the key
+		WithStore(dir),
+	}
+	exp, err := NewExperiment(TargetLossyRetransmit, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	key := RunKey(TargetLossyRetransmit, opts...)
+	if key == "" {
+		t.Fatal("empty run key")
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".log")); err != nil {
+		entries, _ := filepath.Glob(filepath.Join(dir, "*.log"))
+		t.Fatalf("experiment's store log is not named by RunKey %q (store dir holds %v)", key, entries)
+	}
+	// And the one-worker variant derives the identical identity.
+	if solo := RunKey(TargetLossyRetransmit, opts[:3]...); solo != key {
+		t.Fatalf("worker count split the run key: %q vs %q", solo, key)
 	}
 }
 

@@ -1,0 +1,59 @@
+package learn
+
+// MergeStores folds the logged membership queries of srcs into dst, in
+// source order: every src entry is appended to dst's log, so on the next
+// load a later source's answer to a word shadows an earlier source's (and
+// anything dst already held) under the store's last-write-wins replay
+// semantics — the same rule CachedOracle.UseStore applies within one log.
+// This is the fleet result-merge primitive: per-worker stores for one
+// cell key fold into the coordinator's merged store without inventing a
+// new conflict rule. Sources recovered from corrupt-tailed files
+// contribute exactly their valid prefix (OpenStore already truncated the
+// rest). Returns the number of entries appended; an append failure stops
+// the merge with the count so far.
+func MergeStores(dst *Store, srcs ...*Store) (int, error) {
+	merged := 0
+	for _, src := range srcs {
+		if src == nil || src == dst {
+			continue
+		}
+		src.mu.Lock()
+		entries := append([]storeEntry(nil), src.entries...)
+		src.mu.Unlock()
+		for _, e := range entries {
+			if err := dst.Append(e.In, e.Out); err != nil {
+				return merged, err
+			}
+			merged++
+		}
+	}
+	return merged, nil
+}
+
+// Answer replays the store's log for one input word, honouring
+// last-write-wins: the final logged entry for the word decides. ok is
+// false when the word was never logged. Exported for merge verification
+// and tooling; learning itself reads the log through the prefix-tree
+// cache preload.
+func (s *Store) Answer(word []string) (out []string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.entries {
+		if wordsEqual(e.In, word) {
+			out, ok = e.Out, true
+		}
+	}
+	return out, ok
+}
+
+func wordsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package learn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir, key string) *Store {
+	t.Helper()
+	st, err := OpenStore(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestMergeStoresLastWriteWins: conflicting answers across sources
+// resolve to the latest source's answer — the same clobber rule the
+// cache preload applies within one log.
+func TestMergeStoresLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	dst := openTestStore(t, dir, "merged")
+	src1 := openTestStore(t, dir, "w1")
+	src2 := openTestStore(t, dir, "w2")
+
+	word := []string{"initial", "handshake"}
+	if err := src1.Append(word, []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src1.Append([]string{"only-w1"}, []string{"X"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src2.Append(word, []string{"A", "B2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := MergeStores(dst, src1, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("merged %d entries, want 3", n)
+	}
+	if out, ok := dst.Answer(word); !ok || out[1] != "B2" {
+		t.Fatalf("conflicting word resolved to %v ok=%v, want later source's [A B2]", out, ok)
+	}
+	if out, ok := dst.Answer([]string{"only-w1"}); !ok || out[0] != "X" {
+		t.Fatalf("unconflicted word lost: %v ok=%v", out, ok)
+	}
+
+	// The merge is durable: a fresh open of the merged log replays the
+	// same winners. (The explicit Close drops the only reference; the
+	// Cleanup-registered close on a fully-closed store is a no-op.)
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openTestStore(t, dir, "merged")
+	if out, ok := reopened.Answer(word); !ok || out[1] != "B2" {
+		t.Fatalf("reopened merged store answered %v ok=%v", out, ok)
+	}
+}
+
+// TestMergeStoresCorruptTailSource: a source whose log was truncated
+// mid-append contributes its valid prefix and nothing else.
+func TestMergeStoresCorruptTailSource(t *testing.T) {
+	dir := t.TempDir()
+	src := openTestStore(t, dir, "crashy")
+	if err := src.Append([]string{"good"}, []string{"ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append by gluing a torn line onto the closed
+	// log file directly.
+	path := filepath.Join(dir, "crashy.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"in":["torn"],"out":["tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reopened := openTestStore(t, dir, "crashy")
+	dst := openTestStore(t, dir, "merged")
+	n, err := MergeStores(dst, reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("merged %d entries from corrupt-tailed source, want 1", n)
+	}
+	if _, ok := dst.Answer([]string{"torn"}); ok {
+		t.Fatal("torn entry survived the merge")
+	}
+	if out, ok := dst.Answer([]string{"good"}); !ok || out[0] != "ok" {
+		t.Fatalf("valid prefix lost: %v ok=%v", out, ok)
+	}
+}
+
+// TestMergeStoresSelfAndNil: degenerate arguments are ignored rather
+// than deadlocking (dst == src would self-append forever) or panicking.
+func TestMergeStoresSelfAndNil(t *testing.T) {
+	dir := t.TempDir()
+	dst := openTestStore(t, dir, "dst")
+	if err := dst.Append([]string{"a"}, []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := MergeStores(dst, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("self/nil merge appended %d entries", n)
+	}
+	if dst.Entries() != 1 {
+		t.Fatalf("dst grew to %d entries", dst.Entries())
+	}
+}

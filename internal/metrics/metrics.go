@@ -278,16 +278,39 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // the given bucket upper bounds (+Inf implicit; bounds are fixed at
 // first registration).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	f := r.lookup(name, help, KindHistogram, nil)
+	return r.HistogramWith(name, help, nil, nil, bounds)
+}
+
+// HistogramWith returns the histogram child of the named family for the
+// given label values. Every child shares the family's bucket bounds
+// (fixed at first registration); exposition renders `le` as the last
+// label inside each child's brace set, per the Prometheus text format.
+func (r *Registry) HistogramWith(name, help string, labels, values []string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, KindHistogram, labels)
+	key := labelKey(labels, values)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	h, ok := f.hists[""]
+	if f.bounds == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		f.bounds = b
+	}
+	h, ok := f.hists[key]
 	if !ok {
-		h = newHistogram(bounds)
-		f.hists[""] = h
-		f.bounds = h.bounds
+		h = newHistogram(f.bounds)
+		f.hists[key] = h
 	}
 	return h
+}
+
+// histKey splices the le label into a child's rendered label key:
+// `{worker="w1"}` + le 0.5 → `{worker="w1",le="0.5"}`, and the
+// unlabelled key "" → `{le="0.5"}`.
+func histKey(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return key[:len(key)-1] + `,le="` + le + `"}`
 }
 
 // formatFloat renders a sample value the way Prometheus expects.
@@ -336,16 +359,22 @@ func (r *Registry) WriteText(w io.Writer) error {
 				lines = append(lines, fmt.Sprintf("%s%s %s", f.name, key, formatFloat(g.Value())))
 			}
 		case KindHistogram:
-			if h, ok := f.hists[""]; ok {
+			keys := make([]string, 0, len(f.hists))
+			for key := range f.hists {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				h := f.hists[key]
 				cum := int64(0)
 				for i, bound := range h.bounds {
 					cum += h.counts[i].Load()
-					lines = append(lines, fmt.Sprintf("%s_bucket{le=\"%s\"} %d", f.name, formatFloat(bound), cum))
+					lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name, histKey(key, formatFloat(bound)), cum))
 				}
 				cum += h.inf.Load()
-				lines = append(lines, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", f.name, cum))
-				lines = append(lines, fmt.Sprintf("%s_sum %s", f.name, formatFloat(h.Sum())))
-				lines = append(lines, fmt.Sprintf("%s_count %d", f.name, h.Count()))
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d", f.name, histKey(key, "+Inf"), cum))
+				lines = append(lines, fmt.Sprintf("%s_sum%s %s", f.name, key, formatFloat(h.Sum())))
+				lines = append(lines, fmt.Sprintf("%s_count%s %d", f.name, key, h.Count()))
 			}
 		}
 		f.mu.Unlock()

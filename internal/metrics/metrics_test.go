@@ -81,6 +81,41 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramWith: labeled histogram children render with le spliced
+// into each child's label braces, share the family's bounds, and stay
+// independent per label value.
+func TestHistogramWith(t *testing.T) {
+	r := NewRegistry()
+	labels := []string{"worker"}
+	h1 := r.HistogramWith("test_beat_age", "heartbeat age", labels, []string{"w1"}, []float64{0.5, 2})
+	h2 := r.HistogramWith("test_beat_age", "heartbeat age", labels, []string{"w2"}, []float64{0.5, 2})
+	if h1 == h2 {
+		t.Fatal("distinct label values share a child")
+	}
+	if again := r.HistogramWith("test_beat_age", "heartbeat age", labels, []string{"w1"}, nil); again != h1 {
+		t.Fatal("same label value returned a new child")
+	}
+	h1.Observe(0.1)
+	h1.Observe(1)
+	h2.Observe(10)
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_beat_age_bucket{worker="w1",le="0.5"} 1`,
+		`test_beat_age_bucket{worker="w1",le="2"} 2`,
+		`test_beat_age_bucket{worker="w1",le="+Inf"} 2`,
+		`test_beat_age_count{worker="w1"} 2`,
+		`test_beat_age_bucket{worker="w2",le="2"} 0`,
+		`test_beat_age_bucket{worker="w2",le="+Inf"} 1`,
+		`test_beat_age_sum{worker="w2"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestConcurrentUpdates hammers one family from many goroutines; run
 // with -race this is the hot-path safety contract.
 func TestConcurrentUpdates(t *testing.T) {

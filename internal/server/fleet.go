@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/learncfg"
+	"repro/pkg/client"
+)
+
+// This file is the daemon's fleet surface. Two halves:
+//
+//   - Worker side (always mounted): GET /v1/fleet/store and
+//     /v1/fleet/store/{key} expose the shared query store's run keys and
+//     raw jsonlog bytes, which is what the coordinator's merge stage
+//     pulls after a campaign.
+//   - Coordinator side (mounted by WithCoordinator): worker registration
+//     and heartbeats, the fleet status snapshot, and sharded-campaign
+//     submission/tracking, delegating to internal/fleet.Coordinator.
+
+// storeDir is the daemon's shared query-store directory — the same path
+// NewRunner injects into spec configs.
+func (s *Server) storeDir() string {
+	return filepath.Join(s.mgr.dir, "store")
+}
+
+// storeKeys lists the run keys present in the shared store (the base
+// names of its .log files), sorted.
+func (s *Server) storeKeys(w http.ResponseWriter, r *http.Request) {
+	entries, err := os.ReadDir(s.storeDir())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	keys := []string{}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".log") && !e.IsDir() {
+			keys = append(keys, strings.TrimSuffix(name, ".log"))
+		}
+	}
+	sort.Strings(keys)
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys})
+}
+
+// storeLog serves one run key's raw query log. Keys are base names by
+// construction (lab's run keys are filename-safe); anything resembling a
+// path is rejected before it touches the filesystem.
+func (s *Server) storeLog(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" || key != filepath.Base(key) || strings.ContainsAny(key, "/\\") || strings.HasPrefix(key, ".") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad store key %q", key))
+		return
+	}
+	path := filepath.Join(s.storeDir(), key+".log")
+	if _, err := os.Stat(path); err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no store log for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, path)
+}
+
+func (s *Server) fleetJoin(w http.ResponseWriter, r *http.Request) {
+	var info client.WorkerInfo
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&info); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+		return
+	}
+	if err := s.co.Join(info); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "joined"})
+}
+
+func (s *Server) fleetHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var beat struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&beat); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad heartbeat body: %w", err))
+		return
+	}
+	if err := s.co.Heartbeat(beat.Name); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, fleet.ErrUnknownWorker) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) fleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.co.Status())
+}
+
+func (s *Server) fleetSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	// Like job submission, a sparse body overrides the learn defaults
+	// only where it names fields, and unknown fields are rejected.
+	spec := client.FleetCampaignSpec{Config: learncfg.Default(learncfg.Defaults{})}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad campaign body: %w", err))
+		return
+	}
+	st, err := s.co.SubmitCampaign(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/fleet/campaigns/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) fleetCampaign(w http.ResponseWriter, r *http.Request) {
+	st, err := s.co.Campaign(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/analysis"
+	"repro/internal/fleet"
 	"repro/internal/learn"
 	"repro/internal/learncfg"
 	"repro/internal/metrics"
@@ -19,12 +20,26 @@ import (
 // stream and the raw artifact downloads.
 type Server struct {
 	mgr *Manager
+	co  *fleet.Coordinator
 	mux *http.ServeMux
 }
 
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithCoordinator mounts the fleet-coordinator surface (worker
+// join/heartbeat, fleet status, sharded campaigns) on the server —
+// `prognosisd -coordinator` mode.
+func WithCoordinator(co *fleet.Coordinator) ServerOption {
+	return func(s *Server) { s.co = co }
+}
+
 // NewServer wires the API routes over mgr.
-func NewServer(mgr *Manager) *Server {
+func NewServer(mgr *Manager, opts ...ServerOption) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
@@ -34,9 +49,20 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/witness", s.witness)
 	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	// Worker-side fleet surface, always mounted: the coordinator's merge
+	// stage reads the shared query store through it.
+	s.mux.HandleFunc("GET /v1/fleet/store", s.storeKeys)
+	s.mux.HandleFunc("GET /v1/fleet/store/{key}", s.storeLog)
+	if s.co != nil {
+		s.mux.HandleFunc("POST /v1/fleet/join", s.fleetJoin)
+		s.mux.HandleFunc("POST /v1/fleet/heartbeat", s.fleetHeartbeat)
+		s.mux.HandleFunc("GET /v1/fleet/status", s.fleetStatus)
+		s.mux.HandleFunc("POST /v1/fleet/campaigns", s.fleetSubmitCampaign)
+		s.mux.HandleFunc("GET /v1/fleet/campaigns/{id}", s.fleetCampaign)
+	}
 	// The unified metrics plane: every subsystem's process-wide counters
 	// (learn pool, guard, transport, netem, job manager, SSE hub,
-	// monitor) in Prometheus text exposition.
+	// monitor, fleet) in Prometheus text exposition.
 	s.mux.Handle("GET /metrics", metrics.Default().Handler())
 	return s
 }

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/learncfg"
+)
+
+// This file is the fleet plane's wire surface: worker registration and
+// heartbeats, coordinator status, and campaign submission/tracking. Like
+// the job API above, the types live here and internal/fleet aliases
+// them, so the coordinator's HTTP surface has exactly one Go-side
+// definition shared by prognosisctl, the worker join loop, and the
+// fleet tests.
+
+// WorkerInfo identifies one worker daemon to the coordinator: a stable
+// name (the ring member identity), the base URL the coordinator reaches
+// its job API on, and a placement weight (vnode multiplier; <= 0 means
+// 1).
+type WorkerInfo struct {
+	Name   string `json:"name"`
+	URL    string `json:"url"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+// Worker lifecycle states as the coordinator sees them.
+const (
+	WorkerLive = "live"
+	WorkerDead = "dead"
+)
+
+// WorkerStatus is the coordinator's view of one registered worker.
+type WorkerStatus struct {
+	WorkerInfo
+	// State is live while heartbeats arrive inside the lease, dead once
+	// the lease expires (or job traffic fails repeatedly).
+	State string `json:"state"`
+	// HeartbeatAge is seconds since the last heartbeat (or join).
+	HeartbeatAge float64 `json:"heartbeat_age"`
+	// CellsAssigned counts cells currently submitted to this worker and
+	// not yet terminal; CellsDone counts cells it completed; Requeued
+	// counts cells taken back from it after death.
+	CellsAssigned int `json:"cells_assigned"`
+	CellsDone     int `json:"cells_done"`
+	Requeued      int `json:"requeued"`
+}
+
+// FleetCampaignSpec is a sharded campaign submission: the POST
+// /v1/fleet/campaigns body. The coordinator expands it into one named
+// cell per (target × seed × impairment-grid point) — the same grid
+// construction `prognosis learn` applies locally — and scatters the
+// cells across live workers by ring placement.
+type FleetCampaignSpec struct {
+	// Name labels the campaign (artifacts land under it); "" derives one
+	// from the ID.
+	Name string `json:"name,omitempty"`
+	// Targets names the registry targets to learn (comma syntax of
+	// learncfg.ParseTargets is not applied here; list them).
+	Targets []string `json:"targets"`
+	// Losses/Dups/Reorders span the impairment grid (empty grid = one
+	// clean cell). The clean baseline cell is always first.
+	Losses   []float64 `json:"losses,omitempty"`
+	Dups     []float64 `json:"dups,omitempty"`
+	Reorders []float64 `json:"reorders,omitempty"`
+	// Seeds replicates the grid per seed; empty means [Config.Seed].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Config carries the shared learning knobs (learner, workers, rtt,
+	// warmup, ...). Per-cell impairment and seed fields are overwritten
+	// during expansion.
+	Config learncfg.Config `json:"config"`
+}
+
+// Campaign lifecycle states.
+const (
+	CampaignRunning = "running"
+	CampaignMerging = "merging"
+	CampaignDone    = "done"
+	CampaignFailed  = "failed"
+)
+
+// FleetCampaignStatus is the coordinator's view of one sharded
+// campaign, served by GET /v1/fleet/campaigns/{id}.
+type FleetCampaignStatus struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Cells is the expanded cell count; Done/Failed tally terminal
+	// cells; Requeued counts re-assignments after worker death.
+	Cells    int `json:"cells"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Requeued int `json:"requeued"`
+	// PerWorker maps worker name → cells that worker completed.
+	PerWorker map[string]int `json:"per_worker,omitempty"`
+	// Learned/Nondet split the done cells by outcome (nondeterminism
+	// verdicts are results, not failures).
+	Learned int `json:"learned"`
+	Nondet  int `json:"nondet"`
+	// Error carries the failure cause of a failed campaign.
+	Error string `json:"error,omitempty"`
+	// MergedStore and MergedCheckpoint are coordinator-local paths of
+	// the merge stage's outputs, set once the campaign is done.
+	MergedStore      string    `json:"merged_store,omitempty"`
+	MergedCheckpoint string    `json:"merged_checkpoint,omitempty"`
+	Created          time.Time `json:"created"`
+	// Summary is the campaign's per-cell outcome table (the
+	// lab.Campaign Summarize view), set once the campaign is done.
+	Summary string `json:"summary,omitempty"`
+}
+
+// Terminal reports whether the campaign has finished (merged or failed).
+func (s *FleetCampaignStatus) Terminal() bool {
+	return s.State == CampaignDone || s.State == CampaignFailed
+}
+
+// FleetStatus is the whole-fleet snapshot served by GET
+// /v1/fleet/status.
+type FleetStatus struct {
+	Workers   []WorkerStatus        `json:"workers"`
+	Campaigns []FleetCampaignStatus `json:"campaigns"`
+	// Requeued is the all-campaign total of cell re-assignments.
+	Requeued int `json:"requeued"`
+}
+
+// FleetJoin registers (or re-registers) a worker with the coordinator.
+// Joining is idempotent: a rejoin under the same name revives a dead
+// worker and refreshes its lease.
+func (c *Client) FleetJoin(ctx context.Context, info WorkerInfo) error {
+	return c.do(ctx, http.MethodPost, "/v1/fleet/join", info, nil)
+}
+
+// FleetHeartbeat refreshes a worker's lease. The coordinator answers
+// 404 for names it does not know (lost state, e.g. a restart) — the
+// worker loop reacts by rejoining.
+func (c *Client) FleetHeartbeat(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPost, "/v1/fleet/heartbeat",
+		struct {
+			Name string `json:"name"`
+		}{Name: name}, nil)
+}
+
+// FleetStatus fetches the fleet snapshot.
+func (c *Client) FleetStatus(ctx context.Context) (FleetStatus, error) {
+	var st FleetStatus
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/status", nil, &st)
+	return st, err
+}
+
+// SubmitFleetCampaign submits a sharded campaign and returns its
+// accepted status (ID assigned, state running).
+func (c *Client) SubmitFleetCampaign(ctx context.Context, spec FleetCampaignSpec) (FleetCampaignStatus, error) {
+	var st FleetCampaignStatus
+	err := c.do(ctx, http.MethodPost, "/v1/fleet/campaigns", spec, &st)
+	return st, err
+}
+
+// FleetCampaign fetches one campaign's status.
+func (c *Client) FleetCampaign(ctx context.Context, id string) (FleetCampaignStatus, error) {
+	var st FleetCampaignStatus
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// WaitFleetCampaign polls the campaign until it reaches a terminal
+// state (or ctx ends). Poll <= 0 defaults to 200ms.
+func (c *Client) WaitFleetCampaign(ctx context.Context, id string, poll time.Duration) (FleetCampaignStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.FleetCampaign(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// StoreKeys lists the run keys present in the daemon's shared query
+// store — the worker-side surface the coordinator's merge stage reads.
+func (c *Client) StoreKeys(ctx context.Context) ([]string, error) {
+	var out struct {
+		Keys []string `json:"keys"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/fleet/store", nil, &out)
+	return out.Keys, err
+}
+
+// StoreLog downloads one run key's raw query log (jsonlog bytes) from
+// the daemon's shared store.
+func (c *Client) StoreLog(ctx context.Context, key string) ([]byte, error) {
+	return c.raw(ctx, "/v1/fleet/store/"+url.PathEscape(key))
+}
