@@ -1,0 +1,177 @@
+package adapter
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// stderrTail keeps the last stderrKeep bytes a subprocess wrote to
+// stderr, for crash diagnostics.
+const stderrKeep = 2048
+
+type stderrTail struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (t *stderrTail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > stderrKeep {
+		t.buf = t.buf[len(t.buf)-stderrKeep:]
+	}
+	return len(p), nil
+}
+
+func (t *stderrTail) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// proc is one live adapter subprocess: its pipes, a reader goroutine
+// pumping stdout lines into a channel, and the machinery to reap it
+// without leaking goroutines. proc is not safe for concurrent use —
+// each pool worker owns one.
+type proc struct {
+	argv  []string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	// lines carries stdout lines; the reader closes it on EOF or a
+	// protocol-level read failure (recorded in readErr first).
+	lines   chan string
+	readErr error
+	stderr  *stderrTail
+	// waitDone closes after cmd.Wait returned; waitErr is valid then.
+	waitDone chan struct{}
+	waitErr  error
+	killOnce sync.Once
+}
+
+// startProc spawns argv with piped stdio and begins pumping its
+// stdout.
+func startProc(argv []string) (*proc, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	tail := &stderrTail{}
+	cmd.Stderr = tail
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{
+		argv:     argv,
+		cmd:      cmd,
+		stdin:    stdin,
+		lines:    make(chan string, 64),
+		stderr:   tail,
+		waitDone: make(chan struct{}),
+	}
+	go func() {
+		br := bufio.NewReaderSize(stdout, 32*1024)
+		for {
+			line, err := readLine(br)
+			if err != nil {
+				if err != io.EOF {
+					p.readErr = err
+				}
+				break
+			}
+			p.lines <- line
+		}
+		close(p.lines)
+		p.waitErr = cmd.Wait()
+		close(p.waitDone)
+	}()
+	return p, nil
+}
+
+// send writes one protocol line. A write failure means the subprocess
+// died (or closed stdin), reported as an OpExit error.
+func (p *proc) send(line string) error {
+	if _, err := io.WriteString(p.stdin, line+"\n"); err != nil {
+		return p.died(err)
+	}
+	return nil
+}
+
+// recv returns the next stdout line, waiting at most d. A closed line
+// stream means the subprocess is gone (or desynced the protocol); a
+// timeout is ErrDeadline.
+func (p *proc) recv(d time.Duration) (string, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case line, ok := <-p.lines:
+		if !ok {
+			return "", p.died(nil)
+		}
+		return line, nil
+	case <-timer.C:
+		return "", &Error{Op: OpQuery, Cmd: p.name(), Err: ErrDeadline}
+	}
+}
+
+// died diagnoses a dead (or dying) subprocess: it reaps the process —
+// killing it if stdout closed without an exit — and renders the exit
+// status plus the stderr tail. cause, when non-nil, is the I/O error
+// that revealed the death.
+func (p *proc) died(cause error) error {
+	select {
+	case <-p.waitDone:
+	case <-time.After(2 * time.Second):
+		p.kill()
+		<-p.waitDone
+	}
+	if p.readErr != nil {
+		// The reader stopped on a protocol violation (overlong line),
+		// not process death.
+		return &Error{Op: OpQuery, Cmd: p.name(), Reason: "stdout desynced", Err: p.readErr, Stderr: p.stderr.String()}
+	}
+	err := cause
+	if err == nil {
+		err = p.waitErr
+	}
+	reason := "subprocess exited"
+	if p.waitErr != nil {
+		reason = fmt.Sprintf("subprocess died (%v)", p.waitErr)
+	}
+	return &Error{Op: OpExit, Cmd: p.name(), Reason: reason, Err: err, Stderr: p.stderr.String()}
+}
+
+func (p *proc) kill() {
+	p.killOnce.Do(func() {
+		p.stdin.Close()
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+		}
+	})
+}
+
+// stop tears the subprocess down and joins every goroutine it owns:
+// kill, drain the line channel so the reader can finish, then wait for
+// the reaper. Safe to call repeatedly and on an already-dead proc.
+func (p *proc) stop() {
+	p.kill()
+	for range p.lines {
+	}
+	<-p.waitDone
+}
+
+func (p *proc) name() string {
+	if len(p.argv) == 0 {
+		return ""
+	}
+	return p.argv[0]
+}

@@ -1,0 +1,387 @@
+// Package adapter is the external-target boundary: it runs any program
+// speaking a line-oriented symbol-over-stdio protocol as a learnable
+// SUL, so closed-box implementations become registry targets without
+// touching the engine (ROADMAP item 4). The protocol is deliberately
+// small — three commands, four replies, one escaping rule — because the
+// whole point is that wrapping a real implementation (quic-go, quiche,
+// a kernel stack behind a harness) should take an afternoon, not a
+// port of the engine. docs/ADAPTER.md is the normative spec with a wire
+// example; this file is the codec both sides share.
+//
+// Wire format, version 1. Every message is one LF-terminated line of
+// space-separated tokens. Symbols are percent-escaped (space, '%',
+// control bytes, and non-ASCII bytes become %XX; a bare "%" token is
+// the empty string), so any abstract symbol survives the line
+// discipline. Engine to adapter:
+//
+//	HELLO 1            open the session, announce protocol version
+//	RESET              reset the implementation to its initial state
+//	QUERY <sym>        run one input symbol
+//
+// Adapter to engine:
+//
+//	HELLO 1 <sym>...   version + the input alphabet (>= 1 symbol)
+//	OK                 RESET succeeded
+//	OUT <sym>...       the QUERY's abstract output (>= 1 symbol)
+//	ERR <msg>          the command failed; msg is one escaped token
+//
+// Parsing is strict: unknown verbs, wrong arities, bad escapes, and
+// overlong lines are typed *ProtoError values, never best-effort
+// guesses — a desynced symbol stream silently corrupts a learned model,
+// so the codec refuses rather than resynchronises.
+package adapter
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Version is the protocol version this engine speaks. HELLO carries it
+// in both directions; a mismatch is a handshake failure, not a
+// negotiation.
+const Version = 1
+
+// MaxLine bounds one protocol line (verb, tokens, and escapes
+// included). Longer lines are a protocol error on both sides: the
+// engine's reader refuses to buffer them, and Serve rejects them before
+// touching the wrapped implementation.
+const MaxLine = 1 << 16
+
+// ProtoError is a violation of the wire protocol: a malformed line,
+// a bad escape, a wrong arity, an unknown verb. It is the typed error
+// every parse path returns, so callers can distinguish "the adapter is
+// speaking garbage" from "the adapter's process died".
+type ProtoError struct {
+	// Reason says what was wrong.
+	Reason string
+	// Line is the offending line (truncated for display).
+	Line string
+}
+
+// Error implements error.
+func (e *ProtoError) Error() string {
+	line := e.Line
+	if len(line) > 120 {
+		line = line[:120] + "..."
+	}
+	if line == "" {
+		return "adapter protocol: " + e.Reason
+	}
+	return fmt.Sprintf("adapter protocol: %s in %q", e.Reason, line)
+}
+
+// Command verbs (engine to adapter).
+const (
+	CmdHello = "HELLO"
+	CmdReset = "RESET"
+	CmdQuery = "QUERY"
+)
+
+// Reply verbs (adapter to engine).
+const (
+	RepHello = "HELLO"
+	RepOK    = "OK"
+	RepOut   = "OUT"
+	RepErr   = "ERR"
+)
+
+// Command is one engine-to-adapter message.
+type Command struct {
+	Kind string
+	// Version is the protocol version (HELLO only).
+	Version int
+	// Input is the symbol to run (QUERY only).
+	Input string
+}
+
+// Reply is one adapter-to-engine message.
+type Reply struct {
+	Kind string
+	// Version is the protocol version (HELLO only).
+	Version int
+	// Alphabet is the advertised input alphabet (HELLO only, >= 1).
+	Alphabet []string
+	// Outputs is the abstract output of one QUERY (OUT only, >= 1).
+	Outputs []string
+	// Msg is the failure description (ERR only; may be empty).
+	Msg string
+}
+
+// EncodeCommand renders a command as one protocol line (no trailing
+// newline). Invalid commands are a ProtoError.
+func EncodeCommand(c Command) (string, error) {
+	switch c.Kind {
+	case CmdHello:
+		if c.Version < 1 {
+			return "", &ProtoError{Reason: fmt.Sprintf("HELLO version %d < 1", c.Version)}
+		}
+		return fmt.Sprintf("HELLO %d", c.Version), nil
+	case CmdReset:
+		return "RESET", nil
+	case CmdQuery:
+		return "QUERY " + escapeToken(c.Input), nil
+	}
+	return "", &ProtoError{Reason: fmt.Sprintf("unknown command kind %q", c.Kind)}
+}
+
+// ParseCommand parses one engine-to-adapter line. Every failure is a
+// *ProtoError.
+func ParseCommand(line string) (Command, error) {
+	fields, err := splitLine(line)
+	if err != nil {
+		return Command{}, err
+	}
+	switch fields[0] {
+	case CmdHello:
+		if len(fields) != 2 {
+			return Command{}, &ProtoError{Reason: "HELLO wants exactly one version token", Line: line}
+		}
+		v, err := parseVersion(fields[1], line)
+		if err != nil {
+			return Command{}, err
+		}
+		return Command{Kind: CmdHello, Version: v}, nil
+	case CmdReset:
+		if len(fields) != 1 {
+			return Command{}, &ProtoError{Reason: "RESET takes no arguments", Line: line}
+		}
+		return Command{Kind: CmdReset}, nil
+	case CmdQuery:
+		if len(fields) != 2 {
+			return Command{}, &ProtoError{Reason: "QUERY wants exactly one symbol", Line: line}
+		}
+		sym, err := unescapeToken(fields[1], line)
+		if err != nil {
+			return Command{}, err
+		}
+		return Command{Kind: CmdQuery, Input: sym}, nil
+	}
+	return Command{}, &ProtoError{Reason: fmt.Sprintf("unknown command %q", fields[0]), Line: line}
+}
+
+// EncodeReply renders a reply as one protocol line (no trailing
+// newline). Invalid replies are a ProtoError.
+func EncodeReply(r Reply) (string, error) {
+	switch r.Kind {
+	case RepHello:
+		if r.Version < 1 {
+			return "", &ProtoError{Reason: fmt.Sprintf("HELLO version %d < 1", r.Version)}
+		}
+		if len(r.Alphabet) == 0 {
+			return "", &ProtoError{Reason: "HELLO reply needs a non-empty alphabet"}
+		}
+		return fmt.Sprintf("HELLO %d %s", r.Version, escapeTokens(r.Alphabet)), nil
+	case RepOK:
+		return "OK", nil
+	case RepOut:
+		if len(r.Outputs) == 0 {
+			return "", &ProtoError{Reason: "OUT reply needs at least one symbol"}
+		}
+		return "OUT " + escapeTokens(r.Outputs), nil
+	case RepErr:
+		return "ERR " + escapeToken(r.Msg), nil
+	}
+	return "", &ProtoError{Reason: fmt.Sprintf("unknown reply kind %q", r.Kind)}
+}
+
+// ParseReply parses one adapter-to-engine line. Every failure is a
+// *ProtoError.
+func ParseReply(line string) (Reply, error) {
+	fields, err := splitLine(line)
+	if err != nil {
+		return Reply{}, err
+	}
+	switch fields[0] {
+	case RepHello:
+		if len(fields) < 3 {
+			return Reply{}, &ProtoError{Reason: "HELLO reply wants a version and a non-empty alphabet", Line: line}
+		}
+		v, err := parseVersion(fields[1], line)
+		if err != nil {
+			return Reply{}, err
+		}
+		alphabet, err := unescapeTokens(fields[2:], line)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: RepHello, Version: v, Alphabet: alphabet}, nil
+	case RepOK:
+		if len(fields) != 1 {
+			return Reply{}, &ProtoError{Reason: "OK takes no arguments", Line: line}
+		}
+		return Reply{Kind: RepOK}, nil
+	case RepOut:
+		if len(fields) < 2 {
+			return Reply{}, &ProtoError{Reason: "OUT wants at least one symbol", Line: line}
+		}
+		outs, err := unescapeTokens(fields[1:], line)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: RepOut, Outputs: outs}, nil
+	case RepErr:
+		if len(fields) != 2 {
+			return Reply{}, &ProtoError{Reason: "ERR wants exactly one message token", Line: line}
+		}
+		msg, err := unescapeToken(fields[1], line)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: RepErr, Msg: msg}, nil
+	}
+	return Reply{}, &ProtoError{Reason: fmt.Sprintf("unknown reply %q", fields[0]), Line: line}
+}
+
+// splitLine tokenises one line: single-space separated, no empty
+// tokens, no leading/trailing space, no control bytes, bounded length.
+func splitLine(line string) ([]string, error) {
+	if len(line) > MaxLine {
+		return nil, &ProtoError{Reason: fmt.Sprintf("line of %d bytes exceeds the %d-byte limit", len(line), MaxLine)}
+	}
+	if line == "" {
+		return nil, &ProtoError{Reason: "empty line"}
+	}
+	if strings.ContainsAny(line, "\r\n") {
+		return nil, &ProtoError{Reason: "line contains a raw newline", Line: line}
+	}
+	fields := strings.Split(line, " ")
+	for _, f := range fields {
+		if f == "" {
+			return nil, &ProtoError{Reason: "empty token (doubled, leading, or trailing space)", Line: line}
+		}
+	}
+	return fields, nil
+}
+
+func parseVersion(tok, line string) (int, error) {
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, &ProtoError{Reason: fmt.Sprintf("bad version token %q", tok), Line: line}
+	}
+	if v < 1 {
+		return 0, &ProtoError{Reason: fmt.Sprintf("version %d < 1", v), Line: line}
+	}
+	return v, nil
+}
+
+const hexDigits = "0123456789ABCDEF"
+
+// escapeToken renders one symbol as a wire token: printable ASCII
+// passes through, everything else (space, '%', control, non-ASCII)
+// becomes %XX, and the empty string becomes a bare "%".
+func escapeToken(s string) string {
+	if s == "" {
+		return "%"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c > 0x20 && c < 0x7F && c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(hexDigits[c>>4])
+		b.WriteByte(hexDigits[c&0xF])
+	}
+	return b.String()
+}
+
+func escapeTokens(syms []string) string {
+	esc := make([]string, len(syms))
+	for i, s := range syms {
+		esc[i] = escapeToken(s)
+	}
+	return strings.Join(esc, " ")
+}
+
+// unescapeToken decodes one wire token back to a symbol, strictly:
+// '%' must introduce exactly two hex digits (either case), and raw
+// bytes outside printable ASCII are refused.
+func unescapeToken(tok, line string) (string, error) {
+	if tok == "" {
+		return "", &ProtoError{Reason: "empty token", Line: line}
+	}
+	if tok == "%" {
+		return "", nil
+	}
+	var b strings.Builder
+	b.Grow(len(tok))
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c == '%':
+			if i+2 > len(tok)-1 {
+				return "", &ProtoError{Reason: "truncated %XX escape", Line: line}
+			}
+			hi, lo := fromHex(tok[i+1]), fromHex(tok[i+2])
+			if hi < 0 || lo < 0 {
+				return "", &ProtoError{Reason: fmt.Sprintf("bad escape %%%c%c", tok[i+1], tok[i+2]), Line: line}
+			}
+			b.WriteByte(byte(hi<<4 | lo))
+			i += 2
+		case c > 0x20 && c < 0x7F:
+			b.WriteByte(c)
+		default:
+			return "", &ProtoError{Reason: fmt.Sprintf("raw byte 0x%02X must be %%XX-escaped", c), Line: line}
+		}
+	}
+	return b.String(), nil
+}
+
+func unescapeTokens(toks []string, line string) ([]string, error) {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		s, err := unescapeToken(t, line)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func fromHex(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// readLine reads one LF-terminated line (without the newline),
+// enforcing MaxLine. A clean EOF before any byte is io.EOF; EOF inside
+// a line is also io.EOF (the peer died mid-message — the caller's
+// crash handling owns the diagnosis). Overlong lines are a
+// *ProtoError.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		switch err {
+		case nil:
+			line := buf[:len(buf)-1]
+			if len(line) > MaxLine {
+				return "", &ProtoError{Reason: fmt.Sprintf("line of %d bytes exceeds the %d-byte limit", len(line), MaxLine)}
+			}
+			return string(line), nil
+		case bufio.ErrBufferFull:
+			if len(buf) > MaxLine {
+				return "", &ProtoError{Reason: fmt.Sprintf("line exceeds the %d-byte limit", MaxLine)}
+			}
+		case io.EOF:
+			return "", io.EOF
+		default:
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package adapter
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := []struct {
+		cmd  Command
+		line string
+	}{
+		{Command{Kind: CmdHello, Version: 1}, "HELLO 1"},
+		{Command{Kind: CmdReset}, "RESET"},
+		{Command{Kind: CmdQuery, Input: "SYN(?,?,0)"}, "QUERY SYN(?,?,0)"},
+		{Command{Kind: CmdQuery, Input: "a b"}, "QUERY a%20b"},
+		{Command{Kind: CmdQuery, Input: "100%"}, "QUERY 100%25"},
+		{Command{Kind: CmdQuery, Input: ""}, "QUERY %"},
+		{Command{Kind: CmdQuery, Input: "tab\there"}, "QUERY tab%09here"},
+		{Command{Kind: CmdQuery, Input: "Σ"}, "QUERY %CE%A3"},
+	}
+	for _, c := range cases {
+		line, err := EncodeCommand(c.cmd)
+		if err != nil {
+			t.Fatalf("EncodeCommand(%+v): %v", c.cmd, err)
+		}
+		if line != c.line {
+			t.Errorf("EncodeCommand(%+v) = %q, want %q", c.cmd, line, c.line)
+		}
+		got, err := ParseCommand(line)
+		if err != nil {
+			t.Fatalf("ParseCommand(%q): %v", line, err)
+		}
+		if got != c.cmd {
+			t.Errorf("round trip of %+v came back %+v", c.cmd, got)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	cases := []struct {
+		rep  Reply
+		line string
+	}{
+		{Reply{Kind: RepHello, Version: 1, Alphabet: []string{"a", "b c"}}, "HELLO 1 a b%20c"},
+		{Reply{Kind: RepOK}, "OK"},
+		{Reply{Kind: RepOut, Outputs: []string{"{}"}}, "OUT {}"},
+		{Reply{Kind: RepOut, Outputs: []string{"SYN+ACK(?,?,0)", ""}}, "OUT SYN+ACK(?,?,0) %"},
+		{Reply{Kind: RepErr, Msg: "it broke: badly"}, "ERR it%20broke:%20badly"},
+		{Reply{Kind: RepErr}, "ERR %"},
+	}
+	for _, c := range cases {
+		line, err := EncodeReply(c.rep)
+		if err != nil {
+			t.Fatalf("EncodeReply(%+v): %v", c.rep, err)
+		}
+		if line != c.line {
+			t.Errorf("EncodeReply(%+v) = %q, want %q", c.rep, line, c.line)
+		}
+		got, err := ParseReply(line)
+		if err != nil {
+			t.Fatalf("ParseReply(%q): %v", line, err)
+		}
+		if !reflect.DeepEqual(got, c.rep) {
+			t.Errorf("round trip of %+v came back %+v", c.rep, got)
+		}
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	lines := []string{
+		"",
+		" ",
+		"HELLO",
+		"HELLO one",
+		"HELLO 0",
+		"HELLO 1 2",
+		"RESET please",
+		"QUERY",
+		"QUERY a b",
+		"QUERY  a",
+		"QUERY a ",
+		" QUERY a",
+		"QUERY %4",
+		"QUERY %zz",
+		"QUERY a\x01b",
+		"FROB x",
+		"query a",
+		strings.Repeat("a", MaxLine+1),
+	}
+	for _, line := range lines {
+		_, err := ParseCommand(line)
+		if err == nil {
+			t.Errorf("ParseCommand(%.40q) accepted a hostile line", line)
+			continue
+		}
+		var pe *ProtoError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseCommand(%.40q) error %T is not a *ProtoError", line, err)
+		}
+	}
+}
+
+func TestParseReplyErrors(t *testing.T) {
+	lines := []string{
+		"",
+		"OUT",
+		"OK now",
+		"ERR",
+		"ERR a b",
+		"HELLO",
+		"HELLO 1",
+		"HELLO nope a",
+		"HELLO -1 a",
+		"OUT %GG",
+		"OUT a\x7fb",
+		"BANANAS",
+		"out a",
+		strings.Repeat("b", MaxLine+1),
+	}
+	for _, line := range lines {
+		_, err := ParseReply(line)
+		if err == nil {
+			t.Errorf("ParseReply(%.40q) accepted a hostile line", line)
+			continue
+		}
+		var pe *ProtoError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseReply(%.40q) error %T is not a *ProtoError", line, err)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := EncodeCommand(Command{Kind: "NOPE"}); err == nil {
+		t.Error("EncodeCommand accepted an unknown kind")
+	}
+	if _, err := EncodeCommand(Command{Kind: CmdHello, Version: 0}); err == nil {
+		t.Error("EncodeCommand accepted HELLO version 0")
+	}
+	if _, err := EncodeReply(Reply{Kind: "NOPE"}); err == nil {
+		t.Error("EncodeReply accepted an unknown kind")
+	}
+	if _, err := EncodeReply(Reply{Kind: RepHello, Version: 1}); err == nil {
+		t.Error("EncodeReply accepted a HELLO with no alphabet")
+	}
+	if _, err := EncodeReply(Reply{Kind: RepOut}); err == nil {
+		t.Error("EncodeReply accepted an OUT with no symbols")
+	}
+}
+
+// FuzzAdapterProto is the protocol-codec fuzz gate registered in CI's
+// fuzz-smoke: any line either parses into a message that re-encodes and
+// re-parses to the same value, or fails with a typed *ProtoError — and
+// any symbol survives a QUERY encode/parse round trip. No input may
+// panic or hang the codec.
+func FuzzAdapterProto(f *testing.F) {
+	f.Add("HELLO 1")
+	f.Add("HELLO 1 SYN(?,?,0) ACK(?,?,0)")
+	f.Add("RESET")
+	f.Add("QUERY INITIAL(?,?)[CRYPTO]")
+	f.Add("QUERY %")
+	f.Add("QUERY %25%20%0A")
+	f.Add("OK")
+	f.Add("OUT {HANDSHAKE(?,?)[ACK,CRYPTO]}")
+	f.Add("OUT a b c")
+	f.Add("ERR boom")
+	f.Add("QUERY %zz")
+	f.Add("QUERY a\x00b")
+	f.Add("HELLO 99999999999999999999")
+	f.Add(strings.Repeat("A", 300))
+	f.Fuzz(func(t *testing.T, line string) {
+		if cmd, err := ParseCommand(line); err == nil {
+			enc, err := EncodeCommand(cmd)
+			if err != nil {
+				t.Fatalf("parsed command %+v does not re-encode: %v", cmd, err)
+			}
+			back, err := ParseCommand(enc)
+			if err != nil {
+				t.Fatalf("re-encoded command %q does not re-parse: %v", enc, err)
+			}
+			if back != cmd {
+				t.Fatalf("command round trip drifted: %+v -> %q -> %+v", cmd, enc, back)
+			}
+		} else {
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseCommand error %T (%v) is not a *ProtoError", err, err)
+			}
+		}
+		if rep, err := ParseReply(line); err == nil {
+			enc, err := EncodeReply(rep)
+			if err != nil {
+				t.Fatalf("parsed reply %+v does not re-encode: %v", rep, err)
+			}
+			back, err := ParseReply(enc)
+			if err != nil {
+				t.Fatalf("re-encoded reply %q does not re-parse: %v", enc, err)
+			}
+			if !reflect.DeepEqual(back, rep) {
+				t.Fatalf("reply round trip drifted: %+v -> %q -> %+v", rep, enc, back)
+			}
+		} else {
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseReply error %T (%v) is not a *ProtoError", err, err)
+			}
+		}
+		// Any byte string is a legal symbol: QUERY must carry it losslessly
+		// (as long as the escaped form fits in one line).
+		enc, err := EncodeCommand(Command{Kind: CmdQuery, Input: line})
+		if err != nil {
+			t.Fatalf("EncodeCommand(QUERY %.40q): %v", line, err)
+		}
+		if len(enc) <= MaxLine {
+			back, err := ParseCommand(enc)
+			if err != nil {
+				t.Fatalf("escaped QUERY %q does not parse: %v", enc, err)
+			}
+			if back.Input != line {
+				t.Fatalf("symbol %.40q did not survive the wire: got %.40q", line, back.Input)
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package adapter
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Serve speaks the adapter side of the protocol on r/w on behalf of
+// sul: it answers HELLO with the given alphabet, maps RESET and QUERY
+// onto the SUL, and renders SUL errors as ERR replies. Malformed lines
+// get an ERR reply and the loop keeps serving (the engine decides
+// whether to give up); EOF on r is a clean shutdown. cmd/refadapter is
+// the canonical caller, and any Go implementation can expose itself
+// the same way:
+//
+//	adapter.Serve(os.Stdin, os.Stdout, myAlphabet, mySUL)
+func Serve(r io.Reader, w io.Writer, alphabet []string, sul core.SUL) error {
+	br := bufio.NewReaderSize(r, 32*1024)
+	bw := bufio.NewWriter(w)
+	reply := func(rep Reply) error {
+		line, err := EncodeReply(rep)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(line + "\n"); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	greeted := false
+	for {
+		line, err := readLine(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// An overlong line leaves the stream unframed: report and
+			// stop rather than resynchronise on garbage.
+			_ = reply(Reply{Kind: RepErr, Msg: err.Error()})
+			return err
+		}
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			if rerr := reply(Reply{Kind: RepErr, Msg: err.Error()}); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if cmd.Kind != CmdHello && !greeted {
+			if err := reply(Reply{Kind: RepErr, Msg: "HELLO first"}); err != nil {
+				return err
+			}
+			continue
+		}
+		switch cmd.Kind {
+		case CmdHello:
+			if cmd.Version != Version {
+				if err := reply(Reply{Kind: RepErr,
+					Msg: fmt.Sprintf("unsupported protocol version %d (speaking %d)", cmd.Version, Version)}); err != nil {
+					return err
+				}
+				continue
+			}
+			greeted = true
+			if err := reply(Reply{Kind: RepHello, Version: Version, Alphabet: alphabet}); err != nil {
+				return err
+			}
+		case CmdReset:
+			if err := sul.Reset(); err != nil {
+				if rerr := reply(Reply{Kind: RepErr, Msg: err.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if err := reply(Reply{Kind: RepOK}); err != nil {
+				return err
+			}
+		case CmdQuery:
+			out, err := sul.Step(cmd.Input)
+			if err != nil {
+				if rerr := reply(Reply{Kind: RepErr, Msg: err.Error()}); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if err := reply(Reply{Kind: RepOut, Outputs: []string{out}}); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package adapter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// scriptedSUL is a minimal core.SUL for exercising Serve.
+type scriptedSUL struct {
+	resets int
+	steps  []string
+}
+
+func (s *scriptedSUL) Reset() error { s.resets++; return nil }
+
+func (s *scriptedSUL) Step(in string) (string, error) {
+	if in == "explode" {
+		return "", errors.New("kaboom")
+	}
+	s.steps = append(s.steps, in)
+	return "echo " + in, nil
+}
+
+func TestServeSession(t *testing.T) {
+	in := strings.Join([]string{
+		"QUERY a",       // before HELLO: refused
+		"HELLO 9",       // wrong version: refused, session stays open
+		"HELLO 1",       // handshake
+		"RESET",         // -> OK
+		"QUERY a%20b",   // -> OUT (symbol with a space, escaped both ways)
+		"not a command", // -> ERR, loop keeps serving
+		"QUERY explode", // SUL error -> ERR
+		"QUERY c",       // still alive
+	}, "\n") + "\n"
+	sul := &scriptedSUL{}
+	var out strings.Builder
+	if err := Serve(strings.NewReader(in), &out, []string{"a b", "c"}, sul); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	got := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	want := []struct{ prefix string }{
+		{"ERR HELLO%20first"},
+		{"ERR unsupported"},
+		{"HELLO 1 a%20b c"},
+		{"OK"},
+		{"OUT echo%20a%20b"},
+		{"ERR "},
+		{"ERR "},
+		{"OUT echo%20c"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Serve wrote %d lines, want %d:\n%s", len(got), len(want), out.String())
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(got[i], w.prefix) {
+			t.Errorf("reply %d = %q, want prefix %q", i, got[i], w.prefix)
+		}
+	}
+	if sul.resets != 1 {
+		t.Errorf("SUL saw %d resets, want 1", sul.resets)
+	}
+	if len(sul.steps) != 2 || sul.steps[0] != "a b" || sul.steps[1] != "c" {
+		t.Errorf("SUL saw steps %v, want [a b, c] (space unescaped)", sul.steps)
+	}
+	// The kaboom ERR must carry the SUL's message through escaping.
+	if !strings.Contains(got[6], "kaboom") {
+		t.Errorf("SUL error lost in %q", got[6])
+	}
+}
+
+// TestServeSULRoundTrip closes the loop engine-side: a SUL subprocess
+// whose adapter end is this package's own Serve must behave exactly
+// like the in-process SUL it wraps. The subprocess is sh running a tiny
+// session transcript through a pipe-connected Serve is impractical in
+// sh, so instead this drives Serve directly with EncodeCommand lines
+// and parses replies with ParseReply — the same codec the SUL uses.
+func TestServeSULRoundTrip(t *testing.T) {
+	symbols := []string{"SYN(?,?,0)", "ACK+PSH(?,?,1)[OOO]", "with space", ""}
+	var lines []string
+	for _, c := range []Command{{Kind: CmdHello, Version: Version}, {Kind: CmdReset}} {
+		l, err := EncodeCommand(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	for _, s := range symbols {
+		l, err := EncodeCommand(Command{Kind: CmdQuery, Input: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	sul := &scriptedSUL{}
+	var out strings.Builder
+	if err := Serve(strings.NewReader(strings.Join(lines, "\n")+"\n"), &out, symbols, sul); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	replies := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(replies) != 2+len(symbols) {
+		t.Fatalf("got %d replies, want %d", len(replies), 2+len(symbols))
+	}
+	hello, err := ParseReply(replies[0])
+	if err != nil || hello.Kind != RepHello || hello.Version != Version {
+		t.Fatalf("handshake reply %q: %+v, %v", replies[0], hello, err)
+	}
+	if len(hello.Alphabet) != len(symbols) {
+		t.Fatalf("alphabet %v, want %v", hello.Alphabet, symbols)
+	}
+	for i, s := range symbols {
+		if hello.Alphabet[i] != s {
+			t.Errorf("alphabet[%d] = %q, want %q", i, hello.Alphabet[i], s)
+		}
+	}
+	for i, s := range symbols {
+		rep, err := ParseReply(replies[2+i])
+		if err != nil || rep.Kind != RepOut {
+			t.Fatalf("reply to QUERY %q: %q, %v", s, replies[2+i], err)
+		}
+		if want := "echo " + s; strings.Join(rep.Outputs, " ") != want {
+			t.Errorf("QUERY %q answered %v, want %q", s, rep.Outputs, want)
+		}
+	}
+}

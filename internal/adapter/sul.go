@@ -1,0 +1,311 @@
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Process-wide adapter counters, scraped alongside every other family
+// (docs/MONITORING.md). prognosis learn -metrics dumps them for CI.
+var (
+	queriesTotal = metrics.Default().Counter("prognosis_adapter_queries_total",
+		"Symbols sent to subprocess adapters over the stdio protocol.")
+	restartsTotal = metrics.Default().Counter("prognosis_adapter_restarts_total",
+		"Adapter subprocess restarts (crash, query deadline, or protocol desync).")
+	divergenceTotal = metrics.Default().Counter("prognosis_adapter_replay_divergence_total",
+		"Replayed prefix symbols whose answer changed after an adapter restart.")
+	querySeconds = metrics.Default().Histogram("prognosis_adapter_query_seconds",
+		"Latency of one adapter QUERY round-trip.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
+)
+
+// Config describes one adapter subprocess.
+type Config struct {
+	// Command is the adapter command line, split on whitespace and run
+	// directly (no shell) so crash handling and CI kill tests hit the
+	// adapter binary itself, never an intermediate sh.
+	Command string
+	// QueryTimeout bounds every protocol round-trip (handshake, RESET,
+	// QUERY). Default 5s. After a timeout the reply stream is
+	// desynced, so a deadline always costs a restart.
+	QueryTimeout time.Duration
+	// MaxRestarts bounds the restart-and-replay attempts one Reset or
+	// Step operation may consume before giving up with
+	// ErrRestartsExhausted. Default 3.
+	MaxRestarts int
+	// OnRestart, when non-nil, observes every restart with the
+	// lifetime restart count and the reason. The lab builder forwards
+	// it as a typed learn event.
+	OnRestart func(restarts int, reason string)
+}
+
+// step is one input and the answer the live subprocess gave for it,
+// recorded since the last Reset so a crashed word can be replayed.
+type step struct {
+	in, out string
+}
+
+// SUL runs one adapter subprocess as a core.SUL. It is not safe for
+// concurrent use; the pool gives each worker its own (New per
+// replica).
+//
+// Crash handling is restart-and-replay: when the subprocess dies,
+// times out, or desyncs the protocol mid-word, the SUL respawns it,
+// replays the inputs recorded since the last Reset, and answers the
+// current query fresh. Replay answers are not required to match the
+// pre-crash ones — the fresh answers win, and if an earlier answer for
+// the same word is now stale, the engine's §5 guard surfaces it as an
+// inconsistency that the cache-repair path (learn.Store.Refresh)
+// already heals. A divergence is therefore a counter
+// (prognosis_adapter_replay_divergence_total), never a wrong answer
+// silently kept.
+type SUL struct {
+	cfg      Config
+	argv     []string
+	p        *proc
+	alphabet []string
+	word     []step
+	restarts int
+}
+
+// New spawns the adapter subprocess and performs the HELLO handshake,
+// returning the SUL with the adapter's advertised alphabet.
+func New(cfg Config) (*SUL, error) {
+	argv := strings.Fields(cfg.Command)
+	if len(argv) == 0 {
+		return nil, &Error{Op: OpStart, Reason: "empty adapter command"}
+	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 5 * time.Second
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 3
+	}
+	s := &SUL{cfg: cfg, argv: argv}
+	if err := s.spawn(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Alphabet returns the input alphabet the adapter advertised in its
+// HELLO reply.
+func (s *SUL) Alphabet() []string { return append([]string(nil), s.alphabet...) }
+
+// Restarts returns the lifetime restart count.
+func (s *SUL) Restarts() int { return s.restarts }
+
+// spawn starts the subprocess and runs the HELLO handshake. On
+// success s.p is live and the implementation is in its initial state
+// (a fresh process is, by definition, unreset-but-initial; spawn still
+// sends RESET so adapters wrapping stateful harnesses start clean).
+func (s *SUL) spawn() error {
+	p, err := startProc(s.argv)
+	if err != nil {
+		return &Error{Op: OpStart, Cmd: s.cfg.Command, Reason: "spawning adapter", Err: err}
+	}
+	r, err := s.roundTrip(p, Command{Kind: CmdHello, Version: Version})
+	if err != nil {
+		p.stop()
+		return err
+	}
+	if r.Kind != RepHello {
+		p.stop()
+		return &Error{Op: OpStart, Cmd: s.cfg.Command,
+			Reason: fmt.Sprintf("handshake answered %s, want HELLO", r.Kind)}
+	}
+	if r.Version != Version {
+		p.stop()
+		return &Error{Op: OpStart, Cmd: s.cfg.Command,
+			Reason: fmt.Sprintf("adapter speaks protocol version %d, engine speaks %d", r.Version, Version)}
+	}
+	if s.alphabet == nil {
+		s.alphabet = r.Alphabet
+	} else if !equalStrings(s.alphabet, r.Alphabet) {
+		p.stop()
+		return &Error{Op: OpStart, Cmd: s.cfg.Command,
+			Reason: "adapter advertised a different alphabet after restart"}
+	}
+	if r, err = s.roundTrip(p, Command{Kind: CmdReset}); err != nil {
+		p.stop()
+		return err
+	}
+	if r.Kind != RepOK {
+		p.stop()
+		return &Error{Op: OpReset, Cmd: s.cfg.Command,
+			Reason: fmt.Sprintf("initial RESET answered %s, want OK", r.Kind)}
+	}
+	s.p = p
+	return nil
+}
+
+// roundTrip sends one command on p and parses the reply.
+func (s *SUL) roundTrip(p *proc, c Command) (Reply, error) {
+	line, err := EncodeCommand(c)
+	if err != nil {
+		return Reply{}, err
+	}
+	if err := p.send(line); err != nil {
+		return Reply{}, err
+	}
+	resp, err := p.recv(s.cfg.QueryTimeout)
+	if err != nil {
+		return Reply{}, err
+	}
+	r, err := ParseReply(resp)
+	if err != nil {
+		return Reply{}, &Error{Op: OpQuery, Cmd: s.cfg.Command, Reason: "unparseable reply", Err: err}
+	}
+	return r, nil
+}
+
+// teardown kills the current subprocess (nil-safe).
+func (s *SUL) teardown() {
+	if s.p != nil {
+		s.p.stop()
+		s.p = nil
+	}
+}
+
+// revive restarts a dead subprocess and replays the inputs recorded
+// since the last Reset, leaving the implementation mid-word where the
+// crash interrupted it. Divergent replay answers are counted and the
+// fresh answer kept (see the SUL doc comment).
+func (s *SUL) revive(reason error) error {
+	s.restarts++
+	restartsTotal.Inc()
+	if s.cfg.OnRestart != nil {
+		why := "unknown"
+		if reason != nil {
+			why = reason.Error()
+		}
+		s.cfg.OnRestart(s.restarts, why)
+	}
+	if err := s.spawn(); err != nil {
+		return err
+	}
+	for i := range s.word {
+		r, err := s.roundTrip(s.p, Command{Kind: CmdQuery, Input: s.word[i].in})
+		if err != nil {
+			s.teardown()
+			return err
+		}
+		switch r.Kind {
+		case RepOut:
+			if out := strings.Join(r.Outputs, " "); out != s.word[i].out {
+				divergenceTotal.Inc()
+				s.word[i].out = out
+			}
+		case RepErr:
+			s.teardown()
+			return &Error{Op: OpAnswer, Cmd: s.cfg.Command,
+				Reason: fmt.Sprintf("replaying %q: %s", s.word[i].in, r.Msg)}
+		default:
+			s.teardown()
+			return &Error{Op: OpQuery, Cmd: s.cfg.Command,
+				Reason: fmt.Sprintf("replay answered %s, want OUT", r.Kind)}
+		}
+	}
+	return nil
+}
+
+// Reset implements core.SUL: return the implementation to its initial
+// state. A dead subprocess is revived (bounded by MaxRestarts).
+func (s *SUL) Reset() error {
+	s.word = nil
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.MaxRestarts; attempt++ {
+		if s.p == nil {
+			if err := s.revive(lastErr); err != nil {
+				if reported(err) {
+					return err
+				}
+				lastErr = err
+				continue
+			}
+			// revive spawns reset with an empty word: done.
+			return nil
+		}
+		r, err := s.roundTrip(s.p, Command{Kind: CmdReset})
+		if err == nil {
+			switch r.Kind {
+			case RepOK:
+				return nil
+			case RepErr:
+				return &Error{Op: OpAnswer, Cmd: s.cfg.Command, Reason: "RESET failed: " + r.Msg}
+			default:
+				err = &Error{Op: OpReset, Cmd: s.cfg.Command,
+					Reason: fmt.Sprintf("RESET answered %s, want OK", r.Kind)}
+			}
+		}
+		lastErr = err
+		s.teardown()
+	}
+	return &Error{Op: OpReset, Cmd: s.cfg.Command,
+		Reason: fmt.Sprintf("giving up after %d restarts", s.cfg.MaxRestarts),
+		Err:    errors.Join(ErrRestartsExhausted, lastErr)}
+}
+
+// Step implements core.SUL: run one input symbol and return the
+// abstract output. Crashes, deadlines, and protocol desyncs trigger
+// restart-and-replay (bounded by MaxRestarts); an ERR reply from the
+// adapter surfaces as a typed *Error without a restart.
+func (s *SUL) Step(in string) (string, error) {
+	queriesTotal.Inc()
+	start := time.Now()
+	defer func() { querySeconds.Observe(time.Since(start).Seconds()) }()
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.MaxRestarts; attempt++ {
+		if s.p == nil {
+			if err := s.revive(lastErr); err != nil {
+				if reported(err) {
+					return "", err
+				}
+				lastErr = err
+				continue
+			}
+		}
+		r, err := s.roundTrip(s.p, Command{Kind: CmdQuery, Input: in})
+		if err == nil {
+			switch r.Kind {
+			case RepOut:
+				out := strings.Join(r.Outputs, " ")
+				s.word = append(s.word, step{in: in, out: out})
+				return out, nil
+			case RepErr:
+				return "", &Error{Op: OpAnswer, Cmd: s.cfg.Command,
+					Reason: fmt.Sprintf("QUERY %q failed: %s", in, r.Msg)}
+			default:
+				err = &Error{Op: OpQuery, Cmd: s.cfg.Command,
+					Reason: fmt.Sprintf("QUERY answered %s, want OUT", r.Kind)}
+			}
+		}
+		lastErr = err
+		s.teardown()
+	}
+	return "", &Error{Op: OpQuery, Cmd: s.cfg.Command,
+		Reason: fmt.Sprintf("giving up after %d restarts", s.cfg.MaxRestarts),
+		Err:    errors.Join(ErrRestartsExhausted, lastErr)}
+}
+
+// Close reaps the subprocess and its pump goroutines. Always safe.
+func (s *SUL) Close() error {
+	s.teardown()
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

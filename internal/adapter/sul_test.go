@@ -1,0 +1,350 @@
+package adapter
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// adapterScript writes a /bin/sh adapter into a temp dir and returns
+// the Config.Command that runs it. The script sees its own directory in
+// $dir (for marker/boot files) via a cd preamble.
+func adapterScript(t *testing.T, body string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "adapter.sh")
+	script := "#!/bin/sh\ncd \"$(dirname \"$0\")\" || exit 1\n" + body
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return "/bin/sh " + path
+}
+
+// echoAdapter is the well-behaved reference script: alphabet {a, b},
+// every query answered "got-<sym>".
+const echoAdapter = `
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a b" ;;
+    RESET) echo "OK" ;;
+    QUERY) echo "OUT got-$2" ;;
+    *) echo "ERR unknown" ;;
+  esac
+done
+`
+
+func TestSULHappyPath(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := New(Config{Command: adapterScript(t, echoAdapter)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Alphabet(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("alphabet = %v, want [a b]", got)
+	}
+	for _, in := range []string{"a", "b", "a"} {
+		out, err := s.Step(in)
+		if err != nil {
+			t.Fatalf("Step(%s): %v", in, err)
+		}
+		if want := "got-" + in; out != want {
+			t.Fatalf("Step(%s) = %q, want %q", in, out, want)
+		}
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if out, err := s.Step("b"); err != nil || out != "got-b" {
+		t.Fatalf("Step after Reset = %q, %v", out, err)
+	}
+	if n := s.Restarts(); n != 0 {
+		t.Fatalf("healthy run recorded %d restarts", n)
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestSULQueryDeadline drives an adapter that never answers QUERY: every
+// attempt must hit the per-query deadline, burn one restart, and the
+// final error must carry both ErrRestartsExhausted and ErrDeadline. The
+// SUL must then be revivable by Reset.
+func TestSULQueryDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cmd := adapterScript(t, `
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a" ;;
+    RESET) echo "OK" ;;
+    QUERY) : ;;
+  esac
+done
+`)
+	s, err := New(Config{Command: cmd, QueryTimeout: 100 * time.Millisecond, MaxRestarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Step("a")
+	if err == nil {
+		t.Fatalf("Step on a silent adapter answered %q", out)
+	}
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Errorf("error %v does not wrap ErrRestartsExhausted", err)
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("error %v does not wrap ErrDeadline", err)
+	}
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not an *Error", err)
+	}
+	if s.Restarts() != 1 {
+		t.Errorf("Restarts() = %d, want 1", s.Restarts())
+	}
+	// The subprocess answers RESET promptly, so reviving must succeed.
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset after deadline failure: %v", err)
+	}
+	if s.Restarts() != 2 {
+		t.Errorf("Restarts() after revive = %d, want 2", s.Restarts())
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestSULGarbageOutput drives an adapter that answers QUERY with a line
+// that is not protocol: the result must be a typed error carrying the
+// *ProtoError cause — never a made-up answer.
+func TestSULGarbageOutput(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cmd := adapterScript(t, `
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a" ;;
+    RESET) echo "OK" ;;
+    QUERY) echo "BANANAS ???" ;;
+  esac
+done
+`)
+	s, err := New(Config{Command: cmd, QueryTimeout: time.Second, MaxRestarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Step("a")
+	if err == nil {
+		t.Fatalf("Step on a garbage adapter answered %q", out)
+	}
+	var pe *ProtoError
+	if !errors.As(err, &pe) {
+		t.Errorf("error %v does not carry a *ProtoError cause", err)
+	}
+	if !errors.Is(err, ErrRestartsExhausted) {
+		t.Errorf("error %v does not wrap ErrRestartsExhausted", err)
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestSULErrAnswerIsNotARestart: an ERR reply is the adapter answering,
+// not dying — it must surface as Op == OpAnswer with zero restarts, and
+// the session must keep working afterwards.
+func TestSULErrAnswerIsNotARestart(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cmd := adapterScript(t, `
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a bad" ;;
+    RESET) echo "OK" ;;
+    QUERY)
+      if [ "$2" = "bad" ]; then echo "ERR boom"; else echo "OUT got-$2"; fi ;;
+  esac
+done
+`)
+	s, err := New(Config{Command: cmd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step("bad"); err == nil {
+		t.Fatal("ERR reply did not surface as an error")
+	} else {
+		var ae *Error
+		if !errors.As(err, &ae) || ae.Op != OpAnswer {
+			t.Errorf("ERR reply surfaced as %v, want Op %q", err, OpAnswer)
+		}
+		if !strings.Contains(err.Error(), "boom") {
+			t.Errorf("ERR message lost: %v", err)
+		}
+	}
+	if s.Restarts() != 0 {
+		t.Errorf("ERR reply cost %d restarts, want 0", s.Restarts())
+	}
+	if out, err := s.Step("a"); err != nil || out != "got-a" {
+		t.Fatalf("session dead after an ERR answer: %q, %v", out, err)
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// crashingAdapter exits mid-word on its first boot's third query and
+// marks every answer with its boot number, so a restart-and-replay is
+// visible as divergence: the replayed prefix re-answers under boot 2.
+const crashingAdapter = `
+boot=$(cat boot 2>/dev/null || echo 0)
+boot=$((boot+1))
+echo "$boot" > boot
+n=0
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a b" ;;
+    RESET) echo "OK" ;;
+    QUERY)
+      n=$((n+1))
+      if [ "$boot" = "1" ] && [ "$n" = "3" ]; then exit 3; fi
+      echo "OUT b$boot-n$n" ;;
+  esac
+done
+`
+
+func TestSULCrashRestartAndReplay(t *testing.T) {
+	base := runtime.NumGoroutine()
+	divBefore := divergenceTotal.Value()
+	var gotRestarts int
+	var gotReason string
+	s, err := New(Config{
+		Command: adapterScript(t, crashingAdapter),
+		OnRestart: func(restarts int, reason string) {
+			gotRestarts, gotReason = restarts, reason
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"b1-n1", "b1-n2"} {
+		out, err := s.Step("a")
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		if out != want {
+			t.Fatalf("Step %d = %q, want %q", i, out, want)
+		}
+	}
+	// The third query kills boot 1 mid-word. The SUL must respawn,
+	// replay the two recorded steps (which now answer under boot 2 —
+	// two divergences, fresh answers win), and answer the interrupted
+	// query fresh.
+	out, err := s.Step("a")
+	if err != nil {
+		t.Fatalf("Step across the crash: %v", err)
+	}
+	if want := "b2-n3"; out != want {
+		t.Fatalf("post-crash answer = %q, want %q (replayed prefix plus fresh query)", out, want)
+	}
+	if s.Restarts() != 1 {
+		t.Errorf("Restarts() = %d, want 1", s.Restarts())
+	}
+	if gotRestarts != 1 || gotReason == "" {
+		t.Errorf("OnRestart saw (%d, %q), want (1, non-empty reason)", gotRestarts, gotReason)
+	}
+	if d := divergenceTotal.Value() - divBefore; d != 2 {
+		t.Errorf("replay divergence counter moved by %d, want 2", d)
+	}
+	// The replayed word must have been updated in place: a fourth query
+	// continues the boot-2 numbering.
+	if out, err := s.Step("b"); err != nil || out != "b2-n4" {
+		t.Fatalf("Step after replay = %q, %v; want b2-n4", out, err)
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+// TestSULCrashOnResetRevives: a subprocess that died between words must
+// be revived transparently by the next Reset, with an empty replay.
+func TestSULCrashOnResetRevives(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cmd := adapterScript(t, `
+boot=$(cat boot 2>/dev/null || echo 0)
+boot=$((boot+1))
+echo "$boot" > boot
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 1 a" ;;
+    RESET)
+      # Boot 1 dies on its second RESET (the first is New's handshake).
+      if [ "$boot" = "1" ] && [ -f resetonce ]; then exit 7; fi
+      touch resetonce
+      echo "OK" ;;
+    QUERY) echo "OUT b$boot" ;;
+  esac
+done
+`)
+	restartsBefore := restartsTotal.Value()
+	s, err := New(Config{Command: cmd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset across a crash: %v", err)
+	}
+	if s.Restarts() != 1 {
+		t.Errorf("Restarts() = %d, want 1", s.Restarts())
+	}
+	if got := restartsTotal.Value() - restartsBefore; got < 1 {
+		t.Errorf("prognosis_adapter_restarts_total moved by %d, want >= 1", got)
+	}
+	if out, err := s.Step("a"); err != nil || out != "b2" {
+		t.Fatalf("Step after revive = %q, %v; want b2", out, err)
+	}
+	s.Close()
+	testutil.WaitForGoroutines(t, base)
+}
+
+func TestSULStartFailures(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cases := []struct {
+		name string
+		cmd  string
+		want string
+	}{
+		{"empty command", "   ", "empty adapter command"},
+		{"missing binary", "/nonexistent/adapter-binary", "spawning adapter"},
+		{"wrong version", adapterScript(t, `
+while read -r line; do
+  set -- $line
+  case $1 in
+    HELLO) echo "HELLO 2 a" ;;
+    *) echo "OK" ;;
+  esac
+done
+`), "version"},
+		{"no alphabet", adapterScript(t, `
+while read -r line; do
+  echo "HELLO 1"
+done
+`), "alphabet"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := New(Config{Command: c.cmd, QueryTimeout: 2 * time.Second})
+			if err == nil {
+				s.Close()
+				t.Fatal("New succeeded against a broken adapter")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %v does not mention %q", err, c.want)
+			}
+		})
+	}
+	testutil.WaitForGoroutines(t, base)
+}

@@ -165,6 +165,23 @@ func Builtins() []Property {
 		OutputRequiresInput("STREAM_DATA_BLOCKED requires stream data",
 			"STREAM_DATA_BLOCKED", quicsim.SymShortStream),
 		AtMostOncePerFlight("HANDSHAKE_DONE"),
+		// quic-vn: a server must only fall back to Version Negotiation when
+		// the client actually probed with an unknown version (RFC 9000 §6).
+		OutputRequiresInput("VERSION_NEGOTIATION requires a bad-version probe",
+			"VERSION_NEGOTIATION", quicsim.SymInitialBadVer),
+		// quic targets with address validation: a Retry can only answer an
+		// Initial (it is the admission step of a new connection).
+		OutputRequiresInput("RETRY requires an Initial",
+			"RETRY", quicsim.SymInitialCrypto, quicsim.SymInitialHD),
+		// tcp-sack: SACK blocks report out-of-order data, so they require a
+		// prior out-of-order probe ("[SACK]" is the block option alone; the
+		// negotiation echo renders as "[SACKOK,WS]" and does not match).
+		OutputRequiresInput("SACK blocks require out-of-order data",
+			"[SACK]", "ACK+PSH(?,?,1)[OOO]"),
+		// tcp-sack: the SYN+ACK echoes SACK-permitted only when the client
+		// SYN offered it.
+		OutputRequiresInput("SACK negotiation requires a SACK-permitted SYN",
+			"[SACKOK", "SYN(?,?,0)[SACKOK]"),
 	}
 }
 

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/lab"
 	"repro/internal/learncfg"
+	"repro/internal/metrics"
 )
 
 // Learn implements `prognosis learn`: learn one target's model and report
@@ -23,6 +25,8 @@ func Learn(args []string) error {
 	saveFile := fs.String("save", "", "write the learned model as JSON to this file")
 	property := fs.String("property", "", `LTLf property to check on the learned model, e.g. 'G(outHas("CONNECTION_CLOSE") -> G(!outHas("HANDSHAKE_DONE]")))'`)
 	depth := fs.Int("depth", 4, "exploration depth for -property")
+	metricsFile := fs.String("metrics", "",
+		"write the process metrics registry (Prometheus text format) to this file after the run")
 	var lf learnFlags
 	lf.register(fs, learncfg.Defaults{})
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +52,15 @@ func Learn(args []string) error {
 	res, err := exp.Learn(ctx)
 	if err != nil {
 		return err
+	}
+	if *metricsFile != "" {
+		var buf bytes.Buffer
+		if err := metrics.Default().WriteText(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsFile, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
 	}
 	if res.Nondet != nil {
 		fmt.Printf("target %s: learning paused — nondeterminism detected (§5 analysis)\n", *target)

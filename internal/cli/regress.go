@@ -45,6 +45,16 @@ func Regress(args []string) error {
 	if err != nil {
 		return err
 	}
+	if missing, unknown := m.CoverageGap(); len(missing) > 0 || len(unknown) > 0 {
+		// The gate still runs — a partial manifest is useful locally — but
+		// the drift from the registry is spelled out, not just counted.
+		if len(missing) > 0 {
+			fmt.Printf("regress: manifest missing registry target(s): %s\n", strings.Join(missing, ", "))
+		}
+		if len(unknown) > 0 {
+			fmt.Printf("regress: manifest entries naming no registry target: %s\n", strings.Join(unknown, ", "))
+		}
+	}
 	selected, err := m.Filter(*targetsCSV)
 	if err != nil {
 		return err
@@ -252,6 +262,33 @@ func (m *RegressManifest) Filter(csv string) ([]RegressTarget, error) {
 		return nil, fmt.Errorf("-targets selected nothing")
 	}
 	return out, nil
+}
+
+// CoverageGap compares the manifest against the lab target registry and
+// returns the in-process registry targets the manifest misses plus the
+// manifest entries naming no registry target. External targets (such as
+// "adapter") are exempt from coverage: their behaviour is whatever command
+// they wrap, so no fixed golden can stand for them.
+func (m *RegressManifest) CoverageGap() (missing, unknown []string) {
+	inManifest := make(map[string]bool, len(m.Targets))
+	known := map[string]bool{}
+	for _, t := range lab.Targets() {
+		if !lab.External(t) {
+			known[t] = true
+		}
+	}
+	for _, rt := range m.Targets {
+		inManifest[rt.Name] = true
+		if !known[rt.Name] {
+			unknown = append(unknown, rt.Name)
+		}
+	}
+	for _, t := range lab.Targets() {
+		if known[t] && !inManifest[t] {
+			missing = append(missing, t)
+		}
+	}
+	return missing, unknown
 }
 
 func (m *RegressManifest) names() string {

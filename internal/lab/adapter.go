@@ -1,0 +1,122 @@
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/adapter"
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/reference"
+)
+
+// buildAdapter is the Builder for the external-adapter target: each
+// replica owns one subprocess running spec.AdapterCmd and speaking the
+// symbol-over-stdio protocol (docs/ADAPTER.md). The first replica's
+// HELLO advertises the alphabet; every other replica must advertise the
+// same one, since pooled replicas answer interchangeably. Restarts
+// surface as learn.AdapterRestarted events through spec.Observer.
+func buildAdapter(spec BuildSpec) (*System, error) {
+	if spec.AdapterCmd == "" {
+		return nil, fmt.Errorf("lab: target %q needs an adapter command (-adapter-cmd / WithAdapterCommand)",
+			spec.Target)
+	}
+	if spec.Transport != TransportInMemory {
+		return nil, fmt.Errorf("lab: target %q supports only the in-memory transport, not %q (the subprocess owns its own wire)",
+			spec.Target, spec.Transport)
+	}
+	sys := &System{}
+	for i := 0; i < spec.Replicas; i++ {
+		worker, obs := i, spec.Observer
+		s, err := adapter.New(adapter.Config{
+			Command: spec.AdapterCmd,
+			OnRestart: func(restarts int, reason string) {
+				if obs != nil {
+					obs.OnEvent(learn.AdapterRestarted{Worker: worker, Restarts: restarts, Reason: reason})
+				}
+			},
+		})
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		sys.AddCloser(s.Close)
+		if i == 0 {
+			sys.Alphabet = s.Alphabet()
+		} else if !equalAlphabets(sys.Alphabet, s.Alphabet()) {
+			sys.Close()
+			return nil, fmt.Errorf("lab: adapter replica %d advertised a different alphabet than replica 0", i)
+		}
+		var sul core.SUL = s
+		if spec.WrapTransport != nil {
+			sul = newAdapterLink(s, spec.wrapFor(i))
+		}
+		sys.SULs = append(sys.SULs, sul)
+	}
+	return sys, nil
+}
+
+// adapterLink threads one adapter SUL's symbol exchanges through the
+// experiment's transport wrapper, so WithImpairment's netem links and
+// WithLinkMiddleware decorate external targets exactly as they do
+// in-process ones: the input symbol rides as the client datagram and
+// the output symbol as the response. A dropped query or response is
+// silence ("{}"); a duplicated response joins with '|'.
+type adapterLink struct {
+	sul *adapter.SUL
+	tr  reference.Transport
+	// stepErr carries the inner Step error across the Transport
+	// boundary (Transport.Send has no error return).
+	stepErr error
+}
+
+func newAdapterLink(s *adapter.SUL, wrap func(reference.Transport) reference.Transport) *adapterLink {
+	l := &adapterLink{sul: s}
+	l.tr = wrap(reference.TransportFunc(func(_ string, sym []byte) [][]byte {
+		out, err := s.Step(string(sym))
+		if err != nil {
+			l.stepErr = err
+			return nil
+		}
+		return [][]byte{[]byte(out)}
+	}))
+	return l
+}
+
+// Reset implements core.SUL. Resets bypass the impairment link: the
+// engine's reset is control plane, not target traffic.
+func (l *adapterLink) Reset() error { return l.sul.Reset() }
+
+// Step implements core.SUL.
+func (l *adapterLink) Step(in string) (string, error) {
+	l.stepErr = nil
+	outs := l.tr.Send("adapter", []byte(in))
+	if l.stepErr != nil {
+		return "", l.stepErr
+	}
+	switch len(outs) {
+	case 0:
+		return "{}", nil
+	case 1:
+		return string(outs[0]), nil
+	}
+	joined := make([]byte, 0, 2*len(outs[0]))
+	for i, o := range outs {
+		if i > 0 {
+			joined = append(joined, '|')
+		}
+		joined = append(joined, o...)
+	}
+	return string(joined), nil
+}
+
+func equalAlphabets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

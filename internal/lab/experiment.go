@@ -2,8 +2,10 @@ package lab
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -149,11 +151,16 @@ func NewExperiment(target string, opts ...Option) (*Experiment, error) {
 			return tr
 		}
 	}
+	if cfg.adapterCmd != "" && !External(target) {
+		return nil, fmt.Errorf("lab: target %q is in-process and takes no adapter command", target)
+	}
 	sys, err := build(BuildSpec{
 		Target:        target,
 		Replicas:      cfg.workers,
 		Seed:          cfg.seed,
 		Transport:     cfg.transport,
+		AdapterCmd:    cfg.adapterCmd,
+		Observer:      cfg.observer,
 		WrapTransport: wrap,
 	})
 	if err != nil {
@@ -240,6 +247,18 @@ func RunKey(target string, opts ...Option) string {
 // interchangeable and sharing the log is the point.
 func runKey(target string, cfg config) string {
 	key := fmt.Sprintf("%s_s%d", target, cfg.seed)
+	if cfg.adapterCmd != "" {
+		// Different adapter binaries answer differently; key them by a
+		// short content hash of the command line (the basename keeps the
+		// key human-readable).
+		argv := strings.Fields(cfg.adapterCmd)
+		base := ""
+		if len(argv) > 0 {
+			base = filepath.Base(argv[0])
+		}
+		sum := sha256.Sum256([]byte(cfg.adapterCmd))
+		key += fmt.Sprintf("_a%s-%x", base, sum[:4])
+	}
 	if cfg.impair.Enabled() {
 		key += "_" + cfg.impair.Label()
 		if cfg.warmup > 0 {

@@ -38,6 +38,19 @@ const (
 	// double-send — the scenario target for learning under impairment
 	// (WithImpairment, docs/IMPAIRMENT.md).
 	TargetLossyRetransmit = "lossy-retransmit"
+	// TargetQUICVN is the Google profile with version negotiation and
+	// stateless-retry admission enabled: the upgrade/compatibility
+	// machine (RFC 9000 §6 + §8.1) over the extended alphabet carrying
+	// a grease-versioned Initial.
+	TargetQUICVN = "quic-vn"
+	// TargetTCPSACK is the TCP stack with SACK blocks and window
+	// scaling negotiated on the SYN — out-of-order data is buffered and
+	// advertised in SACK options instead of blindly absorbed.
+	TargetTCPSACK = "tcp-sack"
+	// TargetAdapter is the external-adapter target: a subprocess named
+	// by WithAdapterCommand, driven over the symbol-over-stdio protocol
+	// of internal/adapter (docs/ADAPTER.md).
+	TargetAdapter = "adapter"
 )
 
 // QUICProfile resolves a QUIC target name.
@@ -78,6 +91,9 @@ type QUICOptions struct {
 	Seed          int64
 	RetryRequired bool
 	BuggyRetry    bool // client retries from a new port (Issue 3)
+	// VersionNegotiation answers unknown-version long headers with a
+	// Version Negotiation packet (the quic-vn target).
+	VersionNegotiation bool
 	// Transport overrides the in-memory transport (e.g. a UDP transport).
 	Transport reference.Transport
 }
@@ -89,6 +105,7 @@ func NewQUIC(profile quicsim.Profile, opts QUICOptions) *QUICSetup {
 	}
 	srv := quicsim.NewServer(quicsim.Config{
 		Profile: profile, Seed: opts.Seed, RetryRequired: opts.RetryRequired,
+		VersionNegotiation: opts.VersionNegotiation,
 	})
 	tr := opts.Transport
 	if tr == nil {
@@ -120,15 +137,24 @@ func (s *TCPSetup) Step(in string) (string, error) { return s.Client.Step(in) }
 // segments.
 func NewTCP(seed int64) *TCPSetup { return newTCP(seed, nil) }
 
+// NewTCPSACK builds the SACK-enabled TCP system under learning: the
+// same stack with tcpsim.Config.SACK on, driven over the extended
+// alphabet carrying a SACK-permitted SYN and an out-of-order push.
+func NewTCPSACK(seed int64) *TCPSetup { return newTCPVariant(seed, nil, true) }
+
 // newTCP builds the TCP setup, optionally threading the segment path
 // through a datagram-transport wrapper (how WithImpairment reaches the
 // TCP target: segments ride the same fault-injection interface as QUIC
 // datagrams).
 func newTCP(seed int64, wrap func(reference.Transport) reference.Transport) *TCPSetup {
+	return newTCPVariant(seed, wrap, false)
+}
+
+func newTCPVariant(seed int64, wrap func(reference.Transport) reference.Transport, sack bool) *TCPSetup {
 	if seed == 0 {
 		seed = 5
 	}
-	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: seed, StrictAckCheck: true})
+	srv := tcpsim.NewServer(tcpsim.Config{Port: 44344, Seed: seed, StrictAckCheck: true, SACK: sack})
 	src := [4]byte{10, 0, 0, 2}
 	dst := [4]byte{10, 0, 0, 1}
 	var tr reference.TCPTransport = reference.TCPTransportFunc(func(raw []byte) [][]byte {

@@ -34,6 +34,7 @@ type config struct {
 	equivalence  learn.EquivalenceOracle
 	observer     learn.Observer
 	window       *learn.WindowConfig
+	adapterCmd   string
 }
 
 func defaultConfig() config {
@@ -170,6 +171,16 @@ func WithStore(dir string) Option {
 // Result.Window.
 func WithWindow(cfg learn.WindowConfig) Option {
 	return func(c *config) { c.window = &cfg }
+}
+
+// WithAdapterCommand names the external adapter command line for the
+// "adapter" target: each pool worker spawns one subprocess running it
+// and drives it over the symbol-over-stdio protocol (docs/ADAPTER.md).
+// The command is part of the run key — stores and fleet cells for two
+// different adapter binaries never collide. Only external targets
+// accept it; NewExperiment rejects the option on in-process targets.
+func WithAdapterCommand(cmd string) Option {
+	return func(c *config) { c.adapterCmd = cmd }
 }
 
 // WithObserver streams the run's typed events (RoundStarted,

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/core"
+	"repro/internal/learn"
 	"repro/internal/quicsim"
 	"repro/internal/reference"
 	"repro/internal/transport"
@@ -37,6 +38,12 @@ type BuildSpec struct {
 	Replicas  int
 	Seed      int64
 	Transport TransportKind
+	// AdapterCmd is the external adapter command line (WithAdapterCommand);
+	// only external targets read it.
+	AdapterCmd string
+	// Observer receives the experiment's typed learn events; builders that
+	// emit their own events (adapter restarts) forward through it.
+	Observer learn.Observer
 	// WrapTransport, when non-nil, must be applied by the builder to each
 	// replica's client transport (passing the replica index) before the
 	// reference client attaches. NewExperiment uses it to thread netem
@@ -87,15 +94,31 @@ func (s *System) Close() error {
 // the unsupported combination.
 type Builder func(spec BuildSpec) (*System, error)
 
+// entry is one registry record: the builder plus whether the target is
+// external (its behaviour lives outside this repository, so it has no
+// self-contained golden and the regression manifest does not cover it).
+type entry struct {
+	builder  Builder
+	external bool
+}
+
 var (
 	registryMu sync.RWMutex
-	registry   = map[string]Builder{}
+	registry   = map[string]entry{}
 )
 
 // Register makes a target available to NewExperiment, Campaign, and the
 // command-line tools under the given name. It panics on an empty name or a
 // duplicate registration — both are programmer errors at init time.
-func Register(name string, b Builder) {
+func Register(name string, b Builder) { register(name, b, false) }
+
+// RegisterExternal registers a target whose behaviour is supplied at run
+// time (the subprocess adapter): it participates in every engine surface
+// but is exempt from self-contained gates such as the regression
+// manifest's registry-coverage guard.
+func RegisterExternal(name string, b Builder) { register(name, b, true) }
+
+func register(name string, b Builder, external bool) {
 	if name == "" || b == nil {
 		panic("lab: Register needs a target name and a builder")
 	}
@@ -104,7 +127,7 @@ func Register(name string, b Builder) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("lab: target %q registered twice", name))
 	}
-	registry[name] = b
+	registry[name] = entry{builder: b, external: external}
 }
 
 // Targets lists all registered target names, sorted.
@@ -119,11 +142,20 @@ func Targets() []string {
 	return out
 }
 
+// External reports whether name is a registered external target (see
+// RegisterExternal). Unknown names are not external.
+func External(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name].external
+}
+
 // build resolves a target name and runs its builder.
 func build(spec BuildSpec) (*System, error) {
 	registryMu.RLock()
-	b, ok := registry[spec.Target]
+	e, ok := registry[spec.Target]
 	registryMu.RUnlock()
+	b := e.builder
 	if !ok {
 		return nil, fmt.Errorf("lab: unknown target %q (registered: %v)", spec.Target, Targets())
 	}
@@ -147,28 +179,72 @@ func build(spec BuildSpec) (*System, error) {
 
 func init() {
 	Register(TargetTCP, buildTCP)
+	Register(TargetTCPSACK, buildTCPSACK)
 	registerQUIC(TargetGoogle, quicsim.ProfileGoogle)
 	registerQUIC(TargetGoogleFixed, quicsim.ProfileGoogleFixed)
 	registerQUIC(TargetQuiche, quicsim.ProfileQuiche)
 	registerQUIC(TargetMvfst, quicsim.ProfileMvfst)
 	registerQUIC(TargetLossyRetransmit, quicsim.ProfileLossyRetransmit)
+	Register(TargetQUICVN, buildQUICVN)
+	RegisterExternal(TargetAdapter, buildAdapter)
 }
 
 // buildTCP is the Builder for the userspace TCP stack. It only speaks the
 // in-memory transport: the stack's Scapy-style client exchanges raw
 // segments with the server function directly.
 func buildTCP(spec BuildSpec) (*System, error) {
+	return buildTCPVariant(spec, false)
+}
+
+// buildTCPSACK is the Builder for the SACK-enabled stack: the same
+// segment path with tcpsim.Config.SACK on and the extended alphabet
+// (SACK-permitted SYN, out-of-order push).
+func buildTCPSACK(spec BuildSpec) (*System, error) {
+	return buildTCPVariant(spec, true)
+}
+
+func buildTCPVariant(spec BuildSpec, sack bool) (*System, error) {
 	if spec.Transport != TransportInMemory {
 		return nil, fmt.Errorf("lab: target %q supports only the in-memory transport, not %q",
 			spec.Target, spec.Transport)
 	}
-	sys := &System{Alphabet: reference.TCPAlphabet()}
+	alphabet := reference.TCPAlphabet()
+	if sack {
+		alphabet = reference.TCPSACKAlphabet()
+	}
+	sys := &System{Alphabet: alphabet}
 	for i := 0; i < spec.Replicas; i++ {
 		var wrap func(reference.Transport) reference.Transport
 		if spec.WrapTransport != nil {
 			wrap = spec.wrapFor(i)
 		}
-		sys.SULs = append(sys.SULs, newTCP(spec.Seed, wrap))
+		sys.SULs = append(sys.SULs, newTCPVariant(spec.Seed, wrap, sack))
+	}
+	return sys, nil
+}
+
+// buildQUICVN is the Builder for the version-negotiation + stateless-retry
+// target: the Google behaviour profile with both admission layers enabled,
+// learned over the extended alphabet carrying a grease-versioned Initial.
+// In-memory only — the VN datagram path needs no sockets to be faithful.
+func buildQUICVN(spec BuildSpec) (*System, error) {
+	if spec.Transport != TransportInMemory {
+		return nil, fmt.Errorf("lab: target %q supports only the in-memory transport, not %q",
+			spec.Target, spec.Transport)
+	}
+	sys := &System{Alphabet: quicsim.VNInputAlphabet()}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	for i := 0; i < spec.Replicas; i++ {
+		srv := quicsim.NewServer(quicsim.Config{
+			Profile: quicsim.ProfileGoogle, Seed: seed,
+			RetryRequired: true, VersionNegotiation: true,
+		})
+		tr := spec.wrapFor(i)(reference.ServerTransport(srv))
+		cli := reference.NewQUICClient(reference.QUICClientConfig{Seed: seed + 4}, tr)
+		sys.SULs = append(sys.SULs, &QUICSetup{Server: srv, Client: cli})
 	}
 	return sys, nil
 }

@@ -100,6 +100,19 @@ type WindowResized struct {
 // Kind implements Event.
 func (WindowResized) Kind() string { return "window_resized" }
 
+// AdapterRestarted reports that one worker's external adapter
+// subprocess was restarted (crash, query deadline, or protocol desync)
+// and its in-flight word replayed. Restarts is the worker's lifetime
+// restart count; Reason is the failure that triggered this one.
+type AdapterRestarted struct {
+	Worker   int    `json:"worker"`
+	Restarts int    `json:"restarts"`
+	Reason   string `json:"reason"`
+}
+
+// Kind implements Event.
+func (AdapterRestarted) Kind() string { return "adapter_restarted" }
+
 // Observer receives learning events. OnEvent may be called from the
 // learner's goroutine while queries are in flight, and — in a campaign —
 // from several runs at once; implementations shared across runs must be

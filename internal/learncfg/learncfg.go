@@ -86,6 +86,7 @@ type Config struct {
 	ImpairSeed  int64    `json:"impair_seed"`
 	Warmup      int      `json:"warmup"`
 	Store       string   `json:"store"`
+	AdapterCmd  string   `json:"adapter_cmd"`
 }
 
 // Defaults are the per-surface default knobs: `prognosis diff` mildly
@@ -137,6 +138,8 @@ func (c *Config) Register(fs *flag.FlagSet) {
 		"random words driven through each replica before an impaired learn, letting cross-connection state (loss statistics, degraded modes) settle; applied only when a fault flag is set")
 	fs.StringVar(&c.Store, "store", c.Store,
 		"persistent query-store directory: warm-start the learn from it and keep it fresh (empty = none)")
+	fs.StringVar(&c.AdapterCmd, "adapter-cmd", c.AdapterCmd,
+		"external adapter command line for -target adapter: each worker spawns one subprocess speaking the symbol-over-stdio protocol (docs/ADAPTER.md)")
 }
 
 // Validate rejects configurations no experiment can run: out-of-range
@@ -228,6 +231,9 @@ func (c *Config) Options() ([]lab.Option, error) {
 	}
 	if c.Store != "" {
 		opts = append(opts, lab.WithStore(c.Store))
+	}
+	if c.AdapterCmd != "" {
+		opts = append(opts, lab.WithAdapterCommand(c.AdapterCmd))
 	}
 	return opts, nil
 }

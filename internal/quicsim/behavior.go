@@ -84,6 +84,14 @@ const (
 	SymShortHD       = "SHORT(?,?)[ACK,HANDSHAKE_DONE]"
 )
 
+// SymInitialBadVer is an Initial carried in a long header with a grease
+// (unknown) version. It is not part of the paper's seven-symbol alphabet;
+// the quic-vn target adds it to probe version-negotiation handling. The
+// behaviour tables never see it — a bad-version header fails wire parsing
+// before abstraction, and the response (Version Negotiation or silence)
+// comes from the admission layer.
+const SymInitialBadVer = "INITIAL_BADVER(?,?)[CRYPTO]"
+
 // InputAlphabet returns the seven abstract input symbols in the paper's
 // order.
 func InputAlphabet() []string {
@@ -92,6 +100,12 @@ func InputAlphabet() []string {
 		SymHandshakeC, SymHandshakeHD,
 		SymShortFC, SymShortStream, SymShortHD,
 	}
+}
+
+// VNInputAlphabet is the quic-vn target's alphabet: the paper's seven
+// symbols plus the bad-version Initial probe.
+func VNInputAlphabet() []string {
+	return append(InputAlphabet(), SymInitialBadVer)
 }
 
 // PacketSpec describes one abstract output packet: its type and the frame

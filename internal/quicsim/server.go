@@ -40,6 +40,12 @@ type Config struct {
 	// RetryRequired makes the server validate client addresses with a
 	// Retry exchange before accepting a connection (the Issue 3 setting).
 	RetryRequired bool
+	// VersionNegotiation makes the server answer long headers carrying an
+	// unknown version with a Version Negotiation packet — but only before
+	// a connection is established; afterwards such packets are dropped
+	// silently (RFC 9000 §6.1: VN is sent only in response to packets
+	// that might create a new connection).
+	VersionNegotiation bool
 }
 
 // Server is a mini-QUIC server endpoint. It processes one connection at a
@@ -180,6 +186,11 @@ func (s *Server) HandleDatagram(src string, datagram []byte) [][]byte {
 	for len(rest) > 0 {
 		hdr, err := quicwire.ParseHeader(rest, CIDLen)
 		if err != nil {
+			if err == quicwire.ErrBadVersion {
+				if vn := s.versionNegotiate(rest); vn != nil {
+					out = append(out, vn)
+				}
+			}
 			break // undecodable datagram tail: drop silently
 		}
 		pkt := rest[:hdr.PayloadEnd]
@@ -187,6 +198,22 @@ func (s *Server) HandleDatagram(src string, datagram []byte) [][]byte {
 		out = append(out, s.processPacket(src, pkt, hdr)...)
 	}
 	return out
+}
+
+// versionNegotiate answers an unknown-version long header with a Version
+// Negotiation packet advertising v1, echoing the client's connection IDs
+// (our DCID is the client's SCID and vice versa). Returns nil when the
+// feature is off, a connection is already established, or the invariant
+// header prefix itself is malformed.
+func (s *Server) versionNegotiate(data []byte) []byte {
+	if !s.cfg.VersionNegotiation || s.est {
+		return nil
+	}
+	_, dcid, scid, err := quicwire.LongHeaderCIDs(data)
+	if err != nil {
+		return nil
+	}
+	return quicwire.AppendVersionNegotiation(nil, scid, dcid, []uint32{quicwire.Version1})
 }
 
 // processPacket handles a single (possibly coalesced-out) packet.

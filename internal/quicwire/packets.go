@@ -42,6 +42,11 @@ func (t PacketType) String() string {
 // Version1 is the QUIC v1 version number.
 const Version1 = 0x00000001
 
+// VersionGrease is a reserved version of the 0x?a?a?a?a forcing pattern
+// (RFC 9000 §15): no endpoint speaks it, so sending it in a long header
+// is the canonical way to elicit a Version Negotiation packet.
+const VersionGrease = 0x1a2a3a4a
+
 // pnLen is the fixed packet-number encoding length this implementation
 // emits (the maximum allowed, so reconstruction is trivial for the packet
 // number volumes a learning session produces).
@@ -78,6 +83,14 @@ var (
 // length of the protected payload including the AEAD tag; the header's
 // Length field covers pnLen+bodyLen.
 func AppendLongHeader(b []byte, t PacketType, dcid, scid, token []byte, pn uint64, bodyLen int) (out []byte, pnOffset int) {
+	return AppendLongHeaderVersion(b, t, Version1, dcid, scid, token, pn, bodyLen)
+}
+
+// AppendLongHeaderVersion is AppendLongHeader with an explicit version
+// field. Non-v1 versions produce syntactically well-formed headers that a
+// v1 receiver must reject (or answer with Version Negotiation) — the
+// client uses this with VersionGrease to probe version handling.
+func AppendLongHeaderVersion(b []byte, t PacketType, version uint32, dcid, scid, token []byte, pn uint64, bodyLen int) (out []byte, pnOffset int) {
 	var typeBits byte
 	switch t {
 	case PacketInitial:
@@ -91,7 +104,7 @@ func AppendLongHeader(b []byte, t PacketType, dcid, scid, token []byte, pn uint6
 	}
 	w := wire.WriterFor(b)
 	w.Byte(0xC0 | typeBits<<4 | (pnLen - 1))
-	w.Uint32(Version1)
+	w.Uint32(version)
 	w.Byte(byte(len(dcid)))
 	w.Write(dcid)
 	w.Byte(byte(len(scid)))
@@ -220,6 +233,26 @@ func ParseHeader(data []byte, shortCIDLen int) (Header, error) {
 	}
 	h.PayloadEnd = end
 	return h, nil
+}
+
+// LongHeaderCIDs extracts the version and connection IDs from a long
+// header without judging the version — the invariant prefix of RFC 8999
+// that every QUIC version shares. A server answering an unknown version
+// with Version Negotiation parses only this much (ParseHeader has already
+// rejected the packet with ErrBadVersion and kept nothing).
+func LongHeaderCIDs(data []byte) (version uint32, dcid, scid []byte, err error) {
+	if !IsLongHeader(data) {
+		return 0, nil, nil, ErrBadPacketType
+	}
+	r := wire.NewReader(data)
+	r.Byte()
+	version = r.Uint32()
+	dcid = r.Bytes(int(r.Byte()))
+	scid = r.Bytes(int(r.Byte()))
+	if r.Err() != nil {
+		return 0, nil, nil, ErrShortPacket
+	}
+	return version, dcid, scid, nil
 }
 
 // DecodePacketNumber extracts the fixed-width packet number at PNOffset.

@@ -162,7 +162,7 @@ func mustKeys(secret []byte) *quiccrypto.Keys {
 // the abstract output symbol (property 5). Unknown symbols are an error:
 // the adapter's alphabet is fixed up front.
 func (c *QUICClient) Step(abstract string) (string, error) {
-	pt, frames, err := parseAbstract(abstract)
+	pt, badver, frames, err := parseAbstract(abstract)
 	if err != nil {
 		return "", err
 	}
@@ -170,7 +170,7 @@ func (c *QUICClient) Step(abstract string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("reference: cannot send packet type %v", pt)
 	}
-	concIn, datagram := c.buildPacket(pt, space, frames)
+	concIn, datagram := c.buildPacket(pt, badver, space, frames)
 	responses := c.tr.Send(c.src(), datagram)
 	absOut, concOut := c.processResponses(responses)
 	c.trace = append(c.trace, Exchange{
@@ -181,16 +181,20 @@ func (c *QUICClient) Step(abstract string) (string, error) {
 }
 
 // parseAbstract splits "TYPE(?,?)[F1,F2]" into packet type and frame names.
-func parseAbstract(s string) (quicwire.PacketType, []string, error) {
+// The badver flag marks INITIAL_BADVER symbols: an Initial-shaped long
+// header that must be sent with a grease version to probe the target's
+// version-negotiation handling.
+func parseAbstract(s string) (pt quicwire.PacketType, badver bool, frames []string, err error) {
 	open := strings.Index(s, "(")
 	lb := strings.Index(s, "[")
 	if open < 0 || lb < 0 || !strings.HasSuffix(s, "]") {
-		return 0, nil, fmt.Errorf("reference: malformed abstract symbol %q", s)
+		return 0, false, nil, fmt.Errorf("reference: malformed abstract symbol %q", s)
 	}
-	var pt quicwire.PacketType
 	switch s[:open] {
 	case "INITIAL":
 		pt = quicwire.PacketInitial
+	case "INITIAL_BADVER":
+		pt, badver = quicwire.PacketInitial, true
 	case "HANDSHAKE":
 		pt = quicwire.PacketHandshake
 	case "SHORT":
@@ -198,13 +202,13 @@ func parseAbstract(s string) (quicwire.PacketType, []string, error) {
 	case "0RTT":
 		pt = quicwire.PacketZeroRTT
 	default:
-		return 0, nil, fmt.Errorf("reference: unknown packet type in %q", s)
+		return 0, false, nil, fmt.Errorf("reference: unknown packet type in %q", s)
 	}
 	inner := s[lb+1 : len(s)-1]
 	if inner == "" {
-		return pt, nil, nil
+		return pt, badver, nil, nil
 	}
-	return pt, strings.Split(inner, ","), nil
+	return pt, badver, strings.Split(inner, ","), nil
 }
 
 func spaceFor(pt quicwire.PacketType) (int, bool) {
@@ -237,7 +241,7 @@ func (c *QUICClient) sendKeys(space int) *quiccrypto.Keys {
 
 // buildPacket constructs the concrete packet for the abstract symbol,
 // consuming any queued reactive ACK for the space (property 1).
-func (c *QUICClient) buildPacket(pt quicwire.PacketType, space int, frameNames []string) (ConcretePacket, []byte) {
+func (c *QUICClient) buildPacket(pt quicwire.PacketType, badver bool, space int, frameNames []string) (ConcretePacket, []byte) {
 	pn := c.sendPN[space]
 	c.sendPN[space]++
 	var frames []quicwire.Frame
@@ -264,14 +268,22 @@ func (c *QUICClient) buildPacket(pt quicwire.PacketType, space int, frameNames [
 		if pt == quicwire.PacketInitial {
 			token = c.retryToken
 		}
-		buf, pnOffset = quicwire.AppendLongHeader(nil, pt, c.serverCID(), c.scid, token, pn, sealedLen)
+		version := uint32(quicwire.Version1)
+		if badver {
+			version = quicwire.VersionGrease
+		}
+		buf, pnOffset = quicwire.AppendLongHeaderVersion(nil, pt, version, c.serverCID(), c.scid, token, pn, sealedLen)
 	}
 	ad := append([]byte(nil), buf...)
 	buf = append(buf, keys.Seal(payload, pn, ad)...)
 	if err := keys.ProtectHeader(buf, pnOffset); err != nil {
 		panic(fmt.Sprintf("reference: header protection: %v", err))
 	}
-	conc := ConcretePacket{Type: pt.String(), PacketNumber: pn, Frames: frames}
+	typeName := pt.String()
+	if badver {
+		typeName = "INITIAL_BADVER"
+	}
+	conc := ConcretePacket{Type: typeName, PacketNumber: pn, Frames: frames}
 	return conc, buf
 }
 

@@ -3,6 +3,7 @@ package reference
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/tcpwire"
 )
@@ -46,7 +47,8 @@ type TCPClient struct {
 	cfg   TCPClientConfig
 	tr    TCPTransport
 	rng   *rand.Rand
-	seq   uint32 // next sequence number to send
+	iss   uint32 // this attempt's initial sequence number
+	seq   uint32 // send point: lowest sequence number the peer has not acked
 	ack   uint32 // next expected peer sequence number (our ACK field)
 	trace []TCPExchange
 }
@@ -79,7 +81,8 @@ func (c *TCPClient) Reset() error {
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(c.cfg.Seed))
 	}
-	c.seq = c.rng.Uint32()
+	c.iss = c.rng.Uint32()
+	c.seq = c.iss
 	c.ack = 0
 	return nil
 }
@@ -91,9 +94,14 @@ func (c *TCPClient) Trace() []TCPExchange { return c.trace }
 func (c *TCPClient) ClearTrace() { c.trace = nil }
 
 // Step sends the concrete segment for one abstract symbol such as
-// "SYN(?,?,0)" or "ACK+PSH(?,?,1)" and returns the abstracted response.
+// "SYN(?,?,0)" or "ACK+PSH(?,?,1)" — optionally carrying modifiers like
+// "SYN(?,?,0)[SACKOK]" — and returns the abstracted response.
 func (c *TCPClient) Step(abstract string) (string, error) {
-	flags, payloadLen, err := ParseTCPSymbol(abstract)
+	base, mods, err := splitTCPMods(abstract)
+	if err != nil {
+		return "", err
+	}
+	flags, payloadLen, err := ParseTCPSymbol(base)
 	if err != nil {
 		return "", err
 	}
@@ -111,10 +119,15 @@ func (c *TCPClient) Step(abstract string) (string, error) {
 			seg.Payload[i] = 'd'
 		}
 	}
-	// SYN and FIN consume a sequence number; so does payload.
-	c.seq += uint32(payloadLen)
-	if flags&tcpwire.SYN != 0 || flags&tcpwire.FIN != 0 {
-		c.seq++
+	if mods.sackOK {
+		seg.SACKPermitted = true
+		seg.WindowScale = clientWindowScale
+	}
+	if mods.ooo {
+		// Out-of-order probe: the payload lands a gap ahead of the send
+		// point, which stays put — like a retransmission timer, we keep
+		// resending from the lowest unacknowledged byte.
+		seg.SeqNumber = c.seq + tcpOOOGap
 	}
 
 	responses := c.tr.Send(seg.Encode(c.cfg.SrcAddr, c.cfg.DstAddr))
@@ -134,6 +147,16 @@ func (c *TCPClient) Step(abstract string) (string, error) {
 		if adv > 0 {
 			c.ack = out.SeqNumber + adv
 		}
+		// Advance-on-ACK: the send point moves only when the peer
+		// acknowledges new data (real TCP's snd_una), so probes the peer
+		// discards — data before the handshake, duplicate SYNs — never
+		// burn sequence space and the client can never outrun the peer's
+		// in-order point. RSTs are excluded: their ACK field echoes the
+		// offending segment, not the connection's receive state.
+		if out.Flags&tcpwire.ACK != 0 && out.Flags&tcpwire.RST == 0 &&
+			tcpSeqAfter(out.AckNumber, c.seq) {
+			c.seq = out.AckNumber
+		}
 		absOut = out.Abstract()
 	}
 	c.trace = append(c.trace, TCPExchange{
@@ -143,8 +166,55 @@ func (c *TCPClient) Step(abstract string) (string, error) {
 	return absOut, nil
 }
 
+// clientWindowScale is the shift the client offers in [SACKOK] SYNs, and
+// tcpOOOGap is how far ahead of the in-order point an [OOO] probe lands.
+const (
+	clientWindowScale = 8
+	tcpOOOGap         = 1000
+)
+
+// tcpSeqAfter reports whether sequence number a is after b in 32-bit
+// serial-number arithmetic.
+func tcpSeqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// tcpMods are the option modifiers a TCP abstract symbol may carry in a
+// trailing bracket.
+type tcpMods struct {
+	sackOK bool // SYN offers SACK-permitted plus window scaling
+	ooo    bool // data probe is sent out of order (sequence gap)
+}
+
+// splitTCPMods splits "FLAGS(?,?,len)[MOD,...]" into the base symbol and
+// its modifiers; symbols without a bracket suffix pass through untouched.
+func splitTCPMods(s string) (string, tcpMods, error) {
+	var m tcpMods
+	if !strings.HasSuffix(s, "]") {
+		return s, m, nil
+	}
+	idx := strings.LastIndex(s, "[")
+	if idx < 0 {
+		return "", m, fmt.Errorf("reference: malformed TCP symbol %q", s)
+	}
+	for _, part := range strings.Split(s[idx+1:len(s)-1], ",") {
+		switch part {
+		case "SACKOK":
+			m.sackOK = true
+		case "OOO":
+			m.ooo = true
+		default:
+			return "", m, fmt.Errorf("reference: unknown TCP symbol modifier %q in %q", part, s)
+		}
+	}
+	return s[:idx], m, nil
+}
+
 // ParseTCPSymbol parses the paper's TCP abstract notation "FLAGS(?,?,len)".
+// Modifier suffixes are accepted and ignored; Step interprets them.
 func ParseTCPSymbol(s string) (tcpwire.Flags, int, error) {
+	s, _, err := splitTCPMods(s)
+	if err != nil {
+		return 0, 0, err
+	}
 	open := -1
 	for i, r := range s {
 		if r == '(' {
@@ -172,4 +242,10 @@ func TCPAlphabet() []string {
 		"SYN(?,?,0)", "SYN+ACK(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)",
 		"ACK+FIN(?,?,0)", "RST(?,?,0)", "ACK+RST(?,?,0)",
 	}
+}
+
+// TCPSACKAlphabet returns the tcp-sack target's nine-symbol alphabet: the
+// base seven plus a SACK-negotiating SYN and an out-of-order data probe.
+func TCPSACKAlphabet() []string {
+	return append(TCPAlphabet(), "SYN(?,?,0)[SACKOK]", "ACK+PSH(?,?,1)[OOO]")
 }

@@ -57,7 +57,19 @@ type Config struct {
 	// StrictAckCheck, when true, validates acknowledgement numbers in
 	// SYN_RCVD and resets the connection on a bad ACK (RFC 793 behaviour).
 	StrictAckCheck bool
+	// SACK enables RFC 2018 selective acknowledgements and RFC 1323
+	// window scaling: the server negotiates both on SYNs that offer them,
+	// and a SACK-negotiated connection becomes sequence-aware — in-order
+	// data advances rcvNxt, one out-of-order block is buffered and
+	// advertised in SACK blocks on duplicate ACKs until the gap fills.
+	// Connections whose SYN carries no SACK-permitted option keep the
+	// plain blind-ACK behaviour.
+	SACK bool
 }
+
+// serverWindowScale is the shift the server advertises when window
+// scaling is negotiated.
+const serverWindowScale = 7
 
 // Server is a single-connection passive TCP endpoint. It is safe for
 // concurrent use; each Handle call is processed atomically.
@@ -70,6 +82,12 @@ type Server struct {
 	iss    uint32 // our initial send sequence number
 	sndNxt uint32 // next sequence number we will send
 	rcvNxt uint32 // next sequence number we expect
+
+	// SACK-negotiation state (Config.SACK connections only).
+	sackOK bool              // this connection negotiated SACK
+	wsOK   bool              // this connection negotiated window scaling
+	ooo    tcpwire.SACKBlock // the single buffered out-of-order block
+	hasOOO bool
 }
 
 // NewServer returns a listening server.
@@ -92,6 +110,10 @@ func (s *Server) Reset() {
 	s.iss = s.rng.Uint32()
 	s.sndNxt = s.iss
 	s.rcvNxt = 0
+	s.sackOK = false
+	s.wsOK = false
+	s.hasOOO = false
+	s.ooo = tcpwire.SACKBlock{}
 }
 
 // State returns the current connection state (for tests and diagnostics).
@@ -172,7 +194,10 @@ func (s *Server) handleListen(in tcpwire.Segment) []tcpwire.Segment {
 		return nil // RSTs to LISTEN are ignored
 	case in.Flags == tcpwire.SYN:
 		s.rcvNxt = in.SeqNumber + 1
-		out := s.reply(in, tcpwire.SYN|tcpwire.ACK, nil)
+		s.sackOK = s.cfg.SACK && in.SACKPermitted
+		s.wsOK = s.cfg.SACK && in.WindowScale != 0
+		s.hasOOO = false
+		out := s.synAck(in)
 		s.sndNxt++ // SYN consumes one sequence number
 		s.state = StateSynRcvd
 		return []tcpwire.Segment{out}
@@ -192,8 +217,9 @@ func (s *Server) handleSynRcvd(in tcpwire.Segment) []tcpwire.Segment {
 		s.state = StateListen
 		return []tcpwire.Segment{s.rstFor(in)}
 	case in.Flags&tcpwire.SYN != 0:
-		// Retransmitted SYN: retransmit our SYN-ACK.
-		out := s.reply(in, tcpwire.SYN|tcpwire.ACK, nil)
+		// Retransmitted SYN: retransmit our SYN-ACK (with the options the
+		// original negotiation settled on).
+		out := s.synAck(in)
 		out.SeqNumber = s.sndNxt - 1 // reuse the original ISS
 		return []tcpwire.Segment{out}
 	case in.Flags&tcpwire.ACK != 0:
@@ -229,9 +255,13 @@ func (s *Server) handleEstablished(in tcpwire.Segment) []tcpwire.Segment {
 		return []tcpwire.Segment{s.reply(in, tcpwire.ACK, nil)}
 	case in.Flags&tcpwire.FIN != 0:
 		s.rcvNxt = in.SeqNumber + uint32(len(in.Payload)) + 1
+		s.hasOOO = false
 		s.state = StateCloseWait
 		return []tcpwire.Segment{s.reply(in, tcpwire.ACK, nil)}
 	case in.Flags&tcpwire.ACK != 0:
+		if s.sackOK {
+			return s.absorbData(in)
+		}
 		s.rcvNxt += uint32(len(in.Payload))
 		if len(in.Payload) > 0 {
 			return []tcpwire.Segment{s.reply(in, tcpwire.ACK, nil)}
@@ -240,6 +270,66 @@ func (s *Server) handleEstablished(in tcpwire.Segment) []tcpwire.Segment {
 	default:
 		return nil
 	}
+}
+
+// synAck builds the SYN+ACK reply carrying the options this connection
+// negotiated.
+func (s *Server) synAck(in tcpwire.Segment) tcpwire.Segment {
+	out := s.reply(in, tcpwire.SYN|tcpwire.ACK, nil)
+	out.SACKPermitted = s.sackOK
+	if s.wsOK {
+		out.WindowScale = serverWindowScale
+	}
+	return out
+}
+
+// seqAfter reports whether sequence number a is after b in 32-bit
+// serial-number arithmetic.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// absorbData is the sequence-aware receive path of a SACK-negotiated
+// connection: in-order data advances rcvNxt (and drains the buffered
+// block when the gap fills), out-of-order data is buffered — one block,
+// merged when segments touch — and every data segment draws an ACK that
+// advertises the outstanding block in its SACK option.
+func (s *Server) absorbData(in tcpwire.Segment) []tcpwire.Segment {
+	n := uint32(len(in.Payload))
+	if n == 0 {
+		return nil // pure ACK: nothing to acknowledge back
+	}
+	switch {
+	case in.SeqNumber == s.rcvNxt:
+		s.rcvNxt += n
+		if s.hasOOO && !seqAfter(s.ooo.Left, s.rcvNxt) {
+			if seqAfter(s.ooo.Right, s.rcvNxt) {
+				s.rcvNxt = s.ooo.Right
+			}
+			s.hasOOO = false
+		}
+	case seqAfter(in.SeqNumber, s.rcvNxt):
+		blk := tcpwire.SACKBlock{Left: in.SeqNumber, Right: in.SeqNumber + n}
+		switch {
+		case !s.hasOOO:
+			s.ooo, s.hasOOO = blk, true
+		case !seqAfter(blk.Left, s.ooo.Right) && !seqAfter(s.ooo.Left, blk.Right):
+			// Touching or overlapping the buffered block: merge.
+			if seqAfter(s.ooo.Left, blk.Left) {
+				s.ooo.Left = blk.Left
+			}
+			if seqAfter(blk.Right, s.ooo.Right) {
+				s.ooo.Right = blk.Right
+			}
+		}
+		// A second disjoint block exceeds the single-block buffer and is
+		// dropped — the dup-ACK below still reports what is held.
+	default:
+		// Old duplicate: dup-ACK re-asserts rcvNxt.
+	}
+	out := s.reply(in, tcpwire.ACK, nil)
+	if s.hasOOO {
+		out.SACK = []tcpwire.SACKBlock{s.ooo}
+	}
+	return []tcpwire.Segment{out}
 }
 
 // handleCloseWait models the server application closing its end promptly

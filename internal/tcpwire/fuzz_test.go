@@ -29,8 +29,9 @@ func goldenSegments() []Segment {
 
 // FuzzDecodeEncode: Decode must never panic, and any wire bytes it accepts
 // must survive a re-encode/re-decode round trip with an identical segment.
-// Byte identity is not expected — decoding drops TCP options, re-encoding
-// emits a bare 20-byte header — but the logical segment must be stable.
+// Byte identity is not expected — decoding drops unknown TCP options and
+// re-encoding lays the known ones out canonically — but the logical
+// segment must be stable.
 func FuzzDecodeEncode(f *testing.F) {
 	for _, s := range goldenSegments() {
 		f.Add(s.Encode(fuzzSrc, fuzzDst))

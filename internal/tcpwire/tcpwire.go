@@ -76,17 +76,34 @@ func ParseFlags(s string) (Flags, error) {
 	return f, nil
 }
 
+// SACKBlock is one selective-acknowledgement block (RFC 2018): the
+// half-open sequence range [Left, Right) the receiver holds out of order.
+type SACKBlock struct {
+	Left  uint32 `json:"left"`
+	Right uint32 `json:"right"`
+}
+
+// MaxSACKBlocks is the most SACK blocks one segment carries (the RFC 2018
+// option-space limit). Decoding drops blocks beyond it.
+const MaxSACKBlocks = 4
+
 // Segment is the concrete alphabet symbol for TCP: a structured view of one
-// segment, mirroring the JSON object of Example 3.2.
+// segment, mirroring the JSON object of Example 3.2. The option fields
+// cover the three options the SACK-capable stack negotiates; a zero
+// WindowScale means "no window-scale option" (the sim never negotiates a
+// shift of zero, so the encoding is unambiguous).
 type Segment struct {
-	SourcePort      uint16 `json:"sourcePort"`
-	DestinationPort uint16 `json:"destinationPort"`
-	SeqNumber       uint32 `json:"seqNumber"`
-	AckNumber       uint32 `json:"ackNumber"`
-	Flags           Flags  `json:"-"`
-	Window          uint16 `json:"window"`
-	UrgentPointer   uint16 `json:"urgentPointer"`
-	Payload         []byte `json:"payload,omitempty"`
+	SourcePort      uint16      `json:"sourcePort"`
+	DestinationPort uint16      `json:"destinationPort"`
+	SeqNumber       uint32      `json:"seqNumber"`
+	AckNumber       uint32      `json:"ackNumber"`
+	Flags           Flags       `json:"-"`
+	Window          uint16      `json:"window"`
+	UrgentPointer   uint16      `json:"urgentPointer"`
+	Payload         []byte      `json:"payload,omitempty"`
+	SACKPermitted   bool        `json:"sackPermitted,omitempty"`
+	WindowScale     uint8       `json:"windowScale,omitempty"`
+	SACK            []SACKBlock `json:"sack,omitempty"`
 }
 
 // MarshalJSON emits the concrete-symbol JSON form with symbolic flags.
@@ -117,14 +134,24 @@ func (s *Segment) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// headerLen is the fixed TCP header size we emit (no options).
+// headerLen is the fixed TCP header size before options.
 const headerLen = 20
+
+// TCP option kinds (RFC 793 §3.1, RFC 1323, RFC 2018).
+const (
+	optEnd           = 0
+	optNOP           = 1
+	optWindowScale   = 3
+	optSACKPermitted = 4
+	optSACK          = 5
+)
 
 // Decode errors.
 var (
 	ErrTooShort    = errors.New("tcpwire: segment shorter than header")
 	ErrBadOffset   = errors.New("tcpwire: data offset out of range")
 	ErrBadChecksum = errors.New("tcpwire: checksum mismatch")
+	ErrBadOption   = errors.New("tcpwire: malformed TCP option")
 )
 
 // Encode serializes the segment to wire format. src and dst are the IPv4
@@ -137,23 +164,72 @@ func (s Segment) Encode(src, dst [4]byte) []byte {
 // slice. It appends in place (capacity in b is reused), so steady-state
 // encoding into a preallocated buffer performs no allocations.
 func (s Segment) AppendEncode(b []byte, src, dst [4]byte) []byte {
+	optLen := s.optionsLen()
 	start := len(b)
 	w := wire.WriterFor(b)
 	w.Uint16(s.SourcePort)
 	w.Uint16(s.DestinationPort)
 	w.Uint32(s.SeqNumber)
 	w.Uint32(s.AckNumber)
-	w.Byte(headerLen / 4 << 4) // data offset in 32-bit words, no reserved bits
+	w.Byte(byte(headerLen+optLen) / 4 << 4) // data offset in 32-bit words
 	w.Byte(byte(s.Flags))
 	w.Uint16(s.Window)
 	w.Uint16(0) // checksum placeholder
 	w.Uint16(s.UrgentPointer)
+	s.appendOptions(&w, optLen)
 	w.Write(s.Payload)
 	buf := w.Bytes()
 	sum := checksum(buf[start:], src, dst)
 	buf[start+16] = byte(sum >> 8)
 	buf[start+17] = byte(sum)
 	return buf
+}
+
+// optionsLen returns the padded (multiple-of-four) byte length of the
+// segment's options in the canonical order appendOptions emits.
+func (s Segment) optionsLen() int {
+	n := 0
+	if s.SACKPermitted {
+		n += 2
+	}
+	if s.WindowScale != 0 {
+		n += 3
+	}
+	if len(s.SACK) > 0 {
+		blocks := min(len(s.SACK), MaxSACKBlocks)
+		n += 2 + 8*blocks
+	}
+	return (n + 3) &^ 3
+}
+
+// appendOptions writes the options in canonical order — SACK-permitted,
+// window scale, SACK blocks — NOP-padded to the 32-bit boundary.
+func (s Segment) appendOptions(w *wire.Writer, optLen int) {
+	written := 0
+	if s.SACKPermitted {
+		w.Byte(optSACKPermitted)
+		w.Byte(2)
+		written += 2
+	}
+	if s.WindowScale != 0 {
+		w.Byte(optWindowScale)
+		w.Byte(3)
+		w.Byte(s.WindowScale)
+		written += 3
+	}
+	if len(s.SACK) > 0 {
+		blocks := min(len(s.SACK), MaxSACKBlocks)
+		w.Byte(optSACK)
+		w.Byte(byte(2 + 8*blocks))
+		for _, blk := range s.SACK[:blocks] {
+			w.Uint32(blk.Left)
+			w.Uint32(blk.Right)
+		}
+		written += 2 + 8*blocks
+	}
+	for ; written < optLen; written++ {
+		w.Byte(optNOP)
+	}
 }
 
 // Decode parses a wire-format segment and verifies its checksum against the
@@ -170,9 +246,11 @@ func Decode(data []byte, src, dst [4]byte) (Segment, error) {
 	return s, nil
 }
 
-// DecodeInto is the zero-allocation decode path: it parses into *s, whose
-// Payload aliases data instead of copying it. Callers that retain the
-// segment — or reuse data — must copy the payload themselves.
+// DecodeInto is the minimal-allocation decode path: it parses into *s,
+// whose Payload aliases data instead of copying it. Optionless segments —
+// the learning hot path — decode with zero allocations; only a SACK
+// option allocates (its block slice). Callers that retain the segment —
+// or reuse data — must copy the payload themselves.
 func DecodeInto(s *Segment, data []byte, src, dst [4]byte) error {
 	if len(data) < headerLen {
 		return ErrTooShort
@@ -193,6 +271,12 @@ func DecodeInto(s *Segment, data []byte, src, dst [4]byte) error {
 		*s = Segment{}
 		return ErrBadOffset
 	}
+	if offset > headerLen {
+		if err := s.parseOptions(data[headerLen:offset]); err != nil {
+			*s = Segment{}
+			return err
+		}
+	}
 	if payload := data[offset:]; len(payload) > 0 {
 		s.Payload = payload
 	}
@@ -201,6 +285,54 @@ func DecodeInto(s *Segment, data []byte, src, dst [4]byte) error {
 		return ErrBadChecksum
 	}
 	return r.Err()
+}
+
+// parseOptions walks the option bytes between the fixed header and the
+// payload. Unknown kinds are skipped by their length byte; structurally
+// broken options (bad lengths, truncation) are ErrBadOption.
+func (s *Segment) parseOptions(opts []byte) error {
+	for i := 0; i < len(opts); {
+		kind := opts[i]
+		switch kind {
+		case optEnd:
+			return nil
+		case optNOP:
+			i++
+			continue
+		}
+		if i+1 >= len(opts) {
+			return ErrBadOption
+		}
+		length := int(opts[i+1])
+		if length < 2 || i+length > len(opts) {
+			return ErrBadOption
+		}
+		body := opts[i+2 : i+length]
+		switch kind {
+		case optSACKPermitted:
+			if length != 2 {
+				return ErrBadOption
+			}
+			s.SACKPermitted = true
+		case optWindowScale:
+			if length != 3 {
+				return ErrBadOption
+			}
+			s.WindowScale = body[0]
+		case optSACK:
+			if (length-2)%8 != 0 {
+				return ErrBadOption
+			}
+			for b := 0; b+8 <= len(body) && len(s.SACK) < MaxSACKBlocks; b += 8 {
+				s.SACK = append(s.SACK, SACKBlock{
+					Left:  uint32(body[b])<<24 | uint32(body[b+1])<<16 | uint32(body[b+2])<<8 | uint32(body[b+3]),
+					Right: uint32(body[b+4])<<24 | uint32(body[b+5])<<16 | uint32(body[b+6])<<8 | uint32(body[b+7]),
+				})
+			}
+		}
+		i += length
+	}
+	return nil
 }
 
 // checksum computes the TCP checksum including the IPv4 pseudo-header.
@@ -236,6 +368,23 @@ func (s Segment) String() string {
 
 // Abstract renders the segment in the paper's abstract-alphabet notation,
 // e.g. "ACK+PSH(?,?,1)": flags, elided seq/ack, and payload length.
+// Segments carrying options append a bracketed option summary
+// ("SYN+ACK(?,?,0)[SACKOK,WS]") so option negotiation is observable in
+// the learned alphabet; optionless segments render exactly as before.
 func (s Segment) Abstract() string {
-	return fmt.Sprintf("%s(?,?,%d)", s.Flags, len(s.Payload))
+	base := fmt.Sprintf("%s(?,?,%d)", s.Flags, len(s.Payload))
+	var opts []string
+	if s.SACKPermitted {
+		opts = append(opts, "SACKOK")
+	}
+	if s.WindowScale != 0 {
+		opts = append(opts, "WS")
+	}
+	if len(s.SACK) > 0 {
+		opts = append(opts, "SACK")
+	}
+	if len(opts) == 0 {
+		return base
+	}
+	return base + "[" + strings.Join(opts, ",") + "]"
 }
